@@ -1,0 +1,147 @@
+//! FedAvg (McMahan et al., AISTATS'17): volume-weighted averaging of
+//! full-model parameters after local SGD.
+
+use crate::dense::DenseModel;
+use nebula_data::{Dataset, TrainConfig};
+use nebula_nn::{Layer, Sgd};
+use nebula_tensor::NebulaRng;
+use rayon::prelude::*;
+
+/// One device's contribution to a FedAvg round.
+pub struct FedAvgUpdate {
+    /// Full flat parameter vector after local training.
+    pub params: Vec<f32>,
+    /// Local data volume.
+    pub volume: usize,
+}
+
+impl FedAvgUpdate {
+    /// Bytes on the wire (edge → cloud).
+    pub fn bytes(&self) -> u64 {
+        (self.params.len() * 4) as u64
+    }
+}
+
+/// Runs one FedAvg communication round: each sampled device receives the
+/// full model, trains locally, and the server replaces the model with the
+/// volume-weighted average. Returns total communication bytes
+/// (down + up for every participant).
+pub fn fedavg_round(
+    server: &mut DenseModel,
+    device_data: &[&Dataset],
+    local_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut NebulaRng,
+) -> u64 {
+    assert!(!device_data.is_empty(), "FedAvg round with no participants");
+    let payload_bytes = (server.param_count() * 4) as u64;
+
+    // Per-device RNG streams are forked sequentially so the result is
+    // identical for any thread count; local training is then
+    // embarrassingly parallel across participants.
+    let rngs: Vec<NebulaRng> = (0..device_data.len()).map(|k| rng.fork(k as u64)).collect();
+    let updates: Vec<FedAvgUpdate> = device_data
+        .par_iter()
+        .zip(rngs)
+        .map(|(data, mut drng)| {
+            let mut local = server.deep_clone();
+            let mut opt = Sgd::with_momentum(lr, 0.9);
+            nebula_data::train_epochs(
+                &mut local,
+                &mut opt,
+                data,
+                TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
+                &mut drng,
+            );
+            FedAvgUpdate { params: local.param_vector(), volume: data.len() }
+        })
+        .collect();
+    let comm: u64 = updates.iter().map(|u| payload_bytes + u.bytes()).sum();
+
+    let total: f32 = updates.iter().map(|u| u.volume as f32).sum();
+    let len = updates[0].params.len();
+    let mut avg = vec![0.0f32; len];
+    for u in &updates {
+        assert_eq!(u.params.len(), len);
+        let w = u.volume as f32 / total;
+        for (a, &p) in avg.iter_mut().zip(&u.params) {
+            *a += w * p;
+        }
+    }
+    server.load_param_vector(&avg);
+    comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_data::{SynthSpec, Synthesizer};
+
+    #[test]
+    fn round_improves_global_accuracy() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng = NebulaRng::seed(1);
+        let d1 = synth.sample_classes(150, &[0, 1], 0, &mut rng);
+        let d2 = synth.sample_classes(150, &[2, 3], 0, &mut rng);
+        let test = synth.sample(200, 0, &mut rng);
+
+        let mut server = DenseModel::new(16, 24, 2, 32, 4, 7);
+        let before = nebula_data::evaluate_accuracy(&mut server, &test, 64);
+        for _ in 0..8 {
+            fedavg_round(&mut server, &[&d1, &d2], 3, 16, 0.03, &mut rng);
+        }
+        let after = nebula_data::evaluate_accuracy(&mut server, &test, 64);
+        assert!(after > before + 0.2, "FedAvg failed to learn: {before} -> {after}");
+    }
+
+    #[test]
+    fn single_device_round_equals_local_training_average() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng = NebulaRng::seed(2);
+        let d = synth.sample(100, 0, &mut rng);
+        let mut server = DenseModel::new(16, 24, 1, 16, 4, 3);
+        let before = server.param_vector();
+        fedavg_round(&mut server, &[&d], 1, 16, 0.01, &mut rng);
+        // With one device, the server simply adopts its parameters.
+        assert_ne!(server.param_vector(), before);
+    }
+
+    #[test]
+    fn comm_counts_up_and_down() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng = NebulaRng::seed(3);
+        let d = synth.sample(50, 0, &mut rng);
+        let mut server = DenseModel::new(16, 24, 1, 16, 4, 3);
+        let expected = 2 * (server.param_count() * 4) as u64 * 3;
+        let comm = fedavg_round(&mut server, &[&d, &d, &d], 1, 16, 0.01, &mut rng);
+        assert_eq!(comm, expected);
+    }
+
+    #[test]
+    fn averaging_weights_follow_volume() {
+        // Devices with identical data but different volumes: result is a
+        // weighted average — verify the weighting arithmetic via a direct
+        // construction.
+        let mut server = DenseModel::new(4, 4, 1, 4, 2, 5);
+        let base = server.param_vector();
+        // Build updates by hand through the public API: zero-epoch local
+        // training leaves params unchanged, so instead verify volumes via
+        // the exposed FedAvgUpdate math.
+        let u1 = FedAvgUpdate { params: base.iter().map(|v| v + 1.0).collect(), volume: 3 };
+        let u2 = FedAvgUpdate { params: base.iter().map(|v| v + 5.0).collect(), volume: 1 };
+        let total = 4.0f32;
+        let avg: Vec<f32> = base.iter().map(|v| v + (3.0 * 1.0 + 1.0 * 5.0) / total).collect();
+        let mut manual = vec![0.0f32; base.len()];
+        for u in [&u1, &u2] {
+            let w = u.volume as f32 / total;
+            for (m, &p) in manual.iter_mut().zip(&u.params) {
+                *m += w * p;
+            }
+        }
+        for (m, a) in manual.iter().zip(&avg) {
+            nebula_tensor::assert_close(*m, *a, 1e-5);
+        }
+        server.load_param_vector(&manual);
+    }
+}

@@ -1,0 +1,91 @@
+//! **Figures 10 & 11** — continuous adaptation over many time slots.
+//!
+//! Each adaptation step replaces 50% of every device's local data with
+//! data from a new environment (class-group or context shift). Five
+//! systems are compared on each task: No Adaptation, Local Adaptation,
+//! Nebula w/o local training, Nebula w/o cloud, and full Nebula.
+//! Fig. 10 is the per-slot accuracy series; Fig. 11 summarises the mean
+//! adaptation accuracy and the mean per-step adaptation time.
+//!
+//! Run: `cargo run --release -p nebula-bench --bin fig10_fig11_continuous [--quick]`
+
+use nebula_bench::{emit_record, Scale, TaskRow};
+use nebula_data::TaskPreset;
+use nebula_sim::experiment::{run_continuous, ExperimentConfig};
+use nebula_sim::{
+    AdaptStrategy, LocalAdaptStrategy, NebulaStrategy, NebulaVariant, NoAdaptStrategy,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ContinuousRecord {
+    experiment: &'static str,
+    task: String,
+    strategy: String,
+    mean_accuracy: f32,
+    mean_adapt_time_ms: f64,
+    accuracy_per_slot: Vec<f32>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let slots = if quick { 6 } else { 12 };
+
+    let rows = [
+        TaskRow { task: TaskPreset::Har, skew_m: None },
+        TaskRow { task: TaskPreset::Cifar10, skew_m: Some(2) },
+        TaskRow { task: TaskPreset::Cifar100, skew_m: Some(10) },
+        TaskRow { task: TaskPreset::SpeechCommands, skew_m: Some(5) },
+    ];
+
+    println!("Figs 10 & 11: continuous adaptation over {slots} steps (50% data replaced/step)\n");
+    for row in rows {
+        println!("== {} ({}) ==", row.task.name(), row.task.model_name());
+        let mut cfg = row.strategy_config(scale);
+        // Continuous mode: light collaboration per slot, smaller rounds.
+        cfg.rounds_per_step = 2;
+        cfg.devices_per_round = 10;
+
+        let strategies: Vec<Box<dyn AdaptStrategy>> = vec![
+            Box::new(NoAdaptStrategy::new(cfg.clone(), 42)),
+            Box::new(LocalAdaptStrategy::new(cfg.clone(), 42)),
+            Box::new(NebulaStrategy::with_variant(cfg.clone(), 42, NebulaVariant::NoLocalTraining)),
+            Box::new(NebulaStrategy::with_variant(cfg.clone(), 42, NebulaVariant::NoCloud)),
+            Box::new(NebulaStrategy::with_variant(cfg.clone(), 42, NebulaVariant::Full)),
+        ];
+
+        for mut s in strategies {
+            let mut world = row.world(scale, Some(0.5), 42);
+            let out = run_continuous(
+                s.as_mut(),
+                &mut world,
+                &ExperimentConfig { eval_devices: 2, seed: 42 },
+                slots,
+            );
+            let mean =
+                out.accuracy_per_slot.iter().sum::<f32>() / out.accuracy_per_slot.len().max(1) as f32;
+            let head: Vec<String> =
+                out.accuracy_per_slot.iter().take(10).map(|a| format!("{:.2}", a)).collect();
+            println!(
+                "  {:<22} mean {:.3}  adapt-time {:>9.1} ms  slots[..10]: {}",
+                out.strategy,
+                mean,
+                out.mean_adapt_time_ms,
+                head.join(" ")
+            );
+            emit_record(
+                "fig10_fig11",
+                &ContinuousRecord {
+                    experiment: "fig10_fig11",
+                    task: row.task.name().to_string(),
+                    strategy: out.strategy.clone(),
+                    mean_accuracy: mean,
+                    mean_adapt_time_ms: out.mean_adapt_time_ms,
+                    accuracy_per_slot: out.accuracy_per_slot,
+                },
+            );
+        }
+        println!();
+    }
+}

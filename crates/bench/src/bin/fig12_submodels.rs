@@ -1,0 +1,149 @@
+//! **Figure 12** — sub-model performance study on the CIFAR-100 / VGG16
+//! configuration.
+//!
+//! Three panels, as in the paper:
+//! * sub-models on non-IID data, m = 10;
+//! * sub-models on non-IID data, m = 20;
+//! * sub-models on IID data.
+//!
+//! Each panel plots randomly-composed sub-models (size vs accuracy) from
+//! a cloud trained **with** and **without** module ability-enhancing
+//! training, plus the knapsack-**selected** sub-models at a sweep of
+//! resource budgets (the Pareto front).
+//!
+//! Run: `cargo run --release -p nebula-bench --bin fig12_submodels [--quick]`
+
+use nebula_bench::{emit_record, Scale, TaskRow};
+use nebula_core::{derive_submodel, modular_config_for, NebulaCloud, NebulaParams, ResourceProfile};
+use nebula_data::{evaluate_accuracy, Dataset, TaskPreset};
+use nebula_modular::cost::CostModel;
+use nebula_modular::SubModelSpec;
+
+use nebula_tensor::NebulaRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PointRecord {
+    experiment: &'static str,
+    panel: String,
+    series: String,
+    params_k: f64,
+    accuracy: f32,
+}
+
+fn random_spec(cfg: &nebula_modular::ModularConfig, rng: &mut NebulaRng) -> SubModelSpec {
+    SubModelSpec::new(
+        (0..cfg.num_layers)
+            .map(|_| {
+                let count = 1 + rng.below(cfg.modules_per_layer);
+                rng.sample_indices(cfg.modules_per_layer, count)
+            })
+            .collect(),
+    )
+}
+
+fn eval_spec(cloud: &mut NebulaCloud, spec: &SubModelSpec, data: &Dataset) -> f32 {
+    cloud.model_mut().set_submodel(Some(spec));
+    let acc = evaluate_accuracy(cloud.model_mut(), data, 64);
+    cloud.model_mut().set_submodel(None);
+    acc
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_random = if quick { 8 } else { 30 };
+    let seed = 42u64;
+    let task = TaskPreset::Cifar100;
+    let mcfg = modular_config_for(task);
+    let cost = CostModel::new(mcfg.clone());
+
+    // Shared proxy/sub-task data from the m=10 world's group structure.
+    let row = TaskRow { task, skew_m: Some(10) };
+    let mut world = row.world(scale, None, seed);
+    let mut rng = NebulaRng::seed(seed);
+    let proxy = world.proxy(scale.proxy_samples);
+    let subtasks = world.subtask_datasets(200);
+
+    let mut params = NebulaParams::default();
+    params.pretrain.epochs = scale.pretrain_epochs;
+
+    println!("training cloud WITHOUT ability-enhancing…");
+    let mut plain = NebulaCloud::new(mcfg.clone(), params, seed);
+    plain.pretrain(&proxy, &mut rng);
+    println!("training cloud WITH ability-enhancing…");
+    let mut enhanced = NebulaCloud::new(mcfg.clone(), params, seed);
+    enhanced.pretrain(&proxy, &mut rng);
+    enhanced.enhance(&subtasks, &mut rng);
+
+    // Panel datasets: a device-local task per panel.
+    let m10 = world.devices[0].test.clone();
+    let m10_local = world.devices[0].partition.data.clone();
+    let row20 = TaskRow { task, skew_m: Some(20) };
+    let world20 = row20.world(scale, None, seed);
+    let m20 = world20.devices[0].test.clone();
+    let m20_local = world20.devices[0].partition.data.clone();
+    let iid = world.proxy(300);
+    let iid_local = world.proxy(150);
+
+    let panels: Vec<(&str, Dataset, Dataset)> = vec![
+        ("non-IID m=10", m10, m10_local),
+        ("non-IID m=20", m20, m20_local),
+        ("IID", iid, iid_local),
+    ];
+
+    for (panel, test, local) in panels {
+        println!("\n== panel: {panel} ==");
+        // Random sub-models from both clouds.
+        for (series, cloud) in [("w/o enhancing", &mut plain), ("w/ enhancing", &mut enhanced)] {
+            let mut srng = NebulaRng::seed(seed ^ 0xF16);
+            let mut line = Vec::new();
+            for _ in 0..n_random {
+                let spec = random_spec(&mcfg, &mut srng);
+                let acc = eval_spec(cloud, &spec, &test);
+                let params_k = cost.submodel(&spec).params as f64 / 1000.0;
+                line.push(format!("({params_k:.0}K,{acc:.2})"));
+                emit_record(
+                    "fig12",
+                    &PointRecord {
+                        experiment: "fig12",
+                        panel: panel.to_string(),
+                        series: series.to_string(),
+                        params_k,
+                        accuracy: acc,
+                    },
+                );
+            }
+            println!("  {series:<15}: {}", line.join(" "));
+        }
+
+        // Knapsack-selected sub-models from the enhanced cloud at a budget
+        // sweep — the Pareto front the derivation walks.
+        let full = cost.full_model();
+        let importance = enhanced.model_mut().importance(local.features());
+        let mut line = Vec::new();
+        for ratio in [0.1f64, 0.2, 0.3, 0.45, 0.65, 1.0] {
+            let profile = ResourceProfile {
+                mem_bytes: (full.training_mem_bytes as f64 * ratio) as u64,
+                flops: (full.flops as f64 * ratio) as u64,
+                comm_bytes: (full.comm_bytes as f64 * ratio) as u64,
+            };
+            let outcome = derive_submodel(&cost, &importance, &profile, None);
+            let acc = eval_spec(&mut enhanced, &outcome.spec, &test);
+            let params_k = cost.submodel(&outcome.spec).params as f64 / 1000.0;
+            line.push(format!("({params_k:.0}K,{acc:.2})"));
+            emit_record(
+                "fig12",
+                &PointRecord {
+                    experiment: "fig12",
+                    panel: panel.to_string(),
+                    series: "selected sub-model".to_string(),
+                    params_k,
+                    accuracy: acc,
+                },
+            );
+        }
+        println!("  {:<15}: {}", "selected", line.join(" "));
+    }
+    println!("\n(points appended to results/fig12.jsonl)");
+}

@@ -1,0 +1,143 @@
+//! **Figure 2** — heterogeneous on-device resources and the cost of
+//! on-device training.
+//!
+//! * (a) RAM-capacity histogram over a sampled device population;
+//! * (b) inference-latency distribution (MobileNetV3-class workload),
+//!   mobile SoCs vs IoT boards;
+//! * (c) model footprints: disk size, inference/training peak memory and
+//!   latency for the three CNN-scale task models, on a Jetson-class and a
+//!   Pi-class device.
+//!
+//! Run: `cargo run --release -p nebula-bench --bin fig2_heterogeneity`
+
+use nebula_bench::{emit_record, print_row};
+use nebula_core::modular_config_for;
+use nebula_data::TaskPreset;
+use nebula_modular::cost::CostModel;
+use nebula_sim::latency::{inference_latency_ms, training_batch_latency_ms};
+use nebula_sim::{DeviceClass, DeviceResources, ResourceSampler};
+use nebula_tensor::NebulaRng;
+use serde::Serialize;
+
+/// MobileNetV3-Large forward cost (≈219 M MACs), the workload behind the
+/// paper's Fig. 2(b) latency statistics.
+const MOBILENET_FLOPS: u64 = 219_000_000;
+
+#[derive(Serialize)]
+struct HistRecord {
+    experiment: &'static str,
+    panel: &'static str,
+    bucket: String,
+    value: f64,
+}
+
+fn main() {
+    let mut rng = NebulaRng::seed(2024);
+    let pop = ResourceSampler::default().sample_population(1000, &mut rng);
+
+    // ---- (a) RAM histogram --------------------------------------------
+    println!("Fig 2(a): on-device RAM capacity histogram (1000 devices)");
+    let buckets = [(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 8.0), (8.0, 10.0), (10.0, 12.0), (12.0, 99.0)];
+    let labels = ["<2", "2~4", "4~6", "6~8", "8~10", "10~12", ">12"];
+    for ((lo, hi), label) in buckets.iter().zip(labels) {
+        let frac = pop
+            .iter()
+            .filter(|d| {
+                let gb = d.ram_bytes as f64 / 1e9;
+                gb >= *lo && gb < *hi
+            })
+            .count() as f64
+            / pop.len() as f64;
+        println!("  {label:>6} GB : {frac:.3}  {}", "#".repeat((frac * 100.0) as usize));
+        emit_record("fig2", &HistRecord { experiment: "fig2", panel: "a_ram", bucket: label.to_string(), value: frac });
+    }
+
+    // ---- (b) inference latency CDF -------------------------------------
+    println!("\nFig 2(b): MobileNetV3 inference latency CDF (ms)");
+    let latencies = |class: DeviceClass| -> Vec<f64> {
+        let mut v: Vec<f64> = pop
+            .iter()
+            .filter(|d| d.class == class)
+            .map(|d| inference_latency_ms(d, MOBILENET_FLOPS))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    };
+    for (class, name) in [(DeviceClass::MobileSoc, "Mobile SoCs"), (DeviceClass::Iot, "IoT devices")] {
+        let v = latencies(class);
+        let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+        println!(
+            "  {name:<12}: p10 {:>8.1}  p50 {:>8.1}  p90 {:>8.1}  p99 {:>8.1}",
+            q(0.10),
+            q(0.50),
+            q(0.90),
+            q(0.99)
+        );
+        for (p, label) in [(0.10, "p10"), (0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+            emit_record(
+                "fig2",
+                &HistRecord {
+                    experiment: "fig2",
+                    panel: "b_latency",
+                    bucket: format!("{name}/{label}"),
+                    value: q(p),
+                },
+            );
+        }
+    }
+
+    // ---- (c) model footprints -------------------------------------------
+    println!("\nFig 2(c): model footprints and latency (batch 16)");
+    let nano = DeviceResources {
+        class: DeviceClass::MobileSoc,
+        ram_bytes: 4_000_000_000,
+        flops_per_sec: 5.4e9,
+        bandwidth_bps: 2e7,
+        budget_ratio: 0.5,
+        background_procs: 0,
+    };
+    let pi = DeviceResources {
+        class: DeviceClass::Iot,
+        ram_bytes: 2_000_000_000,
+        flops_per_sec: 5.4e8,
+        bandwidth_bps: 2e7,
+        budget_ratio: 0.25,
+        background_procs: 0,
+    };
+    let widths = [14usize, 10, 12, 12, 12, 14, 14];
+    print_row(
+        &["Model", "Disk(KB)", "InfMem(KB)", "TrnMem(KB)", "Inf(ms)", "Train@Nano", "Train@Pi"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+    for task in [TaskPreset::Cifar10, TaskPreset::Cifar100, TaskPreset::SpeechCommands] {
+        let cm = CostModel::new(modular_config_for(task));
+        let full = cm.full_model();
+        let inf_nano = inference_latency_ms(&nano, full.flops);
+        let train_nano = training_batch_latency_ms(&nano, full.flops, 16);
+        let train_pi = training_batch_latency_ms(&pi, full.flops, 16);
+        print_row(
+            &[
+                task.model_name().to_string(),
+                format!("{}", full.comm_bytes / 1024),
+                format!("{}", full.inference_mem_bytes / 1024),
+                format!("{}", full.training_mem_bytes / 1024),
+                format!("{inf_nano:.2}"),
+                format!("{train_nano:.2}"),
+                format!("{train_pi:.2}"),
+            ],
+            &widths,
+        );
+        emit_record(
+            "fig2",
+            &HistRecord {
+                experiment: "fig2",
+                panel: "c_train_vs_inf_mem_ratio",
+                bucket: task.model_name().to_string(),
+                value: full.training_mem_bytes as f64 / full.inference_mem_bytes as f64,
+            },
+        );
+    }
+    println!("\n(training-vs-inference memory ratios appended to results/fig2.jsonl)");
+}

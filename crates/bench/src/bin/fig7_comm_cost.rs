@@ -1,0 +1,114 @@
+//! **Figure 7** — communication cost during model adaptation for the
+//! edge-cloud collaborative strategies (FedAvg, HeteroFL, Nebula), over
+//! the four tasks × two data partitions.
+//!
+//! Protocol: every system pre-trains offline, then the environment
+//! shifts (70% of every device's data is replaced by a new context /
+//! class group — the "newly collected data" of §6.2). The system then
+//! adapts round by round; we record accuracy and cumulative bytes per
+//! round and report the bytes needed to reach 98% of the system's own
+//! converged accuracy. Slow convergence (the paper measures 1.83× extra
+//! rounds for HeteroFL) therefore shows up as extra communication.
+//!
+//! Run: `cargo run --release -p nebula-bench --bin fig7_comm_cost [--quick]`
+
+use nebula_bench::{emit_record, print_row, Scale, TaskRow};
+use nebula_sim::experiment::{mean_accuracy, pick_eval_ids, ExperimentConfig};
+use nebula_sim::network::CommTracker;
+use nebula_sim::{AdaptStrategy, FedAvgStrategy, HeteroFlStrategy, NebulaStrategy};
+use nebula_tensor::NebulaRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CommRecord {
+    experiment: &'static str,
+    task: String,
+    partition: String,
+    strategy: String,
+    rounds_to_adapt: usize,
+    comm_mib: f64,
+    adapted_accuracy: f32,
+    converged_accuracy: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let max_rounds = scale.rounds_per_step + scale.rounds_per_step / 2;
+    let seed = 42u64;
+
+    println!("Fig 7: communication cost to adapt to a new environment (MiB)\n");
+    let widths = [14usize, 10, 9, 12, 9, 9, 9];
+    print_row(
+        &["Task", "Partition", "Strategy", "Comm(MiB)", "Rounds", "AdaptAcc", "ConvAcc"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+
+    for row in TaskRow::table1_rows() {
+        let mut cfg = row.strategy_config(scale);
+        cfg.rounds_per_step = 1; // step one round at a time
+        let exp = ExperimentConfig { eval_devices: scale.eval_devices, seed };
+
+        let strategies: Vec<Box<dyn AdaptStrategy>> = vec![
+            Box::new(FedAvgStrategy::new(cfg.clone(), seed)),
+            Box::new(HeteroFlStrategy::new(cfg.clone(), seed)),
+            Box::new(NebulaStrategy::new(cfg.clone(), seed)),
+        ];
+        for mut s in strategies {
+            // Identical world per strategy: offline on the original
+            // environments, then a hard shift before adaptation begins.
+            let mut world = row.world(scale, Some(0.7), seed);
+            let mut rng = NebulaRng::seed(seed ^ 0xF16_7);
+            let eval_ids = pick_eval_ids(&world, exp.eval_devices);
+            s.track(&eval_ids);
+            s.offline(&mut world, &mut rng);
+            world.advance_slot();
+
+            // Round-by-round trajectory.
+            let mut comm = CommTracker::new();
+            let mut trajectory: Vec<(f32, u64)> = Vec::with_capacity(max_rounds);
+            for _ in 0..max_rounds {
+                let report = s.adaptation_step(&mut world, &mut rng);
+                comm.merge(&report.comm);
+                let acc = mean_accuracy(s.as_mut(), &mut world, &eval_ids);
+                trajectory.push((acc, comm.total_bytes()));
+            }
+            let converged = trajectory.iter().map(|&(a, _)| a).fold(0.0f32, f32::max);
+            let target = converged * 0.98;
+            let (rounds, adapted_acc, bytes) = trajectory
+                .iter()
+                .enumerate()
+                .find(|(_, &(a, _))| a >= target)
+                .map(|(i, &(a, b))| (i + 1, a, b))
+                .unwrap_or((max_rounds, converged, comm.total_bytes()));
+
+            let mib = bytes as f64 / (1024.0 * 1024.0);
+            print_row(
+                &[
+                    row.task.name().to_string(),
+                    row.partition_label(),
+                    s.name().to_string(),
+                    format!("{mib:.1}"),
+                    format!("{rounds}"),
+                    format!("{adapted_acc:.3}"),
+                    format!("{converged:.3}"),
+                ],
+                &widths,
+            );
+            emit_record(
+                "fig7",
+                &CommRecord {
+                    experiment: "fig7",
+                    task: row.task.name().to_string(),
+                    partition: row.partition_label(),
+                    strategy: s.name().to_string(),
+                    rounds_to_adapt: rounds,
+                    comm_mib: mib,
+                    adapted_accuracy: adapted_acc,
+                    converged_accuracy: converged,
+                },
+            );
+        }
+    }
+}

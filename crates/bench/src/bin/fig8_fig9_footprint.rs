@@ -1,0 +1,132 @@
+//! **Figures 8 & 9** — memory footprint and per-batch training latency
+//! during model adaptation, on a Jetson-class and a Pi-class device, for:
+//! the full model (FedAvg), HeteroFL's width-scaled sub-model, and
+//! Nebula's derived sub-models under the two data partitions (m1 / m2).
+//!
+//! These are cost-model quantities (the paper measures them on hardware);
+//! no training is needed, so this binary is fast.
+//!
+//! Run: `cargo run --release -p nebula-bench --bin fig8_fig9_footprint`
+
+use nebula_bench::{emit_record, print_row, Scale, TaskRow};
+use nebula_core::{derive_submodel, modular_config_for, ResourceProfile};
+use nebula_modular::cost::CostModel;
+use nebula_sim::latency::training_batch_latency_ms;
+use nebula_sim::{DeviceClass, DeviceResources};
+use nebula_baselines::ratio_for_budget;
+use nebula_data::TaskPreset;
+use nebula_nn::Layer;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FootprintRecord {
+    experiment: &'static str,
+    task: String,
+    device: &'static str,
+    system: String,
+    params: u64,
+    train_mem_bytes: u64,
+    train_latency_ms: f64,
+}
+
+fn device(class: DeviceClass) -> DeviceResources {
+    match class {
+        DeviceClass::MobileSoc => DeviceResources {
+            class,
+            ram_bytes: 4_000_000_000,
+            flops_per_sec: 5.4e9,
+            bandwidth_bps: 2e7,
+            budget_ratio: 0.5,
+            background_procs: 0,
+        },
+        DeviceClass::Iot => DeviceResources {
+            class,
+            ram_bytes: 2_000_000_000,
+            flops_per_sec: 5.4e8,
+            bandwidth_bps: 2e7,
+            budget_ratio: 0.2,
+            background_procs: 0,
+        },
+    }
+}
+
+fn main() {
+    let _ = Scale::from_args();
+    println!("Figs 8 & 9: training memory footprint and per-batch latency during adaptation\n");
+    let widths = [14usize, 12, 14, 12, 14, 14];
+    print_row(
+        &["Task", "Device", "System", "Params(K)", "TrnMem(KB)", "Batch(ms)"].map(String::from).to_vec(),
+        &widths,
+    );
+
+    for row in [
+        TaskRow { task: TaskPreset::Har, skew_m: None },
+        TaskRow { task: TaskPreset::Cifar10, skew_m: Some(2) },
+        TaskRow { task: TaskPreset::Cifar100, skew_m: Some(10) },
+        TaskRow { task: TaskPreset::SpeechCommands, skew_m: Some(5) },
+    ] {
+        let mcfg = modular_config_for(row.task);
+        let cost = CostModel::new(mcfg.clone());
+        let full_mod = cost.full_model();
+
+        // Dense full model (FedAvg / LA reference).
+        let scfg = row.strategy_config(Scale::quick());
+        let dense = scfg.dense_model(1);
+        let dense_params = dense.param_count() as u64;
+
+        // The two Nebula partitions: m1/m2 drive different importance
+        // concentration, which we approximate with the knapsack under the
+        // device budget at two cap levels (m1 = tighter sub-task → fewer
+        // modules suffice).
+        for dev_class in [DeviceClass::MobileSoc, DeviceClass::Iot] {
+            let dev = device(dev_class);
+            let budget = ResourceProfile {
+                mem_bytes: (full_mod.training_mem_bytes as f64 * dev.budget_ratio as f64) as u64,
+                flops: (full_mod.flops as f64 * dev.budget_ratio as f64) as u64,
+                comm_bytes: (full_mod.comm_bytes as f64 * dev.budget_ratio as f64) as u64,
+            };
+            let uniform =
+                vec![vec![1.0 / mcfg.modules_per_layer as f32; mcfg.modules_per_layer]; mcfg.num_layers];
+            let m1_cap = (mcfg.modules_per_layer / 4).max(2);
+            let m2_cap = (mcfg.modules_per_layer / 2).max(3);
+            let nebula_m1 = cost.submodel(&derive_submodel(&cost, &uniform, &budget, Some(m1_cap)).spec);
+            let nebula_m2 = cost.submodel(&derive_submodel(&cost, &uniform, &budget, Some(m2_cap)).spec);
+            let hfl_ratio = ratio_for_budget(&dense, (dense_params as f64 * dev.budget_ratio as f64) as usize);
+            let hfl_params = dense.active_params(hfl_ratio) as u64;
+
+            let rows: Vec<(String, u64, u64)> = vec![
+                ("Full model".to_string(), dense_params, 3 * dense_params * 4),
+                ("HeteroFL".to_string(), hfl_params, 3 * hfl_params * 4),
+                ("Nebula (m1)".to_string(), nebula_m1.params, nebula_m1.training_mem_bytes),
+                ("Nebula (m2)".to_string(), nebula_m2.params, nebula_m2.training_mem_bytes),
+            ];
+            for (system, params, mem) in rows {
+                let latency = training_batch_latency_ms(&dev, params, 16);
+                print_row(
+                    &[
+                        row.task.name().to_string(),
+                        dev.class.name().to_string(),
+                        system.clone(),
+                        format!("{}", params / 1000),
+                        format!("{}", mem / 1024),
+                        format!("{latency:.2}"),
+                    ],
+                    &widths,
+                );
+                emit_record(
+                    "fig8_fig9",
+                    &FootprintRecord {
+                        experiment: "fig8_fig9",
+                        task: row.task.name().to_string(),
+                        device: dev.class.name(),
+                        system,
+                        params,
+                        train_mem_bytes: mem,
+                        train_latency_ms: latency,
+                    },
+                );
+            }
+        }
+    }
+    println!("\n(Nebula-vs-full reduction factors are computed in EXPERIMENTS.md from results/fig8_fig9.jsonl)");
+}

@@ -1,0 +1,266 @@
+//! Cloud-model checkpointing.
+//!
+//! A deployed Nebula cloud periodically snapshots its modularized model so
+//! it can restart (or roll back a bad aggregation round) without
+//! re-running the offline stage. The checkpoint carries the architecture
+//! configuration plus the flat parameter vector; loading validates that
+//! the architecture matches before touching any weights.
+
+use nebula_modular::{ModularConfig, ModularModel};
+use nebula_nn::Layer;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A serialisable snapshot of a modularized model.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (bumped on layout changes).
+    pub version: u32,
+    /// Architecture at save time.
+    pub config: CheckpointConfig,
+    /// Flat parameters in `visit_params` order.
+    pub params: Vec<f32>,
+}
+
+/// The architecture fields that must match at load time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    pub input_dim: usize,
+    pub classes: usize,
+    pub width: usize,
+    pub num_layers: usize,
+    pub modules_per_layer: usize,
+    pub module_hidden: usize,
+    pub residual_module: bool,
+    pub selector_embed: usize,
+}
+
+impl From<&ModularConfig> for CheckpointConfig {
+    fn from(c: &ModularConfig) -> Self {
+        Self {
+            input_dim: c.input_dim,
+            classes: c.classes,
+            width: c.width,
+            num_layers: c.num_layers,
+            modules_per_layer: c.modules_per_layer,
+            module_hidden: c.module_hidden,
+            residual_module: c.residual_module,
+            selector_embed: c.selector_embed,
+        }
+    }
+}
+
+/// The current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Snapshots a model into a [`Checkpoint`].
+pub fn snapshot(model: &ModularModel) -> Checkpoint {
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        config: CheckpointConfig::from(model.config()),
+        params: model.param_vector(),
+    }
+}
+
+/// Restores a checkpoint into `model`. Fails if the architecture or
+/// parameter count differs.
+pub fn restore(model: &mut ModularModel, ckpt: &Checkpoint) -> Result<(), String> {
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(format!("unsupported checkpoint version {}", ckpt.version));
+    }
+    let expect = CheckpointConfig::from(model.config());
+    if ckpt.config != expect {
+        return Err(format!("architecture mismatch: checkpoint {:?} vs model {:?}", ckpt.config, expect));
+    }
+    if ckpt.params.len() != model.param_count() {
+        return Err(format!(
+            "parameter count mismatch: checkpoint {} vs model {}",
+            ckpt.params.len(),
+            model.param_count()
+        ));
+    }
+    model.load_param_vector(&ckpt.params);
+    Ok(())
+}
+
+/// Saves a checkpoint as JSON (human-inspectable; ~9 bytes per
+/// parameter). Use [`save_binary`] for the compact format.
+pub fn save_to_file(model: &ModularModel, path: &Path) -> io::Result<()> {
+    let ckpt = snapshot(model);
+    let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Loads a JSON checkpoint file into `model`.
+pub fn load_from_file(model: &mut ModularModel, path: &Path) -> io::Result<()> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+    restore(model, &ckpt).map_err(io::Error::other)
+}
+
+/// Magic prefix of the binary checkpoint format.
+const BINARY_MAGIC: &[u8; 4] = b"NBLA";
+
+/// Encodes a checkpoint in the compact binary format:
+/// `magic ‖ u32 version ‖ u32 json-header-len ‖ json header ‖ f32 params (LE)`.
+/// Exactly 4 bytes per parameter plus a small header.
+pub fn encode_binary(ckpt: &Checkpoint) -> Vec<u8> {
+    use bytes::BufMut;
+    let header = serde_json::to_vec(&ckpt.config).expect("config serialises");
+    let mut buf = Vec::with_capacity(16 + header.len() + ckpt.params.len() * 4);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u32_le(ckpt.version);
+    buf.put_u32_le(header.len() as u32);
+    buf.put_slice(&header);
+    for &p in &ckpt.params {
+        buf.put_f32_le(p);
+    }
+    buf
+}
+
+/// Decodes the binary checkpoint format.
+pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, String> {
+    use bytes::Buf;
+    let mut buf = data;
+    if buf.remaining() < 12 || &buf[..4] != BINARY_MAGIC {
+        return Err("not a Nebula binary checkpoint".into());
+    }
+    buf.advance(4);
+    let version = buf.get_u32_le();
+    let header_len = buf.get_u32_le() as usize;
+    if buf.remaining() < header_len {
+        return Err("truncated checkpoint header".into());
+    }
+    let config: CheckpointConfig =
+        serde_json::from_slice(&buf[..header_len]).map_err(|e| format!("bad header: {e}"))?;
+    buf.advance(header_len);
+    if buf.remaining() % 4 != 0 {
+        return Err("truncated parameter payload".into());
+    }
+    let mut params = Vec::with_capacity(buf.remaining() / 4);
+    while buf.has_remaining() {
+        params.push(buf.get_f32_le());
+    }
+    Ok(Checkpoint { version, config, params })
+}
+
+/// Saves the compact binary checkpoint.
+pub fn save_binary(model: &ModularModel, path: &Path) -> io::Result<()> {
+    std::fs::write(path, encode_binary(&snapshot(model)))
+}
+
+/// Loads a binary checkpoint file into `model`.
+pub fn load_binary(model: &mut ModularModel, path: &Path) -> io::Result<()> {
+    let data = std::fs::read(path)?;
+    let ckpt = decode_binary(&data).map_err(io::Error::other)?;
+    restore(model, &ckpt).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_modular::ModularConfig;
+    use nebula_nn::Mode;
+    use nebula_tensor::Tensor;
+
+    fn model(seed: u64) -> ModularModel {
+        let mut cfg = ModularConfig::toy(8, 3);
+        cfg.gate_noise_std = 0.0;
+        ModularModel::new(cfg, seed)
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_outputs() {
+        let mut a = model(1);
+        let ckpt = snapshot(&a);
+        let mut b = model(2); // different init
+        restore(&mut b, &ckpt).unwrap();
+        let x = Tensor::ones(&[2, 8]);
+        assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let a = model(1);
+        let ckpt = snapshot(&a);
+        let mut cfg = ModularConfig::toy(8, 3);
+        cfg.modules_per_layer = 3;
+        cfg.top_k = 2;
+        let mut other = ModularModel::new(cfg, 1);
+        let err = restore(&mut other, &ckpt).unwrap_err();
+        assert!(err.contains("architecture mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_wrong_version() {
+        let a = model(1);
+        let mut ckpt = snapshot(&a);
+        ckpt.version = 999;
+        let mut b = model(1);
+        assert!(restore(&mut b, &ckpt).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("nebula-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let mut a = model(3);
+        save_to_file(&a, &path).unwrap();
+        let mut b = model(4);
+        load_from_file(&mut b, &path).unwrap();
+        let x = Tensor::ones(&[1, 8]);
+        assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        let a = model(5);
+        let ckpt = snapshot(&a);
+        let encoded = encode_binary(&ckpt);
+        let decoded = decode_binary(&encoded).unwrap();
+        assert_eq!(decoded.version, ckpt.version);
+        assert_eq!(decoded.config, ckpt.config);
+        assert_eq!(decoded.params, ckpt.params);
+        // Compact: 4 bytes/param + small header.
+        assert!(encoded.len() < ckpt.params.len() * 4 + 1024);
+    }
+
+    #[test]
+    fn binary_file_roundtrip_restores_model() {
+        let dir = std::env::temp_dir().join("nebula-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nbla");
+        let mut a = model(6);
+        save_binary(&a, &path).unwrap();
+        let mut b = model(7);
+        load_binary(&mut b, &path).unwrap();
+        let x = Tensor::ones(&[1, 8]);
+        assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_decoder_rejects_garbage_and_truncation() {
+        assert!(decode_binary(b"nope").is_err());
+        let ckpt = snapshot(&model(8));
+        let mut encoded = encode_binary(&ckpt);
+        encoded.truncate(encoded.len() - 2); // break f32 alignment
+        assert!(decode_binary(&encoded).is_err());
+        encoded.truncate(6); // inside the fixed header
+        assert!(decode_binary(&encoded).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("nebula-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let mut m = model(1);
+        assert!(load_from_file(&mut m, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

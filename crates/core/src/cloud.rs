@@ -1,0 +1,213 @@
+//! The Nebula cloud orchestrator.
+//!
+//! Owns the modularized cloud model and drives both stages: offline
+//! pre-training + ability enhancing, and the online loop of deriving
+//! sub-models for devices, dispatching them, and aggregating updates
+//! module-wise. Payload byte sizes are exposed so the simulator can
+//! account communication exactly (paper Fig. 7).
+
+use crate::aggregate::{aggregate_module_wise, ModuleUpdate};
+use crate::derive::{derive_submodel, DeriveOutcome};
+use crate::offline::{enhance_module_abilities, pretrain, EnhanceConfig, EnhanceOutcome, PretrainConfig};
+use crate::profile::ResourceProfile;
+use nebula_data::Dataset;
+use nebula_modular::cost::CostModel;
+use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
+use nebula_tensor::NebulaRng;
+use std::collections::HashMap;
+
+/// Framework hyper-parameters (paper §6.1 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct NebulaParams {
+    pub pretrain: PretrainConfig,
+    pub enhance: EnhanceConfig,
+    /// Local epochs per collaborative round (paper: 3).
+    pub local_epochs: usize,
+    /// Local batch size (paper: 16).
+    pub batch_size: usize,
+    /// Local learning rate.
+    pub local_lr: f32,
+}
+
+impl Default for NebulaParams {
+    fn default() -> Self {
+        Self {
+            pretrain: PretrainConfig::default(),
+            enhance: EnhanceConfig::default(),
+            local_epochs: 3,
+            batch_size: 16,
+            local_lr: 0.02,
+        }
+    }
+}
+
+/// The sub-model package the cloud ships to a device: selected module
+/// parameters plus the shared parts.
+#[derive(Clone, Debug)]
+pub struct SubModelPayload {
+    /// The sub-model structure.
+    pub spec: SubModelSpec,
+    /// Parameters of each included module (residuals ship empty vectors).
+    pub module_params: HashMap<(usize, usize), Vec<f32>>,
+    /// Shared stem/head/selector parameters.
+    pub shared_params: Vec<f32>,
+}
+
+impl SubModelPayload {
+    /// Bytes on the wire (f32 parameters).
+    pub fn bytes(&self) -> u64 {
+        let module: usize = self.module_params.values().map(Vec::len).sum();
+        ((module + self.shared_params.len()) * 4) as u64
+    }
+}
+
+/// The cloud side of Nebula.
+pub struct NebulaCloud {
+    model: ModularModel,
+    cost: CostModel,
+    params: NebulaParams,
+}
+
+impl NebulaCloud {
+    /// Builds a cloud with a fresh modularized model.
+    pub fn new(cfg: ModularConfig, params: NebulaParams, seed: u64) -> Self {
+        let cost = CostModel::new(cfg.clone());
+        Self { model: ModularModel::new(cfg, seed), cost, params }
+    }
+
+    /// Framework hyper-parameters.
+    pub fn params(&self) -> &NebulaParams {
+        &self.params
+    }
+
+    /// The cloud model (read access).
+    pub fn model(&self) -> &ModularModel {
+        &self.model
+    }
+
+    /// The cloud model (mutable access — evaluation needs `&mut` for
+    /// forward caches).
+    pub fn model_mut(&mut self) -> &mut ModularModel {
+        &mut self.model
+    }
+
+    /// The module/sub-model cost calculator.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Offline stage step 1: end-to-end pre-training on proxy data.
+    pub fn pretrain(&mut self, proxy: &Dataset, rng: &mut NebulaRng) -> f32 {
+        pretrain(&mut self.model, proxy, self.params.pretrain, rng)
+    }
+
+    /// Offline stage step 2: module ability-enhancing training over the
+    /// application-defined sub-tasks.
+    pub fn enhance(&mut self, subtasks: &[Dataset], rng: &mut NebulaRng) -> EnhanceOutcome {
+        enhance_module_abilities(&mut self.model, subtasks, self.params.enhance, rng)
+    }
+
+    /// Online: derive a personalized sub-model for a device from its local
+    /// data sample and resource profile.
+    pub fn derive_for_data(
+        &mut self,
+        local_data: &Dataset,
+        profile: &ResourceProfile,
+        module_cap: Option<usize>,
+    ) -> DeriveOutcome {
+        assert!(!local_data.is_empty(), "cannot derive from empty local data");
+        let importance = self.model.importance(local_data.features());
+        derive_submodel(&self.cost, &importance, profile, module_cap)
+    }
+
+    /// Online: derive directly from an importance matrix (devices can score
+    /// importance locally with the decoupled selector).
+    pub fn derive_for_importance(
+        &self,
+        importance: &[Vec<f32>],
+        profile: &ResourceProfile,
+        module_cap: Option<usize>,
+    ) -> DeriveOutcome {
+        derive_submodel(&self.cost, importance, profile, module_cap)
+    }
+
+    /// Packages a sub-model for shipping to a device.
+    pub fn dispatch(&self, spec: &SubModelSpec) -> SubModelPayload {
+        spec.validate(self.model.num_layers(), self.model.config().modules_per_layer);
+        let mut module_params = HashMap::new();
+        for (l, layer) in spec.layers().iter().enumerate() {
+            for &i in layer {
+                module_params.insert((l, i), self.model.module_param_vector(l, i));
+            }
+        }
+        SubModelPayload { spec: spec.clone(), module_params, shared_params: self.model.shared_param_vector() }
+    }
+
+    /// Aggregates a round of device updates module-wise (§5.2). Returns
+    /// the number of modules updated.
+    pub fn aggregate(&mut self, updates: &[ModuleUpdate]) -> usize {
+        aggregate_module_wise(&mut self.model, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_data::{SynthSpec, Synthesizer};
+
+    fn cloud() -> NebulaCloud {
+        let mut cfg = nebula_modular::ModularConfig::toy(16, 4);
+        cfg.gate_noise_std = 0.2;
+        NebulaCloud::new(cfg, NebulaParams::default(), 11)
+    }
+
+    #[test]
+    fn dispatch_round_trips_module_params() {
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0, 2], vec![1]]);
+        let payload = c.dispatch(&spec);
+        assert_eq!(payload.module_params.len(), 3);
+        assert_eq!(payload.module_params[&(0, 2)], c.model().module_param_vector(0, 2));
+        assert!(payload.bytes() > 0);
+    }
+
+    #[test]
+    fn payload_bytes_scale_with_spec_size() {
+        let c = cloud();
+        let small = c.dispatch(&SubModelSpec::new(vec![vec![0], vec![0]]));
+        let large = c.dispatch(&SubModelSpec::full(2, 4));
+        assert!(large.bytes() > small.bytes());
+    }
+
+    #[test]
+    fn derive_for_data_produces_valid_spec() {
+        let mut c = cloud();
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng = NebulaRng::seed(2);
+        let data = synth.sample_classes(60, &[0, 1], 0, &mut rng);
+        let out = c.derive_for_data(&data, &ResourceProfile::unconstrained(), Some(2));
+        out.spec.validate(2, 4);
+        for l in 0..2 {
+            assert!(out.spec.layer(l).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn full_offline_online_smoke() {
+        let mut c = cloud();
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng = NebulaRng::seed(3);
+        let proxy = synth.sample(300, 0, &mut rng);
+        c.params.pretrain.epochs = 6;
+        let loss = c.pretrain(&proxy, &mut rng);
+        assert!(loss.is_finite());
+
+        let subtasks = vec![
+            synth.sample_classes(80, &[0, 1], 0, &mut rng),
+            synth.sample_classes(80, &[2, 3], 0, &mut rng),
+        ];
+        c.params.enhance.epochs = 2;
+        let out = c.enhance(&subtasks, &mut rng);
+        assert!(out.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of module-wise aggregation (§5.2): idempotence,
+//! convexity and isolation must hold for arbitrary update sets.
+
+use nebula_core::{aggregate_module_wise, ModuleUpdate};
+use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn cloud(seed: u64) -> ModularModel {
+    let mut cfg = ModularConfig::toy(8, 3);
+    cfg.gate_noise_std = 0.0;
+    cfg.residual_module = false; // every module has parameters
+    ModularModel::new(cfg, seed)
+}
+
+/// Builds an update whose module params are the cloud's plus `offset`,
+/// with the given per-module importance value.
+fn offset_update(cloud: &ModularModel, spec: &SubModelSpec, offset: f32, importance: f32, volume: usize) -> ModuleUpdate {
+    let mut module_params = HashMap::new();
+    for (l, layer) in spec.layers().iter().enumerate() {
+        for &i in layer {
+            let p: Vec<f32> = cloud.module_param_vector(l, i).iter().map(|v| v + offset).collect();
+            module_params.insert((l, i), p);
+        }
+    }
+    let shared: Vec<f32> = cloud.shared_param_vector().iter().map(|v| v + offset).collect();
+    let n = cloud.config().modules_per_layer;
+    ModuleUpdate {
+        spec: spec.clone(),
+        module_params,
+        shared_params: shared,
+        importance: vec![vec![importance; n]; cloud.num_layers()],
+        data_volume: volume,
+    }
+}
+
+/// A random valid spec over 2 layers × 4 modules.
+fn arb_spec() -> impl Strategy<Value = SubModelSpec> {
+    proptest::collection::vec(proptest::collection::btree_set(0usize..4, 1..=4), 2..=2)
+        .prop_map(|layers| SubModelSpec::new(layers.into_iter().map(|s| s.into_iter().collect()).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn identical_updates_are_idempotent(
+        spec in arb_spec(), k in 1usize..5, offset in -2.0f32..2.0, seed in 0u64..100
+    ) {
+        // k copies of the same update must land exactly on that update.
+        let mut c = cloud(seed);
+        let u = offset_update(&c, &spec, offset, 0.7, 100);
+        let updates: Vec<ModuleUpdate> = (0..k).map(|_| u.clone()).collect();
+        aggregate_module_wise(&mut c, &updates);
+        for (l, layer) in spec.layers().iter().enumerate() {
+            for &i in layer {
+                let got = c.module_param_vector(l, i);
+                let want = &u.module_params[&(l, i)];
+                for (g, w) in got.iter().zip(want) {
+                    prop_assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_lies_in_the_convex_hull(
+        spec in arb_spec(), o1 in -2.0f32..2.0, o2 in -2.0f32..2.0,
+        w1 in 0.1f32..5.0, w2 in 0.1f32..5.0, seed in 0u64..100
+    ) {
+        let mut c = cloud(seed);
+        let before = |c: &ModularModel, l: usize, i: usize| c.module_param_vector(l, i);
+        let u1 = offset_update(&c, &spec, o1, w1, 50);
+        let u2 = offset_update(&c, &spec, o2, w2, 150);
+        let originals: Vec<Vec<f32>> = spec
+            .layers()
+            .iter()
+            .enumerate()
+            .flat_map(|(l, layer)| layer.iter().map(move |&i| (l, i)))
+            .map(|(l, i)| before(&c, l, i))
+            .collect();
+        aggregate_module_wise(&mut c, &[u1, u2]);
+        let (lo, hi) = (o1.min(o2), o1.max(o2));
+        let mut idx = 0;
+        for (l, layer) in spec.layers().iter().enumerate() {
+            for &i in layer {
+                let got = c.module_param_vector(l, i);
+                for (g, orig) in got.iter().zip(&originals[idx]) {
+                    let delta = g - orig;
+                    prop_assert!(
+                        delta >= lo - 1e-4 && delta <= hi + 1e-4,
+                        "aggregate left the convex hull: delta {delta}, hull [{lo}, {hi}]"
+                    );
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn modules_outside_every_spec_never_move(
+        spec in arb_spec(), offset in -2.0f32..2.0, seed in 0u64..100
+    ) {
+        let mut c = cloud(seed);
+        let u = offset_update(&c, &spec, offset, 1.0, 100);
+        // Record untouched modules.
+        let mut untouched = Vec::new();
+        for l in 0..2 {
+            for i in 0..4 {
+                if !spec.contains(l, i) {
+                    untouched.push(((l, i), c.module_param_vector(l, i)));
+                }
+            }
+        }
+        aggregate_module_wise(&mut c, &[u]);
+        for ((l, i), before) in untouched {
+            prop_assert_eq!(c.module_param_vector(l, i), before, "untouched module ({}, {}) moved", l, i);
+        }
+    }
+
+    #[test]
+    fn higher_importance_pulls_harder(
+        spec in arb_spec(), seed in 0u64..100
+    ) {
+        // Update A (offset +1, importance wa) vs B (offset −1, importance
+        // wb): the aggregate's sign must follow the heavier importance.
+        let mut c = cloud(seed);
+        let ua = offset_update(&c, &spec, 1.0, 3.0, 100);
+        let ub = offset_update(&c, &spec, -1.0, 1.0, 100);
+        let l = 0;
+        let i = spec.layer(0)[0];
+        let before = c.module_param_vector(l, i);
+        aggregate_module_wise(&mut c, &[ua, ub]);
+        let after = c.module_param_vector(l, i);
+        // Expected delta: (3·1 + 1·(−1))/4 = 0.5.
+        for (a, b) in after.iter().zip(&before) {
+            prop_assert!((a - b - 0.5).abs() < 1e-4, "delta {} != 0.5", a - b);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Distribution drift across time slots.
+//!
+//! The paper simulates dynamic edge environments by "replacing a part of
+//! the local data with new data" each time slot (30% in Fig. 1a, 50% in
+//! the continuous-adaptation study, Fig. 10). Two drift kinds cover the
+//! paper's two dynamics:
+//!
+//! * [`DriftKind::ClassShift`] — the device's sub-task changes: it draws a
+//!   new co-occurrence group of classes (outer environment dynamic,
+//!   "target objects change with scenes").
+//! * [`DriftKind::ContextShift`] — the sensing context changes: same
+//!   classes, new subject/lighting (feature-level drift).
+
+use crate::partition::{cooccurrence_groups, DevicePartition};
+use crate::synth::Synthesizer;
+use nebula_tensor::NebulaRng;
+
+/// What changes when the environment shifts.
+#[derive(Clone, Debug)]
+pub enum DriftKind {
+    /// Re-draw the device's class group (sub-task change). `m` is the
+    /// classes-per-device degree, `group_seed` must match the partitioner's.
+    ClassShift { m: usize, group_seed: u64 },
+    /// Move the device to a fresh sensing context.
+    ContextShift,
+}
+
+/// A drift process applied once per time slot.
+#[derive(Clone, Debug)]
+pub struct DriftModel {
+    /// Fraction of local data replaced by new-environment data each step.
+    pub replace_frac: f32,
+    /// What the new-environment data looks like.
+    pub kind: DriftKind,
+}
+
+impl DriftModel {
+    pub fn new(replace_frac: f32, kind: DriftKind) -> Self {
+        assert!((0.0..=1.0).contains(&replace_frac), "replace_frac out of range");
+        Self { replace_frac, kind }
+    }
+
+    /// Advances one time slot: replaces `replace_frac` of the device's data
+    /// with samples from the new environment and updates the device's
+    /// sub-task metadata.
+    pub fn step(&self, device: &mut DevicePartition, synth: &Synthesizer, rng: &mut NebulaRng) {
+        let n = device.data.len();
+        let n_new = ((n as f32) * self.replace_frac).round() as usize;
+        if n_new == 0 {
+            return;
+        }
+
+        // Decide the new environment.
+        let (new_classes, new_context, new_subtask) = match &self.kind {
+            DriftKind::ClassShift { m, group_seed } => {
+                let groups = cooccurrence_groups(synth.spec().classes, *m, *group_seed);
+                let g = rng.below(groups.len());
+                (groups[g].clone(), device.context, g)
+            }
+            DriftKind::ContextShift => {
+                let ctx = rng.below(synth.spec().contexts);
+                (device.classes.clone(), ctx, ctx)
+            }
+        };
+
+        let fresh = synth.sample_classes(n_new, &new_classes, new_context, rng);
+
+        // Keep a random (1 − replace_frac) portion of the old data.
+        let keep_idx = rng.sample_indices(n, n - n_new);
+        let kept = device.data.subset(&keep_idx);
+        device.data = kept.concat(&fresh);
+
+        // The device's *current* sub-task is the new environment; old
+        // classes may linger in the retained samples, which is exactly the
+        // transitional mixture the paper's time slots create.
+        device.classes = new_classes;
+        device.context = new_context;
+        device.subtask = new_subtask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, PartitionSpec, Partitioner};
+    use crate::synth::{SynthSpec, Synthesizer};
+
+    fn setup() -> (Synthesizer, Vec<DevicePartition>) {
+        let synth = Synthesizer::new(SynthSpec::toy(), 3);
+        let spec = PartitionSpec::new(4, Partitioner::LabelSkew { m: 2 });
+        let mut rng = NebulaRng::seed(1);
+        let parts = partition(&synth, &spec, 9, &mut rng);
+        (synth, parts)
+    }
+
+    #[test]
+    fn step_preserves_volume() {
+        let (synth, mut parts) = setup();
+        let model = DriftModel::new(0.5, DriftKind::ContextShift);
+        let mut rng = NebulaRng::seed(2);
+        let before = parts[0].data.len();
+        model.step(&mut parts[0], &synth, &mut rng);
+        assert_eq!(parts[0].data.len(), before);
+    }
+
+    #[test]
+    fn class_shift_changes_subtask_distribution() {
+        let (synth, mut parts) = setup();
+        let model = DriftModel::new(1.0, DriftKind::ClassShift { m: 2, group_seed: 9 });
+        let mut rng = NebulaRng::seed(3);
+        // With full replacement, all labels must lie in the new class set.
+        for p in parts.iter_mut() {
+            model.step(p, &synth, &mut rng);
+            for &label in p.data.labels() {
+                assert!(p.classes.contains(&label));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_replacement_mixes_old_and_new() {
+        let (synth, mut parts) = setup();
+        let p = &mut parts[0];
+        let old_ctx = p.context;
+        let model = DriftModel::new(0.3, DriftKind::ContextShift);
+        let mut rng = NebulaRng::seed(4);
+        let before_len = p.data.len();
+        model.step(p, &synth, &mut rng);
+        assert_eq!(p.data.len(), before_len);
+        // Context metadata updated even though 70% of samples are old.
+        let _ = old_ctx; // context may coincide by chance; only check validity
+        assert!(p.context < synth.spec().contexts);
+    }
+
+    #[test]
+    fn zero_replace_frac_is_noop() {
+        let (synth, mut parts) = setup();
+        let before = parts[0].clone();
+        let model = DriftModel::new(0.0, DriftKind::ContextShift);
+        let mut rng = NebulaRng::seed(5);
+        model.step(&mut parts[0], &synth, &mut rng);
+        assert_eq!(parts[0].data.labels(), before.data.labels());
+        assert_eq!(parts[0].context, before.context);
+    }
+
+    #[test]
+    #[should_panic(expected = "replace_frac out of range")]
+    fn rejects_bad_fraction() {
+        DriftModel::new(1.5, DriftKind::ContextShift);
+    }
+}

@@ -1,0 +1,39 @@
+//! # nebula-data
+//!
+//! Synthetic data substrate for the Nebula reproduction.
+//!
+//! The paper evaluates on HAR, CIFAR-10, CIFAR-100 and Google Speech
+//! Commands. Those datasets are unavailable here, and — more importantly —
+//! the phenomena Nebula exploits are *distributional*: label skew, feature
+//! skew, per-device sub-tasks, and drift over time. This crate synthesises
+//! class-conditional Gaussian-mixture datasets with the same shape
+//! parameters (class counts, per-device volumes of 50–150 samples, m-of-n
+//! label skew, subject-based feature skew) so every code path of the
+//! framework is exercised by data with the right structure.
+//!
+//! Contents:
+//! * [`dataset`] — the `Dataset` container and batch iteration.
+//! * [`synth`] — the Gaussian-mixture generator (`SynthSpec`).
+//! * [`presets`] — `TaskPreset`: HAR / CIFAR-10 / CIFAR-100 / Speech
+//!   equivalents with matching class counts.
+//! * [`mod@partition`] — IID, m-of-n label skew (with co-occurrence groups),
+//!   subject feature skew, Dirichlet partitioners; unbalanced volumes.
+//! * [`drift`] — time-slot data-distribution drift (replace a fraction of
+//!   local data with data from a new context).
+//! * [`eval`] — model evaluation helpers (accuracy over a dataset).
+
+pub mod dataset;
+pub mod drift;
+pub mod eval;
+pub mod metrics;
+pub mod partition;
+pub mod presets;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use drift::DriftModel;
+pub use eval::{evaluate_accuracy, train_epochs, TrainConfig};
+pub use metrics::{confusion_matrix, ConfusionMatrix};
+pub use partition::{partition, PartitionSpec, Partitioner};
+pub use presets::TaskPreset;
+pub use synth::{SynthSpec, Synthesizer};

@@ -1,0 +1,120 @@
+//! Property-based tests for the data substrate: partitioners, drift and
+//! the synthesiser must uphold their structural invariants for arbitrary
+//! parameters.
+
+use nebula_data::drift::DriftKind;
+use nebula_data::partition::{cooccurrence_groups, partition, PartitionSpec, Partitioner};
+use nebula_data::{DriftModel, SynthSpec, Synthesizer};
+use nebula_tensor::NebulaRng;
+use proptest::prelude::*;
+
+fn synth(classes: usize, contexts: usize, seed: u64) -> Synthesizer {
+    Synthesizer::new(
+        SynthSpec {
+            classes,
+            feature_dim: 8,
+            clusters_per_class: 2,
+            class_separation: 3.0,
+            cluster_spread: 1.0,
+            noise_std: 0.8,
+            label_noise: 0.0,
+            contexts,
+            context_shift: 0.3,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cooccurrence_groups_partition_the_classes(
+        classes in 2usize..20, m in 1usize..20, seed in 0u64..200
+    ) {
+        prop_assume!(m <= classes);
+        let groups = cooccurrence_groups(classes, m, seed);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..classes).collect::<Vec<_>>());
+        // Every group except possibly the last has exactly m classes.
+        for g in &groups[..groups.len() - 1] {
+            prop_assert_eq!(g.len(), m);
+        }
+    }
+
+    #[test]
+    fn label_skew_devices_only_see_their_classes(
+        classes in 2usize..10, m in 1usize..10, devices in 1usize..12, seed in 0u64..100
+    ) {
+        prop_assume!(m <= classes);
+        let s = synth(classes, 3, seed);
+        let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m });
+        let mut rng = NebulaRng::seed(seed ^ 9);
+        for p in partition(&s, &spec, seed, &mut rng) {
+            prop_assert!(p.classes.len() <= m);
+            for &label in p.data.labels() {
+                prop_assert!(p.classes.contains(&label));
+            }
+            prop_assert!((50..=150).contains(&p.data.len()));
+        }
+    }
+
+    #[test]
+    fn drift_preserves_volume_and_label_validity(
+        replace in 0.0f32..1.0, seed in 0u64..100
+    ) {
+        let s = synth(6, 4, seed);
+        let spec = PartitionSpec::new(3, Partitioner::LabelSkew { m: 2 });
+        let mut rng = NebulaRng::seed(seed ^ 5);
+        let mut parts = partition(&s, &spec, seed, &mut rng);
+        let drift = DriftModel::new(replace, DriftKind::ClassShift { m: 2, group_seed: seed });
+        for p in parts.iter_mut() {
+            let before = p.data.len();
+            drift.step(p, &s, &mut rng);
+            prop_assert_eq!(p.data.len(), before, "drift changed the volume");
+            prop_assert!(p.data.labels().iter().all(|&c| c < 6));
+        }
+    }
+
+    #[test]
+    fn context_shift_drift_keeps_classes(seed in 0u64..100) {
+        let s = synth(5, 6, seed);
+        let spec = PartitionSpec::new(2, Partitioner::LabelSkew { m: 2 });
+        let mut rng = NebulaRng::seed(seed ^ 6);
+        let mut parts = partition(&s, &spec, seed, &mut rng);
+        let classes_before = parts[0].classes.clone();
+        let drift = DriftModel::new(0.5, DriftKind::ContextShift);
+        drift.step(&mut parts[0], &s, &mut rng);
+        prop_assert_eq!(parts[0].classes.clone(), classes_before, "context drift must not change the class set");
+        prop_assert!(parts[0].context < 6);
+    }
+
+    #[test]
+    fn sampling_respects_requested_volume_and_classes(
+        n in 1usize..200, context in 0usize..3, seed in 0u64..100
+    ) {
+        let s = synth(4, 3, seed);
+        let mut rng = NebulaRng::seed(seed);
+        let d = s.sample_classes(n, &[1, 3], context, &mut rng);
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.labels().iter().all(|&c| c == 1 || c == 3));
+        prop_assert!(d.features().all_finite());
+    }
+
+    #[test]
+    fn dataset_split_partitions_exactly(frac in 0.0f32..1.0, n in 1usize..100, seed in 0u64..100) {
+        let s = synth(4, 2, seed);
+        let mut rng = NebulaRng::seed(seed ^ 2);
+        let d = s.sample(n, 0, &mut rng);
+        let (l, r) = d.split(frac, &mut rng);
+        prop_assert_eq!(l.len() + r.len(), n);
+        // Histograms add up.
+        let hl = l.class_histogram();
+        let hr = r.class_histogram();
+        let hd = d.class_histogram();
+        for i in 0..4 {
+            prop_assert_eq!(hl[i] + hr[i], hd[i]);
+        }
+    }
+}

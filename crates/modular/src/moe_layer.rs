@@ -1,0 +1,486 @@
+//! A module layer: N substitutable modules combined per sample by the
+//! selector's gate scores (§4.1–§4.2).
+//!
+//! Per sample, the top-k allowed modules are activated and their outputs
+//! combined by a weighted sum, with weights softmax-renormalised over the
+//! active set so sub-models of any size keep a stable output scale:
+//!
+//! ```text
+//! f(x; ω) = Σ_{i∈A} softmax(logits_A)_i · f_i(x; ω_i),  A = Top-k(logits)
+//! ```
+//!
+//! Routing is *per sample*: each module runs once on the sub-batch of rows
+//! that selected it (sparse MoE execution), which is also what makes the
+//! layer's compute proportional to `k`, not `N`.
+
+use crate::module::Module;
+use nebula_nn::Mode;
+use nebula_tensor::reduce::top_k_indices;
+use nebula_tensor::{NebulaRng, Tensor};
+
+/// One module layer of a modularized model.
+pub struct MoeLayer {
+    modules: Vec<Module>,
+    width: usize,
+    cache: Option<LayerCache>,
+}
+
+struct LayerCache {
+    /// Number of modules the sub-model mask allowed.
+    n_allowed: usize,
+    /// Post-top-k, renormalised combination weights (B×N; 0 = inactive).
+    weights: Tensor,
+    /// Row indices routed to each module.
+    rows_per_module: Vec<Vec<usize>>,
+    /// Each module's output on its routed rows.
+    outputs: Vec<Option<Tensor>>,
+    /// Full softmax over allowed modules (B×N), pre-top-k; basis of the
+    /// load-balancing loss.
+    probs: Tensor,
+    /// Fraction of the batch routed to each module.
+    loads: Vec<f32>,
+}
+
+impl MoeLayer {
+    /// Builds a layer of `n_modules` modules over trunk width `width`.
+    /// When `residual_module` is set, the last module is the bypass.
+    pub fn new(width: usize, hidden: usize, n_modules: usize, residual_module: bool, rng: &mut NebulaRng) -> Self {
+        assert!(n_modules >= 1);
+        let mut modules = Vec::with_capacity(n_modules);
+        let shrunk_count = if residual_module { n_modules - 1 } else { n_modules };
+        for _ in 0..shrunk_count {
+            modules.push(Module::shrunk(width, hidden, rng));
+        }
+        if residual_module {
+            modules.push(Module::residual());
+        }
+        Self { modules, width, cache: None }
+    }
+
+    /// Number of modules in this layer.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Trunk width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Access a module (for cost models and tests).
+    pub fn module(&self, i: usize) -> &Module {
+        &self.modules[i]
+    }
+
+    /// Mutable module access (for aggregation).
+    pub fn module_mut(&mut self, i: usize) -> &mut Module {
+        &mut self.modules[i]
+    }
+
+    /// Forward pass.
+    ///
+    /// * `x` — layer input (B×width);
+    /// * `logits` — this layer's gate logits (B×N) from the unified selector;
+    /// * `allowed` — module availability mask (sub-model restriction);
+    /// * `k` — modules to activate per sample (clamped to the allowed count).
+    pub fn forward(&mut self, x: &Tensor, logits: &Tensor, allowed: &[bool], k: usize, mode: Mode) -> Tensor {
+        let n = self.modules.len();
+        assert_eq!(logits.cols(), n, "gate width != module count");
+        assert_eq!(logits.rows(), x.rows(), "gate batch != input batch");
+        assert_eq!(allowed.len(), n, "allowed mask length mismatch");
+        assert_eq!(x.cols(), self.width, "layer input width mismatch");
+        let n_allowed = allowed.iter().filter(|&&a| a).count();
+        assert!(n_allowed >= 1, "sub-model leaves no module in a layer");
+        let k = k.max(1).min(n_allowed);
+        let batch = x.rows();
+
+        // Masked logits: −inf where not allowed.
+        let mut masked = logits.clone();
+        for row in masked.data_mut().chunks_mut(n) {
+            for (v, &a) in row.iter_mut().zip(allowed) {
+                if !a {
+                    *v = f32::NEG_INFINITY;
+                }
+            }
+        }
+        let probs = masked.softmax_rows();
+
+        // Per-sample top-k and renormalised weights.
+        let mut weights = Tensor::zeros(&[batch, n]);
+        let mut rows_per_module: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..batch {
+            let lrow = masked.row(b);
+            let active = top_k_indices(lrow, k);
+            // Softmax over the active logits only.
+            let maxv = active.iter().map(|&i| lrow[i]).fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for &i in &active {
+                denom += (lrow[i] - maxv).exp();
+            }
+            for &i in &active {
+                weights.row_mut(b)[i] = (lrow[i] - maxv).exp() / denom;
+                rows_per_module[i].push(b);
+            }
+        }
+
+        // Run each module on its routed rows and scatter the weighted sum.
+        let mut y = Tensor::zeros(&[batch, self.width]);
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(n);
+        for (i, module) in self.modules.iter_mut().enumerate() {
+            let rows = &rows_per_module[i];
+            if rows.is_empty() {
+                outputs.push(None);
+                continue;
+            }
+            let xi = x.gather_rows(rows);
+            let oi = module.forward(&xi, mode);
+            for (j, &b) in rows.iter().enumerate() {
+                let w = weights.at(b, i);
+                let orow = oi.row(j);
+                for (yv, &ov) in y.row_mut(b).iter_mut().zip(orow) {
+                    *yv += w * ov;
+                }
+            }
+            outputs.push(Some(oi));
+        }
+
+        let loads = (0..n).map(|i| rows_per_module[i].len() as f32 / batch.max(1) as f32).collect();
+        self.cache = Some(LayerCache { n_allowed, weights, rows_per_module, outputs, probs, loads });
+        y
+    }
+
+    /// Backward pass: returns `(∂loss/∂x, ∂loss/∂logits)`; accumulates
+    /// module parameter gradients.
+    ///
+    /// The gate gradient covers the differentiable path through the active
+    /// set's renormalised softmax; the discrete top-k selection itself is
+    /// treated as constant (straight-through, as in sparsely-gated MoE).
+    pub fn backward(&mut self, dy: &Tensor) -> (Tensor, Tensor) {
+        let cache = self.cache.as_ref().expect("MoeLayer::backward before forward");
+        let batch = dy.rows();
+        let n = self.modules.len();
+        assert_eq!(dy.cols(), self.width, "dy width mismatch");
+
+        // dw[b,i] = ⟨f_i(x_b), dy_b⟩ for active modules.
+        let mut dw = Tensor::zeros(&[batch, n]);
+        for i in 0..n {
+            if let Some(oi) = &cache.outputs[i] {
+                for (j, &b) in cache.rows_per_module[i].iter().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (&ov, &gv) in oi.row(j).iter().zip(dy.row(b)) {
+                        acc += ov * gv;
+                    }
+                    *dw.at_mut(b, i) = acc;
+                }
+            }
+        }
+
+        // Module gradients and dx.
+        let mut dx = Tensor::zeros(&[batch, self.width]);
+        for (i, module) in self.modules.iter_mut().enumerate() {
+            let rows = &cache.rows_per_module[i];
+            if rows.is_empty() {
+                continue;
+            }
+            // Per-row gradient into the module: w[b,i] · dy[b].
+            let mut gi = Tensor::zeros(&[rows.len(), self.width]);
+            for (j, &b) in rows.iter().enumerate() {
+                let w = cache.weights.at(b, i);
+                for (gv, &dv) in gi.row_mut(j).iter_mut().zip(dy.row(b)) {
+                    *gv = w * dv;
+                }
+            }
+            let dxi = module.backward(&gi);
+            for (j, &b) in rows.iter().enumerate() {
+                for (xv, &dv) in dx.row_mut(b).iter_mut().zip(dxi.row(j)) {
+                    *xv += dv;
+                }
+            }
+        }
+
+        // Gate gradient through the active-set softmax:
+        // dlogit[b,j] = w_bj (dw_bj − Σ_i w_bi dw_bi).
+        let mut dlogits = Tensor::zeros(&[batch, n]);
+        for b in 0..batch {
+            let wrow = cache.weights.row(b);
+            let dwrow = dw.row(b);
+            let s: f32 = wrow.iter().zip(dwrow).map(|(&w, &d)| w * d).sum();
+            for j in 0..n {
+                let w = wrow[j];
+                if w > 0.0 {
+                    dlogits.row_mut(b)[j] = w * (dwrow[j] - s);
+                }
+            }
+        }
+
+        (dx, dlogits)
+    }
+
+    /// Load-balancing statistics from the last forward:
+    /// `(probs B×N over allowed, per-module batch loads)`.
+    pub fn lb_stats(&self) -> (&Tensor, &[f32]) {
+        let cache = self.cache.as_ref().expect("lb_stats before forward");
+        (&cache.probs, &cache.loads)
+    }
+
+    /// The switch-style load-balancing loss of the last forward:
+    /// `N_allowed · Σ_i load_i · mean_prob_i`, where `N_allowed` counts the
+    /// modules the current sub-model mask permits (disallowed modules carry
+    /// zero probability and zero load, so they contribute nothing to the
+    /// sum — but they must not inflate the scale factor either).
+    pub fn load_balance_loss(&self) -> f32 {
+        let cache = self.cache.as_ref().expect("lb loss before forward");
+        let (probs, loads) = self.lb_stats();
+        let n_allowed = cache.n_allowed;
+        let mean_probs = probs.mean_rows();
+        n_allowed as f32
+            * loads
+                .iter()
+                .zip(mean_probs.data())
+                .map(|(&l, &p)| l * p)
+                .sum::<f32>()
+    }
+
+    /// Gradient of λ·load_balance_loss w.r.t. this layer's gate logits,
+    /// computed from the cached full-softmax probabilities.
+    pub fn load_balance_logit_grad(&self, lambda: f32) -> Tensor {
+        let cache = self.cache.as_ref().expect("lb grad before forward");
+        let probs = &cache.probs;
+        let batch = probs.rows();
+        let n = probs.cols();
+        // dL/dprob[b,i] = λ · N_allowed · load_i / B (loads constant).
+        let coeff = lambda * cache.n_allowed as f32 / batch.max(1) as f32;
+        let mut dlogits = Tensor::zeros(&[batch, n]);
+        for b in 0..batch {
+            let prow = probs.row(b);
+            // Softmax jacobian: dlogit_j = p_j (g_j − Σ_i p_i g_i).
+            let mut inner = 0.0f32;
+            for i in 0..n {
+                inner += prow[i] * (coeff * cache.loads[i]);
+            }
+            for j in 0..n {
+                dlogits.row_mut(b)[j] = prow[j] * (coeff * cache.loads[j] - inner);
+            }
+        }
+        dlogits
+    }
+
+    /// Visits `(param, grad)` pairs of every module, in module order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for m in &mut self.modules {
+            m.visit_params(f);
+        }
+    }
+
+    /// Visits parameters immutably.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        for m in &self.modules {
+            m.visit_params_ref(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(n: usize, residual: bool) -> MoeLayer {
+        let mut rng = NebulaRng::seed(1);
+        MoeLayer::new(6, 3, n, residual, &mut rng)
+    }
+
+    fn uniform_logits(batch: usize, n: usize) -> Tensor {
+        Tensor::zeros(&[batch, n])
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let mut l = layer(4, true);
+        let x = Tensor::ones(&[3, 6]);
+        let logits = uniform_logits(3, 4);
+        let y = l.forward(&x, &logits, &[true; 4], 2, Mode::Eval);
+        assert_eq!(y.shape(), &[3, 6]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn single_module_full_weight() {
+        // With k=1 and one module strongly preferred, output == module output.
+        let mut l = layer(3, false);
+        let x = Tensor::ones(&[2, 6]);
+        let logits = Tensor::matrix(&[&[10.0, 0.0, 0.0], &[10.0, 0.0, 0.0]]);
+        let y = l.forward(&x, &logits, &[true; 3], 1, Mode::Eval);
+        let direct = l.module_mut(0).forward(&x, Mode::Eval);
+        nebula_tensor::assert_tensor_close(&y, &direct, 1e-5);
+    }
+
+    #[test]
+    fn disallowed_modules_are_never_routed() {
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[8, 6]);
+        // Module 0 has huge logits but is disallowed.
+        let mut logits = Tensor::zeros(&[8, 4]);
+        for b in 0..8 {
+            logits.row_mut(b)[0] = 100.0;
+        }
+        let allowed = [false, true, true, true];
+        l.forward(&x, &logits, &allowed, 2, Mode::Eval);
+        let (_, loads) = l.lb_stats();
+        assert_eq!(loads[0], 0.0, "disallowed module got traffic");
+    }
+
+    #[test]
+    fn weights_renormalise_over_active_set() {
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[1, 6]);
+        let logits = Tensor::matrix(&[&[1.0, 0.5, -3.0, -3.0]]);
+        l.forward(&x, &logits, &[true; 4], 2, Mode::Eval);
+        let cache = l.cache.as_ref().unwrap();
+        let wsum: f32 = cache.weights.row(0).iter().sum();
+        nebula_tensor::assert_close(wsum, 1.0, 1e-5);
+    }
+
+    #[test]
+    fn k_clamps_to_allowed_count() {
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[2, 6]);
+        let logits = uniform_logits(2, 4);
+        // Only one module allowed; k=3 must degrade gracefully.
+        let allowed = [false, true, false, false];
+        let y = l.forward(&x, &logits, &allowed, 3, Mode::Eval);
+        assert!(y.all_finite());
+        let (_, loads) = l.lb_stats();
+        assert_eq!(loads[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no module")]
+    fn rejects_empty_allowed_set() {
+        let mut l = layer(2, false);
+        let x = Tensor::ones(&[1, 6]);
+        let logits = uniform_logits(1, 2);
+        l.forward(&x, &logits, &[false, false], 1, Mode::Eval);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut l = layer(4, true);
+        let x = Tensor::ones(&[3, 6]);
+        let logits = uniform_logits(3, 4);
+        l.forward(&x, &logits, &[true; 4], 2, Mode::Train);
+        let (dx, dlogits) = l.backward(&Tensor::ones(&[3, 6]));
+        assert_eq!(dx.shape(), &[3, 6]);
+        assert_eq!(dlogits.shape(), &[3, 4]);
+        assert!(dx.all_finite() && dlogits.all_finite());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = NebulaRng::seed(5);
+        let mut l = MoeLayer::new(4, 3, 3, false, &mut rng);
+        let x = Tensor::from_vec((0..2 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[2, 4]);
+        // Fixed, well-separated logits so the top-k set is stable under
+        // the probe perturbations.
+        let logits = Tensor::matrix(&[&[2.0, 0.0, -2.0], &[0.0, 2.0, -2.0]]);
+        let probe = Tensor::from_vec((0..2 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[2, 4]);
+
+        let _y = l.forward(&x, &logits, &[true; 3], 2, Mode::Train);
+        let (dx, _) = l.backward(&probe);
+
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = l.forward(&xp, &logits, &[true; 3], 2, Mode::Train);
+            let lp = yp.dot(&probe);
+            let ym = l.forward(&xm, &logits, &[true; 3], 2, Mode::Train);
+            let lm = ym.dot(&probe);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = dx.data()[i];
+            assert!(
+                (fd - an).abs() / 1.0f32.max(fd.abs()) < 2e-2,
+                "dx[{i}]: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_gradient_matches_finite_difference() {
+        let mut rng = NebulaRng::seed(6);
+        let mut l = MoeLayer::new(4, 3, 3, false, &mut rng);
+        let x = Tensor::from_vec((0..2 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[2, 4]);
+        let logits = Tensor::matrix(&[&[2.0, 0.5, -2.0], &[0.5, 2.0, -2.0]]);
+        let probe = Tensor::from_vec((0..2 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[2, 4]);
+
+        l.forward(&x, &logits, &[true; 3], 2, Mode::Train);
+        let (_, dlogits) = l.backward(&probe);
+
+        let eps = 1e-2;
+        for b in 0..2 {
+            // Only active modules (0 and 1 by construction) are differentiable.
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                *lp.at_mut(b, j) += eps;
+                let mut lm = logits.clone();
+                *lm.at_mut(b, j) -= eps;
+                let yp = l.forward(&x, &lp, &[true; 3], 2, Mode::Train).dot(&probe);
+                let ym = l.forward(&x, &lm, &[true; 3], 2, Mode::Train).dot(&probe);
+                let fd = (yp - ym) / (2.0 * eps);
+                let an = dlogits.at(b, j);
+                assert!(
+                    (fd - an).abs() / 1.0f32.max(fd.abs()) < 2e-2,
+                    "dlogits[{b},{j}]: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_balance_loss_is_one_at_perfect_balance() {
+        // Uniform logits + k=N → every module carries every sample with
+        // uniform probability: loss = N · Σ (1 · 1/N) = N · N·(1/N)... —
+        // with loads all 1 and probs 1/N: N · N · (1·1/N) = N.
+        // With k=1 and uniform routing the ideal is 1; verify monotonicity
+        // instead of an absolute constant: balanced < concentrated.
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[8, 6]);
+        // Balanced: each sample prefers a different module.
+        let mut balanced = Tensor::zeros(&[8, 4]);
+        for b in 0..8 {
+            balanced.row_mut(b)[b % 4] = 5.0;
+        }
+        l.forward(&x, &balanced, &[true; 4], 1, Mode::Eval);
+        let lb_balanced = l.load_balance_loss();
+
+        // Concentrated: everyone routes to module 0.
+        let mut conc = Tensor::zeros(&[8, 4]);
+        for b in 0..8 {
+            conc.row_mut(b)[0] = 5.0;
+        }
+        l.forward(&x, &conc, &[true; 4], 1, Mode::Eval);
+        let lb_conc = l.load_balance_loss();
+
+        assert!(
+            lb_conc > lb_balanced * 1.5,
+            "LB loss should punish concentration: balanced {lb_balanced} vs concentrated {lb_conc}"
+        );
+    }
+
+    #[test]
+    fn lb_grad_pushes_probability_away_from_overloaded_modules() {
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[8, 6]);
+        let mut conc = Tensor::zeros(&[8, 4]);
+        for b in 0..8 {
+            conc.row_mut(b)[0] = 3.0;
+        }
+        l.forward(&x, &conc, &[true; 4], 1, Mode::Eval);
+        let g = l.load_balance_logit_grad(1.0);
+        // Gradient descent (−g) must reduce logit 0 (overloaded): g > 0 there.
+        for b in 0..8 {
+            assert!(g.at(b, 0) > 0.0, "overloaded module grad should be positive");
+        }
+    }
+}

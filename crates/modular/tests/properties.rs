@@ -1,0 +1,138 @@
+//! Property-based tests for the modularized model: any valid sub-model
+//! must be a *working model*, and routing/importance invariants must hold
+//! for arbitrary masks.
+
+use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
+use nebula_nn::{Layer, Mode};
+use nebula_tensor::{NebulaRng, Tensor};
+use proptest::prelude::*;
+
+fn cfg() -> ModularConfig {
+    let mut c = ModularConfig::toy(10, 4);
+    c.gate_noise_std = 0.0;
+    c
+}
+
+fn input(batch: usize, dim: usize, seed: u64) -> Tensor {
+    let mut rng = NebulaRng::seed(seed);
+    Tensor::from_vec((0..batch * dim).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[batch, dim])
+}
+
+/// Draws a random valid sub-model spec.
+fn arb_spec(layers: usize, modules: usize) -> impl Strategy<Value = SubModelSpec> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..modules, 1..=modules),
+        layers..=layers,
+    )
+    .prop_map(|layers| SubModelSpec::new(layers.into_iter().map(|s| s.into_iter().collect()).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_submodel_produces_finite_outputs(spec in arb_spec(2, 4), seed in 0u64..200) {
+        let mut m = ModularModel::new(cfg(), seed);
+        m.set_submodel(Some(&spec));
+        let x = input(3, 10, seed ^ 1);
+        let y = m.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.shape(), &[3, 4]);
+        prop_assert!(y.all_finite());
+    }
+
+    #[test]
+    fn every_submodel_is_trainable(spec in arb_spec(2, 4), seed in 0u64..100) {
+        let mut m = ModularModel::new(cfg(), seed);
+        m.set_submodel(Some(&spec));
+        let x = input(2, 10, seed ^ 2);
+        m.zero_grad();
+        let y = m.forward(&x, Mode::Train);
+        let dx = m.backward(&Tensor::ones(y.shape()));
+        prop_assert!(dx.all_finite());
+        prop_assert!(m.grad_vector().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn masked_out_modules_get_no_gradient(seed in 0u64..100) {
+        let mut m = ModularModel::new(cfg(), seed);
+        // Only module 0 of each layer is active; modules 1 and 2 are
+        // shrunk modules that must receive zero gradient (module 3 is the
+        // parameter-free residual).
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        m.set_submodel(Some(&spec));
+        let x = input(4, 10, seed ^ 3);
+        m.zero_grad();
+        let y = m.forward(&x, Mode::Train);
+        m.backward(&Tensor::ones(y.shape()));
+        for layer in 0..2 {
+            for module in [1usize, 2] {
+                // Re-load trick: gradient isolation shows as unchanged
+                // params under an SGD step; check grads directly instead
+                // through the per-module accessor after aggregating.
+                let before = m.module_param_vector(layer, module);
+                prop_assert!(!before.is_empty());
+            }
+        }
+        // Direct check via grad vector structure: total gradient norm of
+        // inactive modules is zero. Visit order: stem, layer0 modules
+        // 0..3, layer1 modules 0..3, head, selector.
+        let mut norms = Vec::new();
+        m.visit_params(&mut |_, g| norms.push(g.norm_sq()));
+        // stem = 2 tensors; each shrunk module = 4 tensors.
+        // layer0: module0 -> idx 2..6, module1 -> 6..10, module2 -> 10..14.
+        let module1_l0: f32 = norms[6..10].iter().sum();
+        let module2_l0: f32 = norms[10..14].iter().sum();
+        prop_assert!(module1_l0 == 0.0 && module2_l0 == 0.0, "inactive modules got gradient");
+    }
+
+    #[test]
+    fn importance_rows_are_distributions(seed in 0u64..200, batch in 1usize..8) {
+        let mut m = ModularModel::new(cfg(), seed);
+        let x = input(batch, 10, seed ^ 4);
+        for layer_imp in m.importance(&x) {
+            let sum: f32 = layer_imp.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "sum {}", sum);
+            prop_assert!(layer_imp.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic(spec in arb_spec(2, 4), seed in 0u64..100) {
+        let mut m = ModularModel::new(cfg(), seed);
+        m.set_submodel(Some(&spec));
+        let x = input(2, 10, seed ^ 5);
+        let a = m.forward(&x, Mode::Eval);
+        let b = m.forward(&x, Mode::Eval);
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn param_vector_roundtrip_preserves_outputs(seed in 0u64..100) {
+        let m = ModularModel::new(cfg(), seed);
+        let theta = m.param_vector();
+        let mut m2 = ModularModel::new(cfg(), seed ^ 0xDEAD);
+        m2.load_param_vector(&theta);
+        let x = input(2, 10, seed ^ 6);
+        let mut m = m;
+        let a = m.forward(&x, Mode::Eval);
+        let b = m2.forward(&x, Mode::Eval);
+        for (x1, x2) in a.data().iter().zip(b.data()) {
+            prop_assert!((x1 - x2).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn top_k_bounds_active_compute(k in 1usize..5, seed in 0u64..100) {
+        let mut c = cfg();
+        c.top_k = k.min(c.modules_per_layer);
+        let mut m = ModularModel::new(c.clone(), seed);
+        let x = input(6, 10, seed ^ 7);
+        m.forward(&x, Mode::Eval);
+        // Per sample at most k modules loaded per layer ⇒ total load ≤ k.
+        for l in 0..m.num_layers() {
+            let (_, loads) = m.layer(l).lb_stats();
+            let total: f32 = loads.iter().sum();
+            prop_assert!(total <= c.top_k as f32 + 1e-4, "load {} > k {}", total, c.top_k);
+        }
+    }
+}

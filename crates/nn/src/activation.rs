@@ -1,0 +1,161 @@
+//! Parameter-free activation layers.
+
+use crate::layer::{Layer, Mode};
+use nebula_tensor::Tensor;
+
+/// Which nonlinearity an [`Activation`] layer applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ActivationKind {
+    Relu,
+    LeakyRelu(f32),
+    Tanh,
+    Sigmoid,
+}
+
+impl ActivationKind {
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => v.max(0.0),
+            ActivationKind::LeakyRelu(a) => {
+                if v > 0.0 {
+                    v
+                } else {
+                    a * v
+                }
+            }
+            ActivationKind::Tanh => v.tanh(),
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of input `x` and output `y = f(x)`.
+    fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu(a) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    a
+                }
+            }
+            ActivationKind::Tanh => 1.0 - y * y,
+            ActivationKind::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// Element-wise activation layer caching both input and output.
+#[derive(Clone, Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_x: Option<Tensor>,
+    cached_y: Option<Tensor>,
+}
+
+impl Activation {
+    pub fn new(kind: ActivationKind) -> Self {
+        Self { kind, cached_x: None, cached_y: None }
+    }
+
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    pub fn sigmoid() -> Self {
+        Self::new(ActivationKind::Sigmoid)
+    }
+
+    pub fn leaky_relu(slope: f32) -> Self {
+        Self::new(ActivationKind::LeakyRelu(slope))
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let y = x.map(|v| self.kind.apply(v));
+        self.cached_x = Some(x.clone());
+        self.cached_y = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("Activation::backward before forward");
+        let y = self.cached_y.as_ref().expect("Activation::backward before forward");
+        assert_eq!(grad.shape(), x.shape(), "Activation grad shape mismatch");
+        let mut out = grad.clone();
+        for ((o, &xi), &yi) in out.data_mut().iter_mut().zip(x.data()).zip(y.data()) {
+            *o *= self.kind.derivative(xi, yi);
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_tensor::assert_close;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut a = Activation::relu();
+        let x = Tensor::vector(&[-1.0, 0.5, 2.0]).reshape(&[1, 3]);
+        let y = a.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let dx = a.backward(&Tensor::ones(&[1, 3]));
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_negative_slope() {
+        let mut a = Activation::leaky_relu(0.1);
+        let x = Tensor::vector(&[-2.0, 3.0]).reshape(&[1, 2]);
+        let y = a.forward(&x, Mode::Train);
+        assert_close(y.data()[0], -0.2, 1e-6);
+        let dx = a.backward(&Tensor::ones(&[1, 2]));
+        assert_close(dx.data()[0], 0.1, 1e-6);
+        assert_close(dx.data()[1], 1.0, 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_saturates_and_derivative_peaks_at_zero() {
+        let mut a = Activation::sigmoid();
+        let x = Tensor::vector(&[0.0, 10.0, -10.0]).reshape(&[1, 3]);
+        let y = a.forward(&x, Mode::Eval);
+        assert_close(y.data()[0], 0.5, 1e-6);
+        assert!(y.data()[1] > 0.9999);
+        assert!(y.data()[2] < 0.0001);
+        let dx = a.backward(&Tensor::ones(&[1, 3]));
+        assert_close(dx.data()[0], 0.25, 1e-6);
+        assert!(dx.data()[1] < 1e-3);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_identity() {
+        let mut a = Activation::tanh();
+        let x = Tensor::vector(&[0.7]).reshape(&[1, 1]);
+        let y = a.forward(&x, Mode::Eval);
+        let dx = a.backward(&Tensor::ones(&[1, 1]));
+        assert_close(dx.data()[0], 1.0 - y.data()[0] * y.data()[0], 1e-6);
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        let a = Activation::relu();
+        assert_eq!(a.param_count(), 0);
+    }
+}

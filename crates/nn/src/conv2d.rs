@@ -1,0 +1,405 @@
+//! 2-D convolution and pooling — the substrate of the paper's image
+//! models (ResNet18/VGG16 over CIFAR).
+//!
+//! Images ride in the workspace's rank-2 layout as
+//! `batch × (channels · height · width)`, channel-major then row-major
+//! per sample (PyTorch's contiguous NCHW flattened). As with [`crate::Conv1d`],
+//! the convolution lowers to a GEMM via im2col / col2im.
+
+use crate::layer::{Layer, Mode};
+use nebula_tensor::{Init, NebulaRng, Tensor};
+
+/// 2-D convolution with square kernels, zero padding and unit stride
+/// option.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_h: usize,
+    in_w: usize,
+    /// Weights `out_channels × (in_channels · kernel²)`.
+    w: Tensor,
+    b: Tensor,
+    dw: Tensor,
+    db: Tensor,
+    cols: Option<Tensor>,
+    last_batch: usize,
+}
+
+impl Conv2d {
+    /// Builds a convolution over `in_h × in_w` feature maps.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut NebulaRng,
+    ) -> Self {
+        assert!(kernel >= 1 && stride >= 1, "kernel/stride must be ≥ 1");
+        assert!(in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel, "kernel larger than padded input");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            in_h,
+            in_w,
+            w: Init::KaimingNormal.weight(out_channels, in_channels * kernel * kernel, rng),
+            b: Tensor::zeros(&[out_channels]),
+            dw: Tensor::zeros(&[out_channels, in_channels * kernel * kernel]),
+            db: Tensor::zeros(&[out_channels]),
+            cols: None,
+            last_batch: 0,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Flattened output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Flattened input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    fn im2col(&self, x: &Tensor) -> Tensor {
+        let batch = x.rows();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let krows = self.in_channels * self.kernel * self.kernel;
+        let plane = self.in_h * self.in_w;
+        let mut cols = Tensor::zeros(&[batch * oh * ow, krows]);
+        for bs in 0..batch {
+            let xrow = x.row(bs);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let crow = cols.row_mut(bs * oh * ow + oy * ow + ox);
+                    let y0 = (oy * self.stride) as isize - self.pad as isize;
+                    let x0 = (ox * self.stride) as isize - self.pad as isize;
+                    for c in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            let yy = y0 + ky as isize;
+                            if yy < 0 || yy as usize >= self.in_h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let xx = x0 + kx as isize;
+                                if xx < 0 || xx as usize >= self.in_w {
+                                    continue;
+                                }
+                                crow[c * self.kernel * self.kernel + ky * self.kernel + kx] =
+                                    xrow[c * plane + yy as usize * self.in_w + xx as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.cols(), self.in_features(), "Conv2d input width mismatch");
+        let batch = x.rows();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let cols = self.im2col(x);
+        let prod = cols.matmul_nt(&self.w); // (batch·oh·ow) × out_channels
+        let mut y = Tensor::zeros(&[batch, self.out_features()]);
+        let oplane = oh * ow;
+        for bs in 0..batch {
+            for p in 0..oplane {
+                let prow = prod.row(bs * oplane + p);
+                let yrow = y.row_mut(bs);
+                for (oc, &v) in prow.iter().enumerate() {
+                    yrow[oc * oplane + p] = v + self.b.data()[oc];
+                }
+            }
+        }
+        self.cols = Some(cols);
+        self.last_batch = batch;
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cols = self.cols.as_ref().expect("Conv2d::backward before forward");
+        let batch = self.last_batch;
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let oplane = oh * ow;
+        assert_eq!(grad.cols(), self.out_features(), "Conv2d grad width mismatch");
+
+        // Unpack grad into (batch·oh·ow) × out_channels.
+        let mut gprod = Tensor::zeros(&[batch * oplane, self.out_channels]);
+        for bs in 0..batch {
+            let grow = grad.row(bs);
+            for p in 0..oplane {
+                let gp = gprod.row_mut(bs * oplane + p);
+                for oc in 0..self.out_channels {
+                    gp[oc] = grow[oc * oplane + p];
+                }
+            }
+        }
+
+        self.dw.add_assign(&gprod.matmul_tn(cols));
+        self.db.add_assign(&gprod.sum_rows());
+
+        // col2im scatter.
+        let dcols = gprod.matmul(&self.w);
+        let plane = self.in_h * self.in_w;
+        let mut dx = Tensor::zeros(&[batch, self.in_features()]);
+        for bs in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let drow = dcols.row(bs * oplane + oy * ow + ox);
+                    let xrow = dx.row_mut(bs);
+                    let y0 = (oy * self.stride) as isize - self.pad as isize;
+                    let x0 = (ox * self.stride) as isize - self.pad as isize;
+                    for c in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            let yy = y0 + ky as isize;
+                            if yy < 0 || yy as usize >= self.in_h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let xx = x0 + kx as isize;
+                                if xx < 0 || xx as usize >= self.in_w {
+                                    continue;
+                                }
+                                xrow[c * plane + yy as usize * self.in_w + xx as usize] +=
+                                    drow[c * self.kernel * self.kernel + ky * self.kernel + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.dw);
+        f(&mut self.b, &mut self.db);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.w);
+        f(&self.b);
+    }
+}
+
+/// Non-overlapping 2-D max pooling.
+pub struct MaxPool2d {
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+    argmax: Option<Vec<usize>>,
+    last_batch: usize,
+}
+
+impl MaxPool2d {
+    pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize) -> Self {
+        assert!(window >= 1 && in_h % window == 0 && in_w % window == 0, "window must tile the plane");
+        Self { channels, in_h, in_w, window, argmax: None, last_batch: 0 }
+    }
+
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.window
+    }
+
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.window
+    }
+
+    pub fn out_features(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.cols(), self.channels * self.in_h * self.in_w, "MaxPool2d width mismatch");
+        let batch = x.rows();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let plane = self.in_h * self.in_w;
+        let mut y = Tensor::zeros(&[batch, self.out_features()]);
+        let mut argmax = vec![0usize; batch * self.out_features()];
+        for bs in 0..batch {
+            let xrow = x.row(bs);
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = c * plane + (oy * self.window) * self.in_w + ox * self.window;
+                        for wy in 0..self.window {
+                            for wx in 0..self.window {
+                                let idx = c * plane + (oy * self.window + wy) * self.in_w + ox * self.window + wx;
+                                if xrow[idx] > xrow[best] {
+                                    best = idx;
+                                }
+                            }
+                        }
+                        let oidx = c * oh * ow + oy * ow + ox;
+                        y.row_mut(bs)[oidx] = xrow[best];
+                        argmax[bs * self.out_features() + oidx] = best;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.last_batch = batch;
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward before forward");
+        let batch = self.last_batch;
+        let mut dx = Tensor::zeros(&[batch, self.channels * self.in_h * self.in_w]);
+        for bs in 0..batch {
+            let grow = grad.row(bs);
+            let xrow = dx.row_mut(bs);
+            for (j, &g) in grow.iter().enumerate() {
+                xrow[argmax[bs * grad.cols() + j]] += g;
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients_with;
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut rng = NebulaRng::seed(1);
+        let c = Conv2d::new(3, 8, 3, 1, 1, 8, 8, &mut rng);
+        assert_eq!((c.out_h(), c.out_w()), (8, 8)); // same padding
+        assert_eq!(c.out_features(), 8 * 64);
+        let s = Conv2d::new(3, 8, 3, 2, 0, 9, 9, &mut rng);
+        assert_eq!((s.out_h(), s.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn conv2d_matches_manual_cross_correlation() {
+        let mut rng = NebulaRng::seed(2);
+        let mut c = Conv2d::new(1, 1, 2, 1, 0, 3, 3, &mut rng);
+        c.w.data_mut().copy_from_slice(&[1.0, 0.0, 0.0, -1.0]); // diag difference
+        c.b.data_mut()[0] = 0.0;
+        #[rustfmt::skip]
+        let x = Tensor::matrix(&[&[
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ]]);
+        let y = c.forward(&x, Mode::Eval);
+        // y[oy][ox] = x[oy][ox] − x[oy+1][ox+1]
+        assert_eq!(y.data(), &[1.0 - 5.0, 2.0 - 6.0, 4.0 - 8.0, 5.0 - 9.0]);
+    }
+
+    #[test]
+    fn conv2d_gradcheck() {
+        let mut rng = NebulaRng::seed(3);
+        let c = Conv2d::new(2, 3, 3, 1, 1, 4, 4, &mut rng);
+        check_layer_gradients_with(Box::new(c), 2 * 16, 2, 11, 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn conv2d_gradcheck_strided() {
+        let mut rng = NebulaRng::seed(4);
+        let c = Conv2d::new(1, 2, 3, 2, 0, 5, 5, &mut rng);
+        check_layer_gradients_with(Box::new(c), 25, 2, 12, 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn maxpool2d_selects_and_routes() {
+        let mut p = MaxPool2d::new(1, 4, 4, 2);
+        #[rustfmt::skip]
+        let x = Tensor::matrix(&[&[
+            1.0, 2.0,  3.0, 4.0,
+            5.0, 6.0,  7.0, 8.0,
+            9.0, 1.0,  1.0, 1.0,
+            1.0, 1.0,  1.0, 2.0,
+        ]]);
+        let y = p.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[6.0, 8.0, 9.0, 2.0]);
+        let dx = p.backward(&Tensor::matrix(&[&[1.0, 2.0, 3.0, 4.0]]));
+        // Gradient lands exactly on the argmax cells.
+        assert_eq!(dx.row(0)[5], 1.0); // 6.0 at (1,1)
+        assert_eq!(dx.row(0)[7], 2.0); // 8.0 at (1,3)
+        assert_eq!(dx.row(0)[8], 3.0); // 9.0 at (2,0)
+        assert_eq!(dx.row(0)[15], 4.0); // 2.0 at (3,3)
+        assert_eq!(dx.data().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn tiny_cnn_trains_on_2d_patterns() {
+        use crate::loss::cross_entropy;
+        use crate::optim::{Optimizer, Sgd};
+        use crate::{Activation, Linear, Sequential};
+        // Class 0: bright top-left quadrant; class 1: bright bottom-right.
+        let mut rng = NebulaRng::seed(5);
+        let make = |n: usize, rng: &mut NebulaRng| -> (Tensor, Vec<usize>) {
+            let mut xs = Vec::with_capacity(n * 36);
+            let mut ys = Vec::with_capacity(n);
+            for _ in 0..n {
+                let class = rng.below(2);
+                for y in 0..6 {
+                    for x in 0..6 {
+                        let hot = if class == 0 { y < 3 && x < 3 } else { y >= 3 && x >= 3 };
+                        xs.push(if hot { 1.0 } else { 0.0 } + rng.normal_f32(0.0, 0.3));
+                    }
+                }
+                ys.push(class);
+            }
+            (Tensor::from_vec(xs, &[n, 36]), ys)
+        };
+        let (tx, ty) = make(200, &mut rng);
+        let (vx, vy) = make(100, &mut rng);
+
+        let conv = Conv2d::new(1, 4, 3, 1, 1, 6, 6, &mut rng);
+        let pool = MaxPool2d::new(4, 6, 6, 3);
+        let mut model = Sequential::new()
+            .with(conv)
+            .with(Activation::relu())
+            .with(pool)
+            .with(Linear::new(16, 2, &mut rng));
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..8 {
+            let mut order: Vec<usize> = (0..ty.len()).collect();
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(16) {
+                let x = tx.gather_rows(chunk);
+                let y: Vec<usize> = chunk.iter().map(|&i| ty[i]).collect();
+                model.zero_grad();
+                let logits = model.forward(&x, Mode::Train);
+                let (_, grad) = cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(&mut model);
+            }
+        }
+        let preds = model.forward(&vx, Mode::Eval).argmax_rows();
+        let acc = preds.iter().zip(&vy).filter(|(p, y)| p == y).count() as f32 / vy.len() as f32;
+        assert!(acc > 0.95, "2D CNN accuracy only {acc}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Inverted dropout.
+//!
+//! Training mode zeroes each element with probability `p` and scales the
+//! survivors by `1/(1−p)` so eval mode needs no rescaling. The layer owns
+//! its RNG (seeded at construction) to keep the `Layer` trait signature
+//! clean while preserving determinism.
+
+use crate::layer::{Layer, Mode};
+use nebula_tensor::{NebulaRng, Tensor};
+
+/// Inverted dropout layer.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: NebulaRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1): got {p}");
+        Self { p, rng: NebulaRng::seed(seed), mask: None }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.bernoulli(keep as f64) { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape());
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad.mul(mask),
+            None => grad.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Tensor)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::vector(&[1.0, 2.0, 3.0]).reshape(&[1, 3]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn train_mode_drops_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, Mode::Train);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn survivors_are_scaled_to_preserve_expectation() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64, 64]);
+        let y = d.forward(&x, Mode::Train);
+        // E[y] = 1 because survivors carry 1/keep.
+        assert!((y.mean() - 1.0).abs() < 0.06, "mean {}", y.mean());
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[1, 32]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones(&[1, 32]));
+        // Gradient flows exactly where activations survived.
+        for (&yo, &go) in y.data().iter().zip(dx.data()) {
+            assert_eq!(yo == 0.0, go == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::vector(&[1.0, -2.0]).reshape(&[1, 2]);
+        assert_eq!(d.forward(&x, Mode::Train).data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 6);
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Layer`] trait and parameter-vector utilities.
+//!
+//! Federated algorithms (FedAvg, HeteroFL, Nebula's module-wise aggregation)
+//! all operate on *flat parameter vectors*; the visitor-based API here lets
+//! any layer or composite expose its parameters without committing to a
+//! specific container layout.
+
+use nebula_tensor::Tensor;
+
+/// Forward-pass mode. `Train` enables dropout masks, batch statistics and
+/// gate noise; `Eval` uses running statistics and deterministic routing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    Train,
+    Eval,
+}
+
+/// A differentiable layer with explicit forward/backward passes.
+///
+/// Contract:
+/// * `forward` must be called before `backward`; the layer caches whatever
+///   the backward pass needs.
+/// * `backward` **accumulates** into parameter gradients (callers zero them
+///   via [`Layer::zero_grad`] between steps) and returns ∂loss/∂input.
+/// * `visit_params` yields `(parameter, gradient)` pairs in a fixed,
+///   deterministic order — optimiser state is keyed by this order.
+pub trait Layer {
+    /// Computes the layer output, caching activations for backward.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Back-propagates `grad` (∂loss/∂output), accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits `(param, grad)` pairs in a fixed order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Visits parameters immutably (fixed order matching `visit_params`).
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor));
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params_ref(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.zero_());
+    }
+
+    /// Copies all parameters into a single flat vector (visit order).
+    fn param_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.visit_params_ref(&mut |p| out.extend_from_slice(p.data()));
+        out
+    }
+
+    /// Loads parameters from a flat vector produced by [`Layer::param_vector`]
+    /// on an identically-shaped layer. Panics on length mismatch.
+    fn load_param_vector(&mut self, flat: &[f32]) {
+        let mut offset = 0;
+        self.visit_params(&mut |p, _| {
+            let n = p.len();
+            assert!(
+                offset + n <= flat.len(),
+                "flat parameter vector too short: need more than {}",
+                flat.len()
+            );
+            p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+        assert_eq!(offset, flat.len(), "flat parameter vector too long: used {offset} of {}", flat.len());
+    }
+
+    /// Copies all gradients into a single flat vector (visit order).
+    fn grad_vector(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |_, g| out.extend_from_slice(g.data()));
+        out
+    }
+
+    /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+    fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f32;
+        self.visit_params(&mut |_, g| sq += g.norm_sq());
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.visit_params(&mut |_, g| g.scale_assign(scale));
+        }
+        norm
+    }
+}
+
+/// Blanket impl so `Box<dyn Layer>` composes inside containers.
+impl Layer for Box<dyn Layer> {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        (**self).forward(x, mode)
+    }
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        (**self).backward(grad)
+    }
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        (**self).visit_params(f)
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        (**self).visit_params_ref(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use nebula_tensor::NebulaRng;
+
+    #[test]
+    fn param_vector_roundtrip() {
+        let mut rng = NebulaRng::seed(1);
+        let a = Linear::new(4, 3, &mut rng);
+        let mut b = Linear::new(4, 3, &mut rng);
+        let va = a.param_vector();
+        assert_eq!(va.len(), 4 * 3 + 3);
+        b.load_param_vector(&va);
+        assert_eq!(b.param_vector(), va);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn load_rejects_oversized_vector() {
+        let mut rng = NebulaRng::seed(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let v = vec![0.0; 100];
+        l.load_param_vector(&v);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut rng = NebulaRng::seed(3);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::ones(&[4, 3]);
+        let y = l.forward(&x, Mode::Train);
+        l.backward(&Tensor::ones(y.shape()));
+        assert!(l.grad_vector().iter().any(|&g| g != 0.0));
+        l.zero_grad();
+        assert!(l.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut rng = NebulaRng::seed(4);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::full(&[2, 3], 10.0);
+        let y = l.forward(&x, Mode::Train);
+        l.backward(&Tensor::full(y.shape(), 10.0));
+        let pre = l.clip_grad_norm(1.0);
+        assert!(pre > 1.0);
+        let mut sq = 0.0;
+        l.visit_params(&mut |_, g| sq += g.norm_sq());
+        assert!((sq.sqrt() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Batch normalisation over feature columns (BatchNorm1d).
+//!
+//! Training mode normalises with batch statistics and updates exponential
+//! running averages; eval mode uses the running averages. The backward pass
+//! implements the full batch-norm gradient (including the dependence of the
+//! batch statistics on every sample).
+
+use crate::layer::{Layer, Mode};
+use nebula_tensor::Tensor;
+
+/// Per-feature batch normalisation: `y = γ · (x − μ)/σ + β`.
+#[derive(Clone, Debug)]
+pub struct BatchNorm1d {
+    gamma: Tensor,
+    beta: Tensor,
+    dgamma: Tensor,
+    dbeta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    // Backward cache (training mode only).
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Tensor,
+}
+
+impl BatchNorm1d {
+    pub fn new(features: usize) -> Self {
+        Self {
+            gamma: Tensor::ones(&[features]),
+            beta: Tensor::zeros(&[features]),
+            dgamma: Tensor::zeros(&[features]),
+            dbeta: Tensor::zeros(&[features]),
+            running_mean: Tensor::zeros(&[features]),
+            running_var: Tensor::ones(&[features]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    pub fn features(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Running mean (eval-mode statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance (eval-mode statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.cols(), self.features(), "BatchNorm1d width mismatch");
+        let (mean, var) = match mode {
+            Mode::Train => {
+                let mean = x.mean_rows();
+                let var = x.var_rows();
+                // Update running stats: r ← (1−m)·r + m·batch.
+                self.running_mean.scale_assign(1.0 - self.momentum);
+                self.running_mean.axpy(self.momentum, &mean);
+                self.running_var.scale_assign(1.0 - self.momentum);
+                self.running_var.axpy(self.momentum, &var);
+                (mean, var)
+            }
+            Mode::Eval => (self.running_mean.clone(), self.running_var.clone()),
+        };
+
+        let inv_std = var.map(|v| 1.0 / (v + self.eps).sqrt());
+        let mut x_hat = x.clone();
+        let c = x_hat.cols();
+        for row in x_hat.data_mut().chunks_mut(c) {
+            for ((v, &m), &s) in row.iter_mut().zip(mean.data()).zip(inv_std.data()) {
+                *v = (*v - m) * s;
+            }
+        }
+        let y = x_hat.mul_row_broadcast(&self.gamma).add_row_broadcast(&self.beta);
+        if mode == Mode::Train {
+            self.cache = Some(BnCache { x_hat, inv_std });
+        } else {
+            self.cache = None;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward requires a Train-mode forward");
+        let BnCache { x_hat, inv_std } = cache;
+        let n = grad.rows() as f32;
+        let c = grad.cols();
+
+        // dγ = Σ_b grad ⊙ x̂ ; dβ = Σ_b grad
+        self.dgamma.add_assign(&grad.mul(x_hat).sum_rows());
+        self.dbeta.add_assign(&grad.sum_rows());
+
+        // dx = (γ/σ) / N * (N·grad − Σgrad − x̂·Σ(grad ⊙ x̂))
+        let sum_g = grad.sum_rows();
+        let sum_gx = grad.mul(x_hat).sum_rows();
+        let mut dx = Tensor::zeros(grad.shape());
+        for i in 0..grad.rows() {
+            let grow = grad.row(i);
+            let xrow = x_hat.row(i);
+            let orow = dx.row_mut(i);
+            for j in 0..c {
+                let coeff = self.gamma.data()[j] * inv_std.data()[j] / n;
+                orow[j] = coeff * (n * grow[j] - sum_g.data()[j] - xrow[j] * sum_gx.data()[j]);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.dgamma);
+        f(&mut self.beta, &mut self.dbeta);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use nebula_tensor::{assert_close, NebulaRng, Tensor};
+
+    #[test]
+    fn train_mode_normalises_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::matrix(&[&[1.0, 10.0], &[3.0, 30.0], &[5.0, 50.0]]);
+        let y = bn.forward(&x, Mode::Train);
+        // Each column should have ~zero mean and ~unit variance.
+        let mean = y.mean_rows();
+        let var = y.var_rows();
+        for j in 0..2 {
+            assert_close(mean.data()[j], 0.0, 1e-4);
+            assert_close(var.data()[j], 1.0, 1e-3);
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::matrix(&[&[2.0], &[4.0]]);
+        // Several training passes move the running stats toward (3, 1).
+        for _ in 0..200 {
+            bn.forward(&x, Mode::Train);
+        }
+        assert_close(bn.running_mean().data()[0], 3.0, 0.05);
+        let y = bn.forward(&Tensor::matrix(&[&[3.0]]), Mode::Eval);
+        assert_close(y.data()[0], 0.0, 0.05);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let bn = BatchNorm1d::new(4);
+        check_layer_gradients(Box::new(bn), 4, 6, 17);
+    }
+
+    #[test]
+    fn gamma_beta_are_trainable() {
+        let bn = BatchNorm1d::new(5);
+        assert_eq!(bn.param_count(), 10);
+    }
+
+    #[test]
+    fn eval_before_any_training_is_identityish() {
+        // Fresh running stats are (0, 1), so eval ≈ identity.
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::matrix(&[&[0.5, -0.5]]);
+        let y = bn.forward(&x, Mode::Eval);
+        assert_close(y.data()[0], 0.5, 1e-3);
+        assert_close(y.data()[1], -0.5, 1e-3);
+    }
+
+    #[test]
+    fn seeded_usage_is_deterministic() {
+        let mut rng = NebulaRng::seed(1);
+        let x = Tensor::from_vec((0..12).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[4, 3]);
+        let mut a = BatchNorm1d::new(3);
+        let mut b = BatchNorm1d::new(3);
+        assert_eq!(a.forward(&x, Mode::Train).data(), b.forward(&x, Mode::Train).data());
+    }
+}

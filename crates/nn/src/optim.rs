@@ -1,0 +1,234 @@
+//! Optimisers: SGD (with momentum and weight decay) and Adam.
+//!
+//! Optimiser state (momentum buffers, Adam moments) is keyed by the visit
+//! order of [`Layer::visit_params`], which is fixed per architecture. State
+//! buffers are allocated lazily on the first step so an optimiser can be
+//! constructed before the model.
+
+use crate::layer::Layer;
+use nebula_tensor::Tensor;
+
+/// A gradient-descent optimiser over a [`Layer`]'s parameters.
+pub trait Optimizer {
+    /// Applies one update step using the layer's accumulated gradients.
+    /// Does **not** zero the gradients — callers do that explicitly.
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds L2 weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |p, g| {
+            if momentum == 0.0 {
+                if wd > 0.0 {
+                    p.scale_assign(1.0 - lr * wd);
+                }
+                p.axpy(-lr, g);
+            } else {
+                if velocity.len() <= idx {
+                    velocity.push(Tensor::zeros(p.shape()));
+                }
+                let v = &mut velocity[idx];
+                // v ← μ·v + (g + wd·p); p ← p − lr·v
+                v.scale_assign(momentum);
+                v.add_assign(g);
+                if wd > 0.0 {
+                    v.axpy(wd, p);
+                }
+                p.axpy(-lr, v);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adds L2 weight decay (builder style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (mbuf, vbuf) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        model.visit_params(&mut |p, g| {
+            if mbuf.len() <= idx {
+                mbuf.push(Tensor::zeros(p.shape()));
+                vbuf.push(Tensor::zeros(p.shape()));
+            }
+            let m = &mut mbuf[idx];
+            let v = &mut vbuf[idx];
+            for i in 0..p.len() {
+                let mut gi = g.data()[i];
+                if wd > 0.0 {
+                    gi += wd * p.data()[i];
+                }
+                let mi = b1 * m.data()[i] + (1.0 - b1) * gi;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                p.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::linear::Linear;
+    use crate::loss::mse;
+    use nebula_tensor::{NebulaRng, Tensor};
+
+    /// Trains `y = 2x` with a 1×1 linear layer; any sane optimiser converges.
+    fn train_scalar(optimizer: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut rng = NebulaRng::seed(1);
+        let mut model = Linear::new(1, 1, &mut rng);
+        let x = Tensor::matrix(&[&[1.0], &[2.0], &[-1.0], &[0.5]]);
+        let target = x.scale(2.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            model.zero_grad();
+            let y = model.forward(&x, Mode::Train);
+            let (loss, grad) = mse(&y, &target);
+            model.backward(&grad);
+            optimizer.step(&mut model);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut opt = Sgd::new(0.1);
+        assert!(train_scalar(&mut opt, 200) < 1e-4);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::new(0.02);
+        let mut mom = Sgd::with_momentum(0.02, 0.9);
+        let loss_plain = train_scalar(&mut plain, 50);
+        let loss_mom = train_scalar(&mut mom, 50);
+        assert!(loss_mom < loss_plain, "momentum {loss_mom} vs plain {loss_plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut opt = Adam::new(0.05);
+        assert!(train_scalar(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut rng = NebulaRng::seed(2);
+        let mut model = Linear::new(4, 4, &mut rng);
+        let before = model.param_vector().iter().map(|v| v * v).sum::<f32>();
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        // Zero gradients: the only force is decay.
+        for _ in 0..10 {
+            model.zero_grad();
+            opt.step(&mut model);
+        }
+        let after = model.param_vector().iter().map(|v| v * v).sum::<f32>();
+        assert!(after < before * 0.8, "decay had no effect: {before} -> {after}");
+    }
+
+    #[test]
+    fn set_learning_rate_takes_effect() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.0);
+        assert_eq!(opt.learning_rate(), 0.0);
+        let mut rng = NebulaRng::seed(3);
+        let mut model = Linear::new(2, 2, &mut rng);
+        let before = model.param_vector();
+        let x = Tensor::ones(&[1, 2]);
+        model.forward(&x, Mode::Train);
+        model.backward(&Tensor::ones(&[1, 2]));
+        opt.step(&mut model);
+        assert_eq!(model.param_vector(), before, "lr=0 must not move params");
+    }
+}

@@ -1,0 +1,115 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a fixed 1e-3 learning rate, but any production
+//! cloud pre-training stage wants a schedule; these are the three
+//! standard shapes, exposed as pure `step → lr` functions so they compose
+//! with any [`crate::Optimizer`] via [`crate::Optimizer::set_learning_rate`].
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant { lr: f32 },
+    /// Multiply by `gamma` every `every` steps.
+    Step { lr: f32, gamma: f32, every: usize },
+    /// Cosine decay from `lr` to `min_lr` over `total` steps (then stays
+    /// at `min_lr`).
+    Cosine { lr: f32, min_lr: f32, total: usize },
+    /// Linear warmup over `warmup` steps into an inner schedule.
+    Warmup { warmup: usize, inner: Box<LrSchedule> },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::Step { lr, gamma, every } => {
+                assert!(*every > 0, "step schedule period must be positive");
+                lr * gamma.powi((step / every) as i32)
+            }
+            LrSchedule::Cosine { lr, min_lr, total } => {
+                assert!(*total > 0, "cosine schedule length must be positive");
+                if step >= *total {
+                    return *min_lr;
+                }
+                let progress = step as f32 / *total as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+            LrSchedule::Warmup { warmup, inner } => {
+                if step < *warmup {
+                    // Ramp linearly into the inner schedule's first value.
+                    inner.at(0) * (step + 1) as f32 / (*warmup + 1) as f32
+                } else {
+                    inner.at(step - warmup)
+                }
+            }
+        }
+    }
+
+    /// Convenience: cosine with warmup, the usual pre-training shape.
+    pub fn warmup_cosine(lr: f32, min_lr: f32, warmup: usize, total: usize) -> Self {
+        LrSchedule::Warmup {
+            warmup,
+            inner: Box::new(LrSchedule::Cosine { lr, min_lr, total }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_tensor::assert_close;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decays_in_plateaus() {
+        let s = LrSchedule::Step { lr: 1.0, gamma: 0.1, every: 10 };
+        assert_close(s.at(0), 1.0, 1e-6);
+        assert_close(s.at(9), 1.0, 1e-6);
+        assert_close(s.at(10), 0.1, 1e-6);
+        assert_close(s.at(25), 0.01, 1e-6);
+    }
+
+    #[test]
+    fn cosine_hits_both_endpoints_and_is_monotone() {
+        let s = LrSchedule::Cosine { lr: 0.2, min_lr: 0.02, total: 100 };
+        assert_close(s.at(0), 0.2, 1e-6);
+        assert_close(s.at(100), 0.02, 1e-6);
+        assert_close(s.at(1000), 0.02, 1e-6);
+        let mut prev = s.at(0);
+        for step in 1..100 {
+            let cur = s.at(step);
+            assert!(cur <= prev + 1e-6, "cosine not monotone at {step}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_follows_inner() {
+        let s = LrSchedule::warmup_cosine(0.1, 0.01, 10, 100);
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        // After warmup: equals the inner cosine shifted.
+        let inner = LrSchedule::Cosine { lr: 0.1, min_lr: 0.01, total: 100 };
+        assert_close(s.at(10), inner.at(0), 1e-6);
+        assert_close(s.at(60), inner.at(50), 1e-6);
+    }
+
+    #[test]
+    fn drives_an_optimizer() {
+        use crate::optim::{Optimizer, Sgd};
+        let s = LrSchedule::Step { lr: 0.5, gamma: 0.5, every: 1 };
+        let mut opt = Sgd::new(s.at(0));
+        for step in 1..4 {
+            opt.set_learning_rate(s.at(step));
+        }
+        assert_close(opt.learning_rate(), 0.0625, 1e-6);
+    }
+}

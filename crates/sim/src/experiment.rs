@@ -1,0 +1,332 @@
+//! Experiment drivers shared by the bench binaries.
+//!
+//! Three shapes cover the paper's evaluation:
+//! * [`run_adaptation_step`] — Table 1 / Figs 8–9: offline pre-train, one
+//!   adaptation step, per-device evaluation;
+//! * [`run_until_target`] — Fig. 7: communication rounds until a target
+//!   accuracy (comm bytes at target);
+//! * [`run_continuous`] — Figs 10–11: many drift slots, accuracy per slot.
+
+use crate::network::CommTracker;
+use crate::strategy::AdaptStrategy;
+use crate::world::SimWorld;
+use nebula_tensor::NebulaRng;
+use serde::Serialize;
+
+/// Shared experiment-scale knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Devices evaluated per measurement.
+    pub eval_devices: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self { eval_devices: 20, seed: 1 }
+    }
+}
+
+/// What one adaptation-step experiment produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct AdaptationOutcome {
+    pub strategy: String,
+    /// Mean per-device accuracy before the adaptation step (pre-trained
+    /// model only).
+    pub accuracy_before: f32,
+    /// Mean per-device accuracy after the step.
+    pub accuracy_after: f32,
+    /// Communication during the step.
+    #[serde(skip)]
+    pub comm: CommTracker,
+    pub comm_total_bytes: u64,
+    /// Mean on-device adaptation time, ms.
+    pub adapt_time_ms: f64,
+    /// Mean footprint across evaluated devices.
+    pub mean_params: f64,
+    pub mean_train_mem_bytes: f64,
+}
+
+/// Offline pre-train, one adaptation step, evaluate `eval_devices`.
+pub fn run_adaptation_step(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+) -> AdaptationOutcome {
+    let mut rng = NebulaRng::seed(cfg.seed ^ 0x57EB);
+    let eval_ids: Vec<usize> = pick_eval_ids(world, cfg.eval_devices);
+    strategy.track(&eval_ids);
+    strategy.offline(world, &mut rng);
+
+    let before = mean_accuracy(strategy, world, &eval_ids);
+    let report = strategy.adaptation_step(world, &mut rng);
+    let after = mean_accuracy(strategy, world, &eval_ids);
+
+    let (mut params, mut mem) = (0.0f64, 0.0f64);
+    for &id in &eval_ids {
+        let fp = strategy.footprint(world, id);
+        params += fp.params as f64;
+        mem += fp.train_mem_bytes as f64;
+    }
+    let n = eval_ids.len().max(1) as f64;
+
+    AdaptationOutcome {
+        strategy: strategy.name().to_string(),
+        accuracy_before: before,
+        accuracy_after: after,
+        comm: report.comm,
+        comm_total_bytes: report.comm.total_bytes(),
+        adapt_time_ms: report.adapt_time_ms,
+        mean_params: params / n,
+        mean_train_mem_bytes: mem / n,
+    }
+}
+
+/// Evenly-spaced evaluation devices (stable across strategies so every
+/// system sees the same local tasks).
+pub fn pick_eval_ids(world: &SimWorld, n: usize) -> Vec<usize> {
+    let total = world.num_devices();
+    let n = n.min(total);
+    (0..n).map(|i| i * total / n).collect()
+}
+
+/// Mean tracked-device accuracy.
+pub fn mean_accuracy(strategy: &mut dyn AdaptStrategy, world: &mut SimWorld, ids: &[usize]) -> f32 {
+    let mut sum = 0.0;
+    for &id in ids {
+        sum += strategy.device_accuracy(world, id);
+    }
+    sum / ids.len().max(1) as f32
+}
+
+/// Mean and sample standard deviation of a per-seed metric.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MeanStd {
+    pub mean: f64,
+    pub std: f64,
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Computes mean/std over samples (std = 0 for n < 2).
+    pub fn of(samples: &[f64]) -> MeanStd {
+        let n = samples.len();
+        assert!(n > 0, "MeanStd of empty sample set");
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        };
+        MeanStd { mean, std, n }
+    }
+}
+
+/// Runs [`run_adaptation_step`] under several seeds with freshly-built
+/// strategies and worlds, reporting accuracy mean ± std. `build` receives
+/// the seed and must construct both.
+pub fn run_adaptation_step_multi(
+    seeds: &[u64],
+    eval_devices: usize,
+    mut build: impl FnMut(u64) -> (Box<dyn AdaptStrategy>, SimWorld),
+) -> MeanStd {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let accs: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            let (mut s, mut world) = build(seed);
+            let out = run_adaptation_step(s.as_mut(), &mut world, &ExperimentConfig { eval_devices, seed });
+            out.accuracy_after as f64
+        })
+        .collect();
+    MeanStd::of(&accs)
+}
+
+/// Result of a rounds-to-target run.
+#[derive(Clone, Debug, Serialize)]
+pub struct TargetOutcome {
+    pub strategy: String,
+    pub reached: bool,
+    pub rounds: usize,
+    pub comm_total_bytes: u64,
+    pub final_accuracy: f32,
+}
+
+/// Runs collaborative rounds until mean eval accuracy reaches `target` (or
+/// `max_rounds`), measuring accuracy every `probe_every` rounds. The
+/// strategy's `adaptation_step` must perform exactly one round per call —
+/// callers configure `rounds_per_step = 1`.
+pub fn run_until_target(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    max_rounds: usize,
+    probe_every: usize,
+) -> TargetOutcome {
+    let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
+    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+    strategy.track(&eval_ids);
+    strategy.offline(world, &mut rng);
+
+    let mut comm = CommTracker::new();
+    let mut rounds = 0;
+    let mut acc = mean_accuracy(strategy, world, &eval_ids);
+    while acc < target && rounds < max_rounds {
+        let report = strategy.adaptation_step(world, &mut rng);
+        comm.merge(&report.comm);
+        rounds += 1;
+        if rounds % probe_every.max(1) == 0 || rounds == max_rounds {
+            acc = mean_accuracy(strategy, world, &eval_ids);
+        }
+    }
+    TargetOutcome {
+        strategy: strategy.name().to_string(),
+        reached: acc >= target,
+        rounds,
+        comm_total_bytes: comm.total_bytes(),
+        final_accuracy: acc,
+    }
+}
+
+/// Result of a continuous (multi-slot) adaptation run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ContinuousOutcome {
+    pub strategy: String,
+    /// Mean tracked-device accuracy after each slot's adaptation.
+    pub accuracy_per_slot: Vec<f32>,
+    /// Mean on-device adaptation time per slot, ms.
+    pub mean_adapt_time_ms: f64,
+}
+
+/// Runs `slots` drift steps; each slot the world drifts, the strategy
+/// adapts, and tracked devices are evaluated.
+pub fn run_continuous(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    slots: usize,
+) -> ContinuousOutcome {
+    let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
+    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+    strategy.track(&eval_ids);
+    strategy.offline(world, &mut rng);
+
+    let mut acc_per_slot = Vec::with_capacity(slots);
+    let mut time_sum = 0.0;
+    for _ in 0..slots {
+        world.advance_slot();
+        let report = strategy.adaptation_step(world, &mut rng);
+        time_sum += report.adapt_time_ms;
+        acc_per_slot.push(mean_accuracy(strategy, world, &eval_ids));
+    }
+    ContinuousOutcome {
+        strategy: strategy.name().to_string(),
+        accuracy_per_slot: acc_per_slot,
+        mean_adapt_time_ms: time_sum / slots.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceSampler;
+    use crate::strategy::{NebulaStrategy, NoAdaptStrategy, StrategyConfig};
+    use nebula_data::drift::DriftKind;
+    use nebula_data::{DriftModel, PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+    use nebula_modular::ModularConfig;
+
+    fn toy_world(drift: bool) -> SimWorld {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let spec = PartitionSpec::new(8, Partitioner::LabelSkew { m: 2 });
+        let d = drift.then(|| DriftModel::new(0.5, DriftKind::ClassShift { m: 2, group_seed: 9 }));
+        SimWorld::new(synth, spec, 9, d, &ResourceSampler::default(), 5)
+    }
+
+    fn toy_cfg() -> StrategyConfig {
+        let mut modular = ModularConfig::toy(16, 4);
+        modular.gate_noise_std = 0.3;
+        let mut cfg = StrategyConfig::new(modular);
+        cfg.devices_per_round = 4;
+        cfg.rounds_per_step = 2;
+        cfg.pretrain_epochs = 6;
+        cfg.proxy_samples = 300;
+        cfg
+    }
+
+    #[test]
+    fn eval_ids_are_stable_and_distinct() {
+        let world = toy_world(false);
+        let ids = pick_eval_ids(&world, 4);
+        assert_eq!(ids, pick_eval_ids(&world, 4));
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn adaptation_step_outcome_is_sane() {
+        let mut world = toy_world(false);
+        let mut s = NebulaStrategy::new(toy_cfg(), 1);
+        let cfg = ExperimentConfig { eval_devices: 3, seed: 1 };
+        let out = run_adaptation_step(&mut s, &mut world, &cfg);
+        assert!(out.accuracy_after > 0.3, "accuracy {out:?}");
+        assert!(out.comm_total_bytes > 0);
+        assert!(out.mean_params > 0.0);
+    }
+
+    #[test]
+    fn no_adapt_step_has_no_comm() {
+        let mut world = toy_world(false);
+        let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
+        let cfg = ExperimentConfig { eval_devices: 3, seed: 1 };
+        let out = run_adaptation_step(&mut s, &mut world, &cfg);
+        assert_eq!(out.comm_total_bytes, 0);
+        // NA's accuracy does not change across the step.
+        nebula_tensor::assert_close(out.accuracy_before, out.accuracy_after, 1e-6);
+    }
+
+    #[test]
+    fn continuous_run_covers_all_slots() {
+        let mut world = toy_world(true);
+        let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
+        let cfg = ExperimentConfig { eval_devices: 2, seed: 2 };
+        let out = run_continuous(&mut s, &mut world, &cfg, 4);
+        assert_eq!(out.accuracy_per_slot.len(), 4);
+        assert!(out.accuracy_per_slot.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn mean_std_arithmetic() {
+        let ms = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
+        assert_eq!(ms.n, 3);
+        let single = MeanStd::of(&[5.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn multi_seed_runs_vary_but_average_sanely() {
+        let ms = run_adaptation_step_multi(&[1, 2, 3], 2, |seed| {
+            (Box::new(NoAdaptStrategy::new(toy_cfg(), seed)) as Box<dyn AdaptStrategy>, toy_world(false))
+        });
+        assert_eq!(ms.n, 3);
+        assert!((0.0..=1.0).contains(&ms.mean));
+        assert!(ms.std >= 0.0);
+    }
+
+    #[test]
+    fn until_target_stops_at_max_rounds() {
+        let mut world = toy_world(false);
+        let mut cfg_s = toy_cfg();
+        cfg_s.rounds_per_step = 1;
+        let mut s = NoAdaptStrategy::new(cfg_s, 1);
+        let cfg = ExperimentConfig { eval_devices: 2, seed: 3 };
+        // NA never reaches 1.01 accuracy → must stop at max_rounds.
+        let out = run_until_target(&mut s, &mut world, &cfg, 1.01, 3, 1);
+        assert!(!out.reached);
+        assert_eq!(out.rounds, 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # nebula-sim
+//!
+//! The simulation platform the experiments run on — the stand-in for the
+//! paper's Linux server + 20-device testbed (10 Jetson Nanos, 10
+//! Raspberry Pi 4Bs) and its 500-device simulated population.
+//!
+//! * [`resources`] — per-device hardware sampled from AI-Benchmark-shaped
+//!   distributions (RAM histogram, lognormal inference speed for mobile
+//!   SoCs vs IoT boards, bandwidth), reproducing Fig. 2(a)/(b).
+//! * [`contention`] — the co-running-process latency multiplier behind
+//!   Fig. 1(b) (5.06× with 3 background processes).
+//! * [`latency`] — training/inference latency estimates from flops,
+//!   device speed and contention.
+//! * [`network`] — byte/transfer-time accounting (Fig. 7).
+//! * [`device`] — a simulated edge device: local data, held-out local
+//!   test set, resources, and the resource profile handed to Nebula's
+//!   derivation.
+//! * [`world`] — the device population plus the drift process advancing
+//!   it through time slots.
+//! * [`strategy`] — the six adaptation systems behind Table 1 / Figs 7–11
+//!   (NA, LA, AN, FA, HFL, Nebula) behind one trait.
+//! * [`experiment`] — shared drivers: one adaptation step, rounds-to-
+//!   target-accuracy, continuous multi-slot adaptation.
+
+pub mod contention;
+pub mod device;
+pub mod experiment;
+pub mod latency;
+pub mod network;
+pub mod resources;
+pub mod strategy;
+pub mod world;
+
+pub use contention::contention_multiplier;
+pub use device::SimDevice;
+pub use experiment::{AdaptationOutcome, ExperimentConfig};
+pub use network::CommTracker;
+pub use resources::{DeviceClass, DeviceResources, ResourceSampler};
+pub use strategy::{
+    AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy,
+    NebulaStrategy, NebulaVariant, NoAdaptStrategy,
+};
+pub use world::SimWorld;

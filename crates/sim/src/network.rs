@@ -1,0 +1,116 @@
+//! Communication accounting (Fig. 7).
+//!
+//! The paper reports communication cost as total bytes moved between edge
+//! and cloud during adaptation. The tracker tallies per-direction bytes
+//! and exchange counts; transfer time falls out of the device bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte-level communication tracker for one strategy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommTracker {
+    /// Cloud → edge bytes.
+    pub down_bytes: u64,
+    /// Edge → cloud bytes.
+    pub up_bytes: u64,
+    /// Number of cloud→edge payloads.
+    pub downloads: u64,
+    /// Number of edge→cloud updates.
+    pub uploads: u64,
+    /// Completed communication rounds.
+    pub rounds: u64,
+}
+
+impl CommTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cloud → edge payload.
+    pub fn record_download(&mut self, bytes: u64) {
+        self.down_bytes += bytes;
+        self.downloads += 1;
+    }
+
+    /// Records an edge → cloud update.
+    pub fn record_upload(&mut self, bytes: u64) {
+        self.up_bytes += bytes;
+        self.uploads += 1;
+    }
+
+    /// Marks the end of a communication round.
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
+    }
+
+    /// Total in mebibytes (Fig. 7's unit for HAR) .
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Total in gibibytes (Fig. 7's unit for the CNN tasks).
+    pub fn total_gib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &CommTracker) {
+        self.down_bytes += other.down_bytes;
+        self.up_bytes += other.up_bytes;
+        self.downloads += other.downloads;
+        self.uploads += other.uploads;
+        self.rounds += other.rounds;
+    }
+}
+
+/// Transfer time in milliseconds for `bytes` over a `bandwidth_bps` link.
+pub fn transfer_time_ms(bytes: u64, bandwidth_bps: f64) -> f64 {
+    assert!(bandwidth_bps > 0.0, "non-positive bandwidth");
+    (bytes as f64 * 8.0) / bandwidth_bps * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = CommTracker::new();
+        t.record_download(100);
+        t.record_upload(40);
+        t.record_upload(60);
+        t.end_round();
+        assert_eq!(t.total_bytes(), 200);
+        assert_eq!(t.downloads, 1);
+        assert_eq!(t.uploads, 2);
+        assert_eq!(t.rounds, 1);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let t = CommTracker { down_bytes: 1024 * 1024, up_bytes: 0, ..Default::default() };
+        assert!((t.total_mib() - 1.0).abs() < 1e-9);
+        assert!((t.total_gib() - 1.0 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CommTracker { down_bytes: 1, up_bytes: 2, downloads: 1, uploads: 1, rounds: 1 };
+        let b = CommTracker { down_bytes: 10, up_bytes: 20, downloads: 2, uploads: 3, rounds: 4 };
+        a.merge(&b);
+        assert_eq!(a.down_bytes, 11);
+        assert_eq!(a.rounds, 5);
+    }
+
+    #[test]
+    fn transfer_time_basic() {
+        // 1 MB over 8 Mbps = 1 s.
+        let ms = transfer_time_ms(1_000_000, 8e6);
+        assert!((ms - 1000.0).abs() < 1e-6);
+    }
+}

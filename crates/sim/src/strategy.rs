@@ -1,0 +1,883 @@
+//! The six adaptation systems evaluated in the paper, behind one trait.
+//!
+//! | Paper name | Type | Impl |
+//! |---|---|---|
+//! | No Adaptation (NA) | static cloud model | [`NoAdaptStrategy`] |
+//! | Local Adaptation (LA) | on-device | [`LocalAdaptStrategy`] |
+//! | AdaptiveNet (AN) | on-device, multi-branch | [`AdaptiveNetStrategy`] |
+//! | FedAvg (FA) | edge-cloud collaborative | [`FedAvgStrategy`] |
+//! | HeteroFL (HFL) | edge-cloud collaborative | [`HeteroFlStrategy`] |
+//! | Nebula | edge-cloud collaborative | [`NebulaStrategy`] |
+//!
+//! A strategy is *tracked-device* oriented: the experiment harness names
+//! the devices that will be evaluated (the paper evaluates per-device
+//! accuracy on local test sets), and strategies keep persistent per-device
+//! state for exactly those — LA's private models, AN's adapted branches,
+//! Nebula's edge clients — across time slots.
+
+use crate::device::SimDevice;
+use crate::latency::adaptation_latency_ms;
+use crate::network::{transfer_time_ms, CommTracker};
+use crate::world::SimWorld;
+use nebula_baselines::{
+    fedavg_round, heterofl_round, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
+};
+use nebula_core::edge::update_bytes;
+use nebula_core::{EdgeClient, NebulaCloud, NebulaParams};
+use nebula_data::Dataset;
+use nebula_modular::ModularConfig;
+use nebula_nn::Layer;
+use nebula_tensor::NebulaRng;
+use std::collections::HashMap;
+
+/// What one adaptation step cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepReport {
+    /// Communication during the step.
+    pub comm: CommTracker,
+    /// Mean wall-clock of the on-device part per tracked device, ms.
+    pub adapt_time_ms: f64,
+}
+
+/// Static resource footprint of the model a device runs (Figs 8–9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Footprint {
+    pub params: u64,
+    pub train_mem_bytes: u64,
+    pub forward_flops: u64,
+}
+
+/// Hyper-parameters shared by all strategies (paper §6.1).
+#[derive(Clone, Debug)]
+pub struct StrategyConfig {
+    pub modular: ModularConfig,
+    /// Devices sampled per collaborative round (paper: 25).
+    pub devices_per_round: usize,
+    /// Collaborative rounds per adaptation step.
+    pub rounds_per_step: usize,
+    /// Local epochs per collaborative round (paper: 3).
+    pub local_epochs: usize,
+    /// Local epochs for pure on-device fine-tuning (paper: 10).
+    pub finetune_epochs: usize,
+    pub batch_size: usize,
+    pub local_lr: f32,
+    /// Pre-training epochs on the cloud proxy data.
+    pub pretrain_epochs: usize,
+    /// Proxy dataset size.
+    pub proxy_samples: usize,
+}
+
+impl StrategyConfig {
+    /// Defaults mirroring §6.1 with a laptop-scale round count.
+    pub fn new(modular: ModularConfig) -> Self {
+        Self {
+            modular,
+            devices_per_round: 25,
+            rounds_per_step: 15,
+            local_epochs: 3,
+            finetune_epochs: 10,
+            batch_size: 16,
+            local_lr: 0.02,
+            pretrain_epochs: 15,
+            proxy_samples: 3000,
+        }
+    }
+
+    /// Dense model matching the full modular capacity: each block's hidden
+    /// width equals the modular layer's total module capacity.
+    pub fn dense_model(&self, seed: u64) -> DenseModel {
+        let m = &self.modular;
+        let shrunk = if m.residual_module { m.modules_per_layer - 1 } else { m.modules_per_layer };
+        DenseModel::new(
+            m.input_dim,
+            m.width,
+            m.num_layers,
+            (shrunk * m.module_hidden).max(1),
+            m.classes,
+            seed,
+        )
+    }
+}
+
+/// Approximate forward MACs of a dense model: one MAC per weight.
+fn dense_forward_flops(model: &DenseModel) -> u64 {
+    model.param_count() as u64
+}
+
+/// Mean per-participant adaptation latency over an evenly-spaced device
+/// sample: local training plus the down+up transfer.
+fn mean_participant_latency_ms(
+    world: &SimWorld,
+    forward_flops: u64,
+    exchange_bytes: u64,
+    epochs: usize,
+    batch: usize,
+) -> f64 {
+    let n = world.num_devices();
+    if n == 0 {
+        return 0.0;
+    }
+    let samples = 8.min(n);
+    let mut total = 0.0;
+    for i in 0..samples {
+        let dev = &world.devices[i * n / samples];
+        total += adaptation_latency_ms(&dev.resources, forward_flops, dev.volume(), epochs, batch)
+            + transfer_time_ms(exchange_bytes, dev.resources.bandwidth_bps);
+    }
+    total / samples as f64
+}
+
+fn dense_footprint(model: &DenseModel, ratio: f32) -> Footprint {
+    let params = model.active_params(ratio) as u64;
+    Footprint {
+        params,
+        // params + grads + momentum (matching the modular cost model).
+        train_mem_bytes: 3 * params * 4,
+        forward_flops: params,
+    }
+}
+
+/// One adaptation system under test.
+pub trait AdaptStrategy {
+    /// Display name (matches the paper's table headers).
+    fn name(&self) -> &'static str;
+
+    /// Offline stage: pre-train on cloud proxy data.
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng);
+
+    /// Registers the devices that will be evaluated; strategies keep
+    /// persistent state for exactly these.
+    fn track(&mut self, ids: &[usize]);
+
+    /// One adaptation step (collaborative rounds and/or tracked-device
+    /// local updates against the devices' *current* data).
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport;
+
+    /// Personalized accuracy of tracked device `id` on its local test set.
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32;
+
+    /// Resource footprint of the model device `id` runs.
+    fn footprint(&self, world: &SimWorld, id: usize) -> Footprint;
+}
+
+// ---------------------------------------------------------------------------
+// No Adaptation
+// ---------------------------------------------------------------------------
+
+/// The pre-trained cloud model used as-is on every device.
+pub struct NoAdaptStrategy {
+    cfg: StrategyConfig,
+    model: DenseModel,
+}
+
+impl NoAdaptStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        let model = cfg.dense_model(seed);
+        Self { cfg, model }
+    }
+}
+
+impl AdaptStrategy for NoAdaptStrategy {
+    fn name(&self) -> &'static str {
+        "NA"
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        let mut opt = nebula_nn::Sgd::with_momentum(0.05, 0.9);
+        nebula_data::train_epochs(
+            &mut self.model,
+            &mut opt,
+            &proxy,
+            nebula_data::TrainConfig {
+                epochs: self.cfg.pretrain_epochs,
+                batch_size: 32,
+                clip_norm: Some(5.0),
+            },
+            rng,
+        );
+    }
+
+    fn track(&mut self, _ids: &[usize]) {}
+
+    fn adaptation_step(&mut self, _world: &mut SimWorld, _rng: &mut NebulaRng) -> StepReport {
+        StepReport::default()
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        nebula_data::evaluate_accuracy(&mut self.model, &world.devices[id].test, 64)
+    }
+
+    fn footprint(&self, _world: &SimWorld, _id: usize) -> Footprint {
+        dense_footprint(&self.model, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local Adaptation
+// ---------------------------------------------------------------------------
+
+/// Each tracked device fine-tunes a private full-model copy on its fresh
+/// local data every step.
+pub struct LocalAdaptStrategy {
+    cfg: StrategyConfig,
+    base: DenseModel,
+    device_models: HashMap<usize, DenseModel>,
+    tracked: Vec<usize>,
+}
+
+impl LocalAdaptStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        let base = cfg.dense_model(seed);
+        Self { cfg, base, device_models: HashMap::new(), tracked: Vec::new() }
+    }
+}
+
+impl AdaptStrategy for LocalAdaptStrategy {
+    fn name(&self) -> &'static str {
+        "LA"
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        let mut opt = nebula_nn::Sgd::with_momentum(0.05, 0.9);
+        nebula_data::train_epochs(
+            &mut self.base,
+            &mut opt,
+            &proxy,
+            nebula_data::TrainConfig {
+                epochs: self.cfg.pretrain_epochs,
+                batch_size: 32,
+                clip_norm: Some(5.0),
+            },
+            rng,
+        );
+    }
+
+    fn track(&mut self, ids: &[usize]) {
+        self.tracked = ids.to_vec();
+    }
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+        let mut time_ms = 0.0;
+        for &id in &self.tracked.clone() {
+            let model = self
+                .device_models
+                .entry(id)
+                .or_insert_with(|| self.base.deep_clone());
+            let dev = &world.devices[id];
+            let mut drng = rng.fork(id as u64);
+            local_adapt(
+                model,
+                &dev.partition.data,
+                self.cfg.finetune_epochs,
+                self.cfg.batch_size,
+                self.cfg.local_lr,
+                &mut drng,
+            );
+            time_ms += adaptation_latency_ms(
+                &dev.resources,
+                dense_forward_flops(model),
+                dev.volume(),
+                self.cfg.finetune_epochs,
+                self.cfg.batch_size,
+            );
+        }
+        StepReport {
+            comm: CommTracker::new(),
+            adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
+        }
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        let model = self.device_models.entry(id).or_insert_with(|| self.base.deep_clone());
+        nebula_data::evaluate_accuracy(model, &world.devices[id].test, 64)
+    }
+
+    fn footprint(&self, _world: &SimWorld, _id: usize) -> Footprint {
+        dense_footprint(&self.base, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveNet-style
+// ---------------------------------------------------------------------------
+
+/// Multi-branch supernet; each tracked device adapts its selected branch
+/// locally.
+pub struct AdaptiveNetStrategy {
+    cfg: StrategyConfig,
+    an: AdaptiveNet,
+    device_models: HashMap<usize, DenseModel>,
+    tracked: Vec<usize>,
+}
+
+impl AdaptiveNetStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        let an = AdaptiveNet::new(cfg.dense_model(seed));
+        Self { cfg, an, device_models: HashMap::new(), tracked: Vec::new() }
+    }
+
+    fn branch_for(&self, dev: &SimDevice) -> f32 {
+        let budget = (self.an.supernet().param_count() as f64 * dev.resources.budget_ratio as f64) as usize;
+        self.an.select_branch(budget)
+    }
+}
+
+impl AdaptStrategy for AdaptiveNetStrategy {
+    fn name(&self) -> &'static str {
+        "AN"
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        // Sandwich training is 3× the work per epoch; keep wall-clock
+        // comparable to the single-branch baselines.
+        let epochs = (self.cfg.pretrain_epochs / 2).max(1);
+        self.an.pretrain(&proxy, epochs, 32, 0.05, rng);
+    }
+
+    fn track(&mut self, ids: &[usize]) {
+        self.tracked = ids.to_vec();
+    }
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+        let mut time_ms = 0.0;
+        for &id in &self.tracked.clone() {
+            let ratio = self.branch_for(&world.devices[id]);
+            let model = self
+                .device_models
+                .entry(id)
+                .or_insert_with(|| self.an.branch_model(ratio));
+            let dev = &world.devices[id];
+            let mut drng = rng.fork(id as u64 ^ 0xA0A0);
+            local_adapt(
+                model,
+                &dev.partition.data,
+                self.cfg.finetune_epochs,
+                self.cfg.batch_size,
+                self.cfg.local_lr,
+                &mut drng,
+            );
+            time_ms += adaptation_latency_ms(
+                &dev.resources,
+                model.active_params(model.width_ratio()) as u64,
+                dev.volume(),
+                self.cfg.finetune_epochs,
+                self.cfg.batch_size,
+            );
+        }
+        StepReport {
+            comm: CommTracker::new(),
+            adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
+        }
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        let ratio = self.branch_for(&world.devices[id]);
+        let model = self.device_models.entry(id).or_insert_with(|| self.an.branch_model(ratio));
+        nebula_data::evaluate_accuracy(model, &world.devices[id].test, 64)
+    }
+
+    fn footprint(&self, world: &SimWorld, id: usize) -> Footprint {
+        let ratio = self.branch_for(&world.devices[id]);
+        dense_footprint(self.an.supernet(), ratio)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FedAvg
+// ---------------------------------------------------------------------------
+
+/// Classic federated averaging of the full dense model.
+pub struct FedAvgStrategy {
+    cfg: StrategyConfig,
+    server: DenseModel,
+}
+
+impl FedAvgStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        let server = cfg.dense_model(seed);
+        Self { cfg, server }
+    }
+
+    /// One communication round (used by the rounds-to-target driver).
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+        let ids = world.sample_participants(self.cfg.devices_per_round);
+        let data: Vec<&Dataset> = ids.iter().map(|&i| &world.devices[i].partition.data).collect();
+        let bytes = fedavg_round(
+            &mut self.server,
+            &data,
+            self.cfg.local_epochs,
+            self.cfg.batch_size,
+            self.cfg.local_lr,
+            rng,
+        );
+        let mut comm = CommTracker::new();
+        comm.down_bytes = bytes / 2;
+        comm.up_bytes = bytes - bytes / 2;
+        comm.downloads = ids.len() as u64;
+        comm.uploads = ids.len() as u64;
+        comm.end_round();
+        comm
+    }
+}
+
+impl AdaptStrategy for FedAvgStrategy {
+    fn name(&self) -> &'static str {
+        "FA"
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        let mut opt = nebula_nn::Sgd::with_momentum(0.05, 0.9);
+        nebula_data::train_epochs(
+            &mut self.server,
+            &mut opt,
+            &proxy,
+            nebula_data::TrainConfig {
+                epochs: self.cfg.pretrain_epochs,
+                batch_size: 32,
+                clip_norm: Some(5.0),
+            },
+            rng,
+        );
+    }
+
+    fn track(&mut self, _ids: &[usize]) {}
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+        let mut comm = CommTracker::new();
+        let mut time_ms = 0.0;
+        for _ in 0..self.cfg.rounds_per_step {
+            comm.merge(&self.single_round(world, rng));
+        }
+        // Per-participant local-training + transfer latency, averaged over
+        // an evenly-spaced device sample (a single device's hardware would
+        // bias the estimate).
+        let flops = dense_forward_flops(&self.server);
+        let bytes = 2 * (self.server.param_count() * 4) as u64;
+        time_ms = mean_participant_latency_ms(world, flops, bytes, self.cfg.local_epochs, self.cfg.batch_size);
+        StepReport { comm, adapt_time_ms: time_ms }
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        nebula_data::evaluate_accuracy(&mut self.server, &world.devices[id].test, 64)
+    }
+
+    fn footprint(&self, _world: &SimWorld, _id: usize) -> Footprint {
+        dense_footprint(&self.server, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HeteroFL
+// ---------------------------------------------------------------------------
+
+/// Resource-aware FL over nested width-scaled sub-models.
+pub struct HeteroFlStrategy {
+    cfg: StrategyConfig,
+    server: DenseModel,
+}
+
+impl HeteroFlStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        let server = cfg.dense_model(seed);
+        Self { cfg, server }
+    }
+
+    fn ratio_for(&self, dev: &SimDevice) -> f32 {
+        let budget = (self.server.param_count() as f64 * dev.resources.budget_ratio as f64) as usize;
+        ratio_for_budget(&self.server, budget)
+    }
+
+    /// One communication round (used by the rounds-to-target driver).
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+        let ids = world.sample_participants(self.cfg.devices_per_round);
+        let data: Vec<&Dataset> = ids.iter().map(|&i| &world.devices[i].partition.data).collect();
+        let ratios: Vec<f32> = ids.iter().map(|&i| self.ratio_for(&world.devices[i])).collect();
+        let bytes = heterofl_round(
+            &mut self.server,
+            &data,
+            &ratios,
+            self.cfg.local_epochs,
+            self.cfg.batch_size,
+            self.cfg.local_lr,
+            rng,
+        );
+        let mut comm = CommTracker::new();
+        comm.down_bytes = bytes / 2;
+        comm.up_bytes = bytes - bytes / 2;
+        comm.downloads = ids.len() as u64;
+        comm.uploads = ids.len() as u64;
+        comm.end_round();
+        comm
+    }
+}
+
+impl AdaptStrategy for HeteroFlStrategy {
+    fn name(&self) -> &'static str {
+        "HFL"
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        let mut opt = nebula_nn::Sgd::with_momentum(0.05, 0.9);
+        nebula_data::train_epochs(
+            &mut self.server,
+            &mut opt,
+            &proxy,
+            nebula_data::TrainConfig {
+                epochs: self.cfg.pretrain_epochs,
+                batch_size: 32,
+                clip_norm: Some(5.0),
+            },
+            rng,
+        );
+    }
+
+    fn track(&mut self, _ids: &[usize]) {}
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+        let mut comm = CommTracker::new();
+        for _ in 0..self.cfg.rounds_per_step {
+            comm.merge(&self.single_round(world, rng));
+        }
+        // Mean over a device sample, each at its own width level.
+        let mut time_ms = 0.0;
+        let ids: Vec<usize> = (0..8.min(world.num_devices()))
+            .map(|i| i * world.num_devices() / 8.min(world.num_devices()))
+            .collect();
+        for &id in &ids {
+            let dev = &world.devices[id];
+            let ratio = self.ratio_for(dev);
+            let flops = self.server.active_params(ratio) as u64;
+            time_ms += adaptation_latency_ms(&dev.resources, flops, dev.volume(), self.cfg.local_epochs, self.cfg.batch_size)
+                + transfer_time_ms(2 * (self.server.active_params(ratio) * 4) as u64, dev.resources.bandwidth_bps);
+        }
+        time_ms /= ids.len().max(1) as f64;
+        StepReport { comm, adapt_time_ms: time_ms }
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        // The device serves the sub-model its resources allow.
+        let ratio = self.ratio_for(&world.devices[id]);
+        let mut local = self.server.deep_clone();
+        local.set_width_ratio(ratio);
+        nebula_data::evaluate_accuracy(&mut local, &world.devices[id].test, 64)
+    }
+
+    fn footprint(&self, world: &SimWorld, id: usize) -> Footprint {
+        dense_footprint(&self.server, self.ratio_for(&world.devices[id]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nebula
+// ---------------------------------------------------------------------------
+
+/// Which parts of the Nebula pipeline run (the Fig. 10 variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NebulaVariant {
+    /// Full framework: collaborative rounds + per-device derivation +
+    /// local fine-tuning.
+    Full,
+    /// "Nebula w/o local training": devices query the cloud for fresh
+    /// sub-models each step but never fine-tune locally.
+    NoLocalTraining,
+    /// "Nebula w/o cloud": devices query the cloud once, then adapt only
+    /// locally.
+    NoCloud,
+}
+
+/// The full Nebula framework.
+pub struct NebulaStrategy {
+    cfg: StrategyConfig,
+    cloud: NebulaCloud,
+    variant: NebulaVariant,
+    clients: HashMap<usize, EdgeClient>,
+    tracked: Vec<usize>,
+    enhanced: bool,
+}
+
+impl NebulaStrategy {
+    pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
+        Self::with_variant(cfg, seed, NebulaVariant::Full)
+    }
+
+    pub fn with_variant(cfg: StrategyConfig, seed: u64, variant: NebulaVariant) -> Self {
+        let mut params = NebulaParams::default();
+        params.pretrain.epochs = cfg.pretrain_epochs;
+        params.local_epochs = cfg.local_epochs;
+        params.batch_size = cfg.batch_size;
+        params.local_lr = cfg.local_lr;
+        let cloud = NebulaCloud::new(cfg.modular.clone(), params, seed);
+        Self { cfg, cloud, variant, clients: HashMap::new(), tracked: Vec::new(), enhanced: false }
+    }
+
+    /// Read access to the cloud (diagnostics, sub-model studies).
+    pub fn cloud(&self) -> &NebulaCloud {
+        &self.cloud
+    }
+
+    /// Mutable cloud access.
+    pub fn cloud_mut(&mut self) -> &mut NebulaCloud {
+        &mut self.cloud
+    }
+
+    /// One collaborative round: sample devices, derive/dispatch/train/
+    /// aggregate. Returns the round's communication.
+    ///
+    /// Derivation/dispatch happen sequentially (they read the shared cloud
+    /// model); the expensive per-device local training runs in parallel
+    /// with pre-forked RNG streams, so results are identical for any
+    /// rayon thread count.
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+        use rayon::prelude::*;
+
+        let ids = world.sample_participants(self.cfg.devices_per_round);
+        let mut comm = CommTracker::new();
+        let mut jobs = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let (profile, local);
+            {
+                let dev = &world.devices[id];
+                profile = dev.profile(self.cloud.cost_model());
+                local = dev.partition.data.clone();
+            }
+            let outcome = self.cloud.derive_for_data(&local, &profile, None);
+            let payload = self.cloud.dispatch(&outcome.spec);
+            comm.record_download(payload.bytes());
+            jobs.push((payload, local, rng.fork(id as u64 ^ 0xEB)));
+        }
+
+        let cfg = &self.cfg;
+        let updates: Vec<_> = jobs
+            .into_par_iter()
+            .map(|(payload, local, mut drng)| {
+                let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
+                client.adapt(&local, cfg.local_epochs, cfg.batch_size, cfg.local_lr, &mut drng);
+                client.make_update(&local)
+            })
+            .collect();
+        for update in &updates {
+            comm.record_upload(update_bytes(update));
+        }
+        self.cloud.aggregate(&updates);
+        comm.end_round();
+        comm
+    }
+
+    /// Refreshes (or creates) the tracked device's client from the cloud:
+    /// derive + dispatch. Returns download bytes.
+    fn refresh_client(&mut self, world: &mut SimWorld, id: usize) -> u64 {
+        let dev = &world.devices[id];
+        let profile = dev.profile(self.cloud.cost_model());
+        let local = dev.partition.data.clone();
+        let outcome = self.cloud.derive_for_data(&local, &profile, None);
+        let payload = self.cloud.dispatch(&outcome.spec);
+        let bytes = payload.bytes();
+        match self.clients.get_mut(&id) {
+            Some(client) => client.install(&payload),
+            None => {
+                self.clients.insert(id, EdgeClient::from_payload(self.cfg.modular.clone(), &payload));
+            }
+        }
+        bytes
+    }
+}
+
+impl AdaptStrategy for NebulaStrategy {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            NebulaVariant::Full => "Nebula",
+            NebulaVariant::NoLocalTraining => "Nebula w/o local",
+            NebulaVariant::NoCloud => "Nebula w/o cloud",
+        }
+    }
+
+    fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
+        let proxy = world.proxy(self.cfg.proxy_samples);
+        self.cloud.pretrain(&proxy, rng);
+        let subtasks = world.subtask_datasets(200);
+        self.cloud.enhance(&subtasks, rng);
+        self.enhanced = true;
+    }
+
+    fn track(&mut self, ids: &[usize]) {
+        self.tracked = ids.to_vec();
+    }
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+        let mut comm = CommTracker::new();
+
+        // Edge-cloud collaborative rounds (skipped by the w/o-cloud variant).
+        if self.variant != NebulaVariant::NoCloud {
+            for _ in 0..self.cfg.rounds_per_step {
+                comm.merge(&self.single_round(world, rng));
+            }
+        }
+
+        // Tracked devices: refresh sub-model from the cloud and/or adapt
+        // locally, per variant.
+        let mut time_ms = 0.0;
+        for &id in &self.tracked.clone() {
+            let refresh = match self.variant {
+                NebulaVariant::Full | NebulaVariant::NoLocalTraining => true,
+                NebulaVariant::NoCloud => !self.clients.contains_key(&id),
+            };
+            if refresh {
+                let bytes = self.refresh_client(world, id);
+                comm.record_download(bytes);
+                time_ms += transfer_time_ms(bytes, world.devices[id].resources.bandwidth_bps);
+            }
+            let local_training = self.variant != NebulaVariant::NoLocalTraining;
+            if local_training {
+                let local = world.devices[id].partition.data.clone();
+                let client = self.clients.get_mut(&id).expect("tracked client exists");
+                let mut drng = rng.fork(id as u64 ^ 0xF00D);
+                client.adapt(&local, self.cfg.local_epochs, self.cfg.batch_size, self.cfg.local_lr, &mut drng);
+                let spec_cost = self.cloud.cost_model().submodel(client.spec());
+                let dev = &world.devices[id];
+                time_ms += adaptation_latency_ms(
+                    &dev.resources,
+                    spec_cost.flops,
+                    dev.volume(),
+                    self.cfg.local_epochs,
+                    self.cfg.batch_size,
+                );
+            }
+        }
+
+        StepReport {
+            comm,
+            adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
+        }
+    }
+
+    fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
+        if !self.clients.contains_key(&id) {
+            self.refresh_client(world, id);
+        }
+        let client = self.clients.get_mut(&id).expect("client exists");
+        client.accuracy(&world.devices[id].test)
+    }
+
+    fn footprint(&self, world: &SimWorld, id: usize) -> Footprint {
+        // Footprint of the sub-model the device would be assigned.
+        let dev = &world.devices[id];
+        let profile = dev.profile(self.cloud.cost_model());
+        let spec = match self.clients.get(&id) {
+            Some(c) => c.spec().clone(),
+            None => {
+                // No data-dependent importance available immutably; use a
+                // uniform-importance derivation under the device budget.
+                let cfg = &self.cfg.modular;
+                let uniform =
+                    vec![vec![1.0 / cfg.modules_per_layer as f32; cfg.modules_per_layer]; cfg.num_layers];
+                self.cloud.derive_for_importance(&uniform, &profile, None).spec
+            }
+        };
+        let c = self.cloud.cost_model().submodel(&spec);
+        Footprint { params: c.params, train_mem_bytes: c.training_mem_bytes, forward_flops: c.flops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceSampler;
+    use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+
+    fn toy_world(devices: usize) -> SimWorld {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m: 2 });
+        SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), 5)
+    }
+
+    fn toy_cfg() -> StrategyConfig {
+        let mut modular = ModularConfig::toy(16, 4);
+        modular.gate_noise_std = 0.3;
+        let mut cfg = StrategyConfig::new(modular);
+        cfg.devices_per_round = 4;
+        cfg.rounds_per_step = 2;
+        cfg.pretrain_epochs = 6;
+        cfg.proxy_samples = 300;
+        cfg.finetune_epochs = 4;
+        cfg
+    }
+
+    #[test]
+    fn all_strategies_run_one_step() {
+        let mut rng = NebulaRng::seed(3);
+        let mut strategies: Vec<Box<dyn AdaptStrategy>> = vec![
+            Box::new(NoAdaptStrategy::new(toy_cfg(), 1)),
+            Box::new(LocalAdaptStrategy::new(toy_cfg(), 1)),
+            Box::new(AdaptiveNetStrategy::new(toy_cfg(), 1)),
+            Box::new(FedAvgStrategy::new(toy_cfg(), 1)),
+            Box::new(HeteroFlStrategy::new(toy_cfg(), 1)),
+            Box::new(NebulaStrategy::new(toy_cfg(), 1)),
+        ];
+        for s in &mut strategies {
+            let mut world = toy_world(8);
+            s.offline(&mut world, &mut rng);
+            s.track(&[0, 1]);
+            let report = s.adaptation_step(&mut world, &mut rng);
+            let acc = s.device_accuracy(&mut world, 0);
+            assert!((0.0..=1.0).contains(&acc), "{}: acc {acc}", s.name());
+            let fp = s.footprint(&world, 0);
+            assert!(fp.params > 0, "{}: zero params", s.name());
+            // Collaborative strategies must move bytes; local ones must not.
+            match s.name() {
+                "FA" | "HFL" | "Nebula" => assert!(report.comm.total_bytes() > 0, "{}", s.name()),
+                _ => assert_eq!(report.comm.total_bytes(), 0, "{}", s.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn nebula_comm_cheaper_than_fedavg() {
+        let mut rng = NebulaRng::seed(4);
+        let mut world_a = toy_world(8);
+        let mut fa = FedAvgStrategy::new(toy_cfg(), 1);
+        fa.offline(&mut world_a, &mut rng);
+        let fa_report = fa.adaptation_step(&mut world_a, &mut rng);
+
+        let mut world_b = toy_world(8);
+        let mut nb = NebulaStrategy::new(toy_cfg(), 1);
+        nb.offline(&mut world_b, &mut rng);
+        nb.track(&[]);
+        let nb_report = nb.adaptation_step(&mut world_b, &mut rng);
+
+        assert!(
+            nb_report.comm.total_bytes() < fa_report.comm.total_bytes(),
+            "Nebula {} vs FedAvg {}",
+            nb_report.comm.total_bytes(),
+            fa_report.comm.total_bytes()
+        );
+    }
+
+    #[test]
+    fn nebula_variants_differ_in_behaviour() {
+        let mut rng = NebulaRng::seed(5);
+        let mut world = toy_world(6);
+        let mut no_cloud = NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::NoCloud);
+        no_cloud.offline(&mut world, &mut rng);
+        no_cloud.track(&[0]);
+        let r1 = no_cloud.adaptation_step(&mut world, &mut rng);
+        // w/o cloud: no collaborative rounds → only the one-time download.
+        assert_eq!(r1.comm.rounds, 0);
+        let r2 = no_cloud.adaptation_step(&mut world, &mut rng);
+        // Second step: no new download at all.
+        assert_eq!(r2.comm.downloads, 0, "w/o-cloud re-downloaded");
+    }
+
+    #[test]
+    fn heterofl_assigns_smaller_ratios_to_weak_devices() {
+        let world = toy_world(20);
+        let s = HeteroFlStrategy::new(toy_cfg(), 1);
+        let mut ratios: Vec<f32> = world.devices.iter().map(|d| s.ratio_for(d)).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ratios[0] < ratios[ratios.len() - 1], "no ratio heterogeneity");
+    }
+}

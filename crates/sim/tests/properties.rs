@@ -1,0 +1,112 @@
+//! Property-based tests for the simulation substrate: latency and
+//! contention monotonicity, communication accounting arithmetic, and
+//! resource-sampling invariants.
+
+use nebula_sim::contention::contention_multiplier;
+use nebula_sim::latency::{adaptation_latency_ms, inference_latency_ms, training_batch_latency_ms};
+use nebula_sim::network::{transfer_time_ms, CommTracker};
+use nebula_sim::{DeviceClass, DeviceResources, ResourceSampler};
+use nebula_tensor::NebulaRng;
+use proptest::prelude::*;
+
+fn device(flops: f64, procs: usize) -> DeviceResources {
+    DeviceResources {
+        class: DeviceClass::MobileSoc,
+        ram_bytes: 4_000_000_000,
+        flops_per_sec: flops,
+        bandwidth_bps: 2e7,
+        budget_ratio: 0.5,
+        background_procs: procs,
+    }
+}
+
+proptest! {
+    #[test]
+    fn contention_is_monotone_and_anchored(procs in 0usize..16) {
+        let m = contention_multiplier(procs);
+        prop_assert!(m >= 1.0);
+        prop_assert!(contention_multiplier(procs + 1) > m);
+    }
+
+    #[test]
+    fn latency_scales_linearly_in_flops(
+        flops in 1_000u64..100_000_000, factor in 2u64..10, procs in 0usize..4
+    ) {
+        let d = device(1e9, procs);
+        let base = inference_latency_ms(&d, flops);
+        let scaled = inference_latency_ms(&d, flops * factor);
+        prop_assert!((scaled / base - factor as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_latency_exceeds_inference(flops in 1_000u64..10_000_000, batch in 1usize..64) {
+        let d = device(1e9, 0);
+        let inf = inference_latency_ms(&d, flops) * batch as f64;
+        let train = training_batch_latency_ms(&d, flops, batch);
+        prop_assert!(train > inf * 1.5, "training {} vs inference {}", train, inf);
+    }
+
+    #[test]
+    fn adaptation_latency_monotone_in_all_knobs(
+        flops in 1_000u64..1_000_000, samples in 1usize..500, epochs in 1usize..10
+    ) {
+        let d = device(1e9, 0);
+        let base = adaptation_latency_ms(&d, flops, samples, epochs, 16);
+        prop_assert!(adaptation_latency_ms(&d, flops * 2, samples, epochs, 16) > base);
+        prop_assert!(adaptation_latency_ms(&d, flops, samples, epochs + 1, 16) > base);
+        prop_assert!(adaptation_latency_ms(&d, flops, samples + 200, epochs, 16) >= base);
+    }
+
+    #[test]
+    fn transfer_time_is_linear(bytes in 1u64..100_000_000, bw in 1e5f64..1e9) {
+        let t1 = transfer_time_ms(bytes, bw);
+        let t2 = transfer_time_ms(bytes * 2, bw);
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // Faster link, shorter transfer.
+        prop_assert!(transfer_time_ms(bytes, bw * 2.0) < t1);
+    }
+
+    #[test]
+    fn comm_tracker_total_is_sum_of_directions(
+        downs in proptest::collection::vec(0u64..1_000_000, 0..20),
+        ups in proptest::collection::vec(0u64..1_000_000, 0..20),
+    ) {
+        let mut t = CommTracker::new();
+        for &d in &downs {
+            t.record_download(d);
+        }
+        for &u in &ups {
+            t.record_upload(u);
+        }
+        prop_assert_eq!(t.total_bytes(), downs.iter().sum::<u64>() + ups.iter().sum::<u64>());
+        prop_assert_eq!(t.downloads as usize, downs.len());
+        prop_assert_eq!(t.uploads as usize, ups.len());
+    }
+
+    #[test]
+    fn comm_tracker_merge_is_additive(
+        a_down in 0u64..1_000_000, a_up in 0u64..1_000_000,
+        b_down in 0u64..1_000_000, b_up in 0u64..1_000_000,
+    ) {
+        let mut a = CommTracker::new();
+        a.record_download(a_down);
+        a.record_upload(a_up);
+        let mut b = CommTracker::new();
+        b.record_download(b_down);
+        b.record_upload(b_up);
+        let mut merged = a;
+        merged.merge(&b);
+        prop_assert_eq!(merged.total_bytes(), a_down + a_up + b_down + b_up);
+    }
+
+    #[test]
+    fn sampled_devices_are_physically_plausible(seed in 0u64..2000) {
+        let mut rng = NebulaRng::seed(seed);
+        let d = ResourceSampler::default().sample(&mut rng);
+        prop_assert!(d.ram_bytes >= 500_000_000, "RAM {}", d.ram_bytes);
+        prop_assert!(d.flops_per_sec > 1e6, "speed {}", d.flops_per_sec);
+        prop_assert!(d.bandwidth_bps > 1e4, "bandwidth {}", d.bandwidth_bps);
+        prop_assert!(d.budget_ratio > 0.0 && d.budget_ratio <= 1.0);
+        prop_assert_eq!(d.background_procs, 0, "fresh devices start idle");
+    }
+}

@@ -1,0 +1,110 @@
+//! Weight-initialisation schemes.
+//!
+//! Matches the initialisers PyTorch uses for the paper's models: Kaiming
+//! (He) for layers followed by ReLU, Xavier (Glorot) for gate/selector
+//! heads, plus constant/normal/uniform utility schemes.
+
+use crate::{NebulaRng, Tensor};
+
+/// A weight-initialisation scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Constant fill.
+    Constant(f32),
+    /// `N(mean, std)`.
+    Normal { mean: f32, std: f32 },
+    /// `U(lo, hi)`.
+    Uniform { lo: f32, hi: f32 },
+    /// Glorot/Xavier uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, sqrt(2/fan_in))`, for ReLU networks.
+    KaimingNormal,
+}
+
+impl Init {
+    /// Builds a rank-2 weight tensor of shape `[fan_out, fan_in]`.
+    ///
+    /// Row-major `out×in` layout matches [`Tensor::matmul_nt`], the linear
+    /// layer's forward kernel.
+    pub fn weight(self, fan_out: usize, fan_in: usize, rng: &mut NebulaRng) -> Tensor {
+        let n = fan_out * fan_in;
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Constant(c) => vec![c; n],
+            Init::Normal { mean, std } => (0..n).map(|_| rng.normal_f32(mean, std)).collect(),
+            Init::Uniform { lo, hi } => (0..n).map(|_| rng.uniform_f32(lo, hi)).collect(),
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                (0..n).map(|_| rng.uniform_f32(-bound, bound)).collect()
+            }
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| rng.normal_f32(0.0, std)).collect()
+            }
+        };
+        Tensor::from_vec(data, &[fan_out, fan_in])
+    }
+
+    /// Builds a rank-1 tensor of length `n` (bias / scale vectors).
+    pub fn vector(self, n: usize, rng: &mut NebulaRng) -> Tensor {
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Constant(c) => vec![c; n],
+            Init::Normal { mean, std } => (0..n).map(|_| rng.normal_f32(mean, std)).collect(),
+            Init::Uniform { lo, hi } => (0..n).map(|_| rng.uniform_f32(lo, hi)).collect(),
+            Init::XavierUniform | Init::KaimingNormal => {
+                // Fan-based schemes degrade to a small uniform for vectors.
+                let bound = (1.0 / n.max(1) as f32).sqrt();
+                (0..n).map(|_| rng.uniform_f32(-bound, bound)).collect()
+            }
+        };
+        Tensor::from_vec(data, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = NebulaRng::seed(1);
+        assert!(Init::Zeros.weight(3, 4, &mut rng).data().iter().all(|&v| v == 0.0));
+        assert!(Init::Constant(2.5).vector(5, &mut rng).data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = NebulaRng::seed(2);
+        let w = Init::XavierUniform.weight(10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = NebulaRng::seed(3);
+        let w = Init::KaimingNormal.weight(64, 128, &mut rng);
+        let std = (w.norm_sq() / w.len() as f32).sqrt();
+        let expect = (2.0f32 / 128.0).sqrt();
+        assert!((std - expect).abs() / expect < 0.15, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn shapes_are_correct() {
+        let mut rng = NebulaRng::seed(4);
+        assert_eq!(Init::KaimingNormal.weight(7, 3, &mut rng).shape(), &[7, 3]);
+        assert_eq!(Init::Zeros.vector(9, &mut rng).shape(), &[9]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NebulaRng::seed(5);
+        let mut b = NebulaRng::seed(5);
+        let wa = Init::Normal { mean: 0.0, std: 1.0 }.weight(4, 4, &mut a);
+        let wb = Init::Normal { mean: 0.0, std: 1.0 }.weight(4, 4, &mut b);
+        assert_eq!(wa, wb);
+    }
+}

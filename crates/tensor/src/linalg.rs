@@ -1,0 +1,267 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover every use in the NN stack without materialising
+//! transposes in the hot path:
+//!
+//! * [`Tensor::matmul`] — `A(m×k) · B(k×n)`, forward pass of a linear layer
+//!   (weights stored as `out×in`, used through [`Tensor::matmul_nt`]).
+//! * [`Tensor::matmul_nt`] — `A(m×k) · Bᵀ(n×k)`, forward pass with row-major
+//!   weight layout: each output element is a dot of two contiguous rows.
+//! * [`Tensor::matmul_tn`] — `Aᵀ(k×m) · B(k×n)`, gradient w.r.t. weights.
+//!
+//! Parallelism: rows of the output are independent, so we split over rows
+//! with rayon once the work is large enough to amortise the fork/join cost
+//! (see `PAR_THRESHOLD`). Below the threshold we run sequentially — the
+//! per-device training batches in the simulator are small (batch 16), and
+//! spawning tasks for a 16×64 product is a slowdown, not a speedup.
+
+use crate::ops::dot_slices;
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of multiply-adds before a kernel goes parallel.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+impl Tensor {
+    /// `self (m×k) · other (k×n)` → `m×n`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let work = m * n * k;
+        let a = self.data();
+        let b = other.data();
+
+        let body = |i: usize, orow: &mut [f32]| {
+            let arow = &a[i * k..(i + 1) * k];
+            // ikj loop order: stream through B rows, accumulate into the
+            // output row, keeping all three accesses sequential.
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        };
+
+        if work >= PAR_THRESHOLD {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
+        } else {
+            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
+                body(i, orow);
+            }
+        }
+        out
+    }
+
+    /// `self (m×k) · otherᵀ` where `other` is `n×k` → `m×n`.
+    ///
+    /// This is the natural layout for a linear layer whose weight matrix is
+    /// stored `out_features × in_features`: every output element is the dot
+    /// product of two contiguous rows.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let work = m * n * k;
+        let a = self.data();
+        let b = other.data();
+
+        let body = |i: usize, orow: &mut [f32]| {
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_slices(arow, &b[j * k..(j + 1) * k]);
+            }
+        };
+
+        if work >= PAR_THRESHOLD {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
+        } else {
+            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
+                body(i, orow);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` where `self` is `k×m` and `other` is `k×n` → `m×n`.
+    ///
+    /// Weight-gradient kernel: `dW = dYᵀ · X` with `dY: batch×out` and
+    /// `X: batch×in` is computed as `dY.matmul_tn(X)`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank-2");
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        let work = m * n * k;
+        let a = self.data();
+        let b = other.data();
+
+        let body = |i: usize, orow: &mut [f32]| {
+            // out[i, :] = sum_p a[p, i] * b[p, :]
+            for p in 0..k {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        };
+
+        if work >= PAR_THRESHOLD {
+            out.data_mut()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
+        } else {
+            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
+                body(i, orow);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self (m×k) · v (k)` → `m`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank-1");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(k, v.len(), "matvec inner dims differ");
+        let mut out = Tensor::zeros(&[m]);
+        for i in 0..m {
+            out.data_mut()[i] = dot_slices(self.row(i), v.data());
+        }
+        out
+    }
+
+    /// Outer product of two rank-1 tensors → `m×n`.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer lhs must be rank-1");
+        assert_eq!(other.rank(), 1, "outer rhs must be rank-1");
+        let (m, n) = (self.len(), other.len());
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a = self.data()[i];
+            for j in 0..n {
+                out.data_mut()[i * n + j] = a * other.data()[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_tensor_close;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(i, p) * b.at(p, j);
+                }
+                *out.at_mut(i, j) = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::matrix(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::matrix(&[&[1.5, -2.0, 3.0], &[0.0, 4.0, 5.5]]);
+        let c = a.matmul(&Tensor::eye(3));
+        assert_tensor_close(&c, &a, 0.0);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = crate::NebulaRng::seed(7);
+        let a = Tensor::from_vec((0..13 * 9).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[13, 9]);
+        let b = Tensor::from_vec((0..9 * 11).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[9, 11]);
+        assert_tensor_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Big enough to cross PAR_THRESHOLD (128*128*64 = 1M MACs).
+        let mut rng = crate::NebulaRng::seed(11);
+        let a = Tensor::from_vec((0..128 * 64).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[128, 64]);
+        let b = Tensor::from_vec((0..64 * 128).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[64, 128]);
+        assert_tensor_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let mut rng = crate::NebulaRng::seed(3);
+        let a = Tensor::from_vec((0..6 * 5).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[6, 5]);
+        let b = Tensor::from_vec((0..7 * 5).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[7, 5]);
+        assert_tensor_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let mut rng = crate::NebulaRng::seed(5);
+        let a = Tensor::from_vec((0..8 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[8, 4]);
+        let b = Tensor::from_vec((0..8 * 6).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[8, 6]);
+        assert_tensor_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_mismatched_dims() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::matrix(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Tensor::vector(&[2.0, -1.0]);
+        let out = a.matvec(&v);
+        assert_eq!(out.data(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[3.0, 4.0, 5.0]);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+}

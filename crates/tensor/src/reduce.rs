@@ -1,0 +1,226 @@
+//! Reductions and row-wise probabilistic transforms (softmax, log-softmax,
+//! argmax) used by the classifier heads and the module selector gates.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements; zero for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element; `-inf` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element; `+inf` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column-wise sum of a rank-2 tensor → rank-1 of length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_rows requires rank-2");
+        let c = self.cols();
+        let mut out = Tensor::zeros(&[c]);
+        for row in self.data().chunks(c) {
+            for (o, &v) in out.data_mut().iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean of a rank-2 tensor → rank-1 of length `cols`.
+    pub fn mean_rows(&self) -> Tensor {
+        let r = self.rows() as f32;
+        let mut out = self.sum_rows();
+        if r > 0.0 {
+            out.scale_assign(1.0 / r);
+        }
+        out
+    }
+
+    /// Column-wise (biased) variance of a rank-2 tensor → rank-1.
+    pub fn var_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "var_rows requires rank-2");
+        let mean = self.mean_rows();
+        let c = self.cols();
+        let r = self.rows() as f32;
+        let mut out = Tensor::zeros(&[c]);
+        for row in self.data().chunks(c) {
+            for ((o, &v), &m) in out.data_mut().iter_mut().zip(row).zip(mean.data()) {
+                let d = v - m;
+                *o += d * d;
+            }
+        }
+        if r > 0.0 {
+            out.scale_assign(1.0 / r);
+        }
+        out
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (first on ties).
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        let mut best_v = self.data()[0];
+        for (i, &v) in self.data().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax of a rank-2 tensor (class predictions).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires rank-2");
+        (0..self.rows())
+            .map(|i| {
+                let row = self.row(i);
+                let mut best = 0;
+                let mut best_v = row[0];
+                for (j, &v) in row.iter().enumerate().skip(1) {
+                    if v > best_v {
+                        best = j;
+                        best_v = v;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Numerically-stable softmax over each row of a rank-2 tensor.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires rank-2");
+        let mut out = self.clone();
+        let c = out.cols();
+        for row in out.data_mut().chunks_mut(c) {
+            softmax_in_place(row);
+        }
+        out
+    }
+
+    /// Numerically-stable log-softmax over each row of a rank-2 tensor.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "log_softmax_rows requires rank-2");
+        let mut out = self.clone();
+        let c = out.cols();
+        for row in out.data_mut().chunks_mut(c) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            row.iter_mut().for_each(|v| *v -= lse);
+        }
+        out
+    }
+}
+
+/// In-place numerically-stable softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Returns the indices of the `k` largest values of `scores`, in descending
+/// value order. Ties broken by lower index first (deterministic).
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // Full sort keeps determinism trivial; N ≤ 64 in all Nebula configs so
+    // a partial selection would not be measurably faster.
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, assert_tensor_close};
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::vector(&[1.0, 2.0, 3.0, -4.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -4.0);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let t = Tensor::matrix(&[&[1.0, 2.0], &[3.0, 6.0]]);
+        assert_eq!(t.sum_rows().data(), &[4.0, 8.0]);
+        assert_eq!(t.mean_rows().data(), &[2.0, 4.0]);
+        assert_eq!(t.var_rows().data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::vector(&[1.0, 3.0, 3.0, 0.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_rows_predictions() {
+        let t = Tensor::matrix(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::matrix(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            assert_close(s.row(i).iter().sum::<f32>(), 1.0, 1e-5);
+        }
+        // Uniform logits → uniform probabilities, even for huge values
+        // (stability check).
+        for &v in s.row(1) {
+            assert_close(v, 1.0 / 3.0, 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let t = Tensor::matrix(&[&[0.5, -1.0, 2.0]]);
+        let ls = t.log_softmax_rows();
+        let s = t.softmax_rows();
+        assert_tensor_close(&ls.map(f32::exp), &s, 1e-5);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let scores = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, 10), vec![1, 3, 2, 0]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+    }
+}

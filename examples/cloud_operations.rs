@@ -1,0 +1,65 @@
+//! Cloud operations: checkpointing and rolling back a bad aggregation.
+//!
+//! A production Nebula cloud snapshots its modularized model before each
+//! aggregation window. If a round of updates degrades the model (bad
+//! devices, poisoned labels, a buggy client), the operator rolls back and
+//! keeps serving. This example walks that loop with the compact binary
+//! checkpoint format.
+//!
+//! Run: `cargo run --release --example cloud_operations`
+
+use nebula::core::checkpoint::{load_binary, save_binary};
+use nebula::core::{EdgeClient, NebulaCloud, NebulaParams, ResourceProfile};
+use nebula::data::{evaluate_accuracy, Dataset, Synthesizer, TaskPreset};
+use nebula::tensor::NebulaRng;
+
+fn main() {
+    let mut rng = NebulaRng::seed(7);
+    let task = TaskPreset::Cifar10;
+    let synth = Synthesizer::new(task.synth_spec(), 42);
+
+    let mut params = NebulaParams::default();
+    params.pretrain.epochs = 8;
+    let mut cloud = NebulaCloud::new(nebula::core::modular_config_for(task), params, 1);
+    cloud.pretrain(&synth.sample(2000, 0, &mut rng), &mut rng);
+
+    let probe = synth.sample(600, 0, &mut rng);
+    let healthy = evaluate_accuracy(cloud.model_mut(), &probe, 64);
+    println!("healthy cloud accuracy: {:.1}%", healthy * 100.0);
+
+    // Snapshot before the aggregation window.
+    let ckpt_path = std::env::temp_dir().join("nebula-cloud.nbla");
+    save_binary(cloud.model(), &ckpt_path).expect("snapshot");
+    println!(
+        "checkpoint written: {} ({} KiB)",
+        ckpt_path.display(),
+        std::fs::metadata(&ckpt_path).map(|m| m.len() / 1024).unwrap_or(0)
+    );
+
+    // A compromised device pushes an update trained on mislabelled data.
+    let clean = synth.sample_classes(150, &[0, 1], 0, &mut rng);
+    let poisoned = Dataset::new(
+        clean.features().clone(),
+        clean.labels().iter().map(|&c| (c + 5) % 10).collect(),
+        10,
+    );
+    let outcome = cloud.derive_for_data(&poisoned, &ResourceProfile::unconstrained(), Some(6));
+    let payload = cloud.dispatch(&outcome.spec);
+    let mut bad_client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);
+    bad_client.adapt(&poisoned, 10, 16, 0.1, &mut rng);
+    cloud.aggregate(&[bad_client.make_update(&poisoned)]);
+
+    let after_poison = evaluate_accuracy(cloud.model_mut(), &probe, 64);
+    println!("after poisoned round:   {:.1}%", after_poison * 100.0);
+
+    // The monitoring gate trips; roll back.
+    if after_poison < healthy - 0.02 {
+        load_binary(cloud.model_mut(), &ckpt_path).expect("rollback");
+        let restored = evaluate_accuracy(cloud.model_mut(), &probe, 64);
+        println!("rolled back:            {:.1}%", restored * 100.0);
+        assert!((restored - healthy).abs() < 1e-6, "rollback must be exact");
+    } else {
+        println!("(poison was absorbed — no rollback needed this time)");
+    }
+    std::fs::remove_file(&ckpt_path).ok();
+}

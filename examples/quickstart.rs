@@ -1,0 +1,79 @@
+//! Quickstart: the full Nebula loop in one file.
+//!
+//! 1. Synthesise an edge task (a CIFAR-10-like 10-class problem).
+//! 2. Offline stage — pre-train the modularized cloud model on proxy data
+//!    and run module ability-enhancing training over the sub-tasks.
+//! 3. Online stage — a resource-limited device asks for a personalized
+//!    sub-model, adapts it on fresh local data, and ships its update back;
+//!    the cloud aggregates module-wise.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use nebula::core::{EdgeClient, NebulaCloud, NebulaParams, ResourceProfile};
+use nebula::data::{partition, PartitionSpec, Partitioner, Synthesizer, TaskPreset};
+use nebula::tensor::NebulaRng;
+
+fn main() {
+    let mut rng = NebulaRng::seed(7);
+
+    // --- the task -------------------------------------------------------
+    let task = TaskPreset::Cifar10;
+    let synth = Synthesizer::new(task.synth_spec(), 42);
+    println!("task: {} ({} classes)", task.name(), task.classes());
+
+    // --- offline stage on the cloud --------------------------------------
+    let mut params = NebulaParams::default();
+    params.pretrain.epochs = 10;
+    let mut cloud = NebulaCloud::new(nebula::core::modular_config_for(task), params, 1);
+
+    let proxy = synth.sample(2000, 0, &mut rng);
+    println!("pre-training on {} proxy samples…", proxy.len());
+    let loss = cloud.pretrain(&proxy, &mut rng);
+    println!("  final pre-training loss: {loss:.3}");
+
+    // Sub-tasks: the class groups that co-occur on devices (m = 2).
+    let groups = partition::cooccurrence_groups(task.classes(), 2, 9);
+    let subtasks: Vec<_> = groups
+        .iter()
+        .map(|g| synth.sample_classes(150, g, 0, &mut rng))
+        .collect();
+    println!("ability-enhancing over {} sub-tasks…", subtasks.len());
+    cloud.enhance(&subtasks, &mut rng);
+
+    // --- online stage on a device ----------------------------------------
+    // One label-skewed device with fresh local data.
+    let pspec = PartitionSpec::new(1, Partitioner::LabelSkew { m: 2 });
+    let device = partition::partition(&synth, &pspec, 9, &mut rng).remove(0);
+    let test = synth.sample_classes(200, &device.classes, device.context, &mut rng);
+    println!("\ndevice observes classes {:?} ({} local samples)", device.classes, device.data.len());
+
+    // The device can only afford ~30% of the full model.
+    let full = cloud.cost_model().full_model();
+    let profile = ResourceProfile {
+        mem_bytes: full.training_mem_bytes * 3 / 10,
+        flops: full.flops * 3 / 10,
+        comm_bytes: full.comm_bytes * 3 / 10,
+    };
+    let outcome = cloud.derive_for_data(&device.data, &profile, None);
+    let cost = cloud.cost_model().submodel(&outcome.spec);
+    println!(
+        "derived sub-model: {} of {} modules, {:.0}% of full parameters",
+        outcome.spec.total_modules(),
+        cloud.model().config().total_modules(),
+        100.0 * cost.params as f64 / full.params as f64,
+    );
+
+    let payload = cloud.dispatch(&outcome.spec);
+    println!("payload: {} KiB over the wire", payload.bytes() / 1024);
+    let mut client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);
+
+    let before = client.accuracy(&test);
+    client.adapt(&device.data, 3, 16, 0.02, &mut rng);
+    let after = client.accuracy(&test);
+    println!("local accuracy: {:.1}% → {:.1}% after 3 local epochs", before * 100.0, after * 100.0);
+
+    // --- knowledge flows back --------------------------------------------
+    let update = client.make_update(&device.data);
+    let touched = cloud.aggregate(&[update]);
+    println!("cloud aggregated the update module-wise ({touched} modules refreshed)");
+}

@@ -1,0 +1,57 @@
+//! Speech-commands scenario: a 35-way keyword-spotting task where each
+//! device hears only a handful of commands, and the vocabulary a device
+//! needs shifts over time (the user starts using new commands).
+//!
+//! Demonstrates the Fig-10 style comparison on one task: Nebula's three
+//! variants (full / w-o local training / w-o cloud) against pure local
+//! adaptation, over drifting slots.
+//!
+//! Run: `cargo run --release --example speech_commands`
+
+use nebula::data::{PartitionSpec, Partitioner, Synthesizer, TaskPreset};
+use nebula::data::drift::DriftKind;
+use nebula::data::DriftModel;
+use nebula::sim::experiment::{run_continuous, ExperimentConfig};
+use nebula::sim::strategy::{AdaptStrategy, StrategyConfig};
+use nebula::sim::{LocalAdaptStrategy, NebulaStrategy, NebulaVariant, ResourceSampler, SimWorld};
+
+fn world(seed: u64) -> SimWorld {
+    let task = TaskPreset::SpeechCommands;
+    let synth = Synthesizer::new(task.synth_spec(), 42);
+    let pspec = PartitionSpec::new(24, Partitioner::LabelSkew { m: 5 });
+    // Vocabulary drift: the device's command group is re-drawn, half the
+    // buffered audio is replaced.
+    let drift = DriftModel::new(0.5, DriftKind::ClassShift { m: 5, group_seed: 9 });
+    SimWorld::new(synth, pspec, 9, Some(drift), &ResourceSampler::default(), seed)
+}
+
+fn main() {
+    let task = TaskPreset::SpeechCommands;
+    let mut cfg = StrategyConfig::new(nebula::core::modular_config_for(task));
+    cfg.rounds_per_step = 2;
+    cfg.devices_per_round = 8;
+    cfg.pretrain_epochs = 8;
+    cfg.proxy_samples = 1500;
+
+    let slots = 6;
+    println!("{}: 35 commands, 5 per device, vocabulary shifts each slot\n", task.name());
+
+    let strategies: Vec<Box<dyn AdaptStrategy>> = vec![
+        Box::new(LocalAdaptStrategy::new(cfg.clone(), 1)),
+        Box::new(NebulaStrategy::with_variant(cfg.clone(), 1, NebulaVariant::NoLocalTraining)),
+        Box::new(NebulaStrategy::with_variant(cfg.clone(), 1, NebulaVariant::NoCloud)),
+        Box::new(NebulaStrategy::with_variant(cfg.clone(), 1, NebulaVariant::Full)),
+    ];
+
+    for mut s in strategies {
+        let mut w = world(5);
+        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 3, seed: 3 }, slots);
+        let mean = out.accuracy_per_slot.iter().sum::<f32>() / slots as f32;
+        let cells: String = out.accuracy_per_slot.iter().map(|a| format!("{:>6.1}", a * 100.0)).collect();
+        println!("{:<22} mean {:>5.1}%  per-slot:{cells}", out.strategy, mean * 100.0);
+    }
+
+    println!("\nThe full pipeline wins because the cloud keeps absorbing what every");
+    println!("device learns about the new vocabulary, and hands it back as compact,");
+    println!("personalized sub-models the moment a device's command set shifts.");
+}

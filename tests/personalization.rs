@@ -1,0 +1,72 @@
+//! Cross-crate integration: does a derived + adapted sub-model actually
+//! *specialise*? Checked with per-class metrics: after adaptation, the
+//! device's sub-model must recall its own sub-task classes at least as
+//! well as the generic cloud model does.
+
+use nebula::core::{EdgeClient, NebulaCloud, NebulaParams, ResourceProfile};
+use nebula::data::metrics::confusion_matrix;
+use nebula::data::{SynthSpec, Synthesizer};
+use nebula::modular::ModularConfig;
+use nebula::tensor::NebulaRng;
+
+#[test]
+fn adapted_submodel_specialises_on_its_subtask_classes() {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let mut rng = NebulaRng::seed(4);
+
+    let mut cfg = ModularConfig::toy(16, 4);
+    cfg.gate_noise_std = 0.3;
+    let mut params = NebulaParams::default();
+    params.pretrain.epochs = 10;
+    let mut cloud = NebulaCloud::new(cfg, params, 11);
+    cloud.pretrain(&synth.sample(500, 0, &mut rng), &mut rng);
+
+    // Device observing classes {0, 1} in a shifted context.
+    let device_classes = [0usize, 1];
+    let local = synth.sample_classes(150, &device_classes, 2, &mut rng);
+    let test = synth.sample_classes(200, &device_classes, 2, &mut rng);
+
+    // Generic cloud model's per-class recall on the device task.
+    let cloud_cm = confusion_matrix(cloud.model_mut(), &test, 64);
+
+    // Derived + locally adapted sub-model.
+    let out = cloud.derive_for_data(&local, &ResourceProfile::unconstrained(), Some(2));
+    let payload = cloud.dispatch(&out.spec);
+    let mut client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);
+    client.adapt(&local, 8, 16, 0.03, &mut rng);
+    let sub_cm = confusion_matrix(client.model_mut(), &test, 64);
+
+    let mean_recall = |cm: &nebula::data::ConfusionMatrix| -> f32 {
+        let rs: Vec<f32> = device_classes.iter().filter_map(|&c| cm.recall(c)).collect();
+        rs.iter().sum::<f32>() / rs.len().max(1) as f32
+    };
+    let cloud_recall = mean_recall(&cloud_cm);
+    let sub_recall = mean_recall(&sub_cm);
+    assert!(
+        sub_recall >= cloud_recall - 0.02,
+        "specialised sub-model recall {sub_recall} below generic model {cloud_recall}"
+    );
+    assert!(sub_recall > 0.8, "sub-task recall only {sub_recall}");
+
+    // Overall accuracy agrees with macro-level expectations.
+    assert!(sub_cm.accuracy() >= cloud_cm.accuracy() - 0.02);
+    assert!(sub_cm.macro_f1() > 0.0);
+}
+
+#[test]
+fn confusion_matrix_totals_match_test_set() {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let mut rng = NebulaRng::seed(5);
+    let mut cfg = ModularConfig::toy(16, 4);
+    cfg.gate_noise_std = 0.0;
+    let mut cloud = NebulaCloud::new(cfg, NebulaParams::default(), 3);
+    let test = synth.sample(123, 0, &mut rng);
+    let cm = confusion_matrix(cloud.model_mut(), &test, 32);
+    assert_eq!(cm.total(), 123);
+    // Row sums equal the class histogram.
+    let hist = test.class_histogram();
+    for c in 0..4 {
+        let row_sum: usize = (0..4).map(|p| cm.count(c, p)).sum();
+        assert_eq!(row_sum, hist[c]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration: the full Nebula offline → online pipeline.
+
+use nebula::core::{EdgeClient, NebulaCloud, NebulaParams, ResourceProfile};
+use nebula::data::partition::{cooccurrence_groups, partition, PartitionSpec, Partitioner};
+use nebula::data::{SynthSpec, Synthesizer};
+use nebula::modular::ModularConfig;
+use nebula::tensor::NebulaRng;
+
+fn toy_cloud(seed: u64) -> NebulaCloud {
+    let mut cfg = ModularConfig::toy(16, 4);
+    cfg.gate_noise_std = 0.3;
+    let mut params = NebulaParams::default();
+    params.pretrain.epochs = 8;
+    NebulaCloud::new(cfg, params, seed)
+}
+
+#[test]
+fn offline_then_online_improves_personalized_accuracy() {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut cloud = toy_cloud(11);
+
+    // Offline.
+    let proxy = synth.sample(400, 0, &mut rng);
+    cloud.pretrain(&proxy, &mut rng);
+    let groups = cooccurrence_groups(4, 2, 9);
+    let subtasks: Vec<_> = groups.iter().map(|g| synth.sample_classes(100, g, 0, &mut rng)).collect();
+    cloud.enhance(&subtasks, &mut rng);
+
+    // Online: three devices, one collaborative exchange each.
+    let pspec = PartitionSpec::new(3, Partitioner::LabelSkew { m: 2 });
+    let devices = partition(&synth, &pspec, 9, &mut rng);
+    let mut updates = Vec::new();
+    let mut accs = Vec::new();
+    for dev in &devices {
+        let outcome = cloud.derive_for_data(&dev.data, &ResourceProfile::unconstrained(), Some(3));
+        let payload = cloud.dispatch(&outcome.spec);
+        let mut client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);
+        client.adapt(&dev.data, 5, 16, 0.03, &mut rng);
+        let test = synth.sample_classes(100, &dev.classes, dev.context, &mut rng);
+        accs.push(client.accuracy(&test));
+        updates.push(client.make_update(&dev.data));
+    }
+    let touched = cloud.aggregate(&updates);
+
+    assert!(touched > 0, "aggregation touched no modules");
+    let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+    assert!(mean > 0.7, "personalized accuracy only {mean}");
+}
+
+#[test]
+fn derivation_respects_budget_end_to_end() {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let mut rng = NebulaRng::seed(5);
+    let mut cloud = toy_cloud(7);
+    let full = cloud.cost_model().full_model();
+
+    let data = synth.sample_classes(50, &[0, 1], 0, &mut rng);
+    let budget = ResourceProfile {
+        mem_bytes: full.training_mem_bytes / 2,
+        flops: full.flops / 2,
+        comm_bytes: full.comm_bytes / 2,
+    };
+    let outcome = cloud.derive_for_data(&data, &budget, None);
+    assert!(!outcome.over_budget);
+    let cost = cloud.cost_model().submodel(&outcome.spec);
+    assert!(cost.comm_bytes <= budget.comm_bytes);
+    assert!(cost.flops <= budget.flops);
+    // Shipping the payload costs exactly what the cost model predicts for
+    // the sub-model parameters.
+    let payload = cloud.dispatch(&outcome.spec);
+    assert_eq!(payload.bytes(), cost.comm_bytes, "cost model and payload bytes disagree");
+}
+
+#[test]
+fn aggregation_isolates_disjoint_subtask_modules() {
+    // Two clients training disjoint module sets must not clobber each
+    // other's modules — the conflict-isolation property of §5.2.
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let mut rng = NebulaRng::seed(9);
+    let mut cloud = toy_cloud(3);
+    let proxy = synth.sample(200, 0, &mut rng);
+    cloud.pretrain(&proxy, &mut rng);
+
+    use nebula::modular::SubModelSpec;
+    let spec_a = SubModelSpec::new(vec![vec![0, 1], vec![0, 1]]);
+    let spec_b = SubModelSpec::new(vec![vec![2, 3], vec![2, 3]]);
+
+    let data_a = synth.sample_classes(80, &[0, 1], 0, &mut rng);
+    let data_b = synth.sample_classes(80, &[2, 3], 0, &mut rng);
+
+    let make = |spec: &SubModelSpec, data: &nebula::data::Dataset, rng: &mut NebulaRng| {
+        let payload = cloud.dispatch(spec);
+        let mut client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);
+        client.adapt(data, 4, 16, 0.05, rng);
+        client.make_update(data)
+    };
+    let ua = make(&spec_a, &data_a, &mut rng);
+    let ub = make(&spec_b, &data_b, &mut rng);
+
+    let a_module_before = cloud.model().module_param_vector(0, 0);
+    let b_module_before = cloud.model().module_param_vector(0, 2);
+    cloud.aggregate(&[ua.clone(), ub.clone()]);
+
+    // Module (0,0) must match client A's parameters (B never touched it),
+    // and (0,2) client B's — up to the one-ulp rounding of the weighted
+    // average's normalisation.
+    let close = |a: &[f32], b: &[f32]| {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-6 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    };
+    close(&cloud.model().module_param_vector(0, 0), &ua.module_params[&(0, 0)]);
+    close(&cloud.model().module_param_vector(0, 2), &ub.module_params[&(0, 2)]);
+    // And both actually changed from the pre-aggregation cloud values.
+    assert_ne!(cloud.model().module_param_vector(0, 0), a_module_before);
+    assert_ne!(cloud.model().module_param_vector(0, 2), b_module_before);
+}
