@@ -29,7 +29,14 @@ impl AdaptiveNet {
 
     /// Sandwich pre-training: each batch takes gradient steps at every
     /// branch width so all branches stay functional.
-    pub fn pretrain(&mut self, proxy: &Dataset, epochs: usize, batch_size: usize, lr: f32, rng: &mut NebulaRng) {
+    pub fn pretrain(
+        &mut self,
+        proxy: &Dataset,
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        rng: &mut NebulaRng,
+    ) {
         let mut opt = Sgd::with_momentum(lr, 0.9);
         for _ in 0..epochs {
             for (x, y) in proxy.batches(batch_size, rng) {

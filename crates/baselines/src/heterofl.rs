@@ -96,9 +96,8 @@ pub fn heterofl_round(
             }
         }
     }
-    let merged: Vec<f32> = (0..len)
-        .map(|i| if weight[i] > 0.0 { acc[i] / weight[i] } else { base[i] })
-        .collect();
+    let merged: Vec<f32> =
+        (0..len).map(|i| if weight[i] > 0.0 { acc[i] / weight[i] } else { base[i] }).collect();
     server.load_param_vector(&merged);
     comm
 }
@@ -159,11 +158,7 @@ mod tests {
         }
         // And some covered coordinate did change.
         assert!(
-            before
-                .iter()
-                .zip(&after)
-                .zip(&mask_small)
-                .any(|((b, a), &m)| m && b != a),
+            before.iter().zip(&after).zip(&mask_small).any(|((b, a), &m)| m && b != a),
             "no covered coordinate moved"
         );
     }

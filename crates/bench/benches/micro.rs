@@ -107,9 +107,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let updates: Vec<ModuleUpdate> = (0..25)
         .map(|_| {
             let spec = SubModelSpec::new(
-                (0..cfg.num_layers)
-                    .map(|_| rng.sample_indices(cfg.modules_per_layer, 8))
-                    .collect(),
+                (0..cfg.num_layers).map(|_| rng.sample_indices(cfg.modules_per_layer, 8)).collect(),
             );
             let mut module_params = HashMap::new();
             for (l, layer) in spec.layers().iter().enumerate() {
@@ -161,10 +159,7 @@ fn bench_conv(c: &mut Criterion) {
     let mut rng = NebulaRng::seed(5);
     // Speech-scale: 8 channels × 128 samples, 16 output channels, k=5.
     let mut conv = Conv1d::new(8, 16, 5, 1, 2, 128, &mut rng);
-    let x = Tensor::from_vec(
-        (0..16 * 8 * 128).map(|_| rng.normal_f32(0.0, 1.0)).collect(),
-        &[16, 8 * 128],
-    );
+    let x = Tensor::from_vec((0..16 * 8 * 128).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[16, 8 * 128]);
     group.bench_function("forward_batch16", |b| {
         b.iter(|| black_box(conv.forward(&x, Mode::Eval)));
     });

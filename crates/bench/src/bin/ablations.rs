@@ -9,10 +9,8 @@
 //! Run: `cargo run --release -p nebula-bench --bin ablations [--quick]`
 
 use nebula_bench::{emit_record, Scale, TaskRow};
-use nebula_core::{
-    aggregate_module_wise_with, modular_config_for, EdgeClient, NebulaCloud, NebulaParams,
-};
 use nebula_core::edge::update_bytes;
+use nebula_core::{aggregate_module_wise_with, modular_config_for, EdgeClient, NebulaCloud, NebulaParams};
 use nebula_data::{evaluate_accuracy, TaskPreset};
 use nebula_modular::cost::CostModel;
 use nebula_modular::ModularModel;
@@ -32,7 +30,13 @@ struct AblationRecord {
     value: f64,
 }
 
-fn offline_cloud(world: &mut SimWorld, scale: Scale, noise: f32, lb: f32, rng: &mut NebulaRng) -> NebulaCloud {
+fn offline_cloud(
+    world: &mut SimWorld,
+    scale: Scale,
+    noise: f32,
+    lb: f32,
+    rng: &mut NebulaRng,
+) -> NebulaCloud {
     offline_cloud_for(world, TaskPreset::Cifar10, scale, noise, lb, rng)
 }
 
@@ -117,11 +121,23 @@ fn study_aggregation(scale: Scale) {
         let mut rng = NebulaRng::seed(42);
         let mut world = row.world(scale, None, 42);
         let mut cloud = offline_cloud_for(&mut world, row.task, scale, 0.3, 0.02, &mut rng);
-        let acc = rounds_with_aggregation(&mut cloud, &mut world, scale.rounds_per_step.min(8), use_importance, &mut rng);
+        let acc = rounds_with_aggregation(
+            &mut cloud,
+            &mut world,
+            scale.rounds_per_step.min(8),
+            use_importance,
+            &mut rng,
+        );
         println!("  {variant:<22}: accuracy {acc:.3}");
         emit_record(
             "ablations",
-            &AblationRecord { experiment: "ablations", study: "aggregation_weighting", variant: variant.into(), metric: "accuracy", value: acc as f64 },
+            &AblationRecord {
+                experiment: "ablations",
+                study: "aggregation_weighting",
+                variant: variant.into(),
+                metric: "accuracy",
+                value: acc as f64,
+            },
         );
     }
 }
@@ -140,7 +156,13 @@ fn study_gate_noise(scale: Scale) {
         for (metric, value) in [("global_accuracy", acc as f64), ("gate_entropy", util)] {
             emit_record(
                 "ablations",
-                &AblationRecord { experiment: "ablations", study: "gate_noise", variant: variant.into(), metric, value },
+                &AblationRecord {
+                    experiment: "ablations",
+                    study: "gate_noise",
+                    variant: variant.into(),
+                    metric,
+                    value,
+                },
             );
         }
     }
@@ -183,7 +205,13 @@ fn study_lb_weight(scale: Scale) {
         for (metric, value) in [("global_accuracy", acc as f64), ("gate_entropy", util)] {
             emit_record(
                 "ablations",
-                &AblationRecord { experiment: "ablations", study: "lb_weight", variant: format!("lambda={lambda}"), metric, value },
+                &AblationRecord {
+                    experiment: "ablations",
+                    study: "lb_weight",
+                    variant: format!("lambda={lambda}"),
+                    metric,
+                    value,
+                },
             );
         }
     }
@@ -222,10 +250,20 @@ fn study_knapsack(_scale: Scale) {
     }
     let quality = ratio_sum / trials as f64;
     println!("  greedy/exact value ratio: {quality:.4}");
-    println!("  greedy {:.1} µs/solve, exact {:.1} µs/solve", greedy_ns as f64 / trials as f64 / 1e3, exact_ns as f64 / trials as f64 / 1e3);
+    println!(
+        "  greedy {:.1} µs/solve, exact {:.1} µs/solve",
+        greedy_ns as f64 / trials as f64 / 1e3,
+        exact_ns as f64 / trials as f64 / 1e3
+    );
     emit_record(
         "ablations",
-        &AblationRecord { experiment: "ablations", study: "knapsack", variant: "greedy_vs_exact".into(), metric: "value_ratio", value: quality },
+        &AblationRecord {
+            experiment: "ablations",
+            study: "knapsack",
+            variant: "greedy_vs_exact".into(),
+            metric: "value_ratio",
+            value: quality,
+        },
     );
 }
 

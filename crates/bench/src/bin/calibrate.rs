@@ -16,7 +16,9 @@ fn main() {
         TaskRow { task: TaskPreset::SpeechCommands, skew_m: Some(5) },
     ];
     if let Some(f) = only {
-        rows.retain(|r| format!("{}-{}", r.task.name(), r.skew_m.unwrap_or(0)).to_lowercase().contains(&f.to_lowercase()));
+        rows.retain(|r| {
+            format!("{}-{}", r.task.name(), r.skew_m.unwrap_or(0)).to_lowercase().contains(&f.to_lowercase())
+        });
     }
     for row in rows {
         println!("=== {} {} ===", row.task.name(), row.partition_label());
@@ -32,8 +34,17 @@ fn main() {
         for (name, mut s) in mk {
             let t = Instant::now();
             let mut world = row.world(scale, None, 42);
-            let out = run_adaptation_step(s.as_mut(), &mut world, &ExperimentConfig { eval_devices: scale.eval_devices, seed: 42 });
-            println!("{name}: acc {:.2}%  comm {} KB  elapsed {:.1}s", out.accuracy_after*100.0, out.comm_total_bytes/1024, t.elapsed().as_secs_f64());
+            let out = run_adaptation_step(
+                s.as_mut(),
+                &mut world,
+                &ExperimentConfig { eval_devices: scale.eval_devices, seed: 42 },
+            );
+            println!(
+                "{name}: acc {:.2}%  comm {} KB  elapsed {:.1}s",
+                out.accuracy_after * 100.0,
+                out.comm_total_bytes / 1024,
+                t.elapsed().as_secs_f64()
+            );
         }
     }
 }

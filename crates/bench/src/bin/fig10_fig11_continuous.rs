@@ -12,9 +12,7 @@
 use nebula_bench::{emit_record, Scale, TaskRow};
 use nebula_data::TaskPreset;
 use nebula_sim::experiment::{run_continuous, ExperimentConfig};
-use nebula_sim::{
-    AdaptStrategy, LocalAdaptStrategy, NebulaStrategy, NebulaVariant, NoAdaptStrategy,
-};
+use nebula_sim::{AdaptStrategy, LocalAdaptStrategy, NebulaStrategy, NebulaVariant, NoAdaptStrategy};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -63,8 +61,7 @@ fn main() {
                 &ExperimentConfig { eval_devices: 2, seed: 42 },
                 slots,
             );
-            let mean =
-                out.accuracy_per_slot.iter().sum::<f32>() / out.accuracy_per_slot.len().max(1) as f32;
+            let mean = out.accuracy_per_slot.iter().sum::<f32>() / out.accuracy_per_slot.len().max(1) as f32;
             let head: Vec<String> =
                 out.accuracy_per_slot.iter().take(10).map(|a| format!("{:.2}", a)).collect();
             println!(

@@ -86,11 +86,8 @@ fn main() {
     let iid = world.proxy(300);
     let iid_local = world.proxy(150);
 
-    let panels: Vec<(&str, Dataset, Dataset)> = vec![
-        ("non-IID m=10", m10, m10_local),
-        ("non-IID m=20", m20, m20_local),
-        ("IID", iid, iid_local),
-    ];
+    let panels: Vec<(&str, Dataset, Dataset)> =
+        vec![("non-IID m=10", m10, m10_local), ("non-IID m=20", m20, m20_local), ("IID", iid, iid_local)];
 
     for (panel, test, local) in panels {
         println!("\n== panel: {panel} ==");

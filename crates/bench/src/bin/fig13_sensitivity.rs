@@ -14,11 +14,11 @@ use nebula_bench::{emit_record, Scale, TaskRow};
 use nebula_core::{modular_config_for, EdgeClient, NebulaCloud, NebulaParams, ResourceProfile};
 use nebula_data::TaskPreset;
 use nebula_modular::cost::CostModel;
+use nebula_nn::Layer;
 use nebula_sim::experiment::pick_eval_ids;
 use nebula_sim::latency::adaptation_latency_ms;
 use nebula_sim::network::transfer_time_ms;
 use nebula_sim::strategy::StrategyConfig;
-use nebula_nn::Layer;
 use nebula_sim::{FedAvgStrategy, NebulaStrategy, SimWorld};
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
@@ -99,7 +99,13 @@ fn panel_a(scale: Scale) {
             line.push(format!("{ratio:.1}:{acc:.3}"));
             emit_record(
                 "fig13",
-                &SensRecord { experiment: "fig13", panel: "a_size_ratio", series: series.clone(), x: ratio, y: acc as f64 },
+                &SensRecord {
+                    experiment: "fig13",
+                    panel: "a_size_ratio",
+                    series: series.clone(),
+                    x: ratio,
+                    y: acc as f64,
+                },
             );
         }
         println!("  {series:<18}: {}", line.join("  "));
@@ -198,8 +204,9 @@ fn panel_c(scale: Scale) {
                 cfg.dense_model(1).param_count() as u64
             };
             let bytes = 2 * flops * 4; // down + up ≈ 2 × params ≈ 2 × flops
-            let round_ms = adaptation_latency_ms(&dev.resources, flops, dev.volume(), cfg.local_epochs, cfg.batch_size)
-                + transfer_time_ms(bytes, dev.resources.bandwidth_bps);
+            let round_ms =
+                adaptation_latency_ms(&dev.resources, flops, dev.volume(), cfg.local_epochs, cfg.batch_size)
+                    + transfer_time_ms(bytes, dev.resources.bandwidth_bps);
             let total_s = rounds as f64 * round_ms / 1e3;
             let name = if is_nebula { "Nebula" } else { "FedAvg" };
             println!(

@@ -15,9 +15,7 @@ use nebula_data::TaskPreset;
 use nebula_sim::contention::contention_multiplier;
 use nebula_sim::experiment::{run_continuous, ExperimentConfig};
 use nebula_sim::strategy::AdaptStrategy;
-use nebula_sim::{
-    AdaptiveNetStrategy, FedAvgStrategy, LocalAdaptStrategy, NoAdaptStrategy, SimWorld,
-};
+use nebula_sim::{AdaptiveNetStrategy, FedAvgStrategy, LocalAdaptStrategy, NoAdaptStrategy, SimWorld};
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
 
@@ -44,7 +42,11 @@ impl AdaptStrategy for StaticEdge {
     fn track(&mut self, ids: &[usize]) {
         self.0.track(ids);
     }
-    fn adaptation_step(&mut self, _world: &mut SimWorld, _rng: &mut NebulaRng) -> nebula_sim::strategy::StepReport {
+    fn adaptation_step(
+        &mut self,
+        _world: &mut SimWorld,
+        _rng: &mut NebulaRng,
+    ) -> nebula_sim::strategy::StepReport {
         nebula_sim::strategy::StepReport::default() // frozen: never adapts
     }
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -123,6 +125,8 @@ fn main() {
         }
         println!("  {model:<14}: {}", cols.join("  "));
     }
-    println!("\n(slowdown at 4 co-running processes = {:.2}x, paper reports 5.06x)", contention_multiplier(3));
-
+    println!(
+        "\n(slowdown at 4 co-running processes = {:.2}x, paper reports 5.06x)",
+        contention_multiplier(3)
+    );
 }

@@ -49,7 +49,10 @@ fn main() {
             .count() as f64
             / pop.len() as f64;
         println!("  {label:>6} GB : {frac:.3}  {}", "#".repeat((frac * 100.0) as usize));
-        emit_record("fig2", &HistRecord { experiment: "fig2", panel: "a_ram", bucket: label.to_string(), value: frac });
+        emit_record(
+            "fig2",
+            &HistRecord { experiment: "fig2", panel: "a_ram", bucket: label.to_string(), value: frac },
+        );
     }
 
     // ---- (b) inference latency CDF -------------------------------------
@@ -106,9 +109,9 @@ fn main() {
     };
     let widths = [14usize, 10, 12, 12, 12, 14, 14];
     print_row(
-        &["Model", "Disk(KB)", "InfMem(KB)", "TrnMem(KB)", "Inf(ms)", "Train@Nano", "Train@Pi"]
+        ["Model", "Disk(KB)", "InfMem(KB)", "TrnMem(KB)", "Inf(ms)", "Train@Nano", "Train@Pi"]
             .map(String::from)
-            .to_vec(),
+            .as_ref(),
         &widths,
     );
     for task in [TaskPreset::Cifar10, TaskPreset::Cifar100, TaskPreset::SpeechCommands] {

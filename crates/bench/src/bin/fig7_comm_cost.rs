@@ -39,9 +39,9 @@ fn main() {
     println!("Fig 7: communication cost to adapt to a new environment (MiB)\n");
     let widths = [14usize, 10, 9, 12, 9, 9, 9];
     print_row(
-        &["Task", "Partition", "Strategy", "Comm(MiB)", "Rounds", "AdaptAcc", "ConvAcc"]
+        ["Task", "Partition", "Strategy", "Comm(MiB)", "Rounds", "AdaptAcc", "ConvAcc"]
             .map(String::from)
-            .to_vec(),
+            .as_ref(),
         &widths,
     );
 
@@ -59,7 +59,7 @@ fn main() {
             // Identical world per strategy: offline on the original
             // environments, then a hard shift before adaptation begins.
             let mut world = row.world(scale, Some(0.7), seed);
-            let mut rng = NebulaRng::seed(seed ^ 0xF16_7);
+            let mut rng = NebulaRng::seed(seed ^ 0xF167);
             let eval_ids = pick_eval_ids(&world, exp.eval_devices);
             s.track(&eval_ids);
             s.offline(&mut world, &mut rng);

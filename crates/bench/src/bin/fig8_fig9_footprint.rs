@@ -8,14 +8,14 @@
 //!
 //! Run: `cargo run --release -p nebula-bench --bin fig8_fig9_footprint`
 
+use nebula_baselines::ratio_for_budget;
 use nebula_bench::{emit_record, print_row, Scale, TaskRow};
 use nebula_core::{derive_submodel, modular_config_for, ResourceProfile};
+use nebula_data::TaskPreset;
 use nebula_modular::cost::CostModel;
+use nebula_nn::Layer;
 use nebula_sim::latency::training_batch_latency_ms;
 use nebula_sim::{DeviceClass, DeviceResources};
-use nebula_baselines::ratio_for_budget;
-use nebula_data::TaskPreset;
-use nebula_nn::Layer;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -55,7 +55,7 @@ fn main() {
     println!("Figs 8 & 9: training memory footprint and per-batch latency during adaptation\n");
     let widths = [14usize, 12, 14, 12, 14, 14];
     print_row(
-        &["Task", "Device", "System", "Params(K)", "TrnMem(KB)", "Batch(ms)"].map(String::from).to_vec(),
+        ["Task", "Device", "System", "Params(K)", "TrnMem(KB)", "Batch(ms)"].map(String::from).as_ref(),
         &widths,
     );
 
@@ -91,7 +91,8 @@ fn main() {
             let m2_cap = (mcfg.modules_per_layer / 2).max(3);
             let nebula_m1 = cost.submodel(&derive_submodel(&cost, &uniform, &budget, Some(m1_cap)).spec);
             let nebula_m2 = cost.submodel(&derive_submodel(&cost, &uniform, &budget, Some(m2_cap)).spec);
-            let hfl_ratio = ratio_for_budget(&dense, (dense_params as f64 * dev.budget_ratio as f64) as usize);
+            let hfl_ratio =
+                ratio_for_budget(&dense, (dense_params as f64 * dev.budget_ratio as f64) as usize);
             let hfl_params = dense.active_params(hfl_ratio) as u64;
 
             let rows: Vec<(String, u64, u64)> = vec![
@@ -128,5 +129,7 @@ fn main() {
             }
         }
     }
-    println!("\n(Nebula-vs-full reduction factors are computed in EXPERIMENTS.md from results/fig8_fig9.jsonl)");
+    println!(
+        "\n(Nebula-vs-full reduction factors are computed in EXPERIMENTS.md from results/fig8_fig9.jsonl)"
+    );
 }

@@ -7,6 +7,9 @@ use nebula_bench::results_dir;
 use serde_json::Value;
 use std::collections::BTreeMap;
 
+/// Per-strategy `(comm MiB, rounds to adapt)` cells of a fig7 table row.
+type MibRounds = BTreeMap<String, (f64, u64)>;
+
 fn read(experiment: &str) -> Vec<Value> {
     let path = results_dir().join(format!("{experiment}.jsonl"));
     let Ok(text) = std::fs::read_to_string(&path) else {
@@ -73,7 +76,7 @@ fn fig7() {
     println!("### Fig 7 (measured): MiB to adapt, with rounds in parentheses\n");
     println!("| Task | Partition | FA | HFL | Nebula | FA/Nebula | HFL/Nebula |");
     println!("|---|---|---|---|---|---|---|");
-    let mut rows: Vec<(String, String, BTreeMap<String, (f64, u64)>)> = Vec::new();
+    let mut rows: Vec<(String, String, MibRounds)> = Vec::new();
     for r in &records {
         let task = r["task"].as_str().unwrap_or("?").to_string();
         let part = r["partition"].as_str().unwrap_or("?").to_string();
@@ -122,10 +125,8 @@ fn fig89() {
     // index (task, device) -> system -> (mem, lat)
     let mut map: BTreeMap<(String, String), BTreeMap<String, (f64, f64)>> = BTreeMap::new();
     for r in &records {
-        let key = (
-            r["task"].as_str().unwrap_or("?").to_string(),
-            r["device"].as_str().unwrap_or("?").to_string(),
-        );
+        let key =
+            (r["task"].as_str().unwrap_or("?").to_string(), r["device"].as_str().unwrap_or("?").to_string());
         map.entry(key).or_default().insert(
             r["system"].as_str().unwrap_or("?").to_string(),
             (

@@ -13,8 +13,8 @@
 use nebula_bench::{emit_record, print_row, Scale, TaskRow};
 use nebula_sim::experiment::{run_adaptation_step, ExperimentConfig};
 use nebula_sim::{
-    AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy,
-    NebulaStrategy, NoAdaptStrategy,
+    AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy, NebulaStrategy,
+    NoAdaptStrategy,
 };
 use serde::Serialize;
 
@@ -36,9 +36,7 @@ fn main() {
     println!("scale: {scale:?}\n");
     let widths = [14usize, 10, 10, 7, 7, 7, 7, 7, 7];
     print_row(
-        &["Task", "Model", "Partition", "NA", "LA", "AN", "FA", "HFL", "Nebula"]
-            .map(String::from)
-            .to_vec(),
+        ["Task", "Model", "Partition", "NA", "LA", "AN", "FA", "HFL", "Nebula"].map(String::from).as_ref(),
         &widths,
     );
 
@@ -76,11 +74,8 @@ fn main() {
             );
             accs.push(out.accuracy_after * 100.0);
         }
-        let mut cols = vec![
-            row.task.name().to_string(),
-            row.task.model_name().to_string(),
-            row.partition_label(),
-        ];
+        let mut cols =
+            vec![row.task.name().to_string(), row.task.model_name().to_string(), row.partition_label()];
         cols.extend(accs.iter().map(|a| format!("{a:.2}")));
         print_row(&cols, &widths);
     }

@@ -8,8 +8,8 @@
 use nebula_core::modular_config_for;
 use nebula_data::drift::DriftKind;
 use nebula_data::{DriftModel, PartitionSpec, Partitioner, Synthesizer, TaskPreset};
-use nebula_sim::{ResourceSampler, SimWorld};
 use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::{ResourceSampler, SimWorld};
 use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
@@ -118,11 +118,7 @@ pub fn emit_record<T: Serialize>(experiment: &str, record: &T) {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{experiment}.jsonl"));
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open results file");
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&path).expect("open results file");
     let line = serde_json::to_string(record).expect("serialize record");
     writeln!(f, "{line}").expect("write record");
 }

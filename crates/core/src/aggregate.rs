@@ -44,6 +44,18 @@ pub fn aggregate_module_wise_with(
     updates: &[ModuleUpdate],
     use_importance: bool,
 ) -> usize {
+    let refs: Vec<&ModuleUpdate> = updates.iter().collect();
+    aggregate_module_wise_refs(cloud, &refs, use_importance)
+}
+
+/// [`aggregate_module_wise_with`] over update references — the form the
+/// robust round loop uses after the sanitize gate filtered out rejected
+/// updates without cloning the survivors.
+pub fn aggregate_module_wise_refs(
+    cloud: &mut ModularModel,
+    updates: &[&ModuleUpdate],
+    use_importance: bool,
+) -> usize {
     if updates.is_empty() {
         return 0;
     }
@@ -106,6 +118,123 @@ pub fn aggregate_module_wise_with(
     }
 
     touched
+}
+
+// ---------------------------------------------------------------------------
+// Sanitize gate & staleness discounting (robust rounds)
+// ---------------------------------------------------------------------------
+
+/// What the cloud refuses to aggregate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SanitizePolicy {
+    /// Reject updates carrying any non-finite parameter or importance.
+    pub reject_non_finite: bool,
+    /// Reject updates whose RMS parameter norm exceeds this multiple of
+    /// the round's median RMS norm (needs ≥ 3 finite updates to have a
+    /// trustworthy median). RMS — not raw L2 — so devices with different
+    /// sub-model sizes are comparable.
+    pub norm_outlier_ratio: f32,
+}
+
+impl Default for SanitizePolicy {
+    fn default() -> Self {
+        Self { reject_non_finite: true, norm_outlier_ratio: 10.0 }
+    }
+}
+
+/// What the sanitize gate did to one round of updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    pub accepted: usize,
+    pub rejected_non_finite: usize,
+    pub rejected_outlier: usize,
+}
+
+impl SanitizeReport {
+    /// Total rejections, any cause.
+    pub fn rejected(&self) -> usize {
+        self.rejected_non_finite + self.rejected_outlier
+    }
+}
+
+fn update_is_finite(u: &ModuleUpdate) -> bool {
+    u.module_params.values().all(|p| p.iter().all(|v| v.is_finite()))
+        && u.shared_params.iter().all(|v| v.is_finite())
+        && u.importance.iter().all(|row| row.iter().all(|v| v.is_finite()))
+}
+
+/// RMS norm over every parameter the update carries (0.0 if empty).
+fn update_rms_norm(u: &ModuleUpdate) -> f32 {
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for p in u.module_params.values() {
+        sum += p.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        n += p.len();
+    }
+    sum += u.shared_params.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+    n += u.shared_params.len();
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).sqrt() as f32
+    }
+}
+
+/// The sanitize gate: validates a round of updates against `policy` and
+/// returns the indices that may be aggregated plus an accounting report.
+///
+/// Two checks, in order: (1) every parameter and importance weight must
+/// be finite; (2) among the finite updates, RMS-norm outliers beyond
+/// `norm_outlier_ratio` × the median are rejected (exploding-weight
+/// uploads that are still finite). A permissive policy that accepts
+/// everything returns the identity, so fault-free rounds aggregate
+/// exactly as before.
+pub fn sanitize_updates(updates: &[ModuleUpdate], policy: &SanitizePolicy) -> (Vec<usize>, SanitizeReport) {
+    let mut report = SanitizeReport::default();
+    let mut finite: Vec<usize> = Vec::with_capacity(updates.len());
+    for (i, u) in updates.iter().enumerate() {
+        if policy.reject_non_finite && !update_is_finite(u) {
+            report.rejected_non_finite += 1;
+        } else {
+            finite.push(i);
+        }
+    }
+
+    let kept: Vec<usize> = if finite.len() >= 3 && policy.norm_outlier_ratio.is_finite() {
+        let mut norms: Vec<f32> = finite.iter().map(|&i| update_rms_norm(&updates[i])).collect();
+        let mut sorted = norms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite norms"));
+        let median = sorted[sorted.len() / 2];
+        let cutoff = median * policy.norm_outlier_ratio;
+        let mut kept = Vec::with_capacity(finite.len());
+        for (&i, norm) in finite.iter().zip(norms.drain(..)) {
+            if median > 0.0 && norm > cutoff {
+                report.rejected_outlier += 1;
+            } else {
+                kept.push(i);
+            }
+        }
+        kept
+    } else {
+        finite
+    };
+
+    report.accepted = kept.len();
+    (kept, report)
+}
+
+/// Discounts a late (straggler) update's influence: importance weights
+/// and the shared-part data-volume weight are both scaled by `discount`,
+/// so a stale update still contributes but no longer dominates fresher
+/// ones (§5.2's weighting, staleness-aware).
+pub fn discount_staleness(update: &mut ModuleUpdate, discount: f32) {
+    let d = discount.clamp(0.0, 1.0);
+    for row in &mut update.importance {
+        for w in row.iter_mut() {
+            *w *= d;
+        }
+    }
+    update.data_volume = (((update.data_volume as f32) * d).round() as usize).max(1);
 }
 
 #[cfg(test)]
@@ -203,6 +332,141 @@ mod tests {
         let before = c.param_vector();
         assert_eq!(aggregate_module_wise(&mut c, &[]), 0);
         assert_eq!(c.param_vector(), before);
+    }
+
+    // --- partial participation -------------------------------------------
+
+    #[test]
+    fn empty_layer_contribution_leaves_layer_untouched() {
+        // A partial upload: the spec names a layer-1 module but the update
+        // carries no parameters for it (empty vec, as residual modules
+        // ship, or the entry missing entirely, as a torn upload leaves).
+        let c = cloud();
+        let before_l1: Vec<Vec<f32>> = (0..4).map(|i| c.module_param_vector(1, i)).collect();
+        let spec = SubModelSpec::new(vec![vec![0], vec![1]]);
+        let imp = vec![vec![1.0; 4]; 2];
+        let mut u = update_for(&c, spec.clone(), imp.clone(), 2.0, 50);
+        u.module_params.insert((1, 1), Vec::new());
+        let mut missing = update_for(&c, spec, imp, 2.0, 50);
+        missing.module_params.remove(&(1, 1));
+        for u in [u, missing] {
+            let mut c2 = cloud();
+            let touched = aggregate_module_wise(&mut c2, &[u]);
+            assert_eq!(touched, 1, "only the layer-0 module moved");
+            for (i, before) in before_l1.iter().enumerate() {
+                assert_eq!(&c2.module_param_vector(1, i), before, "layer-1 module {i} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn single_surviving_update_round_trips() {
+        // A round where every other device failed: one update must fully
+        // determine the touched modules and shared parts.
+        let mut c = cloud();
+        let spec = SubModelSpec::new(vec![vec![1], vec![2]]);
+        let imp = vec![vec![0.5; 4]; 2];
+        let u = update_for(&c, spec, imp, 3.0, 5);
+        let expect_module = u.module_params[&(0, 1)].clone();
+        let expect_shared = u.shared_params.clone();
+        let touched = aggregate_module_wise(&mut c, &[u]);
+        assert_eq!(touched, 2);
+        for (got, want) in c.module_param_vector(0, 1).iter().zip(&expect_module) {
+            nebula_tensor::assert_close(*got, *want, 1e-5);
+        }
+        for (got, want) in c.shared_param_vector().iter().zip(&expect_shared) {
+            nebula_tensor::assert_close(*got, *want, 1e-5);
+        }
+    }
+
+    // --- sanitize gate ----------------------------------------------------
+
+    fn poisoned(c: &ModularModel, offset: f32) -> ModuleUpdate {
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let mut u = update_for(c, spec, vec![vec![1.0; 4]; 2], offset, 10);
+        u.module_params.get_mut(&(0, 0)).unwrap()[0] = f32::NAN;
+        u
+    }
+
+    #[test]
+    fn sanitize_rejects_non_finite_updates() {
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let good = update_for(&c, spec, vec![vec![1.0; 4]; 2], 1.0, 10);
+        let bad = poisoned(&c, 1.0);
+        let mut inf = poisoned(&c, 1.0);
+        inf.module_params.get_mut(&(0, 0)).unwrap()[0] = f32::INFINITY;
+        let (kept, report) = sanitize_updates(&[good, bad, inf], &SanitizePolicy::default());
+        assert_eq!(kept, vec![0]);
+        assert_eq!(report.rejected_non_finite, 2);
+        assert_eq!(report.accepted, 1);
+    }
+
+    #[test]
+    fn sanitize_rejects_norm_outliers() {
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let mk = |offset| update_for(&c, spec.clone(), vec![vec![1.0; 4]; 2], offset, 10);
+        let mut exploded = mk(0.0);
+        for p in exploded.module_params.values_mut() {
+            for v in p.iter_mut() {
+                *v *= 1e6;
+            }
+        }
+        for v in exploded.shared_params.iter_mut() {
+            *v *= 1e6;
+        }
+        let (kept, report) =
+            sanitize_updates(&[mk(0.1), exploded, mk(0.2), mk(0.3)], &SanitizePolicy::default());
+        assert_eq!(kept, vec![0, 2, 3]);
+        assert_eq!(report.rejected_outlier, 1);
+        assert_eq!(report.rejected(), 1);
+    }
+
+    #[test]
+    fn sanitize_skips_outlier_check_below_three_updates() {
+        // With one honest and one exploded update there is no trustworthy
+        // median; both finite updates pass.
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let mut big = update_for(&c, spec.clone(), vec![vec![1.0; 4]; 2], 0.0, 10);
+        for v in big.shared_params.iter_mut() {
+            *v *= 1e6;
+        }
+        let small = update_for(&c, spec, vec![vec![1.0; 4]; 2], 0.1, 10);
+        let (kept, report) = sanitize_updates(&[small, big], &SanitizePolicy::default());
+        assert_eq!(kept.len(), 2);
+        assert_eq!(report.rejected(), 0);
+    }
+
+    #[test]
+    fn all_rejected_round_leaves_cloud_unchanged_and_finite() {
+        let mut c = cloud();
+        let before = c.param_vector();
+        let bad: Vec<ModuleUpdate> = (0..3).map(|i| poisoned(&c, i as f32)).collect();
+        let (kept, report) = sanitize_updates(&bad, &SanitizePolicy::default());
+        assert!(kept.is_empty());
+        assert_eq!(report.rejected_non_finite, 3);
+        let refs: Vec<&ModuleUpdate> = kept.iter().map(|&i| &bad[i]).collect();
+        assert_eq!(aggregate_module_wise_refs(&mut c, &refs, true), 0);
+        let after = c.param_vector();
+        assert_eq!(after, before, "all-rejected round must be a no-op");
+        assert!(after.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn staleness_discount_halves_influence() {
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let mut u = update_for(&c, spec, vec![vec![2.0; 4]; 2], 1.0, 100);
+        discount_staleness(&mut u, 0.5);
+        assert!(u.importance.iter().all(|row| row.iter().all(|&w| (w - 1.0).abs() < 1e-6)));
+        assert_eq!(u.data_volume, 50);
+        // Volume never reaches zero: a stale update still counts.
+        let mut tiny = u.clone();
+        tiny.data_volume = 1;
+        discount_staleness(&mut tiny, 0.1);
+        assert_eq!(tiny.data_volume, 1);
     }
 
     use nebula_nn::Layer;

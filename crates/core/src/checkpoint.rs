@@ -4,16 +4,19 @@
 //! it can restart (or roll back a bad aggregation round) without
 //! re-running the offline stage. The checkpoint carries the architecture
 //! configuration plus the flat parameter vector; loading validates that
-//! the architecture matches before touching any weights.
+//! the architecture matches — and that every weight is finite — before
+//! touching the model. All failure modes are reported through
+//! [`CheckpointError`]; no input, however corrupted, panics the loader.
 
 use nebula_modular::{ModularConfig, ModularModel};
 use nebula_nn::Layer;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io;
 use std::path::Path;
 
 /// A serialisable snapshot of a modularized model.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version (bumped on layout changes).
     pub version: u32,
@@ -51,6 +54,57 @@ impl From<&ModularConfig> for CheckpointConfig {
     }
 }
 
+/// Why a checkpoint could not be decoded or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The payload does not start with the `NBLA` magic / is too short
+    /// to hold the fixed header.
+    NotACheckpoint,
+    /// Format version is not [`CHECKPOINT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The payload ends before the declared header or parameter data.
+    Truncated { expected: usize, available: usize },
+    /// The JSON header (or a JSON checkpoint file) failed to parse.
+    MalformedHeader(String),
+    /// Checkpoint architecture differs from the target model's.
+    ArchitectureMismatch { checkpoint: CheckpointConfig, model: CheckpointConfig },
+    /// Parameter vector length differs from the model's count.
+    ParamCountMismatch { checkpoint: usize, model: usize },
+    /// A stored weight is NaN or infinite; restoring it would poison
+    /// every subsequent forward pass.
+    NonFiniteParam { index: usize, value: f32 },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotACheckpoint => write!(f, "not a Nebula binary checkpoint"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Truncated { expected, available } => {
+                write!(f, "truncated checkpoint: expected {expected} more bytes, found {available}")
+            }
+            Self::MalformedHeader(e) => write!(f, "malformed checkpoint header: {e}"),
+            Self::ArchitectureMismatch { checkpoint, model } => {
+                write!(f, "architecture mismatch: checkpoint {checkpoint:?} vs model {model:?}")
+            }
+            Self::ParamCountMismatch { checkpoint, model } => {
+                write!(f, "parameter count mismatch: checkpoint {checkpoint} vs model {model}")
+            }
+            Self::NonFiniteParam { index, value } => {
+                write!(f, "non-finite parameter at index {index}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
 /// The current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
@@ -63,22 +117,27 @@ pub fn snapshot(model: &ModularModel) -> Checkpoint {
     }
 }
 
-/// Restores a checkpoint into `model`. Fails if the architecture or
-/// parameter count differs.
-pub fn restore(model: &mut ModularModel, ckpt: &Checkpoint) -> Result<(), String> {
+/// Restores a checkpoint into `model`. Fails if the version,
+/// architecture, or parameter count differs, or any weight is
+/// non-finite; on failure the model is left untouched.
+// The mismatch variant carries both configs for diagnostics; restore is not hot.
+#[allow(clippy::result_large_err)]
+pub fn restore(model: &mut ModularModel, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
     if ckpt.version != CHECKPOINT_VERSION {
-        return Err(format!("unsupported checkpoint version {}", ckpt.version));
+        return Err(CheckpointError::UnsupportedVersion(ckpt.version));
     }
     let expect = CheckpointConfig::from(model.config());
     if ckpt.config != expect {
-        return Err(format!("architecture mismatch: checkpoint {:?} vs model {:?}", ckpt.config, expect));
+        return Err(CheckpointError::ArchitectureMismatch { checkpoint: ckpt.config.clone(), model: expect });
     }
     if ckpt.params.len() != model.param_count() {
-        return Err(format!(
-            "parameter count mismatch: checkpoint {} vs model {}",
-            ckpt.params.len(),
-            model.param_count()
-        ));
+        return Err(CheckpointError::ParamCountMismatch {
+            checkpoint: ckpt.params.len(),
+            model: model.param_count(),
+        });
+    }
+    if let Some((index, &value)) = ckpt.params.iter().enumerate().find(|(_, p)| !p.is_finite()) {
+        return Err(CheckpointError::NonFiniteParam { index, value });
     }
     model.load_param_vector(&ckpt.params);
     Ok(())
@@ -95,8 +154,9 @@ pub fn save_to_file(model: &ModularModel, path: &Path) -> io::Result<()> {
 /// Loads a JSON checkpoint file into `model`.
 pub fn load_from_file(model: &mut ModularModel, path: &Path) -> io::Result<()> {
     let json = std::fs::read_to_string(path)?;
-    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
-    restore(model, &ckpt).map_err(io::Error::other)
+    let ckpt: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::MalformedHeader(e.to_string()))?;
+    restore(model, &ckpt).map_err(io::Error::from)
 }
 
 /// Magic prefix of the binary checkpoint format.
@@ -106,42 +166,40 @@ const BINARY_MAGIC: &[u8; 4] = b"NBLA";
 /// `magic ‖ u32 version ‖ u32 json-header-len ‖ json header ‖ f32 params (LE)`.
 /// Exactly 4 bytes per parameter plus a small header.
 pub fn encode_binary(ckpt: &Checkpoint) -> Vec<u8> {
-    use bytes::BufMut;
     let header = serde_json::to_vec(&ckpt.config).expect("config serialises");
-    let mut buf = Vec::with_capacity(16 + header.len() + ckpt.params.len() * 4);
-    buf.put_slice(BINARY_MAGIC);
-    buf.put_u32_le(ckpt.version);
-    buf.put_u32_le(header.len() as u32);
-    buf.put_slice(&header);
+    let mut buf = Vec::with_capacity(12 + header.len() + ckpt.params.len() * 4);
+    buf.extend_from_slice(BINARY_MAGIC);
+    buf.extend_from_slice(&ckpt.version.to_le_bytes());
+    buf.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&header);
     for &p in &ckpt.params {
-        buf.put_f32_le(p);
+        buf.extend_from_slice(&p.to_le_bytes());
     }
     buf
 }
 
-/// Decodes the binary checkpoint format.
-pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, String> {
-    use bytes::Buf;
-    let mut buf = data;
-    if buf.remaining() < 12 || &buf[..4] != BINARY_MAGIC {
-        return Err("not a Nebula binary checkpoint".into());
+/// Decodes the binary checkpoint format. Any malformed input — wrong
+/// magic, truncation anywhere, garbage header — returns an error.
+// The mismatch variant carries both configs for diagnostics; decoding is not hot.
+#[allow(clippy::result_large_err)]
+pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if data.len() < 12 || &data[..4] != BINARY_MAGIC {
+        return Err(CheckpointError::NotACheckpoint);
     }
-    buf.advance(4);
-    let version = buf.get_u32_le();
-    let header_len = buf.get_u32_le() as usize;
-    if buf.remaining() < header_len {
-        return Err("truncated checkpoint header".into());
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    let header_len = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    let rest = &data[12..];
+    if rest.len() < header_len {
+        return Err(CheckpointError::Truncated { expected: header_len, available: rest.len() });
     }
-    let config: CheckpointConfig =
-        serde_json::from_slice(&buf[..header_len]).map_err(|e| format!("bad header: {e}"))?;
-    buf.advance(header_len);
-    if buf.remaining() % 4 != 0 {
-        return Err("truncated parameter payload".into());
+    let config: CheckpointConfig = serde_json::from_slice(&rest[..header_len])
+        .map_err(|e| CheckpointError::MalformedHeader(e.to_string()))?;
+    let payload = &rest[header_len..];
+    if !payload.len().is_multiple_of(4) {
+        return Err(CheckpointError::Truncated { expected: 4 - payload.len() % 4, available: 0 });
     }
-    let mut params = Vec::with_capacity(buf.remaining() / 4);
-    while buf.has_remaining() {
-        params.push(buf.get_f32_le());
-    }
+    let params =
+        payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect();
     Ok(Checkpoint { version, config, params })
 }
 
@@ -153,8 +211,8 @@ pub fn save_binary(model: &ModularModel, path: &Path) -> io::Result<()> {
 /// Loads a binary checkpoint file into `model`.
 pub fn load_binary(model: &mut ModularModel, path: &Path) -> io::Result<()> {
     let data = std::fs::read(path)?;
-    let ckpt = decode_binary(&data).map_err(io::Error::other)?;
-    restore(model, &ckpt).map_err(io::Error::other)
+    let ckpt = decode_binary(&data)?;
+    restore(model, &ckpt).map_err(io::Error::from)
 }
 
 #[cfg(test)]
@@ -189,7 +247,7 @@ mod tests {
         cfg.top_k = 2;
         let mut other = ModularModel::new(cfg, 1);
         let err = restore(&mut other, &ckpt).unwrap_err();
-        assert!(err.contains("architecture mismatch"), "{err}");
+        assert!(matches!(err, CheckpointError::ArchitectureMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -198,7 +256,25 @@ mod tests {
         let mut ckpt = snapshot(&a);
         ckpt.version = 999;
         let mut b = model(1);
-        assert!(restore(&mut b, &ckpt).unwrap_err().contains("version"));
+        assert_eq!(restore(&mut b, &ckpt).unwrap_err(), CheckpointError::UnsupportedVersion(999));
+    }
+
+    #[test]
+    fn restore_rejects_non_finite_params_and_leaves_model_untouched() {
+        let a = model(1);
+        let mut ckpt = snapshot(&a);
+        ckpt.params[3] = f32::NAN;
+        let mut b = model(2);
+        let before = b.param_vector();
+        let err = restore(&mut b, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::NonFiniteParam { index: 3, .. }), "{err}");
+        assert_eq!(b.param_vector(), before, "failed restore must not modify the model");
+
+        ckpt.params[3] = f32::NEG_INFINITY;
+        assert!(matches!(
+            restore(&mut b, &ckpt).unwrap_err(),
+            CheckpointError::NonFiniteParam { index: 3, .. }
+        ));
     }
 
     #[test]
@@ -244,13 +320,45 @@ mod tests {
 
     #[test]
     fn binary_decoder_rejects_garbage_and_truncation() {
-        assert!(decode_binary(b"nope").is_err());
+        assert_eq!(decode_binary(b"nope").unwrap_err(), CheckpointError::NotACheckpoint);
         let ckpt = snapshot(&model(8));
         let mut encoded = encode_binary(&ckpt);
         encoded.truncate(encoded.len() - 2); // break f32 alignment
-        assert!(decode_binary(&encoded).is_err());
+        assert!(matches!(decode_binary(&encoded).unwrap_err(), CheckpointError::Truncated { .. }));
         encoded.truncate(6); // inside the fixed header
-        assert!(decode_binary(&encoded).is_err());
+        assert_eq!(decode_binary(&encoded).unwrap_err(), CheckpointError::NotACheckpoint);
+    }
+
+    #[test]
+    fn decoder_survives_arbitrary_garbage_bytes() {
+        // Deterministic pseudo-garbage at every length 0..64, plus
+        // adversarial variants of a valid checkpoint: every decode must
+        // return (not panic), and truncations must error.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut garbage = Vec::new();
+        for len in 0..64usize {
+            garbage.clear();
+            for _ in 0..len {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                garbage.push((s >> 56) as u8);
+            }
+            let _ = decode_binary(&garbage);
+        }
+
+        let valid = encode_binary(&snapshot(&model(9)));
+        for cut in 0..valid.len().min(40) {
+            assert!(decode_binary(&valid[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // Header length field pointing past the end of the payload.
+        let mut oversized = valid.clone();
+        oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_binary(&oversized).unwrap_err(), CheckpointError::Truncated { .. }));
+        // Corrupted JSON header bytes.
+        let mut bad_header = valid.clone();
+        for b in &mut bad_header[12..20] {
+            *b = 0xff;
+        }
+        assert!(matches!(decode_binary(&bad_header).unwrap_err(), CheckpointError::MalformedHeader(_)));
     }
 
     #[test]

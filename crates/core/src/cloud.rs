@@ -6,7 +6,11 @@
 //! module-wise. Payload byte sizes are exposed so the simulator can
 //! account communication exactly (paper Fig. 7).
 
-use crate::aggregate::{aggregate_module_wise, ModuleUpdate};
+use crate::aggregate::{
+    aggregate_module_wise, aggregate_module_wise_refs, sanitize_updates, ModuleUpdate, SanitizePolicy,
+    SanitizeReport,
+};
+use crate::checkpoint::{self, Checkpoint, CheckpointError};
 use crate::derive::{derive_submodel, DeriveOutcome};
 use crate::offline::{enhance_module_abilities, pretrain, EnhanceConfig, EnhanceOutcome, PretrainConfig};
 use crate::profile::ResourceProfile;
@@ -148,12 +152,85 @@ impl NebulaCloud {
     pub fn aggregate(&mut self, updates: &[ModuleUpdate]) -> usize {
         aggregate_module_wise(&mut self.model, updates)
     }
+
+    /// Aggregates a round behind the sanitize gate: non-finite and
+    /// norm-outlier updates are rejected before they can touch the model.
+    /// With nothing to reject this is exactly [`NebulaCloud::aggregate`].
+    pub fn aggregate_robust(
+        &mut self,
+        updates: &[ModuleUpdate],
+        policy: &SanitizePolicy,
+    ) -> AggregateOutcome {
+        let (kept, sanitize) = sanitize_updates(updates, policy);
+        let refs: Vec<&ModuleUpdate> = kept.iter().map(|&i| &updates[i]).collect();
+        let touched = aggregate_module_wise_refs(&mut self.model, &refs, true);
+        AggregateOutcome { touched, sanitize }
+    }
+
+    /// In-memory checkpoint of the cloud model (for the rollback guard).
+    pub fn snapshot(&self) -> Checkpoint {
+        checkpoint::snapshot(&self.model)
+    }
+
+    /// Restores the cloud model from a snapshot taken earlier.
+    // The mismatch variant carries both configs for diagnostics; rollback is rare.
+    #[allow(clippy::result_large_err)]
+    pub fn rollback(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        checkpoint::restore(&mut self.model, ckpt)
+    }
+
+    /// [`NebulaCloud::aggregate_robust`] under a checkpoint guard: the
+    /// model is snapshotted, `probe` measures accuracy before and after
+    /// aggregation, and if the drop exceeds `max_drop` the aggregation is
+    /// rolled back (updates that slipped past the sanitize gate but still
+    /// wrecked the model). `probe` takes `&mut` because evaluation uses
+    /// the model's forward caches.
+    pub fn aggregate_guarded(
+        &mut self,
+        updates: &[ModuleUpdate],
+        policy: &SanitizePolicy,
+        mut probe: impl FnMut(&mut ModularModel) -> f32,
+        max_drop: f32,
+    ) -> GuardedOutcome {
+        let ckpt = checkpoint::snapshot(&self.model);
+        let acc_before = probe(&mut self.model);
+        let out = self.aggregate_robust(updates, policy);
+        let acc_after = probe(&mut self.model);
+        let rolled_back = !acc_after.is_finite() || acc_after < acc_before - max_drop;
+        if rolled_back {
+            checkpoint::restore(&mut self.model, &ckpt)
+                .expect("a snapshot of the same model always restores");
+        }
+        GuardedOutcome { touched: out.touched, sanitize: out.sanitize, rolled_back, acc_before, acc_after }
+    }
+}
+
+/// What [`NebulaCloud::aggregate_robust`] did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggregateOutcome {
+    /// Modules that received at least one accepted update.
+    pub touched: usize,
+    /// Sanitize-gate accounting.
+    pub sanitize: SanitizeReport,
+}
+
+/// What [`NebulaCloud::aggregate_guarded`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardedOutcome {
+    pub touched: usize,
+    pub sanitize: SanitizeReport,
+    /// Whether the aggregation was undone.
+    pub rolled_back: bool,
+    /// Probe accuracy before/after aggregation (pre-rollback).
+    pub acc_before: f32,
+    pub acc_after: f32,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use nebula_data::{SynthSpec, Synthesizer};
+    use nebula_nn::Layer;
 
     fn cloud() -> NebulaCloud {
         let mut cfg = nebula_modular::ModularConfig::toy(16, 4);
@@ -190,6 +267,72 @@ mod tests {
         for l in 0..2 {
             assert!(out.spec.layer(l).len() <= 2);
         }
+    }
+
+    fn honest_update(c: &NebulaCloud, offset: f32) -> ModuleUpdate {
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let mut module_params = HashMap::new();
+        for (l, layer) in spec.layers().iter().enumerate() {
+            for &i in layer {
+                let p: Vec<f32> = c.model().module_param_vector(l, i).iter().map(|v| v + offset).collect();
+                module_params.insert((l, i), p);
+            }
+        }
+        let shared_params: Vec<f32> = c.model().shared_param_vector().iter().map(|v| v + offset).collect();
+        ModuleUpdate {
+            spec,
+            module_params,
+            shared_params,
+            importance: vec![vec![1.0; 4]; 2],
+            data_volume: 10,
+        }
+    }
+
+    #[test]
+    fn robust_aggregate_rejects_poison_and_applies_the_rest() {
+        let mut c = cloud();
+        let good = honest_update(&c, 0.5);
+        let mut bad = honest_update(&c, 0.5);
+        bad.shared_params[0] = f32::NAN;
+        let out = c.aggregate_robust(&[good, bad], &SanitizePolicy::default());
+        assert_eq!(out.sanitize.rejected_non_finite, 1);
+        assert_eq!(out.sanitize.accepted, 1);
+        assert!(out.touched > 0);
+        assert!(c.model().param_vector().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guarded_aggregate_rolls_back_on_regression() {
+        let mut c = cloud();
+        let before = c.model().param_vector();
+        let u = honest_update(&c, 1.0);
+        // Probe reports a collapse after aggregation → rollback.
+        let mut calls = 0;
+        let out = c.aggregate_guarded(
+            &[u],
+            &SanitizePolicy::default(),
+            |_m| {
+                calls += 1;
+                if calls == 1 {
+                    0.8
+                } else {
+                    0.1
+                }
+            },
+            0.2,
+        );
+        assert!(out.rolled_back);
+        assert_eq!(c.model().param_vector(), before, "rollback must restore the snapshot");
+    }
+
+    #[test]
+    fn guarded_aggregate_keeps_benign_rounds() {
+        let mut c = cloud();
+        let before = c.model().param_vector();
+        let u = honest_update(&c, 1.0);
+        let out = c.aggregate_guarded(&[u], &SanitizePolicy::default(), |_m| 0.8, 0.2);
+        assert!(!out.rolled_back);
+        assert_ne!(c.model().param_vector(), before, "benign aggregation must stick");
     }
 
     #[test]

@@ -110,11 +110,8 @@ pub fn derive_submodel(
     }
 
     if !items.is_empty() && !over_budget {
-        let inst = MdkpInstance {
-            values,
-            costs,
-            limits: vec![rem_comm as f32, rem_flops as f32, rem_mem as f32],
-        };
+        let inst =
+            MdkpInstance { values, costs, limits: vec![rem_comm as f32, rem_flops as f32, rem_mem as f32] };
         let mut selected = solve_mdkp_greedy(&inst);
 
         // Honour the per-layer cap: keep the highest-importance winners.

@@ -91,9 +91,7 @@ impl EdgeClient {
                 .map(|(l, mods)| {
                     let mut sorted: Vec<usize> = mods.to_vec();
                     sorted.sort_by(|&a, &b| {
-                        importance[l][b]
-                            .partial_cmp(&importance[l][a])
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                        importance[l][b].partial_cmp(&importance[l][a]).unwrap_or(std::cmp::Ordering::Equal)
                     });
                     sorted.truncate(keep.min(sorted.len()));
                     sorted
@@ -116,7 +114,14 @@ impl EdgeClient {
     }
 
     /// Local fine-tuning on fresh data; returns the final mean loss.
-    pub fn adapt(&mut self, data: &Dataset, epochs: usize, batch: usize, lr: f32, rng: &mut NebulaRng) -> f32 {
+    pub fn adapt(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        batch: usize,
+        lr: f32,
+        rng: &mut NebulaRng,
+    ) -> f32 {
         let mut opt = Sgd::with_momentum(lr, 0.9);
         nebula_data::train_epochs(
             &mut self.model,

@@ -33,9 +33,12 @@ pub mod offline;
 pub mod presets;
 pub mod profile;
 
-pub use aggregate::{aggregate_module_wise, aggregate_module_wise_with, ModuleUpdate};
-pub use checkpoint::{restore, snapshot, Checkpoint};
-pub use cloud::{NebulaCloud, NebulaParams, SubModelPayload};
+pub use aggregate::{
+    aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_with, discount_staleness,
+    sanitize_updates, ModuleUpdate, SanitizePolicy, SanitizeReport,
+};
+pub use checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
+pub use cloud::{AggregateOutcome, GuardedOutcome, NebulaCloud, NebulaParams, SubModelPayload};
 pub use derive::{derive_submodel, DeriveOutcome};
 pub use edge::{EdgeClient, EdgeUpdate};
 pub use offline::{enhance_module_abilities, pretrain, subtask_load_matrices, EnhanceConfig, PretrainConfig};

@@ -5,14 +5,14 @@
 //!    the load-balancing loss and noisy top-k into its forward/backward,
 //!    so pre-training is a plain cross-entropy loop over proxy data.
 //! 2. **Ability enhancing**:
-//!    a. define sub-tasks (groups of samples — e.g. co-occurring class
-//!       groups under label skew, subjects under feature skew);
-//!    b. compute the load matrix `H[t][n]` = mean gate probability of
-//!       module `n` over sub-task `t`'s samples, per layer;
-//!    c. solve Eq. 1 for the mask `M`; the target mapping is
-//!       `P = normalize_rows(H ⊙ M)`;
-//!    d. fine-tune with `CE + λ·KL(g_label ‖ gate)` where each sample's
-//!       `g_label` row is `P[t]` for its sub-task.
+//!    - define sub-tasks (groups of samples — e.g. co-occurring class
+//!      groups under label skew, subjects under feature skew);
+//!    - compute the load matrix `H[t][n]` = mean gate probability of
+//!      module `n` over sub-task `t`'s samples, per layer;
+//!    - solve Eq. 1 for the mask `M`; the target mapping is
+//!      `P = normalize_rows(H ⊙ M)`;
+//!    - fine-tune with `CE + λ·KL(g_label ‖ gate)` where each sample's
+//!      `g_label` row is `P[t]` for its sub-task.
 
 use nebula_data::{Dataset, TrainConfig};
 use nebula_modular::ModularModel;
@@ -133,11 +133,8 @@ pub fn enhance_module_abilities(
             .iter()
             .zip(&mask)
             .map(|(hrow, mrow)| {
-                let mut prow: Vec<f32> = hrow
-                    .iter()
-                    .zip(mrow)
-                    .map(|(&hv, &mv)| if mv { hv.max(1e-6) } else { 0.0 })
-                    .collect();
+                let mut prow: Vec<f32> =
+                    hrow.iter().zip(mrow).map(|(&hv, &mv)| if mv { hv.max(1e-6) } else { 0.0 }).collect();
                 let sum: f32 = prow.iter().sum();
                 if sum > 0.0 {
                     prow.iter_mut().for_each(|v| *v /= sum);
@@ -155,7 +152,7 @@ pub fn enhance_module_abilities(
     let mut pooled: Option<Dataset> = None;
     let mut sample_task: Vec<usize> = Vec::new();
     for (t, st) in subtasks.iter().enumerate() {
-        sample_task.extend(std::iter::repeat(t).take(st.len()));
+        sample_task.extend(std::iter::repeat_n(t, st.len()));
         pooled = Some(match pooled {
             None => st.clone(),
             Some(acc) => acc.concat(st),
@@ -218,10 +215,7 @@ mod tests {
 
     fn subtask_datasets(synth: &Synthesizer, rng: &mut NebulaRng) -> Vec<Dataset> {
         // Two sub-tasks: classes {0,1} and {2,3}.
-        vec![
-            synth.sample_classes(120, &[0, 1], 0, rng),
-            synth.sample_classes(120, &[2, 3], 0, rng),
-        ]
+        vec![synth.sample_classes(120, &[0, 1], 0, rng), synth.sample_classes(120, &[2, 3], 0, rng)]
     }
 
     #[test]
@@ -261,7 +255,7 @@ mod tests {
         for layer_map in &out.target_mapping {
             for row in layer_map {
                 let nonzero = row.iter().filter(|&&v| v > 0.0).count();
-                assert!(nonzero >= 1 && nonzero <= 2, "target row violates κ2: {row:?}");
+                assert!((1..=2).contains(&nonzero), "target row violates κ2: {row:?}");
                 nebula_tensor::assert_close(row.iter().sum::<f32>(), 1.0, 1e-4);
             }
         }
@@ -280,11 +274,8 @@ mod tests {
         // modules should dominate.
         let h_after = subtask_load_matrices(&mut model, &subtasks);
         for (l, layer_map) in out.target_mapping.iter().enumerate() {
-            let recommended: Vec<usize> = layer_map[0]
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &p)| (p > 0.0).then_some(i))
-                .collect();
+            let recommended: Vec<usize> =
+                layer_map[0].iter().enumerate().filter_map(|(i, &p)| (p > 0.0).then_some(i)).collect();
             let mass: f32 = recommended.iter().map(|&i| h_after[l][0][i]).sum();
             assert!(
                 mass > 0.5,

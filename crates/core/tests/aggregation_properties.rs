@@ -15,7 +15,13 @@ fn cloud(seed: u64) -> ModularModel {
 
 /// Builds an update whose module params are the cloud's plus `offset`,
 /// with the given per-module importance value.
-fn offset_update(cloud: &ModularModel, spec: &SubModelSpec, offset: f32, importance: f32, volume: usize) -> ModuleUpdate {
+fn offset_update(
+    cloud: &ModularModel,
+    spec: &SubModelSpec,
+    offset: f32,
+    importance: f32,
+    volume: usize,
+) -> ModuleUpdate {
     let mut module_params = HashMap::new();
     for (l, layer) in spec.layers().iter().enumerate() {
         for &i in layer {

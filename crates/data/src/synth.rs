@@ -90,10 +90,8 @@ impl Synthesizer {
             let norm = anchor.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
             anchor.iter_mut().for_each(|v| *v *= spec.class_separation / norm);
             for _ in 0..spec.clusters_per_class {
-                let centre: Vec<f32> = anchor
-                    .iter()
-                    .map(|&a| a + rng.normal_f32(0.0, spec.cluster_spread))
-                    .collect();
+                let centre: Vec<f32> =
+                    anchor.iter().map(|&a| a + rng.normal_f32(0.0, spec.cluster_spread)).collect();
                 centres.push(Tensor::vector(&centre));
             }
         }
@@ -114,10 +112,7 @@ impl Synthesizer {
         // Mixing matrix with 1/sqrt(d) scaling keeps tanh inputs in a
         // useful range.
         let scale = 1.0 / (d as f32).sqrt();
-        let mix = Tensor::from_vec(
-            (0..d * d).map(|_| rng.normal_f32(0.0, scale)).collect(),
-            &[d, d],
-        );
+        let mix = Tensor::from_vec((0..d * d).map(|_| rng.normal_f32(0.0, scale)).collect(), &[d, d]);
 
         Self { spec, centres, ctx_scale, ctx_bias, mix }
     }
@@ -133,7 +128,13 @@ impl Synthesizer {
 
     /// Samples `n` points restricted to `classes`, drawn uniformly over the
     /// listed classes, observed in sensing context `context`.
-    pub fn sample_classes(&self, n: usize, classes: &[usize], context: usize, rng: &mut NebulaRng) -> Dataset {
+    pub fn sample_classes(
+        &self,
+        n: usize,
+        classes: &[usize],
+        context: usize,
+        rng: &mut NebulaRng,
+    ) -> Dataset {
         assert!(!classes.is_empty(), "need at least one class to sample");
         assert!(classes.iter().all(|&c| c < self.spec.classes), "class out of range");
         let weights = vec![1.0f32; classes.len()];

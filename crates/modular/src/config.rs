@@ -150,11 +150,13 @@ mod tests {
     #[test]
     fn conv_stem_validation() {
         let mut cfg = ModularConfig::toy(16, 4);
-        cfg.conv_stem = Some(ConvStemConfig { in_channels: 2, in_len: 8, out_channels: 4, kernel: 3, pool: 2 });
+        cfg.conv_stem =
+            Some(ConvStemConfig { in_channels: 2, in_len: 8, out_channels: 4, kernel: 3, pool: 2 });
         cfg.validate();
         assert_eq!(cfg.conv_stem.unwrap().pooled_features(), 16);
 
-        cfg.conv_stem = Some(ConvStemConfig { in_channels: 3, in_len: 8, out_channels: 4, kernel: 3, pool: 2 });
+        cfg.conv_stem =
+            Some(ConvStemConfig { in_channels: 3, in_len: 8, out_channels: 4, kernel: 3, pool: 2 });
         let result = std::panic::catch_unwind(|| cfg.validate());
         assert!(result.is_err(), "mismatched channels·length must be rejected");
     }

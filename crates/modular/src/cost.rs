@@ -48,14 +48,24 @@ impl ModuleCost {
         Self { params: (input * output + output) as u64, flops: (input * output) as u64 }
     }
 
-    /// Component sum.
-    pub fn add(self, other: ModuleCost) -> ModuleCost {
-        ModuleCost { params: self.params + other.params, flops: self.flops + other.flops }
-    }
-
     /// Parameter bytes (f32).
     pub fn param_bytes(self) -> u64 {
         self.params * BYTES_PER_PARAM
+    }
+}
+
+impl std::ops::Add for ModuleCost {
+    type Output = ModuleCost;
+
+    /// Component sum.
+    fn add(self, other: ModuleCost) -> ModuleCost {
+        ModuleCost { params: self.params + other.params, flops: self.flops + other.flops }
+    }
+}
+
+impl std::ops::AddAssign for ModuleCost {
+    fn add_assign(&mut self, other: ModuleCost) {
+        *self = *self + other;
     }
 }
 
@@ -107,16 +117,18 @@ impl CostModel {
                     params: (cs.out_channels * cs.in_channels * cs.kernel + cs.out_channels) as u64,
                     flops: (cs.out_channels * cs.in_channels * cs.kernel * cs.in_len) as u64,
                 };
-                conv.add(ModuleCost::linear(cs.pooled_features(), self.cfg.width))
+                conv + ModuleCost::linear(cs.pooled_features(), self.cfg.width)
             }
         };
         let head = ModuleCost::linear(self.cfg.width, self.cfg.classes);
         let embed = ModuleCost::linear(self.cfg.input_dim, self.cfg.selector_embed);
         let gates = ModuleCost {
-            params: (self.cfg.num_layers * (self.cfg.selector_embed * self.cfg.modules_per_layer + self.cfg.modules_per_layer)) as u64,
+            params: (self.cfg.num_layers
+                * (self.cfg.selector_embed * self.cfg.modules_per_layer + self.cfg.modules_per_layer))
+                as u64,
             flops: (self.cfg.num_layers * self.cfg.selector_embed * self.cfg.modules_per_layer) as u64,
         };
-        stem.add(head).add(embed).add(gates)
+        stem + head + embed + gates
     }
 
     /// Training-memory increment of adding module `(layer, index)` to a
@@ -146,7 +158,7 @@ impl CostModel {
         let mut total = self.shared();
         for (l, layer) in spec.layers().iter().enumerate() {
             for &i in layer {
-                total = total.add(self.module(l, i));
+                total += self.module(l, i);
             }
         }
         self.finish(total, spec)
@@ -162,8 +174,9 @@ impl CostModel {
         let param_bytes = total.param_bytes();
         // Activations: trunk width per module layer plus module bottlenecks,
         // per sample; training caches them all, inference keeps ~2 buffers.
-        let act_per_sample =
-            (self.cfg.width * (spec.num_layers() + 2) + self.cfg.module_hidden * spec.total_modules()) as u64 * BYTES_PER_PARAM;
+        let act_per_sample = (self.cfg.width * (spec.num_layers() + 2)
+            + self.cfg.module_hidden * spec.total_modules()) as u64
+            * BYTES_PER_PARAM;
         let batch = Self::BATCH; // paper's batch size
         SubModelCost {
             params: total.params,

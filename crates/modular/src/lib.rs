@@ -29,8 +29,8 @@ pub mod blockify;
 pub mod config;
 pub mod cost;
 pub mod model;
-pub mod moe_layer;
 pub mod module;
+pub mod moe_layer;
 pub mod selector;
 pub mod stats;
 pub mod submodel;
@@ -39,8 +39,8 @@ pub use blockify::{identify_blocks, Block, BlockPlan, LayerDesc};
 pub use config::ModularConfig;
 pub use cost::{ModuleCost, SubModelCost};
 pub use model::ModularModel;
-pub use moe_layer::MoeLayer;
 pub use module::Module;
+pub use moe_layer::MoeLayer;
 pub use selector::UnifiedSelector;
 pub use stats::{routing_stats, LayerRoutingStats};
 pub use submodel::SubModelSpec;

@@ -16,6 +16,9 @@ use nebula_tensor::{NebulaRng, Tensor};
 
 /// One module of a module layer. Input and output width are both `d`
 /// (the trunk width), so any subset of modules is combinable.
+// Residual is intentionally zero-sized; boxing Shrunk would add a pointer chase
+// to every forward call for no memory win (modules live in long-lived Vecs).
+#[allow(clippy::large_enum_variant)]
 pub enum Module {
     /// Bottleneck block with hidden width `h`.
     Shrunk { l1: Linear, act: Activation, l2: Linear },
@@ -26,11 +29,7 @@ pub enum Module {
 impl Module {
     /// Builds a shrunk module `d → h → d`.
     pub fn shrunk(d: usize, h: usize, rng: &mut NebulaRng) -> Self {
-        Module::Shrunk {
-            l1: Linear::new(d, h, rng),
-            act: Activation::relu(),
-            l2: Linear::new(h, d, rng),
-        }
+        Module::Shrunk { l1: Linear::new(d, h, rng), act: Activation::relu(), l2: Linear::new(h, d, rng) }
     }
 
     /// Builds the bypass module.

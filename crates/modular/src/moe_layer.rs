@@ -44,7 +44,13 @@ struct LayerCache {
 impl MoeLayer {
     /// Builds a layer of `n_modules` modules over trunk width `width`.
     /// When `residual_module` is set, the last module is the bypass.
-    pub fn new(width: usize, hidden: usize, n_modules: usize, residual_module: bool, rng: &mut NebulaRng) -> Self {
+    pub fn new(
+        width: usize,
+        hidden: usize,
+        n_modules: usize,
+        residual_module: bool,
+        rng: &mut NebulaRng,
+    ) -> Self {
         assert!(n_modules >= 1);
         let mut modules = Vec::with_capacity(n_modules);
         let shrunk_count = if residual_module { n_modules - 1 } else { n_modules };
@@ -233,12 +239,7 @@ impl MoeLayer {
         let (probs, loads) = self.lb_stats();
         let n_allowed = cache.n_allowed;
         let mean_probs = probs.mean_rows();
-        n_allowed as f32
-            * loads
-                .iter()
-                .zip(mean_probs.data())
-                .map(|(&l, &p)| l * p)
-                .sum::<f32>()
+        n_allowed as f32 * loads.iter().zip(mean_probs.data()).map(|(&l, &p)| l * p).sum::<f32>()
     }
 
     /// Gradient of λ·load_balance_loss w.r.t. this layer's gate logits,
@@ -255,11 +256,11 @@ impl MoeLayer {
             let prow = probs.row(b);
             // Softmax jacobian: dlogit_j = p_j (g_j − Σ_i p_i g_i).
             let mut inner = 0.0f32;
-            for i in 0..n {
-                inner += prow[i] * (coeff * cache.loads[i]);
+            for (p, load) in prow.iter().zip(&cache.loads) {
+                inner += p * (coeff * load);
             }
-            for j in 0..n {
-                dlogits.row_mut(b)[j] = prow[j] * (coeff * cache.loads[j] - inner);
+            for ((d, p), load) in dlogits.row_mut(b).iter_mut().zip(prow).zip(&cache.loads) {
+                *d = p * (coeff * load - inner);
             }
         }
         dlogits
@@ -399,10 +400,7 @@ mod tests {
             let lm = ym.dot(&probe);
             let fd = (lp - lm) / (2.0 * eps);
             let an = dx.data()[i];
-            assert!(
-                (fd - an).abs() / 1.0f32.max(fd.abs()) < 2e-2,
-                "dx[{i}]: fd {fd} vs analytic {an}"
-            );
+            assert!((fd - an).abs() / 1.0f32.max(fd.abs()) < 2e-2, "dx[{i}]: fd {fd} vs analytic {an}");
         }
     }
 

@@ -40,14 +40,7 @@ impl UnifiedSelector {
     ) -> Self {
         let embed = Linear::new(input_dim, embed_dim, rng);
         let gates = (0..layers).map(|_| Linear::new(embed_dim, modules, rng)).collect();
-        Self {
-            embed,
-            act: Activation::relu(),
-            gates,
-            noise_std,
-            rng: rng.fork(0x5E1E_C70F),
-            cached_h: None,
-        }
+        Self { embed, act: Activation::relu(), gates, noise_std, rng: rng.fork(0x5E1E_C70F), cached_h: None }
     }
 
     /// Number of module layers this selector routes for.

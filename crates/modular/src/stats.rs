@@ -48,11 +48,7 @@ impl LayerRoutingStats {
     /// Modules that receive effectively no traffic (load below `eps`) —
     /// dead experts the load-balancing loss is meant to prevent.
     pub fn dead_modules(&self, eps: f32) -> Vec<usize> {
-        self.load
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (l < eps).then_some(i))
-            .collect()
+        self.load.iter().enumerate().filter_map(|(i, &l)| (l < eps).then_some(i)).collect()
     }
 }
 

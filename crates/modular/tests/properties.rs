@@ -20,11 +20,8 @@ fn input(batch: usize, dim: usize, seed: u64) -> Tensor {
 
 /// Draws a random valid sub-model spec.
 fn arb_spec(layers: usize, modules: usize) -> impl Strategy<Value = SubModelSpec> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0..modules, 1..=modules),
-        layers..=layers,
-    )
-    .prop_map(|layers| SubModelSpec::new(layers.into_iter().map(|s| s.into_iter().collect()).collect()))
+    proptest::collection::vec(proptest::collection::btree_set(0..modules, 1..=modules), layers..=layers)
+        .prop_map(|layers| SubModelSpec::new(layers.into_iter().map(|s| s.into_iter().collect()).collect()))
 }
 
 proptest! {

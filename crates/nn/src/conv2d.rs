@@ -30,6 +30,8 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Builds a convolution over `in_h × in_w` feature maps.
+    // Eight scalars mirror the conv hyper-parameter list; a builder would obscure it.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         in_channels: usize,
         out_channels: usize,
@@ -216,7 +218,10 @@ pub struct MaxPool2d {
 
 impl MaxPool2d {
     pub fn new(channels: usize, in_h: usize, in_w: usize, window: usize) -> Self {
-        assert!(window >= 1 && in_h % window == 0 && in_w % window == 0, "window must tile the plane");
+        assert!(
+            window >= 1 && in_h.is_multiple_of(window) && in_w.is_multiple_of(window),
+            "window must tile the plane"
+        );
         Self { channels, in_h, in_w, window, argmax: None, last_batch: 0 }
     }
 
@@ -249,7 +254,8 @@ impl Layer for MaxPool2d {
                         let mut best = c * plane + (oy * self.window) * self.in_w + ox * self.window;
                         for wy in 0..self.window {
                             for wx in 0..self.window {
-                                let idx = c * plane + (oy * self.window + wy) * self.in_w + ox * self.window + wx;
+                                let idx =
+                                    c * plane + (oy * self.window + wy) * self.in_w + ox * self.window + wx;
                                 if xrow[idx] > xrow[best] {
                                     best = idx;
                                 }

@@ -37,9 +37,8 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask_data: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.bernoulli(keep as f64) { scale } else { 0.0 })
-            .collect();
+        let mask_data: Vec<f32> =
+            (0..x.len()).map(|_| if self.rng.bernoulli(keep as f64) { scale } else { 0.0 }).collect();
         let mask = Tensor::from_vec(mask_data, x.shape());
         let y = x.mul(&mask);
         self.mask = Some(mask);

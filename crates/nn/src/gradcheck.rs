@@ -78,10 +78,7 @@ pub fn check_layer_gradients_with(
         let fd = (lp - lm) / (2.0 * eps);
         let an = dx.data()[i];
         let denom = 1.0f32.max(fd.abs()).max(an.abs());
-        assert!(
-            (fd - an).abs() / denom < tol,
-            "input grad mismatch at {i}: fd {fd} vs analytic {an}"
-        );
+        assert!((fd - an).abs() / denom < tol, "input grad mismatch at {i}: fd {fd} vs analytic {an}");
     }
 
     // Parameter gradient check: perturb each scalar through the flat vector.
@@ -98,10 +95,7 @@ pub fn check_layer_gradients_with(
         let fd = (lp - lm) / (2.0 * eps);
         let an = analytic_param_grads[i];
         let denom = 1.0f32.max(fd.abs()).max(an.abs());
-        assert!(
-            (fd - an).abs() / denom < tol,
-            "param grad mismatch at {i}: fd {fd} vs analytic {an}"
-        );
+        assert!((fd - an).abs() / denom < tol, "param grad mismatch at {i}: fd {fd} vs analytic {an}");
     }
     layer.load_param_vector(&theta);
 }

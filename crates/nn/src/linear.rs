@@ -101,9 +101,7 @@ mod tests {
     fn forward_matches_manual() {
         let mut rng = NebulaRng::seed(1);
         let mut l = Linear::new(2, 3, &mut rng);
-        l.weight_mut()
-            .data_mut()
-            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // rows: [1,2],[3,4],[5,6]
+        l.weight_mut().data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // rows: [1,2],[3,4],[5,6]
         l.bias_mut().data_mut().copy_from_slice(&[0.1, 0.2, 0.3]);
         let x = Tensor::matrix(&[&[1.0, 1.0]]);
         let y = l.forward(&x, Mode::Eval);

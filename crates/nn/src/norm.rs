@@ -94,10 +94,7 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BatchNorm1d::backward requires a Train-mode forward");
+        let cache = self.cache.as_ref().expect("BatchNorm1d::backward requires a Train-mode forward");
         let BnCache { x_hat, inv_std } = cache;
         let n = grad.rows() as f32;
         let c = grad.cols();

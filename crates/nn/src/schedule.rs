@@ -49,10 +49,7 @@ impl LrSchedule {
 
     /// Convenience: cosine with warmup, the usual pre-training shape.
     pub fn warmup_cosine(lr: f32, min_lr: f32, warmup: usize, total: usize) -> Self {
-        LrSchedule::Warmup {
-            warmup,
-            inner: Box::new(LrSchedule::Cosine { lr, min_lr, total }),
-        }
+        LrSchedule::Warmup { warmup, inner: Box::new(LrSchedule::Cosine { lr, min_lr, total }) }
     }
 }
 

@@ -117,9 +117,7 @@ mod tests {
         let manual = l2.forward(&l1.forward(&x, Mode::Eval), Mode::Eval);
 
         let mut rng2 = NebulaRng::seed(3);
-        let mut s = Sequential::new()
-            .with(Linear::new(2, 2, &mut rng2))
-            .with(Linear::new(2, 2, &mut rng2));
+        let mut s = Sequential::new().with(Linear::new(2, 2, &mut rng2)).with(Linear::new(2, 2, &mut rng2));
         let composed = s.forward(&x, Mode::Eval);
         nebula_tensor::assert_tensor_close(&composed, &manual, 1e-6);
     }

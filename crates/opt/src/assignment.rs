@@ -116,9 +116,8 @@ pub fn solve_assignment(p: &AssignmentProblem) -> Vec<Vec<bool>> {
         }
         // Prefer the highest-load module with spare capacity.
         let mut candidates: Vec<usize> = (0..n).collect();
-        candidates.sort_by(|&a, &b| {
-            p.load[ti][b].partial_cmp(&p.load[ti][a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        candidates
+            .sort_by(|&a, &b| p.load[ti][b].partial_cmp(&p.load[ti][a]).unwrap_or(std::cmp::Ordering::Equal));
         let mut placed = false;
         for &ni in &candidates {
             if module_count[ni] < p.max_tasks_per_module {
@@ -136,11 +135,9 @@ pub fn solve_assignment(p: &AssignmentProblem) -> Vec<Vec<bool>> {
             // exists: saturated modules hold κ₁·N ≥ T assignments while
             // only ≤ T−1 tasks are covered, so some task holds ≥ 2.
             for &ni in &candidates {
-                let victim = (0..t)
-                    .filter(|&tj| mask[tj][ni] && task_count[tj] > 1)
-                    .min_by(|&a, &b| {
-                        p.load[a][ni].partial_cmp(&p.load[b][ni]).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                let victim = (0..t).filter(|&tj| mask[tj][ni] && task_count[tj] > 1).min_by(|&a, &b| {
+                    p.load[a][ni].partial_cmp(&p.load[b][ni]).unwrap_or(std::cmp::Ordering::Equal)
+                });
                 if let Some(tv) = victim {
                     mask[tv][ni] = false;
                     task_count[tv] -= 1;
@@ -156,6 +153,8 @@ pub fn solve_assignment(p: &AssignmentProblem) -> Vec<Vec<bool>> {
     let mut improved = true;
     while improved {
         improved = false;
+        // Indexed loop: the body mutates two `mask[ti]` cells at once.
+        #[allow(clippy::needless_range_loop)]
         for ti in 0..t {
             for ni in 0..n {
                 if !mask[ti][ni] {
@@ -194,6 +193,8 @@ pub fn solve_assignment_exact(p: &AssignmentProblem) -> Vec<Vec<bool>> {
         mask.iter().all(|row| row.iter().any(|&m| m))
     }
 
+    // Branch-and-bound state is threaded explicitly to keep the recursion allocation-free.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         p: &AssignmentProblem,
         idx: usize,
@@ -219,7 +220,18 @@ pub fn solve_assignment_exact(p: &AssignmentProblem) -> Vec<Vec<bool>> {
             mask[ti][ni] = true;
             task_count[ti] += 1;
             module_count[ni] += 1;
-            recurse(p, idx + 1, t, n, mask, task_count, module_count, val + p.load[ti][ni], best_val, best_mask);
+            recurse(
+                p,
+                idx + 1,
+                t,
+                n,
+                mask,
+                task_count,
+                module_count,
+                val + p.load[ti][ni],
+                best_val,
+                best_mask,
+            );
             mask[ti][ni] = false;
             task_count[ti] -= 1;
             module_count[ni] -= 1;
@@ -247,15 +259,7 @@ mod tests {
     #[test]
     fn trivially_separable_instance() {
         // Diagonal loads: the obvious assignment is the diagonal.
-        let p = problem(
-            vec![
-                vec![0.9, 0.1, 0.0],
-                vec![0.1, 0.8, 0.1],
-                vec![0.0, 0.1, 0.9],
-            ],
-            1,
-            1,
-        );
+        let p = problem(vec![vec![0.9, 0.1, 0.0], vec![0.1, 0.8, 0.1], vec![0.0, 0.1, 0.9]], 1, 1);
         let m = solve_assignment(&p);
         assert!(m[0][0] && m[1][1] && m[2][2]);
         assert!(p.feasible(&m));
@@ -264,11 +268,7 @@ mod tests {
     #[test]
     fn respects_module_budget() {
         // Every task loves module 0, but κ1 = 1 forces spreading.
-        let p = problem(
-            vec![vec![1.0, 0.5, 0.4], vec![1.0, 0.4, 0.5], vec![1.0, 0.3, 0.3]],
-            1,
-            1,
-        );
+        let p = problem(vec![vec![1.0, 0.5, 0.4], vec![1.0, 0.4, 0.5], vec![1.0, 0.3, 0.3]], 1, 1);
         let m = solve_assignment(&p);
         assert!(p.feasible(&m));
         // Each task still covered.
@@ -277,11 +277,7 @@ mod tests {
 
     #[test]
     fn matches_exact_on_small_instances() {
-        let p = problem(
-            vec![vec![0.7, 0.2, 0.6], vec![0.3, 0.9, 0.1], vec![0.5, 0.5, 0.8]],
-            2,
-            2,
-        );
+        let p = problem(vec![vec![0.7, 0.2, 0.6], vec![0.3, 0.9, 0.1], vec![0.5, 0.5, 0.8]], 2, 2);
         let greedy = solve_assignment(&p);
         let exact = solve_assignment_exact(&p);
         let g = p.objective(&greedy);
@@ -293,11 +289,7 @@ mod tests {
     fn coverage_repair_kicks_in() {
         // Task 1 has tiny loads everywhere; greedy would starve it when
         // budgets are tight.
-        let p = problem(
-            vec![vec![0.9, 0.9], vec![0.01, 0.02]],
-            1,
-            2,
-        );
+        let p = problem(vec![vec![0.9, 0.9], vec![0.01, 0.02]], 1, 2);
         let m = solve_assignment(&p);
         assert!(m[1].iter().any(|&b| b), "sub-task 1 left uncovered");
         assert!(p.feasible(&m));

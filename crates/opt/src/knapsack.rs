@@ -51,13 +51,7 @@ impl MdkpInstance {
     pub fn feasible(&self, selected: &[bool]) -> bool {
         let (_, d) = self.dims();
         for j in 0..d {
-            let used: f32 = self
-                .costs
-                .iter()
-                .zip(selected)
-                .filter(|(_, &s)| s)
-                .map(|(c, _)| c[j])
-                .sum();
+            let used: f32 = self.costs.iter().zip(selected).filter(|(_, &s)| s).map(|(c, _)| c[j]).sum();
             if used > self.limits[j] * (1.0 + 1e-5) {
                 return false;
             }
@@ -94,9 +88,12 @@ pub fn solve_mdkp_greedy(inst: &MdkpInstance) -> Vec<bool> {
     };
 
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| density(b).partial_cmp(&density(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        density(b).partial_cmp(&density(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
 
-    let fits = |i: usize, used: &[f32]| (0..d).all(|j| used[j] + inst.costs[i][j] <= inst.limits[j] * (1.0 + 1e-6));
+    let fits =
+        |i: usize, used: &[f32]| (0..d).all(|j| used[j] + inst.costs[i][j] <= inst.limits[j] * (1.0 + 1e-6));
 
     for &i in &order {
         if inst.values[i] <= 0.0 && density(i) != f32::INFINITY {
@@ -104,20 +101,21 @@ pub fn solve_mdkp_greedy(inst: &MdkpInstance) -> Vec<bool> {
         }
         if fits(i, &used) {
             selected[i] = true;
-            for j in 0..d {
-                used[j] += inst.costs[i][j];
+            for (u, c) in used.iter_mut().zip(&inst.costs[i]) {
+                *u += c;
             }
         }
     }
 
     // Fill pass in pure value order (density can starve high-value items).
     let mut by_value: Vec<usize> = (0..n).collect();
-    by_value.sort_by(|&a, &b| inst.values[b].partial_cmp(&inst.values[a]).unwrap_or(std::cmp::Ordering::Equal));
+    by_value
+        .sort_by(|&a, &b| inst.values[b].partial_cmp(&inst.values[a]).unwrap_or(std::cmp::Ordering::Equal));
     for &i in &by_value {
         if !selected[i] && inst.values[i] > 0.0 && fits(i, &used) {
             selected[i] = true;
-            for j in 0..d {
-                used[j] += inst.costs[i][j];
+            for (u, c) in used.iter_mut().zip(&inst.costs[i]) {
+                *u += c;
             }
         }
     }
@@ -143,26 +141,26 @@ pub fn solve_mdkp_lagrangian(inst: &MdkpInstance, iters: usize) -> Vec<bool> {
     for t in 0..iters.max(1) {
         // Solve the relaxation at the current multipliers.
         let mut sel = vec![false; n];
-        for i in 0..n {
-            let penalty: f32 = (0..d).map(|j| lambda[j] * inst.costs[i][j]).sum();
+        for (i, si) in sel.iter_mut().enumerate() {
+            let penalty: f32 = lambda.iter().zip(&inst.costs[i]).map(|(l, c)| l * c).sum();
             if inst.values[i] > penalty {
-                sel[i] = true;
+                *si = true;
             }
         }
         // Track the best feasible iterate.
         if inst.feasible(&sel) {
             let v = inst.value(&sel);
-            if best_sel.as_ref().map_or(true, |(bv, _)| v > *bv) {
+            if best_sel.as_ref().is_none_or(|(bv, _)| v > *bv) {
                 best_sel = Some((v, sel.clone()));
             }
         }
         // Subgradient: usage − limit per dimension.
         let step = 1.0 / (t as f32 + 1.0);
-        for j in 0..d {
+        for (j, l) in lambda.iter_mut().enumerate() {
             let used: f32 = (0..n).filter(|&i| sel[i]).map(|i| inst.costs[i][j]).sum();
             let slack = used - inst.limits[j];
             let scale = if inst.limits[j] > 0.0 { inst.limits[j] } else { 1.0 };
-            lambda[j] = (lambda[j] + step * slack / scale).max(0.0);
+            *l = (*l + step * slack / scale).max(0.0);
         }
     }
 
@@ -186,7 +184,8 @@ pub fn solve_mdkp_exact(inst: &MdkpInstance) -> Vec<bool> {
     // Order by density for tighter bounds.
     let mut order: Vec<usize> = (0..n).collect();
     let density = |i: usize| -> f32 {
-        let c: f32 = (0..d).map(|j| if inst.limits[j] > 0.0 { inst.costs[i][j] / inst.limits[j] } else { 0.0 }).sum();
+        let c: f32 =
+            (0..d).map(|j| if inst.limits[j] > 0.0 { inst.costs[i][j] / inst.limits[j] } else { 0.0 }).sum();
         if c <= 0.0 {
             f32::INFINITY
         } else {
@@ -219,14 +218,14 @@ pub fn solve_mdkp_exact(inst: &MdkpInstance) -> Vec<bool> {
         let d = s.inst.limits.len();
         // Include if it fits.
         if (0..d).all(|j| used[j] + s.inst.costs[i][j] <= s.inst.limits[j] * (1.0 + 1e-6)) {
-            for j in 0..d {
-                used[j] += s.inst.costs[i][j];
+            for (u, c) in used.iter_mut().zip(&s.inst.costs[i]) {
+                *u += c;
             }
             sel[i] = true;
             recurse(s, pos + 1, used, sel, val + s.inst.values[i]);
             sel[i] = false;
-            for j in 0..d {
-                used[j] -= s.inst.costs[i][j];
+            for (u, c) in used.iter_mut().zip(&s.inst.costs[i]) {
+                *u -= c;
             }
         }
         // Exclude.
@@ -268,11 +267,7 @@ mod tests {
     #[test]
     fn multi_dimensional_binding() {
         // Item 0 is cheap in dim 0 but expensive in dim 1.
-        let i = inst(
-            vec![5.0, 4.0],
-            vec![vec![1.0, 10.0], vec![1.0, 1.0]],
-            vec![10.0, 5.0],
-        );
+        let i = inst(vec![5.0, 4.0], vec![vec![1.0, 10.0], vec![1.0, 1.0]], vec![10.0, 5.0]);
         let sel = solve_mdkp_greedy(&i);
         assert!(i.feasible(&sel));
         // Only item 1 fits alongside nothing else in dim 1? item0 alone uses 10 > 5.
@@ -282,11 +277,7 @@ mod tests {
 
     #[test]
     fn exact_matches_brute_force_small() {
-        let i = inst(
-            vec![6.0, 10.0, 12.0],
-            vec![vec![1.0], vec![2.0], vec![3.0]],
-            vec![5.0],
-        );
+        let i = inst(vec![6.0, 10.0, 12.0], vec![vec![1.0], vec![2.0], vec![3.0]], vec![5.0]);
         let sel = solve_mdkp_exact(&i);
         // Optimal: items 1+2 = 22.
         assert_eq!(i.value(&sel), 22.0);

@@ -24,8 +24,15 @@ pub struct SimDevice {
 impl SimDevice {
     /// Builds a device, drawing its test set from the same distribution
     /// as its local data.
-    pub fn new(id: usize, partition: DevicePartition, resources: DeviceResources, mut rng: NebulaRng, synth: &Synthesizer) -> Self {
-        let test = synth.sample_classes(TEST_SAMPLES_PER_DEVICE, &partition.classes, partition.context, &mut rng);
+    pub fn new(
+        id: usize,
+        partition: DevicePartition,
+        resources: DeviceResources,
+        mut rng: NebulaRng,
+        synth: &Synthesizer,
+    ) -> Self {
+        let test =
+            synth.sample_classes(TEST_SAMPLES_PER_DEVICE, &partition.classes, partition.context, &mut rng);
         Self { id, partition, test, resources, rng }
     }
 

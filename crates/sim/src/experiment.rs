@@ -7,6 +7,7 @@
 //!   accuracy (comm bytes at target);
 //! * [`run_continuous`] — Figs 10–11: many drift slots, accuracy per slot.
 
+use crate::faults::RoundReport;
 use crate::network::CommTracker;
 use crate::strategy::AdaptStrategy;
 use crate::world::SimWorld;
@@ -46,6 +47,8 @@ pub struct AdaptationOutcome {
     /// Mean footprint across evaluated devices.
     pub mean_params: f64,
     pub mean_train_mem_bytes: f64,
+    /// Robustness accounting summed over the step's rounds.
+    pub faults: RoundReport,
 }
 
 /// Offline pre-train, one adaptation step, evaluate `eval_devices`.
@@ -80,6 +83,7 @@ pub fn run_adaptation_step(
         adapt_time_ms: report.adapt_time_ms,
         mean_params: params / n,
         mean_train_mem_bytes: mem / n,
+        faults: report.faults,
     }
 }
 
@@ -151,6 +155,8 @@ pub struct TargetOutcome {
     pub rounds: usize,
     pub comm_total_bytes: u64,
     pub final_accuracy: f32,
+    /// Robustness accounting summed over all rounds.
+    pub faults: RoundReport,
 }
 
 /// Runs collaborative rounds until mean eval accuracy reaches `target` (or
@@ -171,11 +177,13 @@ pub fn run_until_target(
     strategy.offline(world, &mut rng);
 
     let mut comm = CommTracker::new();
+    let mut faults = RoundReport::default();
     let mut rounds = 0;
     let mut acc = mean_accuracy(strategy, world, &eval_ids);
     while acc < target && rounds < max_rounds {
         let report = strategy.adaptation_step(world, &mut rng);
         comm.merge(&report.comm);
+        faults.merge(&report.faults);
         rounds += 1;
         if rounds % probe_every.max(1) == 0 || rounds == max_rounds {
             acc = mean_accuracy(strategy, world, &eval_ids);
@@ -187,6 +195,7 @@ pub fn run_until_target(
         rounds,
         comm_total_bytes: comm.total_bytes(),
         final_accuracy: acc,
+        faults,
     }
 }
 
@@ -198,6 +207,8 @@ pub struct ContinuousOutcome {
     pub accuracy_per_slot: Vec<f32>,
     /// Mean on-device adaptation time per slot, ms.
     pub mean_adapt_time_ms: f64,
+    /// Robustness accounting summed over all slots.
+    pub faults: RoundReport,
 }
 
 /// Runs `slots` drift steps; each slot the world drifts, the strategy
@@ -215,16 +226,19 @@ pub fn run_continuous(
 
     let mut acc_per_slot = Vec::with_capacity(slots);
     let mut time_sum = 0.0;
+    let mut faults = RoundReport::default();
     for _ in 0..slots {
         world.advance_slot();
         let report = strategy.adaptation_step(world, &mut rng);
         time_sum += report.adapt_time_ms;
+        faults.merge(&report.faults);
         acc_per_slot.push(mean_accuracy(strategy, world, &eval_ids));
     }
     ContinuousOutcome {
         strategy: strategy.name().to_string(),
         accuracy_per_slot: acc_per_slot,
         mean_adapt_time_ms: time_sum / slots.max(1) as f64,
+        faults,
     }
 }
 

@@ -1,0 +1,389 @@
+//! Fault injection for dynamic edge environments.
+//!
+//! Real edge deployments lose devices mid-round, wait on stragglers,
+//! retry over flaky links and occasionally receive garbage updates
+//! (OOM-killed trainers, fp16 overflow, bit-flips in transit). This
+//! module models those failure modes as a seeded [`FaultPlan`] attached
+//! to the [`SimWorld`](crate::world::SimWorld): every strategy that runs
+//! on the same world sees the *same* injected faults, so robustness
+//! comparisons are apples-to-apples.
+//!
+//! Determinism: each device's per-round [`DeviceFate`] is drawn from a
+//! dedicated RNG seeded by `hash(plan.seed, round, device)`. The world's
+//! main RNG stream is never consumed, so a [`FaultPlan::none`] run is
+//! bit-for-bit identical to a run without any fault plumbing.
+
+use nebula_core::ModuleUpdate;
+use nebula_tensor::NebulaRng;
+use serde::{Deserialize, Serialize};
+
+/// What kind of garbage a corrupted update carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Sparse NaNs poison the parameters (fp overflow / bit-flips).
+    NanPoison,
+    /// All parameters blown up by [`FaultPlan::explode_scale`]
+    /// (diverged local training).
+    Exploding,
+}
+
+/// Seeded description of the faults a population experiences.
+///
+/// All probabilities are per device per round. `none()` disables every
+/// fault and is the default on a fresh world.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault process, independent of the world seed.
+    pub seed: u64,
+    /// P(device never starts the round).
+    pub dropout_prob: f64,
+    /// P(device trains but crashes before uploading).
+    pub crash_prob: f64,
+    /// P(device straggles this round).
+    pub straggler_prob: f64,
+    /// Max compute slowdown of a straggler (draws uniform in `[1, this]`).
+    pub straggler_slowdown: f64,
+    /// P(device's link flakes: transfers retried, bandwidth collapses).
+    pub link_flake_prob: f64,
+    /// Bandwidth divisor while a link is flaky (≥ 1).
+    pub bandwidth_collapse: f64,
+    /// P(device's uploaded update is corrupted).
+    pub corrupt_prob: f64,
+    /// What corruption looks like.
+    pub corruption: CorruptionKind,
+    /// Multiplier for [`CorruptionKind::Exploding`].
+    pub explode_scale: f32,
+}
+
+impl FaultPlan {
+    /// No faults at all; runs are bit-identical to a fault-free build.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            dropout_prob: 0.0,
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            link_flake_prob: 0.0,
+            bandwidth_collapse: 1.0,
+            corrupt_prob: 0.0,
+            corruption: CorruptionKind::NanPoison,
+            explode_scale: 1e4,
+        }
+    }
+
+    /// Whether any fault can fire.
+    pub fn is_active(&self) -> bool {
+        self.dropout_prob > 0.0
+            || self.crash_prob > 0.0
+            || self.straggler_prob > 0.0
+            || self.link_flake_prob > 0.0
+            || self.corrupt_prob > 0.0
+    }
+
+    /// The deterministic fate of `device` in `round`.
+    ///
+    /// Uses a private RNG keyed by `(seed, round, device)`; repeated calls
+    /// return the same fate and nothing else observes the draw.
+    pub fn fate(&self, round: u64, device: usize) -> DeviceFate {
+        let mut rng = NebulaRng::seed(fate_seed(self.seed, round, device as u64));
+        // Fixed draw order so adding a fault kind later never reshuffles
+        // the fates of existing kinds.
+        let dropped = rng.bernoulli(self.dropout_prob);
+        let crashed = rng.bernoulli(self.crash_prob);
+        let straggler = rng.bernoulli(self.straggler_prob);
+        let slow_u = rng.uniform_f32(0.0, 1.0) as f64;
+        let flaky_link = rng.bernoulli(self.link_flake_prob);
+        let extra_attempts = rng.below(3) as u32 + 1;
+        let corrupt = rng.bernoulli(self.corrupt_prob);
+        DeviceFate {
+            dropped,
+            crashed,
+            straggler,
+            slowdown: if straggler { 1.0 + slow_u * (self.straggler_slowdown - 1.0).max(0.0) } else { 1.0 },
+            flaky_link,
+            bandwidth_factor: if flaky_link { 1.0 / self.bandwidth_collapse.max(1.0) } else { 1.0 },
+            upload_attempts: if flaky_link { 1 + extra_attempts } else { 1 },
+            corruption: if corrupt { Some(self.corruption) } else { None },
+        }
+    }
+}
+
+/// SplitMix64-style mix of (plan seed, round, device) into a fate seed.
+fn fate_seed(seed: u64, round: u64, device: u64) -> u64 {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ device.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One device's injected faults for one round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceFate {
+    /// Never starts the round (offline / battery / opted out).
+    pub dropped: bool,
+    /// Trains but dies before the upload lands.
+    pub crashed: bool,
+    /// Compute slowed this round.
+    pub straggler: bool,
+    /// Compute slowdown factor (1.0 when not straggling).
+    pub slowdown: f64,
+    /// Link flaky this round: transfers retried, bandwidth collapsed.
+    pub flaky_link: bool,
+    /// Multiplier on the device's bandwidth (1.0 when the link is clean).
+    pub bandwidth_factor: f64,
+    /// Attempts each transfer needs before it succeeds (1 = clean link).
+    pub upload_attempts: u32,
+    /// Corruption applied to the device's update, if any.
+    pub corruption: Option<CorruptionKind>,
+}
+
+impl DeviceFate {
+    /// A clean fate (what `FaultPlan::none()` always produces).
+    pub fn clean() -> Self {
+        Self {
+            dropped: false,
+            crashed: false,
+            straggler: false,
+            slowdown: 1.0,
+            flaky_link: false,
+            bandwidth_factor: 1.0,
+            upload_attempts: 1,
+            corruption: None,
+        }
+    }
+}
+
+/// Robust-orchestration knobs of the round loop (as opposed to the faults
+/// themselves): how long the server waits, how often it retries, how much
+/// it trusts late arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundPolicy {
+    /// Round deadline as a multiple of the median predicted participant
+    /// time (derived from the latency model). `None` waits forever —
+    /// the seed behaviour.
+    pub deadline_factor: Option<f64>,
+    /// Upload/download retries before the server gives a device up.
+    pub max_retries: u32,
+    /// Importance multiplier for accepted-but-late (straggler) updates.
+    pub staleness_discount: f32,
+    /// Base of the exponential retry backoff, milliseconds.
+    pub retry_backoff_base_ms: f64,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        Self { deadline_factor: None, max_retries: 2, staleness_discount: 0.5, retry_backoff_base_ms: 50.0 }
+    }
+}
+
+/// Exponential backoff before retry `attempt` (0-based): `base · 2^attempt`.
+pub fn backoff_ms(base_ms: f64, attempt: u32) -> f64 {
+    base_ms * 2f64.powi(attempt.min(16) as i32)
+}
+
+/// Per-round robustness accounting, summed over a step/run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Devices the server sampled.
+    pub sampled: u64,
+    /// Updates that arrived (before the sanitize gate).
+    pub participated: u64,
+    /// Never started (dropout).
+    pub dropped: u64,
+    /// Trained but crashed before uploading.
+    pub crashed: u64,
+    /// Dropped by the round deadline.
+    pub deadline_dropped: u64,
+    /// Dropped after exhausting link retries.
+    pub link_dropped: u64,
+    /// Updates rejected by the sanitize gate.
+    pub rejected: u64,
+    /// Extra transfer attempts (retries) over flaky links.
+    pub retried: u64,
+    /// Late arrivals accepted with discounted importance.
+    pub stale: u64,
+    /// Aggregations undone by the checkpoint guard.
+    pub rolled_back: u64,
+}
+
+impl RoundReport {
+    /// Sums another report into this one (saturating).
+    pub fn merge(&mut self, other: &RoundReport) {
+        self.sampled = self.sampled.saturating_add(other.sampled);
+        self.participated = self.participated.saturating_add(other.participated);
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.crashed = self.crashed.saturating_add(other.crashed);
+        self.deadline_dropped = self.deadline_dropped.saturating_add(other.deadline_dropped);
+        self.link_dropped = self.link_dropped.saturating_add(other.link_dropped);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.retried = self.retried.saturating_add(other.retried);
+        self.stale = self.stale.saturating_add(other.stale);
+        self.rolled_back = self.rolled_back.saturating_add(other.rolled_back);
+    }
+
+    /// All devices that missed the round, whatever the cause.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.crashed + self.deadline_dropped + self.link_dropped
+    }
+}
+
+/// Applies `kind` to a module update in place (what a corrupted upload
+/// looks like when it reaches the cloud).
+pub fn corrupt_module_update(update: &mut ModuleUpdate, kind: CorruptionKind, explode_scale: f32) {
+    match kind {
+        CorruptionKind::NanPoison => {
+            for params in update.module_params.values_mut() {
+                poison_sparse(params);
+            }
+            poison_sparse(&mut update.shared_params);
+        }
+        CorruptionKind::Exploding => {
+            for params in update.module_params.values_mut() {
+                for p in params.iter_mut() {
+                    *p *= explode_scale;
+                }
+            }
+            for p in update.shared_params.iter_mut() {
+                *p *= explode_scale;
+            }
+        }
+    }
+}
+
+/// Every 5th element → NaN: partial corruption, as a torn write would leave.
+fn poison_sparse(params: &mut [f32]) {
+    for p in params.iter_mut().step_by(5) {
+        *p = f32::NAN;
+    }
+}
+
+/// Folds `frac` corrupted contributions into an already-averaged dense
+/// parameter vector (FedAvg/HeteroFL have no per-update gate; a poisoned
+/// client poisons the mean itself).
+pub fn poison_dense_mean(params: &mut [f32], kind: CorruptionKind, explode_scale: f32, corrupt_frac: f32) {
+    if corrupt_frac <= 0.0 {
+        return;
+    }
+    match kind {
+        // Any NaN term makes the whole mean NaN.
+        CorruptionKind::NanPoison => {
+            for p in params.iter_mut() {
+                *p = f32::NAN;
+            }
+        }
+        // Mean of (1-frac) honest + frac exploded copies of the weights.
+        CorruptionKind::Exploding => {
+            let m = 1.0 + corrupt_frac * (explode_scale - 1.0);
+            for p in params.iter_mut() {
+                *p *= m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn plan(p: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            dropout_prob: p,
+            crash_prob: p,
+            straggler_prob: p,
+            straggler_slowdown: 8.0,
+            link_flake_prob: p,
+            bandwidth_collapse: 10.0,
+            corrupt_prob: p,
+            corruption: CorruptionKind::NanPoison,
+            explode_scale: 1e4,
+        }
+    }
+
+    #[test]
+    fn none_plan_yields_clean_fates() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        for round in 0..5 {
+            for dev in 0..20 {
+                assert_eq!(p.fate(round, dev), DeviceFate::clean());
+            }
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_vary_by_key() {
+        let p = plan(0.5);
+        assert_eq!(p.fate(3, 4), p.fate(3, 4));
+        let fates: Vec<DeviceFate> = (0..40).map(|d| p.fate(0, d)).collect();
+        // 40 devices at 50% rates: some of each outcome, not all equal.
+        assert!(fates.iter().any(|f| f.dropped));
+        assert!(fates.iter().any(|f| !f.dropped));
+        assert!(fates.iter().any(|f| f.corruption.is_some()));
+        // Different rounds reshuffle the fates.
+        let other: Vec<DeviceFate> = (0..40).map(|d| p.fate(1, d)).collect();
+        assert_ne!(fates, other);
+    }
+
+    #[test]
+    fn straggler_slowdown_in_range() {
+        let p = plan(1.0);
+        for d in 0..30 {
+            let f = p.fate(0, d);
+            assert!(f.straggler);
+            assert!(f.slowdown >= 1.0 && f.slowdown <= 8.0, "slowdown {}", f.slowdown);
+            assert!(f.upload_attempts >= 2 && f.upload_attempts <= 4);
+            assert!((f.bandwidth_factor - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        assert_eq!(backoff_ms(50.0, 0), 50.0);
+        assert_eq!(backoff_ms(50.0, 1), 100.0);
+        assert_eq!(backoff_ms(50.0, 3), 400.0);
+    }
+
+    #[test]
+    fn corruption_kinds_do_what_they_say() {
+        let mut u = ModuleUpdate {
+            spec: nebula_modular::SubModelSpec::new(vec![vec![0]]),
+            module_params: HashMap::from([((0, 0), vec![1.0f32; 10])]),
+            shared_params: vec![2.0f32; 10],
+            importance: vec![vec![1.0]],
+            data_volume: 10,
+        };
+        let mut exploded = u.clone();
+        corrupt_module_update(&mut u, CorruptionKind::NanPoison, 1e4);
+        assert!(u.module_params[&(0, 0)].iter().any(|p| p.is_nan()));
+        assert!(u.shared_params.iter().any(|p| p.is_nan()));
+        corrupt_module_update(&mut exploded, CorruptionKind::Exploding, 1e4);
+        assert!(exploded.shared_params.iter().all(|p| (*p - 2e4).abs() < 1.0));
+    }
+
+    #[test]
+    fn dense_poisoning_models_a_poisoned_mean() {
+        let mut p = vec![1.0f32; 8];
+        poison_dense_mean(&mut p, CorruptionKind::Exploding, 100.0, 0.0);
+        assert!(p.iter().all(|v| *v == 1.0), "zero fraction must be a no-op");
+        poison_dense_mean(&mut p, CorruptionKind::Exploding, 100.0, 0.5);
+        assert!(p.iter().all(|v| (*v - 50.5).abs() < 1e-3));
+        poison_dense_mean(&mut p, CorruptionKind::NanPoison, 100.0, 0.25);
+        assert!(p.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn report_merge_and_lost() {
+        let mut a =
+            RoundReport { sampled: 10, participated: 7, dropped: 2, crashed: 1, ..Default::default() };
+        let b =
+            RoundReport { sampled: 10, participated: 9, link_dropped: 1, retried: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.sampled, 20);
+        assert_eq!(a.participated, 16);
+        assert_eq!(a.retried, 3);
+        assert_eq!(a.lost(), 4);
+    }
+}

@@ -52,10 +52,7 @@ pub struct RoundParticipant {
 /// Wall-clock of a synchronous round: the server waits for the **slowest**
 /// participant (straggler effect), each of whom pays transfer + local
 /// training. Returns `(round_ms, straggler_index)`.
-pub fn synchronous_round_ms(
-    devices: &[&DeviceResources],
-    work: &[RoundParticipant],
-) -> (f64, usize) {
+pub fn synchronous_round_ms(devices: &[&DeviceResources], work: &[RoundParticipant]) -> (f64, usize) {
     assert_eq!(devices.len(), work.len(), "device/work length mismatch");
     assert!(!devices.is_empty(), "round with no participants");
     let mut worst = (0.0f64, 0usize);

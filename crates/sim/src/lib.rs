@@ -15,6 +15,9 @@
 //! * [`device`] — a simulated edge device: local data, held-out local
 //!   test set, resources, and the resource profile handed to Nebula's
 //!   derivation.
+//! * [`faults`] — seeded fault injection (dropout, crashes, stragglers,
+//!   flaky links, corrupted updates) and the robust-round policy/report
+//!   types every strategy shares.
 //! * [`world`] — the device population plus the drift process advancing
 //!   it through time slots.
 //! * [`strategy`] — the six adaptation systems behind Table 1 / Figs 7–11
@@ -25,6 +28,7 @@
 pub mod contention;
 pub mod device;
 pub mod experiment;
+pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod resources;
@@ -34,10 +38,11 @@ pub mod world;
 pub use contention::contention_multiplier;
 pub use device::SimDevice;
 pub use experiment::{AdaptationOutcome, ExperimentConfig};
+pub use faults::{CorruptionKind, DeviceFate, FaultPlan, RoundPolicy, RoundReport};
 pub use network::CommTracker;
 pub use resources::{DeviceClass, DeviceResources, ResourceSampler};
 pub use strategy::{
-    AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy,
-    NebulaStrategy, NebulaVariant, NoAdaptStrategy,
+    AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy, NebulaStrategy,
+    NebulaVariant, NoAdaptStrategy,
 };
 pub use world::SimWorld;

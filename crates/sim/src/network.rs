@@ -7,6 +7,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Byte-level communication tracker for one strategy run.
+///
+/// All counters use saturating arithmetic: a long-running (or
+/// fault-amplified) simulation clamps at `u64::MAX` instead of
+/// panicking in debug builds or silently wrapping in release.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommTracker {
     /// Cloud → edge bytes.
@@ -19,6 +23,10 @@ pub struct CommTracker {
     pub uploads: u64,
     /// Completed communication rounds.
     pub rounds: u64,
+    /// Extra transfer attempts over flaky links.
+    pub retries: u64,
+    /// Bytes re-sent by those retries (wasted traffic).
+    pub retry_bytes: u64,
 }
 
 impl CommTracker {
@@ -28,24 +36,30 @@ impl CommTracker {
 
     /// Records a cloud → edge payload.
     pub fn record_download(&mut self, bytes: u64) {
-        self.down_bytes += bytes;
-        self.downloads += 1;
+        self.down_bytes = self.down_bytes.saturating_add(bytes);
+        self.downloads = self.downloads.saturating_add(1);
     }
 
     /// Records an edge → cloud update.
     pub fn record_upload(&mut self, bytes: u64) {
-        self.up_bytes += bytes;
-        self.uploads += 1;
+        self.up_bytes = self.up_bytes.saturating_add(bytes);
+        self.uploads = self.uploads.saturating_add(1);
+    }
+
+    /// Records one failed transfer attempt that re-sent `bytes`.
+    pub fn record_retry(&mut self, bytes: u64) {
+        self.retry_bytes = self.retry_bytes.saturating_add(bytes);
+        self.retries = self.retries.saturating_add(1);
     }
 
     /// Marks the end of a communication round.
     pub fn end_round(&mut self) {
-        self.rounds += 1;
+        self.rounds = self.rounds.saturating_add(1);
     }
 
-    /// Total bytes in both directions.
+    /// Total bytes on the wire, including retry re-sends.
     pub fn total_bytes(&self) -> u64 {
-        self.down_bytes + self.up_bytes
+        self.down_bytes.saturating_add(self.up_bytes).saturating_add(self.retry_bytes)
     }
 
     /// Total in mebibytes (Fig. 7's unit for HAR) .
@@ -60,11 +74,13 @@ impl CommTracker {
 
     /// Merges another tracker into this one.
     pub fn merge(&mut self, other: &CommTracker) {
-        self.down_bytes += other.down_bytes;
-        self.up_bytes += other.up_bytes;
-        self.downloads += other.downloads;
-        self.uploads += other.uploads;
-        self.rounds += other.rounds;
+        self.down_bytes = self.down_bytes.saturating_add(other.down_bytes);
+        self.up_bytes = self.up_bytes.saturating_add(other.up_bytes);
+        self.downloads = self.downloads.saturating_add(other.downloads);
+        self.uploads = self.uploads.saturating_add(other.uploads);
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.retry_bytes = self.retry_bytes.saturating_add(other.retry_bytes);
     }
 }
 
@@ -100,11 +116,59 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = CommTracker { down_bytes: 1, up_bytes: 2, downloads: 1, uploads: 1, rounds: 1 };
-        let b = CommTracker { down_bytes: 10, up_bytes: 20, downloads: 2, uploads: 3, rounds: 4 };
+        let mut a = CommTracker {
+            down_bytes: 1,
+            up_bytes: 2,
+            downloads: 1,
+            uploads: 1,
+            rounds: 1,
+            ..Default::default()
+        };
+        let b = CommTracker {
+            down_bytes: 10,
+            up_bytes: 20,
+            downloads: 2,
+            uploads: 3,
+            rounds: 4,
+            retries: 2,
+            retry_bytes: 7,
+        };
         a.merge(&b);
         assert_eq!(a.down_bytes, 11);
         assert_eq!(a.rounds, 5);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.retry_bytes, 7);
+    }
+
+    #[test]
+    fn retries_count_as_wasted_traffic() {
+        let mut t = CommTracker::new();
+        t.record_download(100);
+        t.record_retry(100);
+        t.record_retry(100);
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.retry_bytes, 200);
+        assert_eq!(t.total_bytes(), 300);
+        // Retries are not successful exchanges.
+        assert_eq!(t.downloads, 1);
+        assert_eq!(t.uploads, 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut t = CommTracker { down_bytes: u64::MAX - 1, downloads: u64::MAX, ..Default::default() };
+        t.record_download(1000);
+        assert_eq!(t.down_bytes, u64::MAX);
+        assert_eq!(t.downloads, u64::MAX);
+        let big = CommTracker { up_bytes: u64::MAX, retry_bytes: u64::MAX, ..Default::default() };
+        t.merge(&big);
+        assert_eq!(t.up_bytes, u64::MAX);
+        assert_eq!(t.total_bytes(), u64::MAX);
+        t.end_round();
+        t.record_retry(u64::MAX);
+        t.record_upload(u64::MAX);
+        assert_eq!(t.retry_bytes, u64::MAX);
+        assert_eq!(t.up_bytes, u64::MAX);
     }
 
     #[test]

@@ -43,15 +43,8 @@ pub struct DeviceResources {
 
 /// RAM histogram from Fig. 2(a): bucket upper bounds in GB and their
 /// probabilities.
-const RAM_BUCKETS_GB: [(f32, f32); 7] = [
-    (2.0, 0.05),
-    (4.0, 0.30),
-    (6.0, 0.30),
-    (8.0, 0.15),
-    (10.0, 0.10),
-    (12.0, 0.07),
-    (16.0, 0.03),
-];
+const RAM_BUCKETS_GB: [(f32, f32); 7] =
+    [(2.0, 0.05), (4.0, 0.30), (6.0, 0.30), (8.0, 0.15), (10.0, 0.10), (12.0, 0.07), (16.0, 0.03)];
 
 /// Samples device populations with Fig. 2-shaped marginals.
 #[derive(Clone, Debug)]
@@ -69,7 +62,8 @@ impl Default for ResourceSampler {
 impl ResourceSampler {
     /// Draws one device.
     pub fn sample(&self, rng: &mut NebulaRng) -> DeviceResources {
-        let class = if rng.bernoulli(self.mobile_fraction) { DeviceClass::MobileSoc } else { DeviceClass::Iot };
+        let class =
+            if rng.bernoulli(self.mobile_fraction) { DeviceClass::MobileSoc } else { DeviceClass::Iot };
 
         // RAM bucket, uniform within the bucket.
         let weights: Vec<f32> = RAM_BUCKETS_GB.iter().map(|&(_, p)| p).collect();
@@ -96,14 +90,7 @@ impl ResourceSampler {
             DeviceClass::Iot => rng.uniform_f32(0.12, 0.4),
         };
 
-        DeviceResources {
-            class,
-            ram_bytes,
-            flops_per_sec,
-            bandwidth_bps,
-            budget_ratio,
-            background_procs: 0,
-        }
+        DeviceResources { class, ram_bytes, flops_per_sec, bandwidth_bps, budget_ratio, background_procs: 0 }
     }
 
     /// Draws a population of `n` devices from a forked stream.

@@ -16,6 +16,7 @@
 //! Nebula's edge clients — across time slots.
 
 use crate::device::SimDevice;
+use crate::faults::{backoff_ms, corrupt_module_update, poison_dense_mean, DeviceFate, RoundReport};
 use crate::latency::adaptation_latency_ms;
 use crate::network::{transfer_time_ms, CommTracker};
 use crate::world::SimWorld;
@@ -23,7 +24,7 @@ use nebula_baselines::{
     fedavg_round, heterofl_round, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::edge::update_bytes;
-use nebula_core::{EdgeClient, NebulaCloud, NebulaParams};
+use nebula_core::{discount_staleness, EdgeClient, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy};
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
 use nebula_nn::Layer;
@@ -37,6 +38,20 @@ pub struct StepReport {
     pub comm: CommTracker,
     /// Mean wall-clock of the on-device part per tracked device, ms.
     pub adapt_time_ms: f64,
+    /// Robustness accounting summed over the step's rounds.
+    pub faults: RoundReport,
+}
+
+/// What one collaborative round produced under the fault plan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundOutcome {
+    /// The round's communication (including retry re-sends).
+    pub comm: CommTracker,
+    /// Who participated, dropped, got rejected, retried.
+    pub report: RoundReport,
+    /// Predicted synchronous round wall-clock, ms (capped at the deadline
+    /// when one is set).
+    pub round_time_ms: f64,
 }
 
 /// Static resource footprint of the model a device runs (Figs 8–9).
@@ -125,6 +140,19 @@ fn mean_participant_latency_ms(
             + transfer_time_ms(exchange_bytes, dev.resources.bandwidth_bps);
     }
     total / samples as f64
+}
+
+/// Deadline for a round: `deadline_factor` × the median predicted
+/// participant time (the latency-model derivation of the robust loop).
+/// `None` when the policy sets no deadline or nobody started the round.
+fn round_deadline_ms(deadline_factor: Option<f64>, times: &[f64]) -> Option<f64> {
+    let f = deadline_factor?;
+    if times.is_empty() {
+        return None;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite participant times"));
+    Some(f * sorted[sorted.len() / 2])
 }
 
 fn dense_footprint(model: &DenseModel, ratio: f32) -> Footprint {
@@ -261,10 +289,7 @@ impl AdaptStrategy for LocalAdaptStrategy {
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
         let mut time_ms = 0.0;
         for &id in &self.tracked.clone() {
-            let model = self
-                .device_models
-                .entry(id)
-                .or_insert_with(|| self.base.deep_clone());
+            let model = self.device_models.entry(id).or_insert_with(|| self.base.deep_clone());
             let dev = &world.devices[id];
             let mut drng = rng.fork(id as u64);
             local_adapt(
@@ -286,6 +311,7 @@ impl AdaptStrategy for LocalAdaptStrategy {
         StepReport {
             comm: CommTracker::new(),
             adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
+            faults: RoundReport::default(),
         }
     }
 
@@ -345,10 +371,7 @@ impl AdaptStrategy for AdaptiveNetStrategy {
         let mut time_ms = 0.0;
         for &id in &self.tracked.clone() {
             let ratio = self.branch_for(&world.devices[id]);
-            let model = self
-                .device_models
-                .entry(id)
-                .or_insert_with(|| self.an.branch_model(ratio));
+            let model = self.device_models.entry(id).or_insert_with(|| self.an.branch_model(ratio));
             let dev = &world.devices[id];
             let mut drng = rng.fork(id as u64 ^ 0xA0A0);
             local_adapt(
@@ -370,6 +393,7 @@ impl AdaptStrategy for AdaptiveNetStrategy {
         StepReport {
             comm: CommTracker::new(),
             adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
+            faults: RoundReport::default(),
         }
     }
 
@@ -401,25 +425,112 @@ impl FedAvgStrategy {
         Self { cfg, server }
     }
 
-    /// One communication round (used by the rounds-to-target driver).
-    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+    /// One communication round (used by the rounds-to-target driver),
+    /// under the world's fault plan and round policy.
+    ///
+    /// FedAvg has no per-update gate: a corrupted client poisons the
+    /// averaged weights themselves ([`poison_dense_mean`]) — the contrast
+    /// the fault sweep measures against Nebula's sanitize gate.
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
         let ids = world.sample_participants(self.cfg.devices_per_round);
-        let data: Vec<&Dataset> = ids.iter().map(|&i| &world.devices[i].partition.data).collect();
-        let bytes = fedavg_round(
-            &mut self.server,
-            &data,
-            self.cfg.local_epochs,
-            self.cfg.batch_size,
-            self.cfg.local_lr,
-            rng,
-        );
+        let round = world.next_round_index();
+        let plan = world.faults;
+        let policy = world.policy;
         let mut comm = CommTracker::new();
-        comm.down_bytes = bytes / 2;
-        comm.up_bytes = bytes - bytes / 2;
-        comm.downloads = ids.len() as u64;
-        comm.uploads = ids.len() as u64;
+        let mut report = RoundReport { sampled: ids.len() as u64, ..Default::default() };
+        let payload_bytes = (self.server.param_count() * 4) as u64;
+        let flops = dense_forward_flops(&self.server);
+
+        let mut meta: Vec<(usize, DeviceFate, f64)> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let fate = plan.fate(round, id);
+            if fate.dropped {
+                report.dropped += 1;
+                continue;
+            }
+            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
+                for _ in 0..policy.max_retries {
+                    comm.record_retry(payload_bytes);
+                }
+                report.retried += policy.max_retries as u64;
+                report.link_dropped += 1;
+                continue;
+            }
+            let extra = fate.upload_attempts.saturating_sub(1);
+            let mut backoff = 0.0;
+            for attempt in 0..extra {
+                comm.record_retry(payload_bytes);
+                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
+            }
+            report.retried += extra as u64;
+            let dev = &world.devices[id];
+            let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
+            let time_ms = adaptation_latency_ms(
+                &dev.resources,
+                flops,
+                dev.volume(),
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+            ) * fate.slowdown
+                + transfer_time_ms(2 * payload_bytes + extra as u64 * payload_bytes, bw)
+                + backoff;
+            meta.push((id, fate, time_ms));
+        }
+
+        let times: Vec<f64> = meta.iter().map(|m| m.2).collect();
+        let deadline = round_deadline_ms(policy.deadline_factor, &times);
+        let mut trainers: Vec<usize> = Vec::with_capacity(meta.len());
+        let mut n_corrupt = 0usize;
+        let mut round_time_ms = 0.0f64;
+        for (id, fate, time_ms) in meta {
+            if let Some(d) = deadline {
+                if time_ms > d {
+                    report.deadline_dropped += 1;
+                    round_time_ms = round_time_ms.max(d);
+                    continue;
+                }
+            }
+            if fate.crashed {
+                // Received the global model, died before uploading.
+                comm.record_download(payload_bytes);
+                report.crashed += 1;
+                continue;
+            }
+            round_time_ms = round_time_ms.max(time_ms);
+            if fate.corruption.is_some() {
+                n_corrupt += 1;
+            }
+            trainers.push(id);
+        }
+        report.participated = trainers.len() as u64;
+
+        if !trainers.is_empty() {
+            let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
+            let bytes = fedavg_round(
+                &mut self.server,
+                &data,
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+                self.cfg.local_lr,
+                rng,
+            );
+            comm.down_bytes = comm.down_bytes.saturating_add(bytes / 2);
+            comm.up_bytes = comm.up_bytes.saturating_add(bytes - bytes / 2);
+            comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
+            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
+            if n_corrupt > 0 {
+                let mut params = self.server.param_vector();
+                poison_dense_mean(
+                    &mut params,
+                    plan.corruption,
+                    plan.explode_scale,
+                    n_corrupt as f32 / trainers.len() as f32,
+                );
+                self.server.load_param_vector(&params);
+            }
+        }
         comm.end_round();
-        comm
+        RoundOutcome { comm, report, round_time_ms }
     }
 }
 
@@ -448,17 +559,20 @@ impl AdaptStrategy for FedAvgStrategy {
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
         let mut comm = CommTracker::new();
-        let mut time_ms = 0.0;
+        let mut faults = RoundReport::default();
         for _ in 0..self.cfg.rounds_per_step {
-            comm.merge(&self.single_round(world, rng));
+            let out = self.single_round(world, rng);
+            comm.merge(&out.comm);
+            faults.merge(&out.report);
         }
         // Per-participant local-training + transfer latency, averaged over
         // an evenly-spaced device sample (a single device's hardware would
         // bias the estimate).
         let flops = dense_forward_flops(&self.server);
         let bytes = 2 * (self.server.param_count() * 4) as u64;
-        time_ms = mean_participant_latency_ms(world, flops, bytes, self.cfg.local_epochs, self.cfg.batch_size);
-        StepReport { comm, adapt_time_ms: time_ms }
+        let time_ms =
+            mean_participant_latency_ms(world, flops, bytes, self.cfg.local_epochs, self.cfg.batch_size);
+        StepReport { comm, adapt_time_ms: time_ms, faults }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -491,27 +605,114 @@ impl HeteroFlStrategy {
         ratio_for_budget(&self.server, budget)
     }
 
-    /// One communication round (used by the rounds-to-target driver).
-    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+    /// One communication round (used by the rounds-to-target driver),
+    /// under the world's fault plan and round policy.
+    ///
+    /// Like FedAvg, HeteroFL has no per-update gate: corrupted clients
+    /// poison the width-wise averaged weights ([`poison_dense_mean`]).
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
         let ids = world.sample_participants(self.cfg.devices_per_round);
-        let data: Vec<&Dataset> = ids.iter().map(|&i| &world.devices[i].partition.data).collect();
-        let ratios: Vec<f32> = ids.iter().map(|&i| self.ratio_for(&world.devices[i])).collect();
-        let bytes = heterofl_round(
-            &mut self.server,
-            &data,
-            &ratios,
-            self.cfg.local_epochs,
-            self.cfg.batch_size,
-            self.cfg.local_lr,
-            rng,
-        );
+        let round = world.next_round_index();
+        let plan = world.faults;
+        let policy = world.policy;
         let mut comm = CommTracker::new();
-        comm.down_bytes = bytes / 2;
-        comm.up_bytes = bytes - bytes / 2;
-        comm.downloads = ids.len() as u64;
-        comm.uploads = ids.len() as u64;
+        let mut report = RoundReport { sampled: ids.len() as u64, ..Default::default() };
+
+        let mut meta: Vec<(usize, DeviceFate, f64)> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let fate = plan.fate(round, id);
+            if fate.dropped {
+                report.dropped += 1;
+                continue;
+            }
+            let ratio = self.ratio_for(&world.devices[id]);
+            // Each device exchanges its own width-scaled sub-model.
+            let payload_bytes = (self.server.active_params(ratio) * 4) as u64;
+            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
+                for _ in 0..policy.max_retries {
+                    comm.record_retry(payload_bytes);
+                }
+                report.retried += policy.max_retries as u64;
+                report.link_dropped += 1;
+                continue;
+            }
+            let extra = fate.upload_attempts.saturating_sub(1);
+            let mut backoff = 0.0;
+            for attempt in 0..extra {
+                comm.record_retry(payload_bytes);
+                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
+            }
+            report.retried += extra as u64;
+            let dev = &world.devices[id];
+            let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
+            let time_ms = adaptation_latency_ms(
+                &dev.resources,
+                self.server.active_params(ratio) as u64,
+                dev.volume(),
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+            ) * fate.slowdown
+                + transfer_time_ms(2 * payload_bytes + extra as u64 * payload_bytes, bw)
+                + backoff;
+            meta.push((id, fate, time_ms));
+        }
+
+        let times: Vec<f64> = meta.iter().map(|m| m.2).collect();
+        let deadline = round_deadline_ms(policy.deadline_factor, &times);
+        let mut trainers: Vec<usize> = Vec::with_capacity(meta.len());
+        let mut n_corrupt = 0usize;
+        let mut round_time_ms = 0.0f64;
+        for (id, fate, time_ms) in meta {
+            if let Some(d) = deadline {
+                if time_ms > d {
+                    report.deadline_dropped += 1;
+                    round_time_ms = round_time_ms.max(d);
+                    continue;
+                }
+            }
+            if fate.crashed {
+                let ratio = self.ratio_for(&world.devices[id]);
+                comm.record_download((self.server.active_params(ratio) * 4) as u64);
+                report.crashed += 1;
+                continue;
+            }
+            round_time_ms = round_time_ms.max(time_ms);
+            if fate.corruption.is_some() {
+                n_corrupt += 1;
+            }
+            trainers.push(id);
+        }
+        report.participated = trainers.len() as u64;
+
+        if !trainers.is_empty() {
+            let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
+            let ratios: Vec<f32> = trainers.iter().map(|&i| self.ratio_for(&world.devices[i])).collect();
+            let bytes = heterofl_round(
+                &mut self.server,
+                &data,
+                &ratios,
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+                self.cfg.local_lr,
+                rng,
+            );
+            comm.down_bytes = comm.down_bytes.saturating_add(bytes / 2);
+            comm.up_bytes = comm.up_bytes.saturating_add(bytes - bytes / 2);
+            comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
+            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
+            if n_corrupt > 0 {
+                let mut params = self.server.param_vector();
+                poison_dense_mean(
+                    &mut params,
+                    plan.corruption,
+                    plan.explode_scale,
+                    n_corrupt as f32 / trainers.len() as f32,
+                );
+                self.server.load_param_vector(&params);
+            }
+        }
         comm.end_round();
-        comm
+        RoundOutcome { comm, report, round_time_ms }
     }
 }
 
@@ -540,8 +741,11 @@ impl AdaptStrategy for HeteroFlStrategy {
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
         let mut comm = CommTracker::new();
+        let mut faults = RoundReport::default();
         for _ in 0..self.cfg.rounds_per_step {
-            comm.merge(&self.single_round(world, rng));
+            let out = self.single_round(world, rng);
+            comm.merge(&out.comm);
+            faults.merge(&out.report);
         }
         // Mean over a device sample, each at its own width level.
         let mut time_ms = 0.0;
@@ -552,11 +756,19 @@ impl AdaptStrategy for HeteroFlStrategy {
             let dev = &world.devices[id];
             let ratio = self.ratio_for(dev);
             let flops = self.server.active_params(ratio) as u64;
-            time_ms += adaptation_latency_ms(&dev.resources, flops, dev.volume(), self.cfg.local_epochs, self.cfg.batch_size)
-                + transfer_time_ms(2 * (self.server.active_params(ratio) * 4) as u64, dev.resources.bandwidth_bps);
+            time_ms += adaptation_latency_ms(
+                &dev.resources,
+                flops,
+                dev.volume(),
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+            ) + transfer_time_ms(
+                2 * (self.server.active_params(ratio) * 4) as u64,
+                dev.resources.bandwidth_bps,
+            );
         }
         time_ms /= ids.len().max(1) as f64;
-        StepReport { comm, adapt_time_ms: time_ms }
+        StepReport { comm, adapt_time_ms: time_ms, faults }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -598,6 +810,11 @@ pub struct NebulaStrategy {
     clients: HashMap<usize, EdgeClient>,
     tracked: Vec<usize>,
     enhanced: bool,
+    /// Sanitize gate the cloud applies to every round's updates.
+    sanitize: SanitizePolicy,
+    /// Checkpoint-rollback guard: probe dataset + max tolerated accuracy
+    /// drop per aggregation. Off by default.
+    rollback: Option<(Dataset, f32)>,
 }
 
 impl NebulaStrategy {
@@ -612,7 +829,16 @@ impl NebulaStrategy {
         params.batch_size = cfg.batch_size;
         params.local_lr = cfg.local_lr;
         let cloud = NebulaCloud::new(cfg.modular.clone(), params, seed);
-        Self { cfg, cloud, variant, clients: HashMap::new(), tracked: Vec::new(), enhanced: false }
+        Self {
+            cfg,
+            cloud,
+            variant,
+            clients: HashMap::new(),
+            tracked: Vec::new(),
+            enhanced: false,
+            sanitize: SanitizePolicy::default(),
+            rollback: None,
+        }
     }
 
     /// Read access to the cloud (diagnostics, sub-model studies).
@@ -625,20 +851,50 @@ impl NebulaStrategy {
         &mut self.cloud
     }
 
+    /// Replaces the sanitize gate's policy (testing/ablation hook).
+    pub fn set_sanitize_policy(&mut self, policy: SanitizePolicy) {
+        self.sanitize = policy;
+    }
+
+    /// Arms the checkpoint-rollback guard: every aggregation is probed on
+    /// `probe` and undone if accuracy regresses by more than `max_drop`.
+    pub fn enable_rollback(&mut self, probe: Dataset, max_drop: f32) {
+        self.rollback = Some((probe, max_drop));
+    }
+
+    /// Disarms the rollback guard.
+    pub fn disable_rollback(&mut self) {
+        self.rollback = None;
+    }
+
     /// One collaborative round: sample devices, derive/dispatch/train/
-    /// aggregate. Returns the round's communication.
+    /// aggregate — under the world's fault plan and round policy.
     ///
     /// Derivation/dispatch happen sequentially (they read the shared cloud
     /// model); the expensive per-device local training runs in parallel
     /// with pre-forked RNG streams, so results are identical for any
-    /// rayon thread count.
-    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> CommTracker {
+    /// rayon thread count. Fault fates come from the plan's dedicated RNG,
+    /// so with [`crate::faults::FaultPlan::none`] this round is bit-for-bit
+    /// identical to a fault-free build.
+    pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
         use rayon::prelude::*;
 
         let ids = world.sample_participants(self.cfg.devices_per_round);
+        let round = world.next_round_index();
+        let plan = world.faults;
+        let policy = world.policy;
         let mut comm = CommTracker::new();
+        let mut report = RoundReport { sampled: ids.len() as u64, ..Default::default() };
+
+        // Sequential phase: fates, derivation, dispatch, downloads.
         let mut jobs = Vec::with_capacity(ids.len());
+        let mut meta: Vec<(DeviceFate, f64)> = Vec::with_capacity(ids.len());
         for &id in &ids {
+            let fate = plan.fate(round, id);
+            if fate.dropped {
+                report.dropped += 1;
+                continue;
+            }
             let (profile, local);
             {
                 let dev = &world.devices[id];
@@ -647,12 +903,45 @@ impl NebulaStrategy {
             }
             let outcome = self.cloud.derive_for_data(&local, &profile, None);
             let payload = self.cloud.dispatch(&outcome.spec);
-            comm.record_download(payload.bytes());
+            let bytes = payload.bytes();
+            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
+                // Retries exhausted: the device never joins the round.
+                for _ in 0..policy.max_retries {
+                    comm.record_retry(bytes);
+                }
+                report.retried += policy.max_retries as u64;
+                report.link_dropped += 1;
+                continue;
+            }
+            comm.record_download(bytes);
+            let extra = fate.upload_attempts.saturating_sub(1);
+            let mut backoff = 0.0;
+            for attempt in 0..extra {
+                comm.record_retry(bytes);
+                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
+            }
+            report.retried += extra as u64;
+            // Predicted participant wall-clock: local training under the
+            // injected slowdown, plus transfers (and retry re-sends) over
+            // the possibly-collapsed link, plus backoff waits.
+            let flops = self.cloud.cost_model().submodel(&outcome.spec).flops;
+            let dev = &world.devices[id];
+            let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
+            let time_ms = adaptation_latency_ms(
+                &dev.resources,
+                flops,
+                local.len(),
+                self.cfg.local_epochs,
+                self.cfg.batch_size,
+            ) * fate.slowdown
+                + transfer_time_ms(2 * bytes + extra as u64 * bytes, bw)
+                + backoff;
+            meta.push((fate, time_ms));
             jobs.push((payload, local, rng.fork(id as u64 ^ 0xEB)));
         }
 
         let cfg = &self.cfg;
-        let updates: Vec<_> = jobs
+        let updates: Vec<EdgeUpdate> = jobs
             .into_par_iter()
             .map(|(payload, local, mut drng)| {
                 let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
@@ -660,12 +949,59 @@ impl NebulaStrategy {
                 client.make_update(&local)
             })
             .collect();
-        for update in &updates {
-            comm.record_upload(update_bytes(update));
+
+        // Round deadline from the latency model; stragglers past it drop.
+        let times: Vec<f64> = meta.iter().map(|m| m.1).collect();
+        let deadline = round_deadline_ms(policy.deadline_factor, &times);
+        let mut accepted: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
+        let mut round_time_ms = 0.0f64;
+        for (mut update, (fate, time_ms)) in updates.into_iter().zip(meta) {
+            if let Some(d) = deadline {
+                if time_ms > d {
+                    report.deadline_dropped += 1;
+                    round_time_ms = round_time_ms.max(d);
+                    continue;
+                }
+            }
+            if fate.crashed {
+                // Trained, but died before the upload landed.
+                report.crashed += 1;
+                continue;
+            }
+            round_time_ms = round_time_ms.max(time_ms);
+            if let Some(kind) = fate.corruption {
+                corrupt_module_update(&mut update, kind, plan.explode_scale);
+            }
+            comm.record_upload(update_bytes(&update));
+            if fate.straggler {
+                // Late but within the deadline: accepted at a discount.
+                discount_staleness(&mut update, policy.staleness_discount);
+                report.stale += 1;
+            }
+            accepted.push(update);
         }
-        self.cloud.aggregate(&updates);
+        report.participated = accepted.len() as u64;
+
+        // Aggregate behind the sanitize gate, optionally under the
+        // checkpoint-rollback guard.
+        let outcome = match &self.rollback {
+            Some((probe, max_drop)) => {
+                let out = self.cloud.aggregate_guarded(
+                    &accepted,
+                    &self.sanitize,
+                    |m| nebula_data::evaluate_accuracy(m, probe, 64),
+                    *max_drop,
+                );
+                if out.rolled_back {
+                    report.rolled_back += 1;
+                }
+                nebula_core::AggregateOutcome { touched: out.touched, sanitize: out.sanitize }
+            }
+            None => self.cloud.aggregate_robust(&accepted, &self.sanitize),
+        };
+        report.rejected += outcome.sanitize.rejected() as u64;
         comm.end_round();
-        comm
+        RoundOutcome { comm, report, round_time_ms }
     }
 
     /// Refreshes (or creates) the tracked device's client from the cloud:
@@ -710,11 +1046,14 @@ impl AdaptStrategy for NebulaStrategy {
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
         let mut comm = CommTracker::new();
+        let mut faults = RoundReport::default();
 
         // Edge-cloud collaborative rounds (skipped by the w/o-cloud variant).
         if self.variant != NebulaVariant::NoCloud {
             for _ in 0..self.cfg.rounds_per_step {
-                comm.merge(&self.single_round(world, rng));
+                let out = self.single_round(world, rng);
+                comm.merge(&out.comm);
+                faults.merge(&out.report);
             }
         }
 
@@ -736,7 +1075,13 @@ impl AdaptStrategy for NebulaStrategy {
                 let local = world.devices[id].partition.data.clone();
                 let client = self.clients.get_mut(&id).expect("tracked client exists");
                 let mut drng = rng.fork(id as u64 ^ 0xF00D);
-                client.adapt(&local, self.cfg.local_epochs, self.cfg.batch_size, self.cfg.local_lr, &mut drng);
+                client.adapt(
+                    &local,
+                    self.cfg.local_epochs,
+                    self.cfg.batch_size,
+                    self.cfg.local_lr,
+                    &mut drng,
+                );
                 let spec_cost = self.cloud.cost_model().submodel(client.spec());
                 let dev = &world.devices[id];
                 time_ms += adaptation_latency_ms(
@@ -749,10 +1094,7 @@ impl AdaptStrategy for NebulaStrategy {
             }
         }
 
-        StepReport {
-            comm,
-            adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
-        }
+        StepReport { comm, adapt_time_ms: time_ms / self.tracked.len().max(1) as f64, faults }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {

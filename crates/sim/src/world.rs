@@ -2,6 +2,7 @@
 //! the drift process that advances it through time slots.
 
 use crate::device::SimDevice;
+use crate::faults::{DeviceFate, FaultPlan, RoundPolicy};
 use crate::resources::ResourceSampler;
 use nebula_data::partition::{cooccurrence_groups, partition, PartitionSpec, Partitioner};
 use nebula_data::{Dataset, DriftModel, Synthesizer};
@@ -20,6 +21,14 @@ pub struct SimWorld {
     rng: NebulaRng,
     /// Time slots advanced so far.
     pub slot: usize,
+    /// Faults injected into every strategy that runs on this world.
+    /// Defaults to [`FaultPlan::none`], which is bit-identical to a
+    /// fault-free build.
+    pub faults: FaultPlan,
+    /// Robust-round orchestration knobs (deadline, retries, staleness).
+    pub policy: RoundPolicy,
+    /// Communication rounds started on this world (fault-fate key).
+    rounds_started: u64,
 }
 
 impl SimWorld {
@@ -44,7 +53,18 @@ impl SimWorld {
                 SimDevice::new(id, p, h, drng, &synth)
             })
             .collect();
-        Self { synth, devices, drift, group_seed, partition_spec, rng, slot: 0 }
+        Self {
+            synth,
+            devices,
+            drift,
+            group_seed,
+            partition_spec,
+            rng,
+            slot: 0,
+            faults: FaultPlan::none(),
+            policy: RoundPolicy::default(),
+            rounds_started: 0,
+        }
     }
 
     /// Builds the paper's real-world testbed population (Fig. 6): 10
@@ -88,7 +108,43 @@ impl SimWorld {
                 SimDevice::new(id, p, hw(class), drng, &synth)
             })
             .collect();
-        Self { synth, devices, drift, group_seed, partition_spec, rng, slot: 0 }
+        Self {
+            synth,
+            devices,
+            drift,
+            group_seed,
+            partition_spec,
+            rng,
+            slot: 0,
+            faults: FaultPlan::none(),
+            policy: RoundPolicy::default(),
+            rounds_started: 0,
+        }
+    }
+
+    /// Installs a fault plan; every strategy run on this world afterwards
+    /// experiences the same injected faults.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Installs the robust-round policy (deadline, retries, staleness).
+    pub fn set_round_policy(&mut self, policy: RoundPolicy) {
+        self.policy = policy;
+    }
+
+    /// The index of the next communication round, advancing the counter.
+    /// Strategies call this once per round so fault fates are keyed by a
+    /// stable `(plan seed, round, device)` triple.
+    pub fn next_round_index(&mut self) -> u64 {
+        let r = self.rounds_started;
+        self.rounds_started = self.rounds_started.saturating_add(1);
+        r
+    }
+
+    /// The injected fate of `device` in `round` under the current plan.
+    pub fn fate(&self, round: u64, device: usize) -> DeviceFate {
+        self.faults.fate(round, device)
     }
 
     /// Number of devices.
@@ -141,9 +197,7 @@ impl SimWorld {
             }
             Partitioner::FeatureSkew => {
                 let contexts = self.synth.spec().contexts;
-                (0..contexts)
-                    .map(|ctx| self.synth.sample(samples_per_task, ctx, &mut self.rng))
-                    .collect()
+                (0..contexts).map(|ctx| self.synth.sample(samples_per_task, ctx, &mut self.rng)).collect()
             }
             Partitioner::Iid | Partitioner::Dirichlet { .. } | Partitioner::QuantitySkew { .. } => {
                 let m = (classes / 4).max(1);

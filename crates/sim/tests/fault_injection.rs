@@ -1,0 +1,173 @@
+//! End-to-end fault-injection tests: the robust round loop under dropout,
+//! corruption, stragglers and flaky links, plus the bit-identity guarantee
+//! of `FaultPlan::none()`.
+
+use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+use nebula_modular::ModularConfig;
+use nebula_nn::Layer;
+use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::{
+    AdaptStrategy, CorruptionKind, FaultPlan, FedAvgStrategy, NebulaStrategy, ResourceSampler, RoundPolicy,
+    RoundReport, SimWorld,
+};
+use nebula_tensor::NebulaRng;
+
+fn toy_world(devices: usize, seed: u64) -> SimWorld {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m: 2 });
+    SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), seed)
+}
+
+fn toy_cfg(devices_per_round: usize) -> StrategyConfig {
+    let mut modular = ModularConfig::toy(16, 4);
+    modular.gate_noise_std = 0.3;
+    let mut cfg = StrategyConfig::new(modular);
+    cfg.devices_per_round = devices_per_round;
+    cfg.rounds_per_step = 2;
+    cfg.pretrain_epochs = 2;
+    cfg.proxy_samples = 200;
+    cfg
+}
+
+fn faulty_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 41,
+        dropout_prob: 0.3,
+        corrupt_prob: 0.3,
+        corruption: CorruptionKind::NanPoison,
+        ..FaultPlan::none()
+    }
+}
+
+/// `sampled` must be fully accounted for by the participation/loss counters.
+fn assert_conserved(r: &RoundReport) {
+    assert_eq!(
+        r.sampled,
+        r.participated + r.dropped + r.crashed + r.deadline_dropped + r.link_dropped,
+        "unaccounted devices: {r:?}"
+    );
+}
+
+/// Installing `FaultPlan::none()` + the default policy must be bit-for-bit
+/// identical to never touching the fault APIs at all.
+#[test]
+fn none_plan_is_bit_identical_to_untouched_world() {
+    let run = |install: bool| {
+        let mut world = toy_world(8, 5);
+        if install {
+            world.set_fault_plan(FaultPlan::none());
+            world.set_round_policy(RoundPolicy::default());
+        }
+        let mut s = NebulaStrategy::new(toy_cfg(4), 1);
+        let mut rng = NebulaRng::seed(3);
+        let mut comms = Vec::new();
+        for _ in 0..3 {
+            let out = s.single_round(&mut world, &mut rng);
+            assert_eq!(out.report.lost(), 0);
+            assert_eq!(out.report.rejected, 0);
+            comms.push(out.comm);
+        }
+        (s.cloud().model().param_vector(), comms)
+    };
+    let (params_a, comms_a) = run(false);
+    let (params_b, comms_b) = run(true);
+    assert_eq!(comms_a, comms_b);
+    assert_eq!(params_a.len(), params_b.len());
+    for (i, (a, b)) in params_a.iter().zip(&params_b).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "param {i} differs: {a} vs {b}");
+    }
+}
+
+/// Under 30% dropout + NaN-corrupted updates every round still completes,
+/// every corrupted update is rejected, and the cloud model stays finite.
+#[test]
+fn nebula_survives_dropout_and_corruption() {
+    let mut world = toy_world(16, 5);
+    world.set_fault_plan(faulty_plan());
+    let mut s = NebulaStrategy::new(toy_cfg(8), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut total = RoundReport::default();
+    for _ in 0..6 {
+        let out = s.single_round(&mut world, &mut rng);
+        assert_conserved(&out.report);
+        total.merge(&out.report);
+    }
+    assert!(total.dropped > 0, "30% dropout never fired: {total:?}");
+    assert!(total.rejected > 0, "corrupted updates never rejected: {total:?}");
+    assert!(total.participated > 0, "nobody ever participated: {total:?}");
+    assert!(
+        s.cloud().model().param_vector().iter().all(|p| p.is_finite()),
+        "NaN leaked through the sanitize gate"
+    );
+}
+
+/// The same corruption poisons FedAvg's global model: the baselines have
+/// no per-update gate, which is exactly the contrast the sweep measures.
+#[test]
+fn fedavg_has_no_gate_and_gets_poisoned() {
+    let mut world = toy_world(16, 5);
+    world.set_fault_plan(FaultPlan { corrupt_prob: 1.0, ..faulty_plan() });
+    let mut s = FedAvgStrategy::new(toy_cfg(8), 1);
+    let mut rng = NebulaRng::seed(3);
+    let out = s.single_round(&mut world, &mut rng);
+    assert!(out.report.participated > 0);
+    // The poisoned server is what every device now evaluates.
+    let acc = s.device_accuracy(&mut world, 0);
+    assert!(acc.is_nan() || acc <= 0.5, "poisoned FedAvg still accurate: {acc}");
+}
+
+/// A deadline derived from the latency model drops extreme stragglers.
+#[test]
+fn deadline_drops_stragglers() {
+    let mut world = toy_world(20, 5);
+    world.set_fault_plan(FaultPlan {
+        seed: 7,
+        straggler_prob: 0.4,
+        straggler_slowdown: 200.0,
+        ..FaultPlan::none()
+    });
+    world.set_round_policy(RoundPolicy { deadline_factor: Some(3.0), ..RoundPolicy::default() });
+    let mut s = NebulaStrategy::new(toy_cfg(10), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut total = RoundReport::default();
+    let mut capped_rounds = 0;
+    for _ in 0..4 {
+        let out = s.single_round(&mut world, &mut rng);
+        assert_conserved(&out.report);
+        if out.report.deadline_dropped > 0 {
+            capped_rounds += 1;
+        }
+        assert!(out.round_time_ms.is_finite());
+        total.merge(&out.report);
+    }
+    assert!(total.deadline_dropped > 0, "no straggler ever hit the deadline: {total:?}");
+    assert!(capped_rounds > 0);
+    assert!(total.participated > 0, "deadline starved every round: {total:?}");
+}
+
+/// Flaky links cost retries (and wasted retry bytes); links whose retry
+/// budget runs out drop the device.
+#[test]
+fn flaky_links_account_retries() {
+    let mut world = toy_world(16, 5);
+    world.set_fault_plan(FaultPlan {
+        seed: 13,
+        link_flake_prob: 0.8,
+        bandwidth_collapse: 10.0,
+        ..FaultPlan::none()
+    });
+    let mut s = NebulaStrategy::new(toy_cfg(8), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut comm = nebula_sim::CommTracker::new();
+    let mut total = RoundReport::default();
+    for _ in 0..4 {
+        let out = s.single_round(&mut world, &mut rng);
+        assert_conserved(&out.report);
+        comm.merge(&out.comm);
+        total.merge(&out.report);
+    }
+    assert!(comm.retries > 0, "no retries recorded: {comm:?}");
+    assert!(comm.retry_bytes > 0);
+    assert_eq!(comm.retries, total.retried);
+    assert!(comm.total_bytes() > comm.down_bytes + comm.up_bytes, "retry bytes not wasted traffic");
+}

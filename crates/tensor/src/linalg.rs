@@ -52,10 +52,7 @@ impl Tensor {
         };
 
         if work >= PAR_THRESHOLD {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, orow)| body(i, orow));
+            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
         } else {
             for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
                 body(i, orow);
@@ -89,10 +86,7 @@ impl Tensor {
         };
 
         if work >= PAR_THRESHOLD {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, orow)| body(i, orow));
+            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
         } else {
             for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
                 body(i, orow);
@@ -132,10 +126,7 @@ impl Tensor {
         };
 
         if work >= PAR_THRESHOLD {
-            out.data_mut()
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, orow)| body(i, orow));
+            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
         } else {
             for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
                 body(i, orow);

@@ -73,13 +73,14 @@ impl Tensor {
 
     /// Combines two same-shape tensors element-wise with `f`.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "zip shape mismatch: {:?} vs {:?}", self.shape(), other.shape());
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)).collect();
         Tensor::from_vec(data, self.shape())
     }
 

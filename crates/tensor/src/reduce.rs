@@ -151,10 +151,7 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     // Full sort keeps determinism trivial; N ≤ 64 in all Nebula configs so
     // a partial selection would not be measurably faster.
     idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     idx.truncate(k);
     idx

@@ -38,11 +38,8 @@ fn main() {
 
     // A compromised device pushes an update trained on mislabelled data.
     let clean = synth.sample_classes(150, &[0, 1], 0, &mut rng);
-    let poisoned = Dataset::new(
-        clean.features().clone(),
-        clean.labels().iter().map(|&c| (c + 5) % 10).collect(),
-        10,
-    );
+    let poisoned =
+        Dataset::new(clean.features().clone(), clean.labels().iter().map(|&c| (c + 5) % 10).collect(), 10);
     let outcome = cloud.derive_for_data(&poisoned, &ResourceProfile::unconstrained(), Some(6));
     let payload = cloud.dispatch(&outcome.spec);
     let mut bad_client = EdgeClient::from_payload(cloud.model().config().clone(), &payload);

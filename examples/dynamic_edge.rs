@@ -37,10 +37,8 @@ fn main() {
     println!("(each slot a device's visible class group can change entirely)\n");
 
     let mut lines = Vec::new();
-    let strategies: Vec<Box<dyn AdaptStrategy>> = vec![
-        Box::new(NoAdaptStrategy::new(cfg.clone(), 1)),
-        Box::new(NebulaStrategy::new(cfg.clone(), 1)),
-    ];
+    let strategies: Vec<Box<dyn AdaptStrategy>> =
+        vec![Box::new(NoAdaptStrategy::new(cfg.clone(), 1)), Box::new(NebulaStrategy::new(cfg.clone(), 1))];
     for mut s in strategies {
         let mut w = world(5);
         let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 4, seed: 3 }, slots);

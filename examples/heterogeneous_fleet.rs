@@ -11,9 +11,9 @@
 
 use nebula::core::{EdgeClient, NebulaCloud, NebulaParams};
 use nebula::data::{Synthesizer, TaskPreset};
+use nebula::sim::device::TEST_SAMPLES_PER_DEVICE;
 use nebula::sim::latency::{synchronous_round_ms, training_batch_latency_ms, RoundParticipant};
 use nebula::sim::{DeviceClass, ResourceSampler, SimDevice};
-use nebula::sim::device::TEST_SAMPLES_PER_DEVICE;
 use nebula::tensor::NebulaRng;
 
 fn main() {

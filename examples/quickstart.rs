@@ -33,10 +33,7 @@ fn main() {
 
     // Sub-tasks: the class groups that co-occur on devices (m = 2).
     let groups = partition::cooccurrence_groups(task.classes(), 2, 9);
-    let subtasks: Vec<_> = groups
-        .iter()
-        .map(|g| synth.sample_classes(150, g, 0, &mut rng))
-        .collect();
+    let subtasks: Vec<_> = groups.iter().map(|g| synth.sample_classes(150, g, 0, &mut rng)).collect();
     println!("ability-enhancing over {} sub-tasks…", subtasks.len());
     cloud.enhance(&subtasks, &mut rng);
 

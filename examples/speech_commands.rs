@@ -8,9 +8,9 @@
 //!
 //! Run: `cargo run --release --example speech_commands`
 
-use nebula::data::{PartitionSpec, Partitioner, Synthesizer, TaskPreset};
 use nebula::data::drift::DriftKind;
 use nebula::data::DriftModel;
+use nebula::data::{PartitionSpec, Partitioner, Synthesizer, TaskPreset};
 use nebula::sim::experiment::{run_continuous, ExperimentConfig};
 use nebula::sim::strategy::{AdaptStrategy, StrategyConfig};
 use nebula::sim::{LocalAdaptStrategy, NebulaStrategy, NebulaVariant, ResourceSampler, SimWorld};

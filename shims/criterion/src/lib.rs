@@ -1,0 +1,177 @@
+//! Offline stand-in for the criterion API surface this workspace uses.
+//!
+//! Each benchmark runs a short fixed schedule (one warm-up iteration,
+//! then a handful of timed ones) and prints the mean per-iteration time.
+//! There is no statistical analysis, HTML report, or CLI filtering —
+//! the point is that `cargo test` / `cargo bench` complete quickly and
+//! the relative numbers remain comparable within one run.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 1;
+const TIMED_ITERS: u64 = 5;
+
+/// Identity function the optimizer must assume has side effects.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; irrelevant to the shim's
+/// fixed schedule but accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark label within a group (`from_parameter(512)` → "512").
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, p: P) -> Self {
+        Self { id: format!("{}/{}", function.into(), p) }
+    }
+}
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim's schedule is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        b.report(&self.name, id);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure; collects total time and iteration count.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = TIMED_ITERS;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input));
+        let mut total = Duration::ZERO;
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = TIMED_ITERS;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.elapsed / self.iters as u32;
+        println!("{group}/{id}: {per_iter:?}/iter over {} iters", self.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim/self_test");
+        group.sample_size(10);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| vec![0u8; n]);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u32; 100], |v| v.iter().sum::<u32>(), BatchSize::LargeInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(self_benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        self_benches();
+    }
+}

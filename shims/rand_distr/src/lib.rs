@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of `rand_distr` this workspace uses:
+//! [`Normal`], [`LogNormal`] and the [`Distribution`] trait.
+//!
+//! Gaussian draws use Box–Muller over the shim `rand` source; each
+//! `sample` consumes exactly two `u64`s, keeping streams deterministic.
+//! `Normal<T>` is generic over [`Float`] so `Normal::new(0.0f32, 1.0)`
+//! infers `T` exactly like upstream.
+
+use rand::RngCore;
+
+/// A value sampleable from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters (non-finite or negative scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError;
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The float operations the distributions need, implemented for
+/// `f32`/`f64` so the structs can stay generic.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(x: f64) -> Self;
+    fn zero() -> Self;
+    fn is_finite_val(self) -> bool;
+    fn mul_add_val(self, a: Self, b: Self) -> Self;
+    fn exp_val(self) -> Self;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn zero() -> Self {
+        0.0
+    }
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+    fn mul_add_val(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    fn exp_val(self) -> Self {
+        self.exp()
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn zero() -> Self {
+        0.0
+    }
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+    fn mul_add_val(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    fn exp_val(self) -> Self {
+        self.exp()
+    }
+}
+
+/// Gaussian distribution `N(mean, std_dev²)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl<T: Float> Normal<T> {
+    pub fn new(mean: T, std_dev: T) -> Result<Self, ParamError> {
+        if !mean.is_finite_val() || !std_dev.is_finite_val() || std_dev < T::zero() {
+            return Err(ParamError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<T: Float> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.std_dev.mul_add_val(T::from_f64(standard_normal(rng)), self.mean)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<T> {
+    norm: Normal<T>,
+}
+
+impl<T: Float> LogNormal<T> {
+    pub fn new(mu: T, sigma: T) -> Result<Self, ParamError> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl<T: Float> Distribution<T> for LogNormal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.norm.sample(rng).exp_val()
+    }
+}
+
+/// One standard-normal draw via Box–Muller (cos branch), always consuming
+/// exactly two raw `u64`s.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1]: shift the 53-bit mantissa draw away from zero so the
+    // log is finite.
+    let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(2.0f64, 0.5).unwrap();
+        let n = 40_000;
+        let draws: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_is_constant_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0f32, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0f32, f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0f64, 0.25).unwrap();
+        let n = 40_000;
+        let mean_log = (0..n).map(|_| d.sample(&mut rng).ln()).sum::<f64>() / n as f64;
+        assert!(mean_log.abs() < 0.01, "log-mean {mean_log}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for the rayon parallel-iterator API surface this
+//! workspace uses (`par_iter`, `into_par_iter`, `par_chunks_mut`).
+//!
+//! Every `par_*` call returns the corresponding **sequential** std
+//! iterator, so downstream `.zip(..).map(..).collect()` chains compile
+//! unchanged. The workspace already forks per-device RNG streams before
+//! entering parallel sections precisely so results do not depend on the
+//! thread count — a thread count of one is therefore observationally
+//! identical, and on this single-core build host it costs nothing.
+
+pub mod prelude {
+    /// `par_iter` / `par_chunks_mut` on slices (and anything derefing to
+    /// a slice, e.g. `Vec`).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_like_std() {
+        let xs = [1u32, 2, 3];
+        let ys = vec![10u32, 20, 30];
+        let sums: Vec<u32> = xs.par_iter().zip(ys).map(|(a, b)| a + b).collect();
+        assert_eq!(sums, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v: Vec<String> = vec!["a".into(), "b".into()];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut data = vec![0f32; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, row)| {
+            for v in row {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(data, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

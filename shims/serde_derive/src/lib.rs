@@ -1,0 +1,313 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked directly and the impl is emitted as a string.
+//! Supported shapes — which cover every derived type in this workspace:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]`;
+//! * enums whose variants are unit (`Iot`) or newtype (`Custom(String)`).
+//!
+//! Anything else (tuple structs, generics, struct variants) is rejected
+//! with a compile error naming the limitation, so a future use fails
+//! loudly instead of mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(inner))]),\n",
+                        v = v.name
+                    )),
+                    n => {
+                        return compile_error(&format!(
+                            "serde shim derive: variant {}::{} has {n} fields; only unit and \
+                             newtype variants are supported",
+                            name, v.name
+                        ))
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    code.parse().expect("derive(Serialize) emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields[..] {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::from_field(v, \"{name}\", \"{n}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 Ok(Self {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match v.arity {
+                    0 => unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name)),
+                    1 => payload_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    n => {
+                        return compile_error(&format!(
+                            "serde shim derive: variant {}::{} has {n} fields; only unit and \
+                             newtype variants are supported",
+                            name, v.name
+                        ))
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::String(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 if let Some((key, inner)) = ::serde::variant_payload(v) {{\n\
+                 let _ = inner;\n\
+                 match key {{\n{payload_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(format!(\"invalid {name} variant: {{v:?}}\")))\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    code.parse().expect("derive(Deserialize) emitted invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error emits")
+}
+
+/// Walks the derive input down to the shape the generators need.
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Possible pub(crate)/pub(super) scope group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim derive: unexpected token `{s}`"));
+            }
+            Some(other) => return Err(format!("serde shim derive: unexpected token `{other}`")),
+            None => return Err("serde shim derive: ran out of tokens".into()),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde shim derive: {name} is generic; generics are not supported"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde shim derive: {name} is a tuple struct; only named fields are supported"
+            ))
+        }
+        other => return Err(format!("serde shim derive: expected {{...}} body, got {other:?}")),
+    };
+
+    let chunks = split_top_level_commas(body);
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for chunk in chunks {
+            if let Some(f) = parse_field(chunk)? {
+                fields.push(f);
+            }
+        }
+        Ok(Shape::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        for chunk in chunks {
+            if let Some(v) = parse_variant(chunk)? {
+                variants.push(v);
+            }
+        }
+        Ok(Shape::Enum { name, variants })
+    }
+}
+
+/// Splits a field/variant list at commas that sit outside both token
+/// groups and `<...>` generic brackets (angle brackets are plain puncts,
+/// so `HashMap<K, V>` would otherwise split).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// `(attrs) (pub (scope)?)? name : type` → field name + skip flag.
+fn parse_field(tokens: Vec<TokenTree>) -> Result<Option<Field>, String> {
+    let mut skip = false;
+    let mut iter = tokens.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    skip |= attr_is_serde_skip(&g);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                return Ok(Some(Field { name: id.to_string(), skip }));
+            }
+            Some(other) => return Err(format!("serde shim derive: bad field token `{other}`")),
+            None => return Ok(None), // trailing comma
+        }
+    }
+}
+
+/// `(attrs) Name ((payload))?` → variant name + payload arity.
+fn parse_variant(tokens: Vec<TokenTree>) -> Result<Option<Variant>, String> {
+    let mut iter = tokens.into_iter().peekable();
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            Some(other) => return Err(format!("serde shim derive: bad variant token `{other}`")),
+            None => return Ok(None),
+        }
+    };
+    let arity = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let parts = split_top_level_commas(g.stream());
+            parts.iter().filter(|p| !p.is_empty()).count()
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            return Err(format!("serde shim derive: struct variant `{name}` is not supported"))
+        }
+        _ => 0,
+    };
+    Ok(Some(Variant { name, arity }))
+}
+
+/// True when the attribute group is `[serde(... skip ...)]`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for the `serde_json` API surface this workspace
+//! uses: `to_string` / `to_vec` over `serde::Serialize`, `from_str` /
+//! `from_slice` over `serde::Deserialize`, and the `Value` tree
+//! (re-exported from the serde shim so both crates share one type).
+//!
+//! Matches upstream behaviour where the workspace can observe it:
+//! object fields print in insertion order, strings are escaped, and
+//! non-finite floats serialize as `null` (and deserialize back to NaN
+//! through the shim's lenient float lifting).
+
+pub use serde::{Error, Number, Value};
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into any `serde::Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON bytes into any `serde::Deserialize` type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s =
+        std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match n {
+        Number::U64(u) => out.push_str(&u.to_string()),
+        Number::I64(i) => out.push_str(&i.to_string()),
+        Number::F64(f) => {
+            if f.is_finite() {
+                // `{f:?}` keeps a decimal point or exponent on round
+                // floats ("1.0", not "1"), matching upstream output.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // Upstream serde_json has no representation for
+                // NaN/inf and emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {} of JSON input", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected '{}' at byte {} of JSON input", b as char, self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::custom(format!(
+                "unexpected byte '{}' at {} in JSON input",
+                other as char, self.pos
+            ))),
+            None => Err(Error::custom("unexpected end of JSON input".to_string())),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {} of JSON input", self.pos)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or '}}' at byte {} of JSON input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected ',' or ']' at byte {} of JSON input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unexpected end of JSON string escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    Error::custom("truncated \\u escape in JSON string".to_string())
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                Error::custom(format!("invalid \\u escape '{hex}' in JSON string"))
+                            })?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writer; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape '\\{}' in JSON string",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string in JSON input".to_string())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let n = if is_float {
+            Number::F64(
+                text.parse::<f64>().map_err(|_| Error::custom(format!("invalid JSON number '{text}'")))?,
+            )
+        } else if text.starts_with('-') {
+            Number::I64(
+                text.parse::<i64>().map_err(|_| Error::custom(format!("invalid JSON number '{text}'")))?,
+            )
+        } else {
+            Number::U64(
+                text.parse::<u64>().map_err(|_| Error::custom(format!("invalid JSON number '{text}'")))?,
+            )
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let mut m = BTreeMap::new();
+        m.insert("alpha".to_string(), vec![1.5f64, -2.0, 3.25]);
+        m.insert("beta".to_string(), vec![]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"alpha":[1.5,-2.0,3.25],"beta":[]}"#);
+        let back: BTreeMap<String, Vec<f64>> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline2\t\"quoted\" \\slash\u{0001}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn value_indexing_matches_report_usage() {
+        let v: Value = from_str(r#"{"task":"har","accuracy":0.91,"rounds":12}"#).unwrap();
+        assert_eq!(v["task"].as_str(), Some("har"));
+        assert_eq!(v["accuracy"].as_f64(), Some(0.91));
+        assert_eq!(v["rounds"].as_u64(), Some(12));
+        assert_eq!(v["missing"].as_str(), None);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let xs = vec![1.0f32, f32::NAN, f32::INFINITY];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(json, "[1.0,null,null]");
+        // The shim's lenient float lifting turns null back into NaN.
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(back[0], 1.0);
+        assert!(back[1].is_nan() && back[2].is_nan());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\":1,}").is_err());
+        assert!(from_str::<Value>("[1 2]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let v: Vec<u32> = from_slice(b"[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -28,12 +28,7 @@ fn toy_cfg() -> StrategyConfig {
 
 fn mean_acc(strategy: &mut dyn AdaptStrategy, slots: usize) -> f32 {
     let mut world = drifting_world(5);
-    let out = run_continuous(
-        strategy,
-        &mut world,
-        &ExperimentConfig { eval_devices: 3, seed: 7 },
-        slots,
-    );
+    let out = run_continuous(strategy, &mut world, &ExperimentConfig { eval_devices: 3, seed: 7 }, slots);
     out.accuracy_per_slot.iter().sum::<f32>() / slots as f32
 }
 
@@ -47,12 +42,9 @@ fn nebula_outperforms_static_model_under_drift() {
 #[test]
 fn full_nebula_beats_its_ablated_variants_under_drift() {
     let full = mean_acc(&mut NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::Full), 4);
-    let no_local = mean_acc(
-        &mut NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::NoLocalTraining),
-        4,
-    );
-    let no_cloud =
-        mean_acc(&mut NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::NoCloud), 4);
+    let no_local =
+        mean_acc(&mut NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::NoLocalTraining), 4);
+    let no_cloud = mean_acc(&mut NebulaStrategy::with_variant(toy_cfg(), 1, NebulaVariant::NoCloud), 4);
     // Both ablations lose something; allow slack for toy-scale noise but
     // the full pipeline must not be dominated by either ablation.
     assert!(

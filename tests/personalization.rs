@@ -65,8 +65,8 @@ fn confusion_matrix_totals_match_test_set() {
     assert_eq!(cm.total(), 123);
     // Row sums equal the class histogram.
     let hist = test.class_histogram();
-    for c in 0..4 {
+    for (c, &h) in hist.iter().enumerate().take(4) {
         let row_sum: usize = (0..4).map(|p| cm.count(c, p)).sum();
-        assert_eq!(row_sum, hist[c]);
+        assert_eq!(row_sum, h);
     }
 }
