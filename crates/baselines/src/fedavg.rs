@@ -45,16 +45,20 @@ pub fn fedavg_round(
         .par_iter()
         .zip(rngs)
         .map(|(data, mut drng)| {
-            let mut local = server.deep_clone();
-            let mut opt = Sgd::with_momentum(lr, 0.9);
-            nebula_data::train_epochs(
-                &mut local,
-                &mut opt,
-                data,
-                TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
-                &mut drng,
-            );
-            FedAvgUpdate { params: local.param_vector(), volume: data.len() }
+            // Keep inner kernels sequential inside the client-parallel
+            // section (see nebula_tensor::par).
+            nebula_tensor::par::sequential(|| {
+                let mut local = server.deep_clone();
+                let mut opt = Sgd::with_momentum(lr, 0.9);
+                nebula_data::train_epochs(
+                    &mut local,
+                    &mut opt,
+                    data,
+                    TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
+                    &mut drng,
+                );
+                FedAvgUpdate { params: local.param_vector(), volume: data.len() }
+            })
         })
         .collect();
     let comm: u64 = updates.iter().map(|u| payload_bytes + u.bytes()).sum();

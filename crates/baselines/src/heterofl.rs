@@ -66,17 +66,21 @@ pub fn heterofl_round(
         .zip(device_ratios.par_iter())
         .zip(rngs)
         .map(|((data, &ratio), mut drng)| {
-            let mut local = server.deep_clone();
-            local.set_width_ratio(ratio);
-            let mut opt = Sgd::with_momentum(lr, 0.9);
-            nebula_data::train_epochs(
-                &mut local,
-                &mut opt,
-                data,
-                TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
-                &mut drng,
-            );
-            HeteroFlUpdate { ratio, params: local.param_vector(), volume: data.len() }
+            // Keep inner kernels sequential inside the client-parallel
+            // section (see nebula_tensor::par).
+            nebula_tensor::par::sequential(|| {
+                let mut local = server.deep_clone();
+                local.set_width_ratio(ratio);
+                let mut opt = Sgd::with_momentum(lr, 0.9);
+                nebula_data::train_epochs(
+                    &mut local,
+                    &mut opt,
+                    data,
+                    TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
+                    &mut drng,
+                );
+                HeteroFlUpdate { ratio, params: local.param_vector(), volume: data.len() }
+            })
         })
         .collect();
     let comm: u64 = updates.iter().map(|u| 2 * (server.active_params(u.ratio) * 4) as u64).sum();

@@ -1,0 +1,315 @@
+//! Tracked performance suite for the kernel layer and the round loop.
+//!
+//! Times paper-shaped GEMMs (HAR/MLP, CIFAR/ResNet18 and VGG16 im2col
+//! shapes) under the blocked kernels vs the retained pre-blocking
+//! reference kernels, plus end-to-end `NebulaStrategy::single_round`
+//! throughput, and writes machine-readable records to `BENCH_KERNELS.json`
+//! and `BENCH_ROUND.json` at the repository root.
+//!
+//! Usage: `perf_suite [--smoke]`. `--smoke` shrinks repetitions and the
+//! round workload so CI can execute the whole suite in seconds; the
+//! emitted JSON carries the mode so smoke numbers are never mistaken for
+//! tracked ones.
+
+use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+use nebula_modular::ModularConfig;
+use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::{FaultPlan, NebulaStrategy, ResourceSampler, SimWorld};
+use nebula_tensor::linalg::set_reference_kernels;
+use nebula_tensor::{NebulaRng, Tensor};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which GEMM entry point a case exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// `a.matmul(b)`: (m,k)·(k,n).
+    Nn,
+    /// `a.matmul_nt(b)`: (m,k)·(n,k)ᵀ — the forward/im2col shape.
+    Nt,
+    /// `a.matmul_tn(b)`: (k,m)ᵀ·(k,n) — the weight-gradient shape.
+    Tn,
+}
+
+impl Variant {
+    fn label(self) -> &'static str {
+        match self {
+            Variant::Nn => "matmul",
+            Variant::Nt => "matmul_nt",
+            Variant::Tn => "matmul_tn",
+        }
+    }
+}
+
+struct GemmCase {
+    /// Stable identifier for tracking across commits.
+    name: &'static str,
+    /// What paper workload this shape is taken from.
+    origin: &'static str,
+    variant: Variant,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+/// The tracked shapes. im2col turns a conv layer on a batch into one GEMM
+/// of (batch · out_h · out_w) × (in_ch · kh · kw) times the weight matrix,
+/// which is where the CIFAR/VGG shapes below come from.
+fn gemm_cases() -> Vec<GemmCase> {
+    vec![
+        // HAR MLP (UCI-HAR, 561 features): batch forward + weight grad.
+        GemmCase {
+            name: "har_mlp_fwd",
+            origin: "HAR MLP hidden layer forward, batch 32",
+            variant: Variant::Nt,
+            m: 32,
+            n: 256,
+            k: 561,
+        },
+        GemmCase {
+            name: "har_mlp_dw",
+            origin: "HAR MLP hidden layer weight grad, batch 32",
+            variant: Variant::Tn,
+            m: 561,
+            n: 256,
+            k: 32,
+        },
+        // CIFAR / ResNet18 3x3 conv via im2col: batch 4, 16x16 maps,
+        // 64 -> 64 channels => m = 4*16*16, k = 64*9.
+        GemmCase {
+            name: "resnet18_conv3x3",
+            origin: "ResNet18 3x3 conv (64ch, 16x16 maps, batch 4) im2col",
+            variant: Variant::Nt,
+            m: 1024,
+            n: 64,
+            k: 576,
+        },
+        GemmCase {
+            name: "resnet18_conv3x3_dcols",
+            origin: "ResNet18 3x3 conv input-gradient GEMM",
+            variant: Variant::Nn,
+            m: 1024,
+            n: 576,
+            k: 64,
+        },
+        // VGG16 conv3 block: 256 -> 256 channels on 28x28 maps, batch 2
+        // => m = 2*28*28 = 1568, k = 256*9 = 2304.
+        GemmCase {
+            name: "vgg16_conv3",
+            origin: "VGG16 conv3 (256ch, 28x28 maps, batch 2) im2col",
+            variant: Variant::Nt,
+            m: 1568,
+            n: 256,
+            k: 2304,
+        },
+        GemmCase {
+            name: "vgg16_conv3_dw",
+            origin: "VGG16 conv3 weight grad",
+            variant: Variant::Tn,
+            m: 2304,
+            n: 256,
+            k: 1568,
+        },
+    ]
+}
+
+/// Median of per-call times (seconds). Calibrates an inner-loop count so
+/// each sample lasts long enough to be measurable, then takes `reps`
+/// samples.
+fn time_median(reps: usize, target_s: f64, mut f: impl FnMut()) -> f64 {
+    // Warm-up + calibration call.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let inner = ((target_s / once).ceil() as usize).clamp(1, 10_000);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        samples.push(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct KernelRow {
+    name: &'static str,
+    origin: &'static str,
+    variant: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    blocked_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+    blocked_gflops: f64,
+}
+
+fn run_gemm_case(case: &GemmCase, reps: usize, target_s: f64) -> KernelRow {
+    let (m, n, k) = (case.m, case.n, case.k);
+    let mut rng = NebulaRng::seed(11);
+    let fill = |r: usize, c: usize, rng: &mut NebulaRng| {
+        Tensor::from_vec((0..r * c).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[r, c])
+    };
+    let (a, b) = match case.variant {
+        Variant::Nn => (fill(m, k, &mut rng), fill(k, n, &mut rng)),
+        Variant::Nt => (fill(m, k, &mut rng), fill(n, k, &mut rng)),
+        Variant::Tn => (fill(k, m, &mut rng), fill(k, n, &mut rng)),
+    };
+    let mut out = Tensor::zeros(&[m, n]);
+    let mut run = |use_reference: bool| {
+        set_reference_kernels(use_reference);
+        let t = time_median(reps, target_s, || match case.variant {
+            Variant::Nn => a.matmul_into(&b, &mut out),
+            Variant::Nt => a.matmul_nt_into(&b, &mut out),
+            Variant::Tn => a.matmul_tn_into(&b, &mut out),
+        });
+        set_reference_kernels(false);
+        t
+    };
+    let blocked_s = run(false);
+    let reference_s = run(true);
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    KernelRow {
+        name: case.name,
+        origin: case.origin,
+        variant: case.variant.label(),
+        m,
+        n,
+        k,
+        blocked_ms: blocked_s * 1e3,
+        reference_ms: reference_s * 1e3,
+        speedup: reference_s / blocked_s,
+        blocked_gflops: flops / blocked_s / 1e9,
+    }
+}
+
+fn toy_world(devices: usize, seed: u64) -> SimWorld {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m: 2 });
+    SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), seed)
+}
+
+fn round_cfg(smoke: bool) -> StrategyConfig {
+    let mut modular = ModularConfig::toy(16, 4);
+    modular.gate_noise_std = 0.3;
+    let mut cfg = StrategyConfig::new(modular);
+    cfg.devices_per_round = if smoke { 3 } else { 6 };
+    cfg.rounds_per_step = 2;
+    cfg.pretrain_epochs = if smoke { 1 } else { 2 };
+    cfg.proxy_samples = if smoke { 100 } else { 400 };
+    cfg
+}
+
+/// Runs `rounds` fault-free Nebula rounds and returns seconds per round.
+fn time_rounds(rounds: usize, smoke: bool, use_reference: bool) -> f64 {
+    set_reference_kernels(use_reference);
+    let mut world = toy_world(if smoke { 6 } else { 10 }, 5);
+    world.set_fault_plan(FaultPlan::none());
+    let mut s = NebulaStrategy::new(round_cfg(smoke), 1);
+    let mut rng = NebulaRng::seed(3);
+    // One warm-up round outside the timer (first round pays pretraining).
+    s.single_round(&mut world, &mut rng);
+    let t = Instant::now();
+    for _ in 0..rounds {
+        s.single_round(&mut world, &mut rng);
+    }
+    let per_round = t.elapsed().as_secs_f64() / rounds as f64;
+    set_reference_kernels(false);
+    per_round
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let (reps, target_s) = if smoke { (3, 0.01) } else { (5, 0.05) };
+
+    println!("perf_suite mode={mode}");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "kernel", "m x n x k", "blocked ms", "ref ms", "speedup", "GF/s"
+    );
+    let mut rows = Vec::new();
+    for case in gemm_cases() {
+        let row = run_gemm_case(&case, reps, target_s);
+        println!(
+            "{:<24} {:>10} {:>12.3} {:>12.3} {:>7.2}x {:>8.2}",
+            row.name,
+            format!("{}x{}x{}", row.m, row.n, row.k),
+            row.blocked_ms,
+            row.reference_ms,
+            row.speedup,
+            row.blocked_gflops
+        );
+        rows.push(row);
+    }
+
+    let kernel_json = {
+        let mut items = Vec::new();
+        for r in &rows {
+            items.push(format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"origin\": \"{}\", \"variant\": \"{}\", ",
+                    "\"m\": {}, \"n\": {}, \"k\": {}, \"blocked_ms\": {:.4}, ",
+                    "\"reference_ms\": {:.4}, \"speedup\": {:.3}, \"blocked_gflops\": {:.3}}}"
+                ),
+                json_escape(r.name),
+                json_escape(r.origin),
+                r.variant,
+                r.m,
+                r.n,
+                r.k,
+                r.blocked_ms,
+                r.reference_ms,
+                r.speedup,
+                r.blocked_gflops
+            ));
+        }
+        format!(
+            "{{\n  \"mode\": \"{mode}\",\n  \"reps\": {reps},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+            items.join(",\n")
+        )
+    };
+    let kernels_path = repo_root().join("BENCH_KERNELS.json");
+    std::fs::write(&kernels_path, kernel_json).expect("write BENCH_KERNELS.json");
+    println!("wrote {}", kernels_path.display());
+
+    // End-to-end round throughput, blocked vs reference kernels.
+    let rounds = if smoke { 2 } else { 6 };
+    println!("timing {rounds} fault-free rounds per kernel set...");
+    let blocked_s = time_rounds(rounds, smoke, false);
+    let reference_s = time_rounds(rounds, smoke, true);
+    let speedup = reference_s / blocked_s;
+    println!(
+        "round loop: blocked {:.1} ms/round, reference {:.1} ms/round, speedup {:.2}x",
+        blocked_s * 1e3,
+        reference_s * 1e3,
+        speedup
+    );
+    let round_json = format!(
+        concat!(
+            "{{\n  \"mode\": \"{}\",\n  \"rounds\": {},\n",
+            "  \"blocked_ms_per_round\": {:.3},\n  \"reference_ms_per_round\": {:.3},\n",
+            "  \"blocked_rounds_per_s\": {:.3},\n  \"speedup\": {:.3}\n}}\n"
+        ),
+        mode,
+        rounds,
+        blocked_s * 1e3,
+        reference_s * 1e3,
+        1.0 / blocked_s,
+        speedup
+    );
+    let round_path = repo_root().join("BENCH_ROUND.json");
+    std::fs::write(&round_path, round_json).expect("write BENCH_ROUND.json");
+    println!("wrote {}", round_path.display());
+}

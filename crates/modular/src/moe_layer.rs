@@ -14,8 +14,8 @@
 //! layer's compute proportional to `k`, not `N`.
 
 use crate::module::Module;
-use nebula_nn::Mode;
-use nebula_tensor::reduce::top_k_indices;
+use nebula_nn::{Mode, Workspace};
+use nebula_tensor::reduce::{softmax_in_place, top_k_indices_into};
 use nebula_tensor::{NebulaRng, Tensor};
 
 /// One module layer of a modularized model.
@@ -23,6 +23,12 @@ pub struct MoeLayer {
     modules: Vec<Module>,
     width: usize,
     cache: Option<LayerCache>,
+    ws: Workspace,
+    /// Per-row gate scratch (masked logits, then their softmax), reused
+    /// across forwards so routing never touches the allocator.
+    gate_row: Vec<f32>,
+    /// Top-k selection scratch.
+    topk: Vec<usize>,
 }
 
 struct LayerCache {
@@ -34,9 +40,13 @@ struct LayerCache {
     rows_per_module: Vec<Vec<usize>>,
     /// Each module's output on its routed rows.
     outputs: Vec<Option<Tensor>>,
-    /// Full softmax over allowed modules (B×N), pre-top-k; basis of the
-    /// load-balancing loss.
-    probs: Tensor,
+    /// Full softmax over allowed modules (B×N), pre-top-k. Only the
+    /// load-balancing *gradient* needs the full matrix, so it is kept in
+    /// Train mode only; eval forwards skip the B×N materialisation.
+    probs: Option<Tensor>,
+    /// Column means of the full softmax (length N) — everything the
+    /// load-balancing *loss* needs, computed on the fly in both modes.
+    mean_probs: Vec<f32>,
     /// Fraction of the batch routed to each module.
     loads: Vec<f32>,
 }
@@ -60,7 +70,7 @@ impl MoeLayer {
         if residual_module {
             modules.push(Module::residual());
         }
-        Self { modules, width, cache: None }
+        Self { modules, width, cache: None, ws: Workspace::new(), gate_row: Vec::new(), topk: Vec::new() }
     }
 
     /// Number of modules in this layer.
@@ -99,33 +109,100 @@ impl MoeLayer {
         assert!(n_allowed >= 1, "sub-model leaves no module in a layer");
         let k = k.max(1).min(n_allowed);
         let batch = x.rows();
+        // Only the backward pass (load-balance logit gradient) needs the
+        // full B×N softmax matrix; eval forwards keep just its column
+        // means.
+        let keep_probs = mode == Mode::Train;
 
-        // Masked logits: −inf where not allowed.
-        let mut masked = logits.clone();
-        for row in masked.data_mut().chunks_mut(n) {
-            for (v, &a) in row.iter_mut().zip(allowed) {
+        // Recycle the previous forward's cache buffers so steady-state
+        // routing performs no heap allocation.
+        let (mut weights, mut rows_per_module, mut probs, mut mean_probs, mut loads) = match self.cache.take()
+        {
+            Some(old) => {
+                for o in old.outputs.into_iter().flatten() {
+                    self.ws.recycle(o);
+                }
+                let weights = if old.weights.shape() == [batch, n] {
+                    let mut w = old.weights;
+                    w.zero_();
+                    w
+                } else {
+                    self.ws.recycle(old.weights);
+                    self.ws.zeroed(&[batch, n])
+                };
+                let mut rpm = old.rows_per_module;
+                for v in &mut rpm {
+                    v.clear();
+                }
+                let probs = match old.probs {
+                    Some(p) if keep_probs && p.shape() == [batch, n] => Some(p),
+                    Some(p) => {
+                        self.ws.recycle(p);
+                        if keep_probs {
+                            Some(self.ws.zeroed(&[batch, n]))
+                        } else {
+                            None
+                        }
+                    }
+                    None => {
+                        if keep_probs {
+                            Some(self.ws.zeroed(&[batch, n]))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                (weights, rpm, probs, old.mean_probs, old.loads)
+            }
+            None => (
+                Tensor::zeros(&[batch, n]),
+                vec![Vec::new(); n],
+                if keep_probs { Some(Tensor::zeros(&[batch, n])) } else { None },
+                Vec::new(),
+                Vec::new(),
+            ),
+        };
+        mean_probs.clear();
+        mean_probs.resize(n, 0.0);
+
+        // Per-sample masking, top-k routing, renormalised weights and the
+        // full-softmax statistics — one reused scratch row, no clones.
+        self.gate_row.clear();
+        self.gate_row.resize(n, 0.0);
+        for b in 0..batch {
+            self.gate_row.copy_from_slice(logits.row(b));
+            for (v, &a) in self.gate_row.iter_mut().zip(allowed) {
                 if !a {
                     *v = f32::NEG_INFINITY;
                 }
             }
-        }
-        let probs = masked.softmax_rows();
-
-        // Per-sample top-k and renormalised weights.
-        let mut weights = Tensor::zeros(&[batch, n]);
-        let mut rows_per_module: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for b in 0..batch {
-            let lrow = masked.row(b);
-            let active = top_k_indices(lrow, k);
+            // Top-k over the *masked logits* (pre-softmax), exactly as the
+            // previous full-materialisation path selected.
+            top_k_indices_into(&self.gate_row, k, &mut self.topk);
             // Softmax over the active logits only.
-            let maxv = active.iter().map(|&i| lrow[i]).fold(f32::NEG_INFINITY, f32::max);
+            let maxv = self.topk.iter().map(|&i| self.gate_row[i]).fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
-            for &i in &active {
-                denom += (lrow[i] - maxv).exp();
+            for &i in &self.topk {
+                denom += (self.gate_row[i] - maxv).exp();
             }
-            for &i in &active {
-                weights.row_mut(b)[i] = (lrow[i] - maxv).exp() / denom;
+            for &i in &self.topk {
+                weights.row_mut(b)[i] = (self.gate_row[i] - maxv).exp() / denom;
                 rows_per_module[i].push(b);
+            }
+            // Full softmax over allowed modules, accumulated into column
+            // sums (row order matches `Tensor::mean_rows` bit-for-bit).
+            softmax_in_place(&mut self.gate_row);
+            for (s, &p) in mean_probs.iter_mut().zip(self.gate_row.iter()) {
+                *s += p;
+            }
+            if let Some(p) = probs.as_mut() {
+                p.row_mut(b).copy_from_slice(&self.gate_row);
+            }
+        }
+        let r = batch as f32;
+        if r > 0.0 {
+            for s in &mut mean_probs {
+                *s *= 1.0 / r;
             }
         }
 
@@ -138,8 +215,10 @@ impl MoeLayer {
                 outputs.push(None);
                 continue;
             }
-            let xi = x.gather_rows(rows);
+            let mut xi = self.ws.zeroed(&[rows.len(), self.width]);
+            x.gather_rows_into(rows, &mut xi);
             let oi = module.forward(&xi, mode);
+            self.ws.recycle(xi);
             for (j, &b) in rows.iter().enumerate() {
                 let w = weights.at(b, i);
                 let orow = oi.row(j);
@@ -150,8 +229,10 @@ impl MoeLayer {
             outputs.push(Some(oi));
         }
 
-        let loads = (0..n).map(|i| rows_per_module[i].len() as f32 / batch.max(1) as f32).collect();
-        self.cache = Some(LayerCache { n_allowed, weights, rows_per_module, outputs, probs, loads });
+        loads.clear();
+        loads.extend((0..n).map(|i| rows_per_module[i].len() as f32 / batch.max(1) as f32));
+        self.cache =
+            Some(LayerCache { n_allowed, weights, rows_per_module, outputs, probs, mean_probs, loads });
         y
     }
 
@@ -189,7 +270,7 @@ impl MoeLayer {
                 continue;
             }
             // Per-row gradient into the module: w[b,i] · dy[b].
-            let mut gi = Tensor::zeros(&[rows.len(), self.width]);
+            let mut gi = self.ws.zeroed(&[rows.len(), self.width]);
             for (j, &b) in rows.iter().enumerate() {
                 let w = cache.weights.at(b, i);
                 for (gv, &dv) in gi.row_mut(j).iter_mut().zip(dy.row(b)) {
@@ -197,11 +278,13 @@ impl MoeLayer {
                 }
             }
             let dxi = module.backward(&gi);
+            self.ws.recycle(gi);
             for (j, &b) in rows.iter().enumerate() {
                 for (xv, &dv) in dx.row_mut(b).iter_mut().zip(dxi.row(j)) {
                     *xv += dv;
                 }
             }
+            self.ws.recycle(dxi);
         }
 
         // Gate gradient through the active-set softmax:
@@ -223,10 +306,16 @@ impl MoeLayer {
     }
 
     /// Load-balancing statistics from the last forward:
-    /// `(probs B×N over allowed, per-module batch loads)`.
-    pub fn lb_stats(&self) -> (&Tensor, &[f32]) {
+    /// `(full probs B×N over allowed — Train forwards only, per-module
+    /// batch loads)`.
+    pub fn lb_stats(&self) -> (Option<&Tensor>, &[f32]) {
         let cache = self.cache.as_ref().expect("lb_stats before forward");
-        (&cache.probs, &cache.loads)
+        (cache.probs.as_ref(), &cache.loads)
+    }
+
+    /// Column means of the full softmax from the last forward (length N).
+    pub fn mean_probs(&self) -> &[f32] {
+        &self.cache.as_ref().expect("mean_probs before forward").mean_probs
     }
 
     /// The switch-style load-balancing loss of the last forward:
@@ -236,17 +325,17 @@ impl MoeLayer {
     /// sum — but they must not inflate the scale factor either).
     pub fn load_balance_loss(&self) -> f32 {
         let cache = self.cache.as_ref().expect("lb loss before forward");
-        let (probs, loads) = self.lb_stats();
-        let n_allowed = cache.n_allowed;
-        let mean_probs = probs.mean_rows();
-        n_allowed as f32 * loads.iter().zip(mean_probs.data()).map(|(&l, &p)| l * p).sum::<f32>()
+        cache.n_allowed as f32 * cache.loads.iter().zip(&cache.mean_probs).map(|(&l, &p)| l * p).sum::<f32>()
     }
 
     /// Gradient of λ·load_balance_loss w.r.t. this layer's gate logits,
     /// computed from the cached full-softmax probabilities.
     pub fn load_balance_logit_grad(&self, lambda: f32) -> Tensor {
         let cache = self.cache.as_ref().expect("lb grad before forward");
-        let probs = &cache.probs;
+        let probs = cache
+            .probs
+            .as_ref()
+            .expect("load_balance_logit_grad requires a Train-mode forward (probs not kept in eval)");
         let batch = probs.rows();
         let n = probs.cols();
         // dL/dprob[b,i] = λ · N_allowed · load_i / B (loads constant).
@@ -467,6 +556,24 @@ mod tests {
     }
 
     #[test]
+    fn eval_forward_skips_probs_but_keeps_lb_loss() {
+        let mut l = layer(4, false);
+        let x = Tensor::ones(&[6, 6]);
+        let mut logits = Tensor::zeros(&[6, 4]);
+        for b in 0..6 {
+            logits.row_mut(b)[b % 4] = 2.0;
+        }
+        l.forward(&x, &logits, &[true; 4], 2, Mode::Train);
+        let train_loss = l.load_balance_loss();
+        assert!(l.lb_stats().0.is_some(), "train forward must keep probs");
+        l.forward(&x, &logits, &[true; 4], 2, Mode::Eval);
+        assert!(l.lb_stats().0.is_none(), "eval forward materialised the full probs matrix");
+        // The loss comes from the on-the-fly column means and must not
+        // change between modes.
+        assert_eq!(l.load_balance_loss(), train_loss);
+    }
+
+    #[test]
     fn lb_grad_pushes_probability_away_from_overloaded_modules() {
         let mut l = layer(4, false);
         let x = Tensor::ones(&[8, 6]);
@@ -474,7 +581,9 @@ mod tests {
         for b in 0..8 {
             conc.row_mut(b)[0] = 3.0;
         }
-        l.forward(&x, &conc, &[true; 4], 1, Mode::Eval);
+        // Train mode: the logit gradient needs the full probs matrix,
+        // which eval forwards no longer materialise.
+        l.forward(&x, &conc, &[true; 4], 1, Mode::Train);
         let g = l.load_balance_logit_grad(1.0);
         // Gradient descent (−g) must reduce logit 0 (overloaded): g > 0 there.
         for b in 0..8 {

@@ -11,6 +11,7 @@
 //! (input gradient), the standard CPU implementation strategy.
 
 use crate::layer::{Layer, Mode};
+use crate::workspace::Workspace;
 use nebula_tensor::{Init, NebulaRng, Tensor};
 
 /// 1-D convolution with zero padding.
@@ -29,6 +30,7 @@ pub struct Conv1d {
     /// im2col of the last input: `(batch · out_len) × (in_channels · kernel)`.
     cols: Option<Tensor>,
     last_batch: usize,
+    ws: Workspace,
 }
 
 impl Conv1d {
@@ -58,6 +60,7 @@ impl Conv1d {
             db: Tensor::zeros(&[out_channels]),
             cols: None,
             last_batch: 0,
+            ws: Workspace::new(),
         }
     }
 
@@ -77,12 +80,11 @@ impl Conv1d {
         self.in_channels * self.in_len
     }
 
-    /// im2col: one row per (sample, output position).
-    fn im2col(&self, x: &Tensor) -> Tensor {
+    /// im2col: one row per (sample, output position). `cols` must come in
+    /// zeroed — the zero background doubles as the padding values.
+    fn im2col_into(&self, x: &Tensor, cols: &mut Tensor) {
         let batch = x.rows();
         let out_len = self.out_len();
-        let krows = self.in_channels * self.kernel;
-        let mut cols = Tensor::zeros(&[batch * out_len, krows]);
         for bsample in 0..batch {
             let xrow = x.row(bsample);
             for o in 0..out_len {
@@ -98,7 +100,6 @@ impl Conv1d {
                 }
             }
         }
-        cols
     }
 }
 
@@ -107,9 +108,20 @@ impl Layer for Conv1d {
         assert_eq!(x.cols(), self.in_features(), "Conv1d input width mismatch");
         let batch = x.rows();
         let out_len = self.out_len();
-        let cols = self.im2col(x);
+        let krows = self.in_channels * self.kernel;
+        let col_shape = [batch * out_len, krows];
+        // Reuse the cached im2col matrix when the batch shape repeats.
+        let mut cols = match self.cols.take() {
+            Some(mut c) if c.shape() == col_shape => {
+                c.zero_();
+                c
+            }
+            _ => Tensor::zeros(&col_shape),
+        };
+        self.im2col_into(x, &mut cols);
         // (batch·out_len) × krows · krowsᵀ → (batch·out_len) × out_channels
-        let prod = cols.matmul_nt(&self.w);
+        let mut prod = self.ws.zeroed(&[batch * out_len, self.out_channels]);
+        cols.matmul_nt_into(&self.w, &mut prod);
         // Re-pack into batch × (out_channels · out_len), channel-major.
         let mut y = Tensor::zeros(&[batch, self.out_features()]);
         for bsample in 0..batch {
@@ -121,19 +133,20 @@ impl Layer for Conv1d {
                 }
             }
         }
+        self.ws.recycle(prod);
         self.cols = Some(cols);
         self.last_batch = batch;
         y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cols = self.cols.as_ref().expect("Conv1d::backward before forward");
+        let cols = self.cols.take().expect("Conv1d::backward before forward");
         let batch = self.last_batch;
         let out_len = self.out_len();
         assert_eq!(grad.cols(), self.out_features(), "Conv1d grad width mismatch");
 
         // Unpack grad into (batch·out_len) × out_channels.
-        let mut gprod = Tensor::zeros(&[batch * out_len, self.out_channels]);
+        let mut gprod = self.ws.zeroed(&[batch * out_len, self.out_channels]);
         for bsample in 0..batch {
             let grow = grad.row(bsample);
             for o in 0..out_len {
@@ -145,11 +158,17 @@ impl Layer for Conv1d {
         }
 
         // dW = gprodᵀ · cols ; db = Σ gprod rows.
-        self.dw.add_assign(&gprod.matmul_tn(cols));
+        let mut dw = self.ws.zeroed(&[self.out_channels, self.in_channels * self.kernel]);
+        gprod.matmul_tn_into(&cols, &mut dw);
+        self.dw.add_assign(&dw);
+        self.ws.recycle(dw);
         self.db.add_assign(&gprod.sum_rows());
+        self.cols = Some(cols);
 
         // dcols = gprod · W, then col2im scatter back to dx.
-        let dcols = gprod.matmul(&self.w);
+        let mut dcols = self.ws.zeroed(&[batch * out_len, self.in_channels * self.kernel]);
+        gprod.matmul_into(&self.w, &mut dcols);
+        self.ws.recycle(gprod);
         let mut dx = Tensor::zeros(&[batch, self.in_features()]);
         for bsample in 0..batch {
             for o in 0..out_len {
@@ -166,6 +185,7 @@ impl Layer for Conv1d {
                 }
             }
         }
+        self.ws.recycle(dcols);
         dx
     }
 

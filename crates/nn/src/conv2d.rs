@@ -7,6 +7,7 @@
 //! the convolution lowers to a GEMM via im2col / col2im.
 
 use crate::layer::{Layer, Mode};
+use crate::workspace::Workspace;
 use nebula_tensor::{Init, NebulaRng, Tensor};
 
 /// 2-D convolution with square kernels, zero padding and unit stride
@@ -26,6 +27,7 @@ pub struct Conv2d {
     db: Tensor,
     cols: Option<Tensor>,
     last_batch: usize,
+    ws: Workspace,
 }
 
 impl Conv2d {
@@ -58,6 +60,7 @@ impl Conv2d {
             db: Tensor::zeros(&[out_channels]),
             cols: None,
             last_batch: 0,
+            ws: Workspace::new(),
         }
     }
 
@@ -81,12 +84,13 @@ impl Conv2d {
         self.in_channels * self.in_h * self.in_w
     }
 
-    fn im2col(&self, x: &Tensor) -> Tensor {
+    /// Fills a pre-zeroed `cols` matrix (`(batch·oh·ow) × krows`); the
+    /// zero background doubles as the padding values, which is what lets
+    /// the caller hand in a recycled buffer.
+    fn im2col_into(&self, x: &Tensor, cols: &mut Tensor) {
         let batch = x.rows();
         let (oh, ow) = (self.out_h(), self.out_w());
-        let krows = self.in_channels * self.kernel * self.kernel;
         let plane = self.in_h * self.in_w;
-        let mut cols = Tensor::zeros(&[batch * oh * ow, krows]);
         for bs in 0..batch {
             let xrow = x.row(bs);
             for oy in 0..oh {
@@ -113,7 +117,6 @@ impl Conv2d {
                 }
             }
         }
-        cols
     }
 }
 
@@ -122,8 +125,20 @@ impl Layer for Conv2d {
         assert_eq!(x.cols(), self.in_features(), "Conv2d input width mismatch");
         let batch = x.rows();
         let (oh, ow) = (self.out_h(), self.out_w());
-        let cols = self.im2col(x);
-        let prod = cols.matmul_nt(&self.w); // (batch·oh·ow) × out_channels
+        let krows = self.in_channels * self.kernel * self.kernel;
+        let col_shape = [batch * oh * ow, krows];
+        // Reuse the cached im2col matrix across calls; batch shape is
+        // stable inside a training loop so this allocates once.
+        let mut cols = match self.cols.take() {
+            Some(mut c) if c.shape() == col_shape => {
+                c.zero_();
+                c
+            }
+            _ => Tensor::zeros(&col_shape),
+        };
+        self.im2col_into(x, &mut cols);
+        let mut prod = self.ws.zeroed(&[batch * oh * ow, self.out_channels]);
+        cols.matmul_nt_into(&self.w, &mut prod);
         let mut y = Tensor::zeros(&[batch, self.out_features()]);
         let oplane = oh * ow;
         for bs in 0..batch {
@@ -135,20 +150,21 @@ impl Layer for Conv2d {
                 }
             }
         }
+        self.ws.recycle(prod);
         self.cols = Some(cols);
         self.last_batch = batch;
         y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cols = self.cols.as_ref().expect("Conv2d::backward before forward");
+        let cols = self.cols.take().expect("Conv2d::backward before forward");
         let batch = self.last_batch;
         let (oh, ow) = (self.out_h(), self.out_w());
         let oplane = oh * ow;
         assert_eq!(grad.cols(), self.out_features(), "Conv2d grad width mismatch");
 
         // Unpack grad into (batch·oh·ow) × out_channels.
-        let mut gprod = Tensor::zeros(&[batch * oplane, self.out_channels]);
+        let mut gprod = self.ws.zeroed(&[batch * oplane, self.out_channels]);
         for bs in 0..batch {
             let grow = grad.row(bs);
             for p in 0..oplane {
@@ -159,11 +175,17 @@ impl Layer for Conv2d {
             }
         }
 
-        self.dw.add_assign(&gprod.matmul_tn(cols));
+        let mut dw = self.ws.zeroed(&[self.out_channels, self.in_channels * self.kernel * self.kernel]);
+        gprod.matmul_tn_into(&cols, &mut dw);
+        self.dw.add_assign(&dw);
+        self.ws.recycle(dw);
         self.db.add_assign(&gprod.sum_rows());
+        self.cols = Some(cols);
 
         // col2im scatter.
-        let dcols = gprod.matmul(&self.w);
+        let mut dcols = self.ws.zeroed(&[batch * oplane, self.in_channels * self.kernel * self.kernel]);
+        gprod.matmul_into(&self.w, &mut dcols);
+        self.ws.recycle(gprod);
         let plane = self.in_h * self.in_w;
         let mut dx = Tensor::zeros(&[batch, self.in_features()]);
         for bs in 0..batch {
@@ -192,6 +214,7 @@ impl Layer for Conv2d {
                 }
             }
         }
+        self.ws.recycle(dcols);
         dx
     }
 

@@ -21,6 +21,8 @@
 //! * [`loss`] — softmax cross-entropy, KL-to-target (gate distillation), MSE.
 //! * [`optim`] — SGD (+momentum, +weight-decay) and Adam.
 //! * [`gradcheck`] — finite-difference gradient checking used by tests.
+//! * [`workspace`] — reusable scratch-buffer pool backing the zero-alloc
+//!   forward/backward hot paths of the conv and MoE layers.
 
 pub mod activation;
 pub mod conv;
@@ -34,6 +36,7 @@ pub mod norm;
 pub mod optim;
 pub mod schedule;
 pub mod sequential;
+pub mod workspace;
 
 pub use activation::{Activation, ActivationKind};
 pub use conv::{Conv1d, GlobalAvgPool1d, MaxPool1d};
@@ -46,3 +49,4 @@ pub use norm::BatchNorm1d;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use schedule::LrSchedule;
 pub use sequential::Sequential;
+pub use workspace::Workspace;

@@ -4,6 +4,7 @@
 //! forward pass is a single [`Tensor::matmul_nt`] over contiguous rows.
 
 use crate::layer::{Layer, Mode};
+use crate::workspace::Workspace;
 use nebula_tensor::{Init, NebulaRng, Tensor};
 
 /// `y = x · Wᵀ + b` with `W: out×in`, `b: out`.
@@ -14,6 +15,7 @@ pub struct Linear {
     dw: Tensor,
     db: Tensor,
     cached_x: Option<Tensor>,
+    ws: Workspace,
 }
 
 impl Linear {
@@ -30,6 +32,7 @@ impl Linear {
             dw: Tensor::zeros(&[out_features, in_features]),
             db: Tensor::zeros(&[out_features]),
             cached_x: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -67,14 +70,25 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(x.cols(), self.in_features(), "Linear input width mismatch");
-        self.cached_x = Some(x.clone());
-        x.matmul_nt(&self.w).add_row_broadcast(&self.b)
+        // Reuse the activation cache buffer when the batch shape repeats
+        // (always true inside a training loop).
+        match self.cached_x.as_mut() {
+            Some(c) if c.shape() == x.shape() => c.data_mut().copy_from_slice(x.data()),
+            _ => self.cached_x = Some(x.clone()),
+        }
+        let mut y = self.ws.zeroed(&[x.rows(), self.out_features()]);
+        x.matmul_nt_into(&self.w, &mut y);
+        y.add_row_broadcast_assign(&self.b);
+        y
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let x = self.cached_x.as_ref().expect("Linear::backward before forward");
-        // dW = gradᵀ · x  (out×batch · batch×in), accumulated.
-        self.dw.add_assign(&grad.matmul_tn(x));
+        // dW = gradᵀ · x  (out×batch · batch×in), accumulated via scratch.
+        let mut dw = self.ws.zeroed(&[self.out_features(), self.in_features()]);
+        grad.matmul_tn_into(x, &mut dw);
+        self.dw.add_assign(&dw);
+        self.ws.recycle(dw);
         self.db.add_assign(&grad.sum_rows());
         // dx = grad · W  (batch×out · out×in).
         grad.matmul(&self.w)

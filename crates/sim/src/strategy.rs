@@ -944,9 +944,14 @@ impl NebulaStrategy {
         let updates: Vec<EdgeUpdate> = jobs
             .into_par_iter()
             .map(|(payload, local, mut drng)| {
-                let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
-                client.adapt(&local, cfg.local_epochs, cfg.batch_size, cfg.local_lr, &mut drng);
-                client.make_update(&local)
+                // Client-level parallelism owns the pool here; keep the
+                // inner tensor kernels sequential so per-device training
+                // does not nest-fork (see nebula_tensor::par).
+                nebula_tensor::par::sequential(|| {
+                    let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
+                    client.adapt(&local, cfg.local_epochs, cfg.batch_size, cfg.local_lr, &mut drng);
+                    client.make_update(&local)
+                })
             })
             .collect();
 

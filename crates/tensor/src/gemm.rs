@@ -1,0 +1,365 @@
+//! Cache-blocked, register-tiled GEMM engine behind the public
+//! [`crate::Tensor`] mat-mul API.
+//!
+//! Structure follows the classic three-level blocking of GotoBLAS/BLIS:
+//!
+//! * the `n` dimension is cut into `NC`-wide slabs, the `k` dimension into
+//!   `KC`-deep slabs; for every `(jc, pc)` pair the corresponding `B` panel
+//!   is packed once into a contiguous, `NR`-interleaved buffer;
+//! * the `m` dimension is cut into `MC`-tall blocks; each block packs its
+//!   `A` slab `MR`-interleaved and then sweeps `MR×NR` register tiles over
+//!   the packed panels;
+//! * the micro-kernel keeps an `MR×NR` accumulator entirely in registers
+//!   and streams both packed panels linearly — no bounds checks, no
+//!   branches, unit-stride loads.
+//!
+//! Both transposed operand layouts (`A` stored `k×m`, `B` stored `n×k`)
+//! are absorbed by the packing routines, so `matmul`, `matmul_nt` and
+//! `matmul_tn` all share this one kernel.
+//!
+//! ## Determinism
+//!
+//! For a fixed output element `C[i, j]`, products are accumulated in
+//! ascending `p` order: the `pc` loop walks `k` in `KC` steps and the
+//! micro-kernel walks each slab in order. Threads only ever split the `m`
+//! dimension (disjoint row blocks of `C`), never `k`, so the reduction
+//! order — and therefore the floating-point result — is bit-identical for
+//! any thread count, including the sequential path. Block sizes *do*
+//! change the result relative to a naive `p = 0..k` loop only in so far as
+//! rounding differs when `k > KC` splits the sum; the order within and
+//! across slabs is still the plain ascending order, so in fact the
+//! reduction order equals the naive kernel's and results match it exactly
+//! (modulo the compiler's freedom to contract `a*b + c` into fused
+//! multiply-adds in either kernel).
+
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Micro-tile rows: `MR` rows of `A` are broadcast per step.
+pub const MR: usize = 4;
+/// Micro-tile columns: `NR` contiguous packed `B` values per step. One
+/// 256-bit lane on the x86-64-v3 baseline (see `.cargo/config.toml`), so
+/// the `MR×NR` accumulator occupies 4 of the 16 YMM registers with room
+/// for the `B` row, `A` broadcasts and loop-carried state.
+pub const NR: usize = 8;
+/// Rows of `A` packed per block (multiple of `MR`); `MC×KC` floats ≈ 64 KiB
+/// targets L2 residency for the packed `A` slab.
+pub const MC: usize = 64;
+/// Depth of one packed slab; bounds the per-tile accumulator run.
+pub const KC: usize = 256;
+/// Columns of `B` packed per slab (multiple of `NR`); `KC×NC` floats ≈
+/// 256 KiB keeps the shared `B` panel cache-resident while every row block
+/// re-reads it.
+pub const NC: usize = 256;
+
+/// How the `A` operand is stored.
+#[derive(Clone, Copy, Debug)]
+pub enum ALayout {
+    /// `m×k` row-major: element `(i, p)` at `a[i*k + p]`.
+    RowMajor,
+    /// `k×m` row-major, used transposed: element `(i, p)` at `a[p*m + i]`.
+    Transposed,
+}
+
+/// How the `B` operand is stored.
+#[derive(Clone, Copy, Debug)]
+pub enum BLayout {
+    /// `k×n` row-major: element `(p, j)` at `b[p*n + j]`.
+    RowMajor,
+    /// `n×k` row-major, used transposed: element `(p, j)` at `b[j*k + p]`.
+    Transposed,
+}
+
+thread_local! {
+    // Packing scratch, reused across calls (and per worker thread under a
+    // real rayon pool) so steady-state GEMMs allocate nothing.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C += A·B` over row-major `out` (`m×n`, assumed pre-zeroed by callers
+/// wanting a plain product). `parallel` splits the `m` dimension over
+/// rayon; results are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    al: ALayout,
+    b: &[f32],
+    bl: BLayout,
+    parallel: bool,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let lda = match al {
+        ALayout::RowMajor => k,
+        ALayout::Transposed => m,
+    };
+    let ldb = match bl {
+        BLayout::RowMajor => n,
+        BLayout::Transposed => k,
+    };
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            PACK_B.with(|cell| {
+                let mut bbuf = cell.borrow_mut();
+                pack_b(&mut bbuf, b, bl, ldb, pc, kc, jc, nc);
+                let bpack: &[f32] = &bbuf;
+                if parallel {
+                    out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, rows)| {
+                        let ic = blk * MC;
+                        let mc = MC.min(m - ic);
+                        process_block(rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
+                    });
+                } else {
+                    for (blk, rows) in out.chunks_mut(MC * n).enumerate() {
+                        let ic = blk * MC;
+                        let mc = MC.min(m - ic);
+                        process_block(rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
+                    }
+                }
+            });
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-wide column panels: panel
+/// `jp` holds, for each `p`, the `NR` values of columns
+/// `jc + jp*NR .. +NR`, zero-padded past the matrix edge so the
+/// micro-kernel never branches.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    buf: &mut Vec<f32>,
+    b: &[f32],
+    bl: BLayout,
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let np = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(np * kc * NR, 0.0);
+    for jp in 0..np {
+        let j0 = jc + jp * NR;
+        let jw = NR.min(jc + nc - j0);
+        let panel = &mut buf[jp * kc * NR..(jp + 1) * kc * NR];
+        match bl {
+            BLayout::RowMajor => {
+                for p in 0..kc {
+                    let src = &b[(pc + p) * ldb + j0..(pc + p) * ldb + j0 + jw];
+                    panel[p * NR..p * NR + jw].copy_from_slice(src);
+                }
+            }
+            BLayout::Transposed => {
+                for j in 0..jw {
+                    let src = &b[(j0 + j) * ldb + pc..(j0 + j) * ldb + pc + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * NR + j] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-tall row panels: panel `ip`
+/// holds, for each `p`, the `MR` values of rows `ic + ip*MR .. +MR`,
+/// zero-padded past the matrix edge.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    buf: &mut Vec<f32>,
+    a: &[f32],
+    al: ALayout,
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let mp = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(mp * kc * MR, 0.0);
+    for ip in 0..mp {
+        let i0 = ic + ip * MR;
+        let iw = MR.min(ic + mc - i0);
+        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        match al {
+            ALayout::RowMajor => {
+                for i in 0..iw {
+                    let src = &a[(i0 + i) * lda + pc..(i0 + i) * lda + pc + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * MR + i] = v;
+                    }
+                }
+            }
+            ALayout::Transposed => {
+                for p in 0..kc {
+                    let src = &a[(pc + p) * lda + i0..(pc + p) * lda + i0 + iw];
+                    panel[p * MR..p * MR + iw].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// One `MC`-tall row block: pack its `A` slab, then sweep `MR×NR` tiles.
+/// `rows` is the block's `mc×n` window of `C`.
+#[allow(clippy::too_many_arguments)]
+fn process_block(
+    rows: &mut [f32],
+    a: &[f32],
+    al: ALayout,
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    bpack: &[f32],
+) {
+    PACK_A.with(|cell| {
+        let mut abuf = cell.borrow_mut();
+        pack_a(&mut abuf, a, al, lda, ic, mc, pc, kc);
+        let mp = mc.div_ceil(MR);
+        let np = nc.div_ceil(NR);
+        for ip in 0..mp {
+            let iw = MR.min(mc - ip * MR);
+            let apanel = &abuf[ip * kc * MR..(ip + 1) * kc * MR];
+            for jp in 0..np {
+                let jw = NR.min(nc - jp * NR);
+                let bpanel = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(kc, apanel, bpanel, &mut acc);
+                for (i, acc_row) in acc.iter().enumerate().take(iw) {
+                    let base = (ip * MR + i) * n + jc + jp * NR;
+                    let crow = &mut rows[base..base + jw];
+                    for (c, &v) in crow.iter_mut().zip(acc_row.iter()) {
+                        *c += v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The register tile: `acc[i][j] += Σ_p apanel[p][i] · bpanel[p][j]`.
+/// `chunks_exact` gives the optimiser fixed-size, bounds-check-free views;
+/// the `NR`-wide inner loop vectorises and the `MR×NR` accumulators give
+/// 32 independent dependency chains.
+#[inline]
+fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (av, bv) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(kc) {
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = crate::NebulaRng::seed(seed);
+        (0..len).map(|_| rng.normal_f32(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_at_block_edges() {
+        // Shapes straddling MR/NR/MC/KC/NC boundaries.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, 3),
+            (MC, NR, KC),
+            (MC + 3, NC + 5, KC + 7),
+            (2, 300, 300),
+        ] {
+            let a = fill(m * k, 1 + m as u64);
+            let b = fill(k * n, 2 + n as u64);
+            let mut out = vec![0.0; m * n];
+            gemm(&mut out, m, n, k, &a, ALayout::RowMajor, &b, BLayout::RowMajor, false);
+            let want = naive(m, n, k, &a, &b);
+            for (x, y) in out.iter().zip(&want) {
+                assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "{m}x{n}x{k}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_is_bit_identical() {
+        let (m, n, k) = (MC * 2 + 5, 70, KC + 9);
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 12);
+        let mut seq = vec![0.0; m * n];
+        let mut par = vec![0.0; m * n];
+        gemm(&mut seq, m, n, k, &a, ALayout::RowMajor, &b, BLayout::RowMajor, false);
+        gemm(&mut par, m, n, k, &a, ALayout::RowMajor, &b, BLayout::RowMajor, true);
+        assert_eq!(seq, par, "parallel split changed the reduction result");
+    }
+
+    #[test]
+    fn transposed_layouts_match_explicit_transpose() {
+        let (m, n, k) = (9, 13, 21);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        // A stored k×m.
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        // B stored n×k.
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let want = naive(m, n, k, &a, &b);
+        let mut out = vec![0.0; m * n];
+        gemm(&mut out, m, n, k, &at, ALayout::Transposed, &b, BLayout::RowMajor, false);
+        for (x, y) in out.iter().zip(&want) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+        let mut out2 = vec![0.0; m * n];
+        gemm(&mut out2, m, n, k, &a, ALayout::RowMajor, &bt, BLayout::Transposed, false);
+        for (x, y) in out2.iter().zip(&want) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}

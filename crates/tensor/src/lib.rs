@@ -19,9 +19,11 @@
 //!   Parallelism is over independent output elements only, so results do
 //!   not depend on the rayon thread count.
 
+pub mod gemm;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod par;
 pub mod reduce;
 pub mod rng;
 pub mod tensor;

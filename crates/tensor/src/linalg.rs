@@ -9,90 +9,130 @@
 //!   weight layout: each output element is a dot of two contiguous rows.
 //! * [`Tensor::matmul_tn`] — `Aᵀ(k×m) · B(k×n)`, gradient w.r.t. weights.
 //!
-//! Parallelism: rows of the output are independent, so we split over rows
-//! with rayon once the work is large enough to amortise the fork/join cost
-//! (see `PAR_THRESHOLD`). Below the threshold we run sequentially — the
-//! per-device training batches in the simulator are small (batch 16), and
-//! spawning tasks for a 16×64 product is a slowdown, not a speedup.
+//! All three lower onto the cache-blocked, register-tiled engine in
+//! [`crate::gemm`]; the transposed layouts are absorbed by its packing
+//! routines, so there is a single micro-kernel to tune. `*_into` variants
+//! write into a caller-provided output tensor so hot loops can reuse
+//! buffers (see `nebula-nn`'s workspace).
+//!
+//! Parallelism: the engine splits rows of the output over rayon once the
+//! work is large enough to amortise fork/join (`PAR_THRESHOLD`) *and* the
+//! current thread is not already inside a client-parallel round section
+//! ([`crate::par::in_sequential_scope`] — see `par.rs` for the nesting
+//! policy). The sequential and parallel paths are bit-identical, so this
+//! is purely a scheduling decision.
+//!
+//! The pre-blocking kernels are retained under [`reference`] — they anchor
+//! the equivalence proptests and give `perf_suite` a stable baseline to
+//! report speedups against ([`set_reference_kernels`]).
 
+use crate::gemm::{self, ALayout, BLayout};
 use crate::ops::dot_slices;
+use crate::par;
 use crate::Tensor;
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Minimum number of multiply-adds before a kernel goes parallel.
-const PAR_THRESHOLD: usize = 64 * 1024;
+///
+/// Re-tuned for the blocked engine: packing raises the fixed cost per call
+/// and the micro-kernel raises per-core throughput, so the old `64·1024`
+/// crossover (tuned for the naive row loop) now forks far too early — a
+/// 128×128×64 product finishes in the tens of microseconds. Forking pays
+/// off roughly an order of magnitude later.
+const PAR_THRESHOLD: usize = 512 * 1024;
+
+/// When set, the public mat-mul API routes through the retained
+/// [`reference`] kernels. Benchmark/testing hook only (used by
+/// `perf_suite` to measure end-to-end speedup against the pre-blocking
+/// kernels); not intended for production paths.
+static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+
+/// Routes all mat-muls through the pre-blocking [`reference`] kernels
+/// (benchmark baseline) or back to the blocked engine.
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_KERNELS.store(on, Ordering::SeqCst);
+}
+
+/// True while [`set_reference_kernels`] has selected the baseline kernels.
+pub fn reference_kernels_enabled() -> bool {
+    REFERENCE_KERNELS.load(Ordering::SeqCst)
+}
+
+/// Whether this product should use the rayon path.
+fn go_parallel(work: usize) -> bool {
+    work >= PAR_THRESHOLD && !par::in_sequential_scope()
+}
 
 impl Tensor {
     /// `self (m×k) · other (k×n)` → `m×n`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.shape()[0], other.shape()[1]]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self (m×k) · other (k×n)` written into `out` (`m×n`, overwritten).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
-
-        let mut out = Tensor::zeros(&[m, n]);
-        let work = m * n * k;
-        let a = self.data();
-        let b = other.data();
-
-        let body = |i: usize, orow: &mut [f32]| {
-            let arow = &a[i * k..(i + 1) * k];
-            // ikj loop order: stream through B rows, accumulate into the
-            // output row, keeping all three accesses sequential.
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        };
-
-        if work >= PAR_THRESHOLD {
-            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
-        } else {
-            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
-                body(i, orow);
-            }
+        assert_eq!(out.shape(), &[m, n], "matmul out shape mismatch");
+        out.zero_();
+        if reference_kernels_enabled() {
+            reference::matmul_slices(out.data_mut(), m, n, k, self.data(), other.data());
+            return;
         }
-        out
+        let parallel = go_parallel(m * n * k);
+        gemm::gemm(
+            out.data_mut(),
+            m,
+            n,
+            k,
+            self.data(),
+            ALayout::RowMajor,
+            other.data(),
+            BLayout::RowMajor,
+            parallel,
+        );
     }
 
     /// `self (m×k) · otherᵀ` where `other` is `n×k` → `m×n`.
     ///
     /// This is the natural layout for a linear layer whose weight matrix is
-    /// stored `out_features × in_features`: every output element is the dot
-    /// product of two contiguous rows.
+    /// stored `out_features × in_features`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.shape()[0], other.shape()[0]]);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (`m×n`, overwritten).
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank-2");
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
-
-        let mut out = Tensor::zeros(&[m, n]);
-        let work = m * n * k;
-        let a = self.data();
-        let b = other.data();
-
-        let body = |i: usize, orow: &mut [f32]| {
-            let arow = &a[i * k..(i + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o = dot_slices(arow, &b[j * k..(j + 1) * k]);
-            }
-        };
-
-        if work >= PAR_THRESHOLD {
-            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
-        } else {
-            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
-                body(i, orow);
-            }
+        assert_eq!(out.shape(), &[m, n], "matmul_nt out shape mismatch");
+        out.zero_();
+        if reference_kernels_enabled() {
+            reference::matmul_nt_slices(out.data_mut(), m, n, k, self.data(), other.data());
+            return;
         }
-        out
+        let parallel = go_parallel(m * n * k);
+        gemm::gemm(
+            out.data_mut(),
+            m,
+            n,
+            k,
+            self.data(),
+            ALayout::RowMajor,
+            other.data(),
+            BLayout::Transposed,
+            parallel,
+        );
     }
 
     /// `selfᵀ · other` where `self` is `k×m` and `other` is `k×n` → `m×n`.
@@ -100,39 +140,36 @@ impl Tensor {
     /// Weight-gradient kernel: `dW = dYᵀ · X` with `dY: batch×out` and
     /// `X: batch×in` is computed as `dY.matmul_tn(X)`.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.shape()[1], other.shape()[1]]);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other` written into `out` (`m×n`, overwritten).
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank-2");
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
         assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
-
-        let mut out = Tensor::zeros(&[m, n]);
-        let work = m * n * k;
-        let a = self.data();
-        let b = other.data();
-
-        let body = |i: usize, orow: &mut [f32]| {
-            // out[i, :] = sum_p a[p, i] * b[p, :]
-            for p in 0..k {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        };
-
-        if work >= PAR_THRESHOLD {
-            out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, orow)| body(i, orow));
-        } else {
-            for (i, orow) in out.data_mut().chunks_mut(n).enumerate() {
-                body(i, orow);
-            }
+        assert_eq!(out.shape(), &[m, n], "matmul_tn out shape mismatch");
+        out.zero_();
+        if reference_kernels_enabled() {
+            reference::matmul_tn_slices(out.data_mut(), m, n, k, self.data(), other.data());
+            return;
         }
-        out
+        let parallel = go_parallel(m * n * k);
+        gemm::gemm(
+            out.data_mut(),
+            m,
+            n,
+            k,
+            self.data(),
+            ALayout::Transposed,
+            other.data(),
+            BLayout::RowMajor,
+            parallel,
+        );
     }
 
     /// Matrix–vector product `self (m×k) · v (k)` → `m`.
@@ -160,6 +197,94 @@ impl Tensor {
                 out.data_mut()[i * n + j] = a * other.data()[j];
             }
         }
+        out
+    }
+}
+
+/// The pre-blocking kernels, retained verbatim (branchy `ikj` row loop for
+/// `matmul`/`matmul_tn`, row-dot loop for `matmul_nt`).
+///
+/// They serve two purposes: the equivalence proptests check the blocked
+/// engine against them across random shapes, and `perf_suite` measures the
+/// blocked engine's speedup over them (via [`set_reference_kernels`] for
+/// end-to-end runs). They are sequential — on the round hot path they were
+/// always below the old parallel threshold.
+pub mod reference {
+    use super::dot_slices;
+    use crate::Tensor;
+
+    /// Naive `C = A·B` (`ikj` order, zero-skip branch as pre-blocking).
+    pub fn matmul_slices(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) {
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `C = A·Bᵀ` (per-element row dots).
+    pub fn matmul_nt_slices(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) {
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_slices(arow, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Naive `C = Aᵀ·B` (strided `A` reads, zero-skip branch).
+    pub fn matmul_tn_slices(out: &mut [f32], m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) {
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Tensor-level wrapper over [`matmul_slices`] (tests, benches).
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        assert_eq!(k, b.shape()[0], "reference matmul inner dims differ");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_slices(out.data_mut(), m, n, k, a.data(), b.data());
+        out
+    }
+
+    /// Tensor-level wrapper over [`matmul_nt_slices`].
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[0];
+        assert_eq!(k, b.shape()[1], "reference matmul_nt inner dims differ");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_nt_slices(out.data_mut(), m, n, k, a.data(), b.data());
+        out
+    }
+
+    /// Tensor-level wrapper over [`matmul_tn_slices`].
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        assert_eq!(k, b.shape()[0], "reference matmul_tn inner dims differ");
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_tn_slices(out.data_mut(), m, n, k, a.data(), b.data());
         out
     }
 }
@@ -210,11 +335,21 @@ mod tests {
 
     #[test]
     fn matmul_parallel_path_matches_naive() {
-        // Big enough to cross PAR_THRESHOLD (128*128*64 = 1M MACs).
+        // Big enough to cross PAR_THRESHOLD (256·256·64 = 4M MACs).
         let mut rng = crate::NebulaRng::seed(11);
-        let a = Tensor::from_vec((0..128 * 64).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[128, 64]);
-        let b = Tensor::from_vec((0..64 * 128).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[64, 128]);
+        let a = Tensor::from_vec((0..256 * 64).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[256, 64]);
+        let b = Tensor::from_vec((0..64 * 256).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[64, 256]);
         assert_tensor_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn sequential_scope_does_not_change_results() {
+        let mut rng = crate::NebulaRng::seed(13);
+        let a = Tensor::from_vec((0..256 * 64).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[256, 64]);
+        let b = Tensor::from_vec((0..64 * 256).map(|_| rng.normal_f32(0.0, 0.5)).collect(), &[64, 256]);
+        let free = a.matmul(&b);
+        let scoped = crate::par::sequential(|| a.matmul(&b));
+        assert_eq!(free.data(), scoped.data(), "seq scope changed kernel results");
     }
 
     #[test]
@@ -231,6 +366,28 @@ mod tests {
         let a = Tensor::from_vec((0..8 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[8, 4]);
         let b = Tensor::from_vec((0..8 * 6).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[8, 6]);
         assert_tensor_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_output() {
+        let mut rng = crate::NebulaRng::seed(17);
+        let a = Tensor::from_vec((0..5 * 7).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[5, 7]);
+        let b = Tensor::from_vec((0..7 * 3).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[7, 3]);
+        let mut out = Tensor::full(&[5, 3], 99.0); // stale garbage must not leak
+        a.matmul_into(&b, &mut out);
+        assert_tensor_close(&out, &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn reference_mode_round_trips() {
+        let mut rng = crate::NebulaRng::seed(19);
+        let a = Tensor::from_vec((0..12 * 30).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[12, 30]);
+        let b = Tensor::from_vec((0..30 * 8).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[30, 8]);
+        let blocked = a.matmul(&b);
+        set_reference_kernels(true);
+        let baseline = a.matmul(&b);
+        set_reference_kernels(false);
+        assert_tensor_close(&blocked, &baseline, 1e-4);
     }
 
     #[test]

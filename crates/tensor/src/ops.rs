@@ -107,6 +107,20 @@ impl Tensor {
         out
     }
 
+    /// Adds a rank-1 `bias` to every row in place (zero-alloc variant of
+    /// [`Tensor::add_row_broadcast`]).
+    pub fn add_row_broadcast_assign(&mut self, bias: &Tensor) {
+        assert_eq!(self.rank(), 2, "add_row_broadcast_assign needs a rank-2 receiver");
+        assert_eq!(bias.rank(), 1, "bias must be rank-1");
+        assert_eq!(self.cols(), bias.len(), "bias length must match columns");
+        let c = self.cols();
+        for row in self.data_mut().chunks_mut(c) {
+            for (v, &b) in row.iter_mut().zip(bias.data()) {
+                *v += b;
+            }
+        }
+    }
+
     /// Multiplies every row of a rank-2 tensor by a rank-1 vector
     /// (per-feature scaling, used by batch-norm).
     pub fn mul_row_broadcast(&self, gamma: &Tensor) -> Tensor {

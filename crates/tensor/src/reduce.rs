@@ -146,15 +146,42 @@ pub fn softmax_in_place(row: &mut [f32]) {
 /// Returns the indices of the `k` largest values of `scores`, in descending
 /// value order. Ties broken by lower index first (deterministic).
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    top_k_indices_into(scores, k, &mut out);
+    out
+}
+
+/// Zero-allocation variant of [`top_k_indices`]: clears `out` and fills it
+/// with the selected indices. The routing hot loop calls this once per
+/// sample per layer, reusing one buffer.
+///
+/// Partial insertion selection, O(N·k): `out` is kept sorted by
+/// (value descending, index ascending). Because candidates are scanned in
+/// ascending index order and only displace strictly-smaller values, an
+/// equal-valued later index can never overtake an earlier one — the same
+/// tie-break the previous full sort implemented.
+pub fn top_k_indices_into(scores: &[f32], k: usize, out: &mut Vec<usize>) {
+    out.clear();
     let k = k.min(scores.len());
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    // Full sort keeps determinism trivial; N ≤ 64 in all Nebula configs so
-    // a partial selection would not be measurably faster.
-    idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx
+    if k == 0 {
+        return;
+    }
+    out.reserve(k);
+    for (i, &v) in scores.iter().enumerate() {
+        if out.len() == k {
+            // Continue unless the current tail is strictly smaller than `v`
+            // (NaN tails are incomparable and also never displaced).
+            if scores[out[k - 1]].partial_cmp(&v) != Some(std::cmp::Ordering::Less) {
+                continue;
+            }
+            out.pop();
+        }
+        let mut pos = out.len();
+        while pos > 0 && scores[out[pos - 1]] < v {
+            pos -= 1;
+        }
+        out.insert(pos, i);
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +246,44 @@ mod tests {
         assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
         assert_eq!(top_k_indices(&scores, 10), vec![1, 3, 2, 0]);
         assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_lower_index() {
+        // All-equal scores: selection must be the first k indices in order.
+        let flat = [2.0; 7];
+        assert_eq!(top_k_indices(&flat, 3), vec![0, 1, 2]);
+        // Ties straddling the selection boundary: index 1 and 4 tie at 5.0;
+        // only the lower index may enter a top-2 alongside the 9.0.
+        let scores = [0.0, 5.0, 9.0, -1.0, 5.0, 5.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![2, 1]);
+        assert_eq!(top_k_indices(&scores, 4), vec![2, 1, 4, 5]);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_reference() {
+        // Partial selection must agree with the naive sort-everything
+        // reference (value desc, index asc) for every k.
+        let mut rng = crate::NebulaRng::seed(23);
+        for _ in 0..50 {
+            // Coarse quantisation forces frequent ties.
+            let scores: Vec<f32> = (0..17).map(|_| (rng.normal_f32(0.0, 2.0) * 2.0).round() / 2.0).collect();
+            let mut reference: Vec<usize> = (0..scores.len()).collect();
+            reference.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            for k in 0..=scores.len() {
+                assert_eq!(top_k_indices(&scores, k), reference[..k], "k={k} scores={scores:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_into_reuses_buffer() {
+        let mut buf = vec![42; 9];
+        top_k_indices_into(&[1.0, 3.0, 2.0], 2, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        top_k_indices_into(&[5.0], 4, &mut buf);
+        assert_eq!(buf, vec![0]);
     }
 }

@@ -217,6 +217,17 @@ impl Tensor {
         Tensor::from_vec(data, &[idx.len(), c])
     }
 
+    /// Gathers the given rows into `out` (`idx.len() × cols`, overwritten)
+    /// without allocating; `out` must already have the right shape.
+    pub fn gather_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        assert_eq!(self.rank(), 2, "gather_rows_into requires rank-2");
+        let c = self.shape[1];
+        assert_eq!(out.shape(), &[idx.len(), c], "gather_rows_into out shape mismatch");
+        for (dst, &i) in out.data.chunks_exact_mut(c).zip(idx) {
+            dst.copy_from_slice(&self.data[i * c..(i + 1) * c]);
+        }
+    }
+
     /// True when every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
@@ -331,6 +342,9 @@ mod tests {
         assert_eq!(g.row(0), &[4.0, 5.0]);
         assert_eq!(g.row(1), &[0.0, 1.0]);
         assert_eq!(g.row(2), &[4.0, 5.0]);
+        let mut out = Tensor::full(&[3, 2], -1.0);
+        t.gather_rows_into(&[2, 0, 2], &mut out);
+        assert_eq!(out, g);
     }
 
     #[test]
