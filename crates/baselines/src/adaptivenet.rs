@@ -71,6 +71,35 @@ impl AdaptiveNet {
         m
     }
 
+    /// Like [`AdaptiveNet::branch_model`], but the branch's active slice
+    /// travels as a real `nebula-wire` frame on the device's download
+    /// channel. Returns the decoded device model and the measured frame
+    /// bytes (AdaptiveNet's only communication: branches never upload).
+    pub fn branch_model_wire(
+        &self,
+        ratio: f32,
+        device: u64,
+        pool: &mut nebula_wire::DensePool,
+    ) -> (DenseModel, u64) {
+        let params = self.supernet.param_vector();
+        let mask = self.supernet.mask_for_ratio(ratio);
+        let slice: Vec<f32> = params.iter().zip(&mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+        let mut decoded = Vec::new();
+        let bytes =
+            pool.send_down(device, &slice, &mut decoded).expect("pristine in-process frame must decode");
+        let mut full = params;
+        let mut it = decoded.iter();
+        for (v, &m) in full.iter_mut().zip(&mask) {
+            if m {
+                *v = *it.next().expect("decoded slice shorter than mask");
+            }
+        }
+        let mut m = self.supernet.deep_clone();
+        m.load_param_vector(&full);
+        m.set_width_ratio(ratio);
+        (m, bytes)
+    }
+
     /// The underlying supernet.
     pub fn supernet(&self) -> &DenseModel {
         &self.supernet

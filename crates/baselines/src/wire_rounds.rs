@@ -1,0 +1,288 @@
+//! Wire-measured variants of the baseline rounds.
+//!
+//! [`fedavg_round`](crate::fedavg_round) and
+//! [`heterofl_round`](crate::heterofl_round) count bytes analytically
+//! (`4 × params`); these variants move the parameters through real
+//! `nebula-wire` frames on per-device [`DensePool`] channels, train from
+//! the *decoded* payload, average the *decoded* uploads, and return the
+//! measured per-direction frame bytes. With the `Raw` codec the decoded
+//! values are bit-identical to the originals, so training and averaging
+//! match the analytic rounds exactly; with `DeltaFp32`/`QuantInt8` the
+//! measured bytes shrink as channels warm up.
+
+use crate::dense::DenseModel;
+use crate::fedavg::FedAvgUpdate;
+use crate::heterofl::HeteroFlUpdate;
+use nebula_data::{Dataset, TrainConfig};
+use nebula_nn::{Layer, Sgd};
+use nebula_tensor::NebulaRng;
+use nebula_wire::DensePool;
+use rayon::prelude::*;
+
+/// Measured frame bytes moved in one round, split by direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireBytes {
+    pub down: u64,
+    pub up: u64,
+}
+
+impl WireBytes {
+    pub fn total(&self) -> u64 {
+        self.down + self.up
+    }
+}
+
+/// One FedAvg round over real frames. `device_ids[k]` is the stable
+/// channel identity of participant `k` (channels warm up per device, so
+/// ids must be stable across rounds for delta codecs to pay off).
+#[allow(clippy::too_many_arguments)]
+pub fn fedavg_round_wire(
+    server: &mut DenseModel,
+    device_data: &[&Dataset],
+    device_ids: &[u64],
+    pool: &mut DensePool,
+    local_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut NebulaRng,
+) -> WireBytes {
+    assert!(!device_data.is_empty(), "FedAvg round with no participants");
+    assert_eq!(device_data.len(), device_ids.len(), "data/id length mismatch");
+
+    let server_params = server.param_vector();
+    let mut bytes = WireBytes::default();
+
+    // Downloads are sequential (the pool is one mutable endpoint); each
+    // device trains from what it actually decoded.
+    let mut downloads: Vec<Vec<f32>> = Vec::with_capacity(device_ids.len());
+    for &id in device_ids {
+        let mut decoded = Vec::new();
+        bytes.down +=
+            pool.send_down(id, &server_params, &mut decoded).expect("pristine in-process frame must decode");
+        downloads.push(decoded);
+    }
+
+    // Fork per-device RNG streams sequentially, then train in parallel
+    // (identical results for any thread count).
+    let rngs: Vec<NebulaRng> = (0..device_data.len()).map(|k| rng.fork(k as u64)).collect();
+    let updates: Vec<FedAvgUpdate> = device_data
+        .par_iter()
+        .zip(downloads)
+        .zip(rngs)
+        .map(|((data, decoded), mut drng)| {
+            // Keep inner kernels sequential inside the client-parallel
+            // section (see nebula_tensor::par).
+            nebula_tensor::par::sequential(|| {
+                let mut local = server.deep_clone();
+                local.load_param_vector(&decoded);
+                let mut opt = Sgd::with_momentum(lr, 0.9);
+                nebula_data::train_epochs(
+                    &mut local,
+                    &mut opt,
+                    data,
+                    TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
+                    &mut drng,
+                );
+                FedAvgUpdate { params: local.param_vector(), volume: data.len() }
+            })
+        })
+        .collect();
+
+    // Uploads: the server averages what it decoded, not what was sent.
+    let len = updates[0].params.len();
+    let total: f32 = updates.iter().map(|u| u.volume as f32).sum();
+    let mut avg = vec![0.0f32; len];
+    let mut decoded_up = Vec::new();
+    for (u, &id) in updates.iter().zip(device_ids) {
+        assert_eq!(u.params.len(), len);
+        bytes.up +=
+            pool.send_up(id, &u.params, &mut decoded_up).expect("pristine in-process frame must decode");
+        let w = u.volume as f32 / total;
+        for (a, &p) in avg.iter_mut().zip(&decoded_up) {
+            *a += w * p;
+        }
+    }
+    server.load_param_vector(&avg);
+    bytes
+}
+
+/// One HeteroFL round over real frames: only the active slice of each
+/// device's width level travels, in both directions.
+#[allow(clippy::too_many_arguments)]
+pub fn heterofl_round_wire(
+    server: &mut DenseModel,
+    device_data: &[&Dataset],
+    device_ratios: &[f32],
+    device_ids: &[u64],
+    pool: &mut DensePool,
+    local_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut NebulaRng,
+) -> WireBytes {
+    assert_eq!(device_data.len(), device_ratios.len(), "data/ratio length mismatch");
+    assert_eq!(device_data.len(), device_ids.len(), "data/id length mismatch");
+    assert!(!device_data.is_empty(), "HeteroFL round with no participants");
+
+    let base = server.param_vector();
+    let mut bytes = WireBytes::default();
+
+    // Downloads: ship the active slice, then splice the decoded values
+    // into a full-length vector for the local model. A device whose width
+    // level changed since last round changes its slice length; the dense
+    // channel falls back to a raw (cold) frame transparently.
+    let masks: Vec<Vec<bool>> = device_ratios.iter().map(|&r| server.mask_for_ratio(r)).collect();
+    let mut downloads: Vec<Vec<f32>> = Vec::with_capacity(device_ids.len());
+    let mut decoded = Vec::new();
+    for (&id, mask) in device_ids.iter().zip(&masks) {
+        let slice: Vec<f32> = base.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+        bytes.down +=
+            pool.send_down(id, &slice, &mut decoded).expect("pristine in-process frame must decode");
+        let mut full = base.clone();
+        let mut it = decoded.iter();
+        for (v, &m) in full.iter_mut().zip(mask) {
+            if m {
+                *v = *it.next().expect("decoded slice shorter than mask");
+            }
+        }
+        downloads.push(full);
+    }
+
+    let rngs: Vec<NebulaRng> = (0..device_data.len()).map(|k| rng.fork(k as u64)).collect();
+    let updates: Vec<HeteroFlUpdate> = device_data
+        .par_iter()
+        .zip(device_ratios.par_iter())
+        .zip(downloads)
+        .zip(rngs)
+        .map(|(((data, &ratio), full), mut drng)| {
+            nebula_tensor::par::sequential(|| {
+                let mut local = server.deep_clone();
+                local.load_param_vector(&full);
+                local.set_width_ratio(ratio);
+                let mut opt = Sgd::with_momentum(lr, 0.9);
+                nebula_data::train_epochs(
+                    &mut local,
+                    &mut opt,
+                    data,
+                    TrainConfig { epochs: local_epochs, batch_size, clip_norm: Some(5.0) },
+                    &mut drng,
+                );
+                HeteroFlUpdate { ratio, params: local.param_vector(), volume: data.len() }
+            })
+        })
+        .collect();
+
+    // Uploads: active slice only; the averaged coordinates are the ones
+    // the server actually decoded.
+    let len = base.len();
+    let mut acc = vec![0.0f32; len];
+    let mut weight = vec![0.0f32; len];
+    for ((u, &id), mask) in updates.iter().zip(device_ids).zip(&masks) {
+        let slice: Vec<f32> = u.params.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+        bytes.up += pool.send_up(id, &slice, &mut decoded).expect("pristine in-process frame must decode");
+        let w = u.volume as f32;
+        let mut it = decoded.iter();
+        for i in 0..len {
+            if mask[i] {
+                acc[i] += w * it.next().expect("decoded slice shorter than mask");
+                weight[i] += w;
+            }
+        }
+    }
+    let merged: Vec<f32> =
+        (0..len).map(|i| if weight[i] > 0.0 { acc[i] / weight[i] } else { base[i] }).collect();
+    server.load_param_vector(&merged);
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fedavg_round, heterofl_round};
+    use nebula_data::{SynthSpec, Synthesizer};
+    use nebula_wire::CodecKind;
+
+    fn server() -> DenseModel {
+        DenseModel::new(16, 24, 2, 32, 4, 7)
+    }
+
+    #[test]
+    fn raw_wire_round_matches_analytic_fedavg_bitwise() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng_a = NebulaRng::seed(11);
+        let mut rng_b = NebulaRng::seed(11);
+        let d1 = synth.sample_classes(80, &[0, 1], 0, &mut NebulaRng::seed(5));
+        let d2 = synth.sample_classes(80, &[2, 3], 0, &mut NebulaRng::seed(6));
+
+        let mut s_analytic = server();
+        let mut s_wire = server();
+        let analytic = fedavg_round(&mut s_analytic, &[&d1, &d2], 2, 16, 0.03, &mut rng_a);
+        let mut pool = DensePool::raw();
+        let wire = fedavg_round_wire(&mut s_wire, &[&d1, &d2], &[0, 1], &mut pool, 2, 16, 0.03, &mut rng_b);
+        assert_eq!(s_analytic.param_vector(), s_wire.param_vector());
+        // Measured bytes = analytic payload bytes + framing overhead.
+        assert!(wire.total() > analytic);
+        assert!(wire.total() < analytic + 2 * 2 * 128);
+    }
+
+    #[test]
+    fn raw_wire_round_matches_analytic_heterofl_bitwise() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let mut rng_a = NebulaRng::seed(21);
+        let mut rng_b = NebulaRng::seed(21);
+        let d1 = synth.sample(80, 0, &mut NebulaRng::seed(7));
+        let d2 = synth.sample(80, 0, &mut NebulaRng::seed(8));
+
+        let mut s_analytic = server();
+        let mut s_wire = server();
+        heterofl_round(&mut s_analytic, &[&d1, &d2], &[1.0, 0.25], 2, 16, 0.03, &mut rng_a);
+        let mut pool = DensePool::raw();
+        heterofl_round_wire(
+            &mut s_wire,
+            &[&d1, &d2],
+            &[1.0, 0.25],
+            &[0, 1],
+            &mut pool,
+            2,
+            16,
+            0.03,
+            &mut rng_b,
+        );
+        assert_eq!(s_analytic.param_vector(), s_wire.param_vector());
+    }
+
+    #[test]
+    fn quantized_rounds_move_fewer_bytes() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let d = synth.sample(60, 0, &mut NebulaRng::seed(9));
+
+        let mut s_raw = server();
+        let mut raw_pool = DensePool::raw();
+        let raw =
+            fedavg_round_wire(&mut s_raw, &[&d], &[0], &mut raw_pool, 1, 16, 0.03, &mut NebulaRng::seed(31));
+        let mut s_q8 = server();
+        let mut q8_pool = DensePool::new(CodecKind::QuantInt8, 0.0);
+        let q8 =
+            fedavg_round_wire(&mut s_q8, &[&d], &[0], &mut q8_pool, 1, 16, 0.03, &mut NebulaRng::seed(31));
+        assert!(q8.total() * 3 < raw.total(), "int8 bytes {} not well below raw {}", q8.total(), raw.total());
+    }
+
+    #[test]
+    fn delta_rounds_shrink_once_channels_warm() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let d = synth.sample(60, 0, &mut NebulaRng::seed(10));
+        let mut s = server();
+        let mut pool = DensePool::new(CodecKind::DeltaFp32, 0.0);
+        let mut rng = NebulaRng::seed(41);
+        // Zero local epochs: the model does not move, so every warm frame
+        // is an empty delta — the measured size must collapse.
+        let cold = fedavg_round_wire(&mut s, &[&d], &[0], &mut pool, 0, 16, 0.01, &mut rng);
+        let warm = fedavg_round_wire(&mut s, &[&d], &[0], &mut pool, 0, 16, 0.01, &mut rng);
+        assert!(
+            warm.total() < cold.total() / 4,
+            "warm round {} not well below cold {}",
+            warm.total(),
+            cold.total()
+        );
+    }
+}

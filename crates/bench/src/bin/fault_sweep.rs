@@ -56,6 +56,7 @@ fn plan(dropout: f64, straggler: f64, corrupt: f64) -> FaultPlan {
         corrupt_prob: corrupt,
         corruption: CorruptionKind::NanPoison,
         explode_scale: 1e4,
+        frame_corrupt_prob: 0.0,
     }
 }
 

@@ -3,15 +3,19 @@
 //! Times paper-shaped GEMMs (HAR/MLP, CIFAR/ResNet18 and VGG16 im2col
 //! shapes) under the blocked kernels vs the retained pre-blocking
 //! reference kernels, plus end-to-end `NebulaStrategy::single_round`
-//! throughput, and writes machine-readable records to `BENCH_KERNELS.json`
-//! and `BENCH_ROUND.json` at the repository root.
+//! throughput, plus the wire transport (codec frame sizes and
+//! encode/decode throughput on the CIFAR-10/ResNet18 preset, and measured
+//! per-round bytes per codec), and writes machine-readable records to
+//! `BENCH_KERNELS.json`, `BENCH_ROUND.json` and `BENCH_WIRE.json` at the
+//! repository root.
 //!
 //! Usage: `perf_suite [--smoke]`. `--smoke` shrinks repetitions and the
 //! round workload so CI can execute the whole suite in seconds; the
 //! emitted JSON carries the mode so smoke numbers are never mistaken for
 //! tracked ones.
 
-use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+use nebula_core::{modular_config_for, NebulaCloud, NebulaParams, ResourceProfile, WireConfig, WireContext};
+use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer, TaskPreset};
 use nebula_modular::ModularConfig;
 use nebula_sim::strategy::StrategyConfig;
 use nebula_sim::{FaultPlan, NebulaStrategy, ResourceSampler, SimWorld};
@@ -221,6 +225,90 @@ fn time_rounds(rounds: usize, smoke: bool, use_reference: bool) -> f64 {
     per_round
 }
 
+struct WireRow {
+    codec: &'static str,
+    /// Planning-model size of the sub-model payload (4 bytes/param).
+    analytic_bytes: u64,
+    /// First frame to a device with no transport state.
+    cold_frame_bytes: u64,
+    /// Steady-state frame once baselines are acknowledged.
+    warm_frame_bytes: u64,
+    reduction_cold: f64,
+    reduction_warm: f64,
+    encode_ms: f64,
+    decode_ms: f64,
+    /// Payload parameter volume moved per second of encode/decode.
+    encode_mib_s: f64,
+    decode_mib_s: f64,
+}
+
+/// Codec frame sizes and encode/decode throughput for the paper's
+/// CIFAR-10/ResNet18 preset: an unconstrained sub-model payload cut from
+/// the 4-layer, 16-modules-per-layer cloud model.
+fn wire_rows(reps: usize, target_s: f64) -> Vec<WireRow> {
+    let cfg = modular_config_for(TaskPreset::Cifar10);
+    let cloud = NebulaCloud::new(cfg.clone(), NebulaParams::default(), 7);
+    let uniform = vec![vec![1.0 / cfg.modules_per_layer as f32; cfg.modules_per_layer]; cfg.num_layers];
+    let spec = cloud.derive_for_importance(&uniform, &ResourceProfile::unconstrained(), None).spec;
+    let payload = cloud.dispatch(&spec);
+    let analytic = payload.bytes();
+
+    let cases: [(&'static str, WireConfig); 3] = [
+        ("raw", WireConfig::raw()),
+        ("delta_fp32", WireConfig::delta(0.0)),
+        ("quant_int8", WireConfig::int8()),
+    ];
+    cases
+        .iter()
+        .map(|&(codec, wc)| {
+            let mut ctx = WireContext::new(wc);
+            ctx.commit_model(cloud.model());
+            let mut buf = Vec::new();
+            let cold_frame_bytes = ctx.encode_payload(0, &payload, &mut buf) as u64;
+            ctx.decode_payload(0, &buf).expect("cold frame decodes");
+            let warm_frame_bytes = ctx.encode_payload(0, &payload, &mut buf) as u64;
+            ctx.decode_payload(0, &buf).expect("warm frame decodes");
+            // Steady-state timing: repeated exchanges with the same device.
+            let encode_s = time_median(reps, target_s, || {
+                ctx.encode_payload(0, &payload, &mut buf);
+            });
+            ctx.encode_payload(0, &payload, &mut buf);
+            let decode_s = time_median(reps, target_s, || {
+                ctx.decode_payload(0, &buf).expect("bench frame decodes");
+            });
+            let mib = analytic as f64 / (1024.0 * 1024.0);
+            WireRow {
+                codec,
+                analytic_bytes: analytic,
+                cold_frame_bytes,
+                warm_frame_bytes,
+                reduction_cold: analytic as f64 / cold_frame_bytes.max(1) as f64,
+                reduction_warm: analytic as f64 / warm_frame_bytes.max(1) as f64,
+                encode_ms: encode_s * 1e3,
+                decode_ms: decode_s * 1e3,
+                encode_mib_s: mib / encode_s,
+                decode_mib_s: mib / decode_s,
+            }
+        })
+        .collect()
+}
+
+/// Measured down+up bytes of fault-free Nebula rounds under a codec.
+fn round_wire_bytes(rounds: usize, smoke: bool, wire: WireConfig) -> u64 {
+    let mut world = toy_world(if smoke { 6 } else { 10 }, 5);
+    world.set_fault_plan(FaultPlan::none());
+    let mut cfg = round_cfg(smoke);
+    cfg.wire = wire;
+    let mut s = NebulaStrategy::new(cfg, 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut total = 0u64;
+    for _ in 0..rounds {
+        let out = s.single_round(&mut world, &mut rng);
+        total += out.comm.down_bytes + out.comm.up_bytes;
+    }
+    total
+}
+
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -312,4 +400,76 @@ fn main() {
     let round_path = repo_root().join("BENCH_ROUND.json");
     std::fs::write(&round_path, round_json).expect("write BENCH_ROUND.json");
     println!("wrote {}", round_path.display());
+
+    // Wire transport: codec frame sizes + throughput on the CIFAR-10
+    // preset, and measured per-round bytes per codec.
+    println!(
+        "\n{:<12} {:>12} {:>11} {:>11} {:>7} {:>7} {:>10} {:>10}",
+        "codec", "analytic B", "cold B", "warm B", "x cold", "x warm", "enc MiB/s", "dec MiB/s"
+    );
+    let wires = wire_rows(reps, target_s);
+    for w in &wires {
+        println!(
+            "{:<12} {:>12} {:>11} {:>11} {:>6.2}x {:>6.2}x {:>10.1} {:>10.1}",
+            w.codec,
+            w.analytic_bytes,
+            w.cold_frame_bytes,
+            w.warm_frame_bytes,
+            w.reduction_cold,
+            w.reduction_warm,
+            w.encode_mib_s,
+            w.decode_mib_s
+        );
+    }
+    let wire_round_count = if smoke { 1 } else { 3 };
+    println!("measuring {wire_round_count} Nebula round(s) per codec...");
+    let raw_round = round_wire_bytes(wire_round_count, smoke, WireConfig::raw());
+    let delta_round = round_wire_bytes(wire_round_count, smoke, WireConfig::delta(1e-4));
+    let int8_round = round_wire_bytes(wire_round_count, smoke, WireConfig::int8());
+    println!(
+        "round bytes: raw {raw_round}, delta {delta_round}, int8 {int8_round} ({:.2}x reduction)",
+        raw_round as f64 / int8_round.max(1) as f64
+    );
+
+    let wire_json = {
+        let mut items = Vec::new();
+        for w in &wires {
+            items.push(format!(
+                concat!(
+                    "    {{\"codec\": \"{}\", \"analytic_bytes\": {}, \"cold_frame_bytes\": {}, ",
+                    "\"warm_frame_bytes\": {}, \"reduction_cold\": {:.3}, \"reduction_warm\": {:.3}, ",
+                    "\"encode_ms\": {:.4}, \"decode_ms\": {:.4}, ",
+                    "\"encode_mib_s\": {:.2}, \"decode_mib_s\": {:.2}}}"
+                ),
+                w.codec,
+                w.analytic_bytes,
+                w.cold_frame_bytes,
+                w.warm_frame_bytes,
+                w.reduction_cold,
+                w.reduction_warm,
+                w.encode_ms,
+                w.decode_ms,
+                w.encode_mib_s,
+                w.decode_mib_s
+            ));
+        }
+        format!(
+            concat!(
+                "{{\n  \"mode\": \"{}\",\n  \"preset\": \"CIFAR10/ResNet18\",\n",
+                "  \"codecs\": [\n{}\n  ],\n",
+                "  \"rounds\": {{\"count\": {}, \"raw_bytes\": {}, \"delta_bytes\": {}, ",
+                "\"int8_bytes\": {}, \"int8_reduction\": {:.3}}}\n}}\n"
+            ),
+            mode,
+            items.join(",\n"),
+            wire_round_count,
+            raw_round,
+            delta_round,
+            int8_round,
+            raw_round as f64 / int8_round.max(1) as f64
+        )
+    };
+    let wire_path = repo_root().join("BENCH_WIRE.json");
+    std::fs::write(&wire_path, wire_json).expect("write BENCH_WIRE.json");
+    println!("wrote {}", wire_path.display());
 }

@@ -32,6 +32,7 @@ pub mod edge;
 pub mod offline;
 pub mod presets;
 pub mod profile;
+pub mod transport;
 
 pub use aggregate::{
     aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_with, discount_staleness,
@@ -39,8 +40,9 @@ pub use aggregate::{
 };
 pub use checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
 pub use cloud::{AggregateOutcome, GuardedOutcome, NebulaCloud, NebulaParams, SubModelPayload};
-pub use derive::{derive_submodel, DeriveOutcome};
+pub use derive::{derive_submodel, derive_submodel_with_codec, DeriveOutcome};
 pub use edge::{EdgeClient, EdgeUpdate};
 pub use offline::{enhance_module_abilities, pretrain, subtask_load_matrices, EnhanceConfig, PretrainConfig};
 pub use presets::{modular_config_for, modular_config_for_sequence};
 pub use profile::ResourceProfile;
+pub use transport::{WireConfig, WireContext};

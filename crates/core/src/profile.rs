@@ -1,4 +1,17 @@
 //! Device resource profiles (§5.1's "local resource profiler" output).
+//!
+//! ## Planning vs measured communication
+//!
+//! `comm_bytes` here is a **planning** input: the budget `derive` charges
+//! candidate modules against, using [`nebula_wire::CodecKind::planned_bytes`]
+//! (an upper bound on the encoded record payload — exactly `4 × params`
+//! for `Raw`, `params + 4` for `QuantInt8`). The bytes the simulator
+//! *accounts* (`CommTracker::record_download` / `record_upload`) are the
+//! **measured** lengths of the encoded `nebula-wire` frames actually
+//! exchanged, which include framing overhead and, for `DeltaFp32`, are
+//! usually far below plan. Planning stays analytic so derivation is
+//! deterministic and cheap; accounting is measured so reported comm cost
+//! is real.
 
 use serde::{Deserialize, Serialize};
 

@@ -53,6 +53,13 @@ pub struct FaultPlan {
     pub corruption: CorruptionKind,
     /// Multiplier for [`CorruptionKind::Exploding`].
     pub explode_scale: f32,
+    /// P(the device's upload frame is corrupted *in transit*). Unlike
+    /// [`FaultPlan::corrupt_prob`] — which garbles tensor values inside a
+    /// structurally valid message — this flips bytes on the encoded
+    /// `nebula-wire` frame, so the CRC check rejects it and the round
+    /// loop's retry path (not the sanitize gate) handles it.
+    #[serde(default)]
+    pub frame_corrupt_prob: f64,
 }
 
 impl FaultPlan {
@@ -69,6 +76,7 @@ impl FaultPlan {
             corrupt_prob: 0.0,
             corruption: CorruptionKind::NanPoison,
             explode_scale: 1e4,
+            frame_corrupt_prob: 0.0,
         }
     }
 
@@ -79,6 +87,7 @@ impl FaultPlan {
             || self.straggler_prob > 0.0
             || self.link_flake_prob > 0.0
             || self.corrupt_prob > 0.0
+            || self.frame_corrupt_prob > 0.0
     }
 
     /// The deterministic fate of `device` in `round`.
@@ -96,6 +105,9 @@ impl FaultPlan {
         let flaky_link = rng.bernoulli(self.link_flake_prob);
         let extra_attempts = rng.below(3) as u32 + 1;
         let corrupt = rng.bernoulli(self.corrupt_prob);
+        // New draws go after the existing ones: adding frame corruption
+        // must not reshuffle fates drawn by older plans.
+        let frame_corrupt = rng.bernoulli(self.frame_corrupt_prob);
         DeviceFate {
             dropped,
             crashed,
@@ -105,6 +117,7 @@ impl FaultPlan {
             bandwidth_factor: if flaky_link { 1.0 / self.bandwidth_collapse.max(1.0) } else { 1.0 },
             upload_attempts: if flaky_link { 1 + extra_attempts } else { 1 },
             corruption: if corrupt { Some(self.corruption) } else { None },
+            frame_corrupt,
         }
     }
 }
@@ -136,6 +149,9 @@ pub struct DeviceFate {
     pub upload_attempts: u32,
     /// Corruption applied to the device's update, if any.
     pub corruption: Option<CorruptionKind>,
+    /// The upload frame arrives with flipped bytes (CRC rejects it; the
+    /// resend is clean).
+    pub frame_corrupt: bool,
 }
 
 impl DeviceFate {
@@ -150,6 +166,7 @@ impl DeviceFate {
             bandwidth_factor: 1.0,
             upload_attempts: 1,
             corruption: None,
+            frame_corrupt: false,
         }
     }
 }
@@ -205,6 +222,9 @@ pub struct RoundReport {
     pub stale: u64,
     /// Aggregations undone by the checkpoint guard.
     pub rolled_back: u64,
+    /// Frames rejected by the wire CRC check (transit corruption).
+    #[serde(default)]
+    pub corrupt_frames: u64,
 }
 
 impl RoundReport {
@@ -220,6 +240,7 @@ impl RoundReport {
         self.retried = self.retried.saturating_add(other.retried);
         self.stale = self.stale.saturating_add(other.stale);
         self.rolled_back = self.rolled_back.saturating_add(other.rolled_back);
+        self.corrupt_frames = self.corrupt_frames.saturating_add(other.corrupt_frames);
     }
 
     /// All devices that missed the round, whatever the cause.
@@ -255,6 +276,23 @@ pub fn corrupt_module_update(update: &mut ModuleUpdate, kind: CorruptionKind, ex
 fn poison_sparse(params: &mut [f32]) {
     for p in params.iter_mut().step_by(5) {
         *p = f32::NAN;
+    }
+}
+
+/// Flips 1–4 bytes of an encoded wire frame in place (deterministic in
+/// `seed`), modelling transit corruption. Any flip is guaranteed to make
+/// `FrameView::parse` fail its CRC check, because the flipped byte always
+/// differs from the original.
+pub fn corrupt_frame(frame: &mut [u8], seed: u64) {
+    if frame.is_empty() {
+        return;
+    }
+    let mut rng = NebulaRng::seed(seed ^ 0xF1A6_F1A6_F1A6_F1A6);
+    let flips = rng.below(4) + 1;
+    for _ in 0..flips {
+        let i = rng.below(frame.len());
+        // XOR with a nonzero mask so the byte always changes.
+        frame[i] ^= (rng.below(255) as u8) + 1;
     }
 }
 
@@ -299,6 +337,7 @@ mod tests {
             corrupt_prob: p,
             corruption: CorruptionKind::NanPoison,
             explode_scale: 1e4,
+            frame_corrupt_prob: p,
         }
     }
 
@@ -372,6 +411,35 @@ mod tests {
         assert!(p.iter().all(|v| (*v - 50.5).abs() < 1e-3));
         poison_dense_mean(&mut p, CorruptionKind::NanPoison, 100.0, 0.25);
         assert!(p.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn frame_corruption_is_deterministic_and_changes_bytes() {
+        let original: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        corrupt_frame(&mut a, 42);
+        corrupt_frame(&mut b, 42);
+        assert_eq!(a, b, "same seed must corrupt identically");
+        assert_ne!(a, original, "corruption must change at least one byte");
+        let mut c = original.clone();
+        corrupt_frame(&mut c, 43);
+        // Different seeds almost surely corrupt differently (fixed seeds
+        // here, so this is deterministic, not flaky).
+        assert_ne!(a, c);
+        // Empty frames are a no-op, not a panic.
+        corrupt_frame(&mut [], 1);
+    }
+
+    #[test]
+    fn frame_corrupt_fates_fire_independently_of_value_corruption() {
+        let p = FaultPlan { frame_corrupt_prob: 1.0, ..FaultPlan::none() };
+        for d in 0..10 {
+            let f = p.fate(0, d);
+            assert!(f.frame_corrupt);
+            assert!(f.corruption.is_none());
+        }
+        assert!(p.is_active());
     }
 
     #[test]

@@ -16,19 +16,24 @@
 //! Nebula's edge clients — across time slots.
 
 use crate::device::SimDevice;
-use crate::faults::{backoff_ms, corrupt_module_update, poison_dense_mean, DeviceFate, RoundReport};
+use crate::faults::{
+    backoff_ms, corrupt_frame, corrupt_module_update, poison_dense_mean, DeviceFate, RoundReport,
+};
 use crate::latency::adaptation_latency_ms;
 use crate::network::{transfer_time_ms, CommTracker};
 use crate::world::SimWorld;
 use nebula_baselines::{
-    fedavg_round, heterofl_round, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
+    fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
-use nebula_core::edge::update_bytes;
-use nebula_core::{discount_staleness, EdgeClient, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy};
+use nebula_core::{
+    discount_staleness, EdgeClient, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy, WireConfig,
+    WireContext,
+};
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
 use nebula_nn::Layer;
 use nebula_tensor::NebulaRng;
+use nebula_wire::DensePool;
 use std::collections::HashMap;
 
 /// What one adaptation step cost.
@@ -80,6 +85,10 @@ pub struct StrategyConfig {
     pub pretrain_epochs: usize,
     /// Proxy dataset size.
     pub proxy_samples: usize,
+    /// Wire transport configuration for all module/model traffic. The
+    /// default (`Raw`) is bit-identical to the analytic exchange; delta
+    /// and int8 codecs shrink the *measured* bytes.
+    pub wire: WireConfig,
 }
 
 impl StrategyConfig {
@@ -95,7 +104,14 @@ impl StrategyConfig {
             local_lr: 0.02,
             pretrain_epochs: 15,
             proxy_samples: 3000,
+            wire: WireConfig::raw(),
         }
+    }
+
+    /// Per-device dense channel pool matching the configured wire codec
+    /// (used by the flat-model baselines).
+    fn dense_pool(&self) -> DensePool {
+        DensePool::new(self.wire.codec, self.wire.delta_threshold)
     }
 
     /// Dense model matching the full modular capacity: each block's hidden
@@ -336,17 +352,33 @@ pub struct AdaptiveNetStrategy {
     an: AdaptiveNet,
     device_models: HashMap<usize, DenseModel>,
     tracked: Vec<usize>,
+    /// Per-device wire channels: the one-time branch download is a real
+    /// measured frame (AdaptiveNet never uploads).
+    pool: DensePool,
 }
 
 impl AdaptiveNetStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let an = AdaptiveNet::new(cfg.dense_model(seed));
-        Self { cfg, an, device_models: HashMap::new(), tracked: Vec::new() }
+        let pool = cfg.dense_pool();
+        Self { cfg, an, device_models: HashMap::new(), tracked: Vec::new(), pool }
     }
 
     fn branch_for(&self, dev: &SimDevice) -> f32 {
         let budget = (self.an.supernet().param_count() as f64 * dev.resources.budget_ratio as f64) as usize;
         self.an.select_branch(budget)
+    }
+
+    /// Ensures device `id` holds its branch model, downloading it over the
+    /// wire on first contact. Returns the measured frame bytes (0 when the
+    /// device already has its branch).
+    fn ensure_branch(&mut self, id: usize, ratio: f32) -> u64 {
+        if self.device_models.contains_key(&id) {
+            return 0;
+        }
+        let (model, bytes) = self.an.branch_model_wire(ratio, id as u64, &mut self.pool);
+        self.device_models.insert(id, model);
+        bytes
     }
 }
 
@@ -369,9 +401,15 @@ impl AdaptStrategy for AdaptiveNetStrategy {
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
         let mut time_ms = 0.0;
+        let mut comm = CommTracker::new();
         for &id in &self.tracked.clone() {
             let ratio = self.branch_for(&world.devices[id]);
-            let model = self.device_models.entry(id).or_insert_with(|| self.an.branch_model(ratio));
+            let bytes = self.ensure_branch(id, ratio);
+            if bytes > 0 {
+                comm.record_download(bytes);
+                time_ms += transfer_time_ms(bytes, world.devices[id].resources.bandwidth_bps);
+            }
+            let model = self.device_models.get_mut(&id).expect("branch just ensured");
             let dev = &world.devices[id];
             let mut drng = rng.fork(id as u64 ^ 0xA0A0);
             local_adapt(
@@ -391,7 +429,7 @@ impl AdaptStrategy for AdaptiveNetStrategy {
             );
         }
         StepReport {
-            comm: CommTracker::new(),
+            comm,
             adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
             faults: RoundReport::default(),
         }
@@ -399,7 +437,8 @@ impl AdaptStrategy for AdaptiveNetStrategy {
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
         let ratio = self.branch_for(&world.devices[id]);
-        let model = self.device_models.entry(id).or_insert_with(|| self.an.branch_model(ratio));
+        self.ensure_branch(id, ratio);
+        let model = self.device_models.get_mut(&id).expect("branch just ensured");
         nebula_data::evaluate_accuracy(model, &world.devices[id].test, 64)
     }
 
@@ -417,12 +456,15 @@ impl AdaptStrategy for AdaptiveNetStrategy {
 pub struct FedAvgStrategy {
     cfg: StrategyConfig,
     server: DenseModel,
+    /// Per-device wire channels; all model traffic moves as real frames.
+    pool: DensePool,
 }
 
 impl FedAvgStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
-        Self { cfg, server }
+        let pool = cfg.dense_pool();
+        Self { cfg, server, pool }
     }
 
     /// One communication round (used by the rounds-to-target driver),
@@ -463,6 +505,20 @@ impl FedAvgStrategy {
                 backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
             }
             report.retried += extra as u64;
+            let mut resends = extra as u64;
+            // Transit corruption on the upload frame: CRC-rejected, one
+            // clean resend. Without a retry budget the device is lost.
+            if fate.frame_corrupt {
+                report.corrupt_frames += 1;
+                comm.record_retry(payload_bytes);
+                if policy.max_retries == 0 {
+                    report.link_dropped += 1;
+                    continue;
+                }
+                report.retried += 1;
+                resends += 1;
+                backoff += backoff_ms(policy.retry_backoff_base_ms, extra);
+            }
             let dev = &world.devices[id];
             let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
             let time_ms = adaptation_latency_ms(
@@ -472,7 +528,7 @@ impl FedAvgStrategy {
                 self.cfg.local_epochs,
                 self.cfg.batch_size,
             ) * fate.slowdown
-                + transfer_time_ms(2 * payload_bytes + extra as u64 * payload_bytes, bw)
+                + transfer_time_ms(2 * payload_bytes + resends * payload_bytes, bw)
                 + backoff;
             meta.push((id, fate, time_ms));
         }
@@ -491,8 +547,14 @@ impl FedAvgStrategy {
                 }
             }
             if fate.crashed {
-                // Received the global model, died before uploading.
-                comm.record_download(payload_bytes);
+                // Received the global model (a real measured frame on its
+                // download channel), died before uploading.
+                let mut scratch = Vec::new();
+                let bytes = self
+                    .pool
+                    .send_down(id as u64, &self.server.param_vector(), &mut scratch)
+                    .expect("pristine in-process frame must decode");
+                comm.record_download(bytes);
                 report.crashed += 1;
                 continue;
             }
@@ -506,16 +568,19 @@ impl FedAvgStrategy {
 
         if !trainers.is_empty() {
             let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
-            let bytes = fedavg_round(
+            let ids_u64: Vec<u64> = trainers.iter().map(|&i| i as u64).collect();
+            let wb = fedavg_round_wire(
                 &mut self.server,
                 &data,
+                &ids_u64,
+                &mut self.pool,
                 self.cfg.local_epochs,
                 self.cfg.batch_size,
                 self.cfg.local_lr,
                 rng,
             );
-            comm.down_bytes = comm.down_bytes.saturating_add(bytes / 2);
-            comm.up_bytes = comm.up_bytes.saturating_add(bytes - bytes / 2);
+            comm.down_bytes = comm.down_bytes.saturating_add(wb.down);
+            comm.up_bytes = comm.up_bytes.saturating_add(wb.up);
             comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
             comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
             if n_corrupt > 0 {
@@ -592,12 +657,15 @@ impl AdaptStrategy for FedAvgStrategy {
 pub struct HeteroFlStrategy {
     cfg: StrategyConfig,
     server: DenseModel,
+    /// Per-device wire channels carrying each device's active slice.
+    pool: DensePool,
 }
 
 impl HeteroFlStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
-        Self { cfg, server }
+        let pool = cfg.dense_pool();
+        Self { cfg, server, pool }
     }
 
     fn ratio_for(&self, dev: &SimDevice) -> f32 {
@@ -643,6 +711,20 @@ impl HeteroFlStrategy {
                 backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
             }
             report.retried += extra as u64;
+            let mut resends = extra as u64;
+            // Transit corruption on the upload frame: CRC-rejected, one
+            // clean resend. Without a retry budget the device is lost.
+            if fate.frame_corrupt {
+                report.corrupt_frames += 1;
+                comm.record_retry(payload_bytes);
+                if policy.max_retries == 0 {
+                    report.link_dropped += 1;
+                    continue;
+                }
+                report.retried += 1;
+                resends += 1;
+                backoff += backoff_ms(policy.retry_backoff_base_ms, extra);
+            }
             let dev = &world.devices[id];
             let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
             let time_ms = adaptation_latency_ms(
@@ -652,7 +734,7 @@ impl HeteroFlStrategy {
                 self.cfg.local_epochs,
                 self.cfg.batch_size,
             ) * fate.slowdown
-                + transfer_time_ms(2 * payload_bytes + extra as u64 * payload_bytes, bw)
+                + transfer_time_ms(2 * payload_bytes + resends * payload_bytes, bw)
                 + backoff;
             meta.push((id, fate, time_ms));
         }
@@ -671,8 +753,19 @@ impl HeteroFlStrategy {
                 }
             }
             if fate.crashed {
+                // Received its active slice as a real measured frame,
+                // died before uploading.
                 let ratio = self.ratio_for(&world.devices[id]);
-                comm.record_download((self.server.active_params(ratio) * 4) as u64);
+                let params = self.server.param_vector();
+                let mask = self.server.mask_for_ratio(ratio);
+                let slice: Vec<f32> =
+                    params.iter().zip(&mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+                let mut scratch = Vec::new();
+                let bytes = self
+                    .pool
+                    .send_down(id as u64, &slice, &mut scratch)
+                    .expect("pristine in-process frame must decode");
+                comm.record_download(bytes);
                 report.crashed += 1;
                 continue;
             }
@@ -687,17 +780,20 @@ impl HeteroFlStrategy {
         if !trainers.is_empty() {
             let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
             let ratios: Vec<f32> = trainers.iter().map(|&i| self.ratio_for(&world.devices[i])).collect();
-            let bytes = heterofl_round(
+            let ids_u64: Vec<u64> = trainers.iter().map(|&i| i as u64).collect();
+            let wb = heterofl_round_wire(
                 &mut self.server,
                 &data,
                 &ratios,
+                &ids_u64,
+                &mut self.pool,
                 self.cfg.local_epochs,
                 self.cfg.batch_size,
                 self.cfg.local_lr,
                 rng,
             );
-            comm.down_bytes = comm.down_bytes.saturating_add(bytes / 2);
-            comm.up_bytes = comm.up_bytes.saturating_add(bytes - bytes / 2);
+            comm.down_bytes = comm.down_bytes.saturating_add(wb.down);
+            comm.up_bytes = comm.up_bytes.saturating_add(wb.up);
             comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
             comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
             if n_corrupt > 0 {
@@ -815,6 +911,10 @@ pub struct NebulaStrategy {
     /// Checkpoint-rollback guard: probe dataset + max tolerated accuracy
     /// drop per aggregation. Off by default.
     rollback: Option<(Dataset, f32)>,
+    /// Module transport: registry, codecs and per-device residual state.
+    wire: WireContext,
+    /// Reusable frame buffer for all encode/decode round trips.
+    frame_buf: Vec<u8>,
 }
 
 impl NebulaStrategy {
@@ -829,6 +929,7 @@ impl NebulaStrategy {
         params.batch_size = cfg.batch_size;
         params.local_lr = cfg.local_lr;
         let cloud = NebulaCloud::new(cfg.modular.clone(), params, seed);
+        let wire = WireContext::new(cfg.wire);
         Self {
             cfg,
             cloud,
@@ -838,6 +939,8 @@ impl NebulaStrategy {
             enhanced: false,
             sanitize: SanitizePolicy::default(),
             rollback: None,
+            wire,
+            frame_buf: Vec::new(),
         }
     }
 
@@ -886,9 +989,17 @@ impl NebulaStrategy {
         let mut comm = CommTracker::new();
         let mut report = RoundReport { sampled: ids.len() as u64, ..Default::default() };
 
-        // Sequential phase: fates, derivation, dispatch, downloads.
+        // Baselines for this round's wire traffic (no-op for non-delta
+        // codecs).
+        self.wire.commit_model(self.cloud.model());
+
+        // Sequential phase: fates, derivation, dispatch, downloads. Each
+        // download is encoded into a real frame and the *decoded* payload
+        // is what the device trains from; the tracker records the measured
+        // frame length, while the latency model keeps the analytic
+        // planning size (so `Raw` rounds stay bit-identical).
         let mut jobs = Vec::with_capacity(ids.len());
-        let mut meta: Vec<(DeviceFate, f64)> = Vec::with_capacity(ids.len());
+        let mut meta: Vec<(usize, DeviceFate, f64)> = Vec::with_capacity(ids.len());
         for &id in &ids {
             let fate = plan.fate(round, id);
             if fate.dropped {
@@ -903,21 +1014,31 @@ impl NebulaStrategy {
             }
             let outcome = self.cloud.derive_for_data(&local, &profile, None);
             let payload = self.cloud.dispatch(&outcome.spec);
-            let bytes = payload.bytes();
+            let plan_bytes = payload.bytes();
             if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
-                // Retries exhausted: the device never joins the round.
+                // Retries exhausted: the device never joins the round (and
+                // never receives a frame, so its wire state stays cold).
                 for _ in 0..policy.max_retries {
-                    comm.record_retry(bytes);
+                    comm.record_retry(plan_bytes);
                 }
                 report.retried += policy.max_retries as u64;
                 report.link_dropped += 1;
                 continue;
             }
-            comm.record_download(bytes);
+            let wire_bytes = self.wire.encode_payload(id as u64, &payload, &mut self.frame_buf) as u64;
+            comm.record_download(wire_bytes);
+            let payload = match self.wire.decode_payload(id as u64, &self.frame_buf) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Defensive: a pristine in-process frame always decodes.
+                    report.link_dropped += 1;
+                    continue;
+                }
+            };
             let extra = fate.upload_attempts.saturating_sub(1);
             let mut backoff = 0.0;
             for attempt in 0..extra {
-                comm.record_retry(bytes);
+                comm.record_retry(wire_bytes);
                 backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
             }
             report.retried += extra as u64;
@@ -934,9 +1055,9 @@ impl NebulaStrategy {
                 self.cfg.local_epochs,
                 self.cfg.batch_size,
             ) * fate.slowdown
-                + transfer_time_ms(2 * bytes + extra as u64 * bytes, bw)
+                + transfer_time_ms(2 * plan_bytes + extra as u64 * plan_bytes, bw)
                 + backoff;
-            meta.push((fate, time_ms));
+            meta.push((id, fate, time_ms));
             jobs.push((payload, local, rng.fork(id as u64 ^ 0xEB)));
         }
 
@@ -956,11 +1077,11 @@ impl NebulaStrategy {
             .collect();
 
         // Round deadline from the latency model; stragglers past it drop.
-        let times: Vec<f64> = meta.iter().map(|m| m.1).collect();
+        let times: Vec<f64> = meta.iter().map(|m| m.2).collect();
         let deadline = round_deadline_ms(policy.deadline_factor, &times);
         let mut accepted: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
         let mut round_time_ms = 0.0f64;
-        for (mut update, (fate, time_ms)) in updates.into_iter().zip(meta) {
+        for (mut update, (id, fate, time_ms)) in updates.into_iter().zip(meta) {
             if let Some(d) = deadline {
                 if time_ms > d {
                     report.deadline_dropped += 1;
@@ -975,11 +1096,61 @@ impl NebulaStrategy {
             }
             round_time_ms = round_time_ms.max(time_ms);
             if let Some(kind) = fate.corruption {
+                // App-level corruption garbles the tensors *before* the
+                // frame is cut: the frame is valid, the sanitize gate is
+                // the defence.
                 corrupt_module_update(&mut update, kind, plan.explode_scale);
             }
-            comm.record_upload(update_bytes(&update));
+            // The upload is a real frame; the cloud aggregates what it
+            // decodes, never the sender's structs.
+            let enc = self.wire.encode_update(id as u64, &update, &mut self.frame_buf) as u64;
+            let decoded = if fate.frame_corrupt {
+                // Transit corruption flips bytes on the wire. The CRC
+                // check rejects the frame and the retry path re-sends it;
+                // without a retry budget the device is lost.
+                report.corrupt_frames += 1;
+                let mut bad = self.frame_buf.clone();
+                corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                match self.wire.decode_update(&bad) {
+                    Ok(u) => {
+                        comm.record_upload(enc);
+                        Some(u)
+                    }
+                    Err(_) => {
+                        comm.record_retry(enc);
+                        if policy.max_retries == 0 {
+                            None
+                        } else {
+                            report.retried += 1;
+                            match self.wire.decode_update(&self.frame_buf) {
+                                Ok(u) => {
+                                    comm.record_upload(enc);
+                                    Some(u)
+                                }
+                                Err(_) => None,
+                            }
+                        }
+                    }
+                }
+            } else {
+                match self.wire.decode_update(&self.frame_buf) {
+                    Ok(u) => {
+                        comm.record_upload(enc);
+                        Some(u)
+                    }
+                    Err(_) => {
+                        comm.record_retry(enc);
+                        None
+                    }
+                }
+            };
+            let Some(mut update) = decoded else {
+                report.link_dropped += 1;
+                continue;
+            };
             if fate.straggler {
-                // Late but within the deadline: accepted at a discount.
+                // Late but within the deadline: accepted at a discount
+                // (server-side, after decode).
                 discount_staleness(&mut update, policy.staleness_discount);
                 report.stale += 1;
             }
@@ -1010,14 +1181,19 @@ impl NebulaStrategy {
     }
 
     /// Refreshes (or creates) the tracked device's client from the cloud:
-    /// derive + dispatch. Returns download bytes.
+    /// derive + dispatch, over the wire. Returns the measured download
+    /// frame bytes; the client installs what it decoded.
     fn refresh_client(&mut self, world: &mut SimWorld, id: usize) -> u64 {
         let dev = &world.devices[id];
         let profile = dev.profile(self.cloud.cost_model());
         let local = dev.partition.data.clone();
         let outcome = self.cloud.derive_for_data(&local, &profile, None);
         let payload = self.cloud.dispatch(&outcome.spec);
-        let bytes = payload.bytes();
+        let bytes = self.wire.encode_payload(id as u64, &payload, &mut self.frame_buf) as u64;
+        let payload = self
+            .wire
+            .decode_payload(id as u64, &self.frame_buf)
+            .expect("pristine in-process frame must decode");
         match self.clients.get_mut(&id) {
             Some(client) => client.install(&payload),
             None => {
@@ -1063,7 +1239,9 @@ impl AdaptStrategy for NebulaStrategy {
         }
 
         // Tracked devices: refresh sub-model from the cloud and/or adapt
-        // locally, per variant.
+        // locally, per variant. Refresh downloads are wire frames cut from
+        // the post-aggregation model, so commit fresh baselines first.
+        self.wire.commit_model(self.cloud.model());
         let mut time_ms = 0.0;
         for &id in &self.tracked.clone() {
             let refresh = match self.variant {
@@ -1174,9 +1352,12 @@ mod tests {
             assert!((0.0..=1.0).contains(&acc), "{}: acc {acc}", s.name());
             let fp = s.footprint(&world, 0);
             assert!(fp.params > 0, "{}: zero params", s.name());
-            // Collaborative strategies must move bytes; local ones must not.
+            // Strategies that download models must move bytes (AN pays a
+            // one-time branch download); purely local ones must not.
             match s.name() {
-                "FA" | "HFL" | "Nebula" => assert!(report.comm.total_bytes() > 0, "{}", s.name()),
+                "FA" | "HFL" | "Nebula" | "AN" => {
+                    assert!(report.comm.total_bytes() > 0, "{}", s.name())
+                }
                 _ => assert_eq!(report.comm.total_bytes(), 0, "{}", s.name()),
             }
         }

@@ -145,6 +145,80 @@ fn deadline_drops_stragglers() {
     assert!(total.participated > 0, "deadline starved every round: {total:?}");
 }
 
+/// Transit corruption on upload frames: every corrupted frame is caught
+/// by the wire CRC and re-sent through the retry path — nothing corrupted
+/// reaches aggregation, and with a retry budget nobody is lost.
+#[test]
+fn frame_corruption_is_crc_detected_and_retried() {
+    let mut world = toy_world(12, 5);
+    world.set_fault_plan(FaultPlan { seed: 17, frame_corrupt_prob: 0.5, ..FaultPlan::none() });
+    let mut s = NebulaStrategy::new(toy_cfg(6), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut total = RoundReport::default();
+    let mut comm = nebula_sim::CommTracker::new();
+    for _ in 0..4 {
+        let out = s.single_round(&mut world, &mut rng);
+        assert_conserved(&out.report);
+        total.merge(&out.report);
+        comm.merge(&out.comm);
+    }
+    assert!(total.corrupt_frames > 0, "50% frame corruption never fired: {total:?}");
+    // Default policy has retries: every corrupted frame is re-sent, so no
+    // device is lost and every resend is accounted.
+    assert_eq!(total.link_dropped, 0, "{total:?}");
+    assert_eq!(total.retried, total.corrupt_frames, "{total:?}");
+    assert_eq!(comm.retries, total.retried);
+    assert!(comm.retry_bytes > 0, "corrupted attempts must burn bytes");
+    assert!(total.participated > 0);
+    assert!(
+        s.cloud().model().param_vector().iter().all(|p| p.is_finite()),
+        "corrupted frame leaked into aggregation"
+    );
+}
+
+/// Without a retry budget a corrupted frame is fatal for the round: the
+/// device is dropped (link_dropped) and its update never aggregates —
+/// there is no silent acceptance of a CRC-failed frame.
+#[test]
+fn frame_corruption_without_retries_drops_devices() {
+    let mut world = toy_world(12, 5);
+    world.set_fault_plan(FaultPlan { seed: 19, frame_corrupt_prob: 1.0, ..FaultPlan::none() });
+    world.set_round_policy(RoundPolicy { max_retries: 0, ..RoundPolicy::default() });
+    let mut s = NebulaStrategy::new(toy_cfg(6), 1);
+    let mut rng = NebulaRng::seed(3);
+    let before = s.cloud().model().param_vector();
+    let out = s.single_round(&mut world, &mut rng);
+    assert_conserved(&out.report);
+    assert_eq!(out.report.participated, 0, "{:?}", out.report);
+    assert_eq!(out.report.link_dropped, out.report.corrupt_frames, "{:?}", out.report);
+    assert!(out.report.corrupt_frames > 0);
+    // Nothing aggregated → the cloud model is untouched.
+    let after = s.cloud().model().param_vector();
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.to_bits(), b.to_bits(), "aggregation ran on corrupted frames");
+    }
+}
+
+/// The dense baselines account frame corruption through the same
+/// retry/link-drop bookkeeping.
+#[test]
+fn baseline_frame_corruption_accounts_retries() {
+    let mut world = toy_world(12, 5);
+    world.set_fault_plan(FaultPlan { seed: 23, frame_corrupt_prob: 0.6, ..FaultPlan::none() });
+    let mut s = FedAvgStrategy::new(toy_cfg(6), 1);
+    let mut rng = NebulaRng::seed(3);
+    let mut total = RoundReport::default();
+    for _ in 0..3 {
+        let out = s.single_round(&mut world, &mut rng);
+        assert_conserved(&out.report);
+        total.merge(&out.report);
+    }
+    assert!(total.corrupt_frames > 0, "{total:?}");
+    assert_eq!(total.link_dropped, 0, "retry budget should save every device: {total:?}");
+    assert!(total.retried >= total.corrupt_frames, "{total:?}");
+}
+
 /// Flaky links cost retries (and wasted retry bytes); links whose retry
 /// budget runs out drop the device.
 #[test]

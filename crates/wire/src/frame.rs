@@ -1,0 +1,338 @@
+//! Framed binary format for module traffic.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic  b"NBW1"
+//!      4     1  wire version (currently 1)
+//!      5     1  frame kind   (0 payload, 1 update, 2 dense)
+//!      6     1  default codec id (hint; records carry their own)
+//!      7     1  reserved (0)
+//!      8     4  record count            u32 LE
+//!     12     4  body length in bytes    u32 LE
+//!     16   ...  records (back to back)
+//!    end     4  CRC32 (IEEE) over header + body   u32 LE
+//!
+//! record:
+//!      0     2  layer   u16 LE   (0xFFFD..=0xFFFF are sentinels)
+//!      2     2  module  u16 LE
+//!      4     1  codec id for this record
+//!      5     3  reserved (0)
+//!      8     8  base version  u64 LE  (0 when codec needs no baseline)
+//!     16     4  element count u32 LE  (f32 elements after decode)
+//!     20     4  encoded payload length u32 LE
+//!     24   ...  encoded payload
+//! ```
+//!
+//! Encoding appends into a caller-owned `Vec<u8>` (the `nn::Workspace`
+//! discipline: buffers are reused across rounds, steady-state encode does
+//! no allocation). Decoding is zero-copy: `FrameView::parse` validates
+//! magic/version/lengths/CRC once and hands out records borrowing the
+//! input buffer.
+
+use crate::codec::CodecKind;
+use crate::crc32::crc32;
+use crate::WireError;
+
+pub const MAGIC: [u8; 4] = *b"NBW1";
+pub const WIRE_VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 16;
+pub const RECORD_HEADER_LEN: usize = 24;
+pub const TRAILER_LEN: usize = 4;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Cloud → edge sub-model payload (modules + shared params).
+    Payload,
+    /// Edge → cloud module update (modules + shared + importance + meta).
+    Update,
+    /// A single dense blob (baseline strategies' full-model exchange).
+    Dense,
+}
+
+impl FrameKind {
+    pub fn id(self) -> u8 {
+        match self {
+            FrameKind::Payload => 0,
+            FrameKind::Update => 1,
+            FrameKind::Dense => 2,
+        }
+    }
+
+    pub fn from_id(id: u8) -> Result<Self, WireError> {
+        match id {
+            0 => Ok(FrameKind::Payload),
+            1 => Ok(FrameKind::Update),
+            2 => Ok(FrameKind::Dense),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+/// Addresses one tensor inside a frame: a (layer, module) pair for real
+/// modules, or one of the sentinel keys for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModuleKey {
+    pub layer: u16,
+    pub module: u16,
+}
+
+impl ModuleKey {
+    /// Shared (non-modular) parameters, or the whole blob in dense frames.
+    pub const SHARED: ModuleKey = ModuleKey { layer: 0xFFFF, module: 0xFFFF };
+    /// Update metadata record (currently: data volume as u64 LE, elems 0).
+    pub const META: ModuleKey = ModuleKey { layer: 0xFFFD, module: 0 };
+
+    /// A real module at (layer, module).
+    pub fn module(layer: usize, module: usize) -> Self {
+        debug_assert!(layer < 0xFFFD && module < 0xFFFD, "index collides with sentinel space");
+        ModuleKey { layer: layer as u16, module: module as u16 }
+    }
+
+    /// Per-layer importance row; the module field carries the layer index.
+    pub fn importance(layer: usize) -> Self {
+        debug_assert!(layer < 0xFFFD);
+        ModuleKey { layer: 0xFFFE, module: layer as u16 }
+    }
+
+    pub fn is_shared(self) -> bool {
+        self == Self::SHARED
+    }
+
+    pub fn is_importance(self) -> bool {
+        self.layer == 0xFFFE
+    }
+
+    pub fn is_meta(self) -> bool {
+        self.layer == 0xFFFD
+    }
+
+    pub fn is_module(self) -> bool {
+        self.layer < 0xFFFD
+    }
+}
+
+/// One parsed record, borrowing the frame buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    pub key: ModuleKey,
+    pub codec: CodecKind,
+    pub base_version: u64,
+    pub elems: usize,
+    pub payload: &'a [u8],
+}
+
+/// Incremental frame writer appending into a caller-owned buffer.
+///
+/// The buffer is cleared on `begin`; `finish` backpatches the count and
+/// body length and appends the CRC trailer. Dropping a builder without
+/// calling `finish` leaves an unterminated frame in the buffer — callers
+/// own that invariant (the type is linear in practice).
+pub struct FrameBuilder<'a> {
+    buf: &'a mut Vec<u8>,
+    count: u32,
+}
+
+impl<'a> FrameBuilder<'a> {
+    /// Start a frame of `kind` in `buf` (cleared first). `codec` is the
+    /// frame-level default codec hint; individual records may differ.
+    pub fn begin(buf: &'a mut Vec<u8>, kind: FrameKind, codec: CodecKind) -> Self {
+        buf.clear();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(WIRE_VERSION);
+        buf.push(kind.id());
+        buf.push(codec.id());
+        buf.push(0);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // count, backpatched
+        buf.extend_from_slice(&0u32.to_le_bytes()); // body_len, backpatched
+        FrameBuilder { buf, count: 0 }
+    }
+
+    /// Append one record. `write` appends the encoded payload to the
+    /// buffer; its length is measured and backpatched, so codecs whose
+    /// output size is data-dependent (delta) need no pre-pass.
+    pub fn record(
+        &mut self,
+        key: ModuleKey,
+        codec: CodecKind,
+        base_version: u64,
+        elems: usize,
+        write: impl FnOnce(&mut Vec<u8>),
+    ) {
+        self.buf.extend_from_slice(&key.layer.to_le_bytes());
+        self.buf.extend_from_slice(&key.module.to_le_bytes());
+        self.buf.push(codec.id());
+        self.buf.extend_from_slice(&[0u8; 3]);
+        self.buf.extend_from_slice(&base_version.to_le_bytes());
+        self.buf.extend_from_slice(&(elems as u32).to_le_bytes());
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&0u32.to_le_bytes()); // enc_len, backpatched
+        let payload_start = self.buf.len();
+        write(self.buf);
+        let enc_len = (self.buf.len() - payload_start) as u32;
+        self.buf[len_at..len_at + 4].copy_from_slice(&enc_len.to_le_bytes());
+        self.count += 1;
+    }
+
+    /// Terminate the frame: backpatch header fields, append CRC. Returns
+    /// the total frame length in bytes (what goes on the wire).
+    pub fn finish(self) -> usize {
+        let body_len = (self.buf.len() - HEADER_LEN) as u32;
+        self.buf[8..12].copy_from_slice(&self.count.to_le_bytes());
+        self.buf[12..16].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.len()
+    }
+}
+
+/// A validated, parsed frame borrowing the input bytes.
+pub struct FrameView<'a> {
+    pub kind: FrameKind,
+    pub codec: CodecKind,
+    records: Vec<Record<'a>>,
+}
+
+impl<'a> FrameView<'a> {
+    /// Validate and index `bytes` as one frame. Checks, in order: minimum
+    /// length, magic, version, kind, codec ids, declared body length vs
+    /// actual, CRC, then walks every record checking bounds. Any byte
+    /// flip that survives all structural checks is caught by the CRC.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let min = HEADER_LEN + TRAILER_LEN;
+        if bytes.len() < min {
+            return Err(WireError::Truncated { needed: min, have: bytes.len() });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if bytes[4] != WIRE_VERSION {
+            return Err(WireError::BadVersion(bytes[4]));
+        }
+        let kind = FrameKind::from_id(bytes[5])?;
+        let codec = CodecKind::from_id(bytes[6])?;
+        let count = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        let body_len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let expected_total = HEADER_LEN + body_len + TRAILER_LEN;
+        if bytes.len() != expected_total {
+            return Err(WireError::LengthMismatch { expected: expected_total, got: bytes.len() });
+        }
+        let crc_at = bytes.len() - TRAILER_LEN;
+        let stored =
+            u32::from_le_bytes([bytes[crc_at], bytes[crc_at + 1], bytes[crc_at + 2], bytes[crc_at + 3]]);
+        let actual = crc32(&bytes[..crc_at]);
+        if stored != actual {
+            return Err(WireError::CrcMismatch { expected: stored, got: actual });
+        }
+        let mut records = Vec::with_capacity(count);
+        let mut at = HEADER_LEN;
+        for _ in 0..count {
+            if crc_at - at < RECORD_HEADER_LEN {
+                return Err(WireError::Truncated { needed: RECORD_HEADER_LEN, have: crc_at - at });
+            }
+            let h = &bytes[at..at + RECORD_HEADER_LEN];
+            let key = ModuleKey {
+                layer: u16::from_le_bytes([h[0], h[1]]),
+                module: u16::from_le_bytes([h[2], h[3]]),
+            };
+            let rec_codec = CodecKind::from_id(h[4])?;
+            let base_version = u64::from_le_bytes([h[8], h[9], h[10], h[11], h[12], h[13], h[14], h[15]]);
+            let elems = u32::from_le_bytes([h[16], h[17], h[18], h[19]]) as usize;
+            let enc_len = u32::from_le_bytes([h[20], h[21], h[22], h[23]]) as usize;
+            at += RECORD_HEADER_LEN;
+            if crc_at - at < enc_len {
+                return Err(WireError::Truncated { needed: enc_len, have: crc_at - at });
+            }
+            records.push(Record {
+                key,
+                codec: rec_codec,
+                base_version,
+                elems,
+                payload: &bytes[at..at + enc_len],
+            });
+            at += enc_len;
+        }
+        if at != crc_at {
+            return Err(WireError::LengthMismatch { expected: crc_at, got: at });
+        }
+        Ok(FrameView { kind, codec, records })
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &Record<'a>> {
+        self.records.iter()
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Find a record by key (frames are small; linear scan).
+    pub fn find(&self, key: ModuleKey) -> Option<&Record<'a>> {
+        self.records.iter().find(|r| r.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+
+    #[test]
+    fn build_parse_round_trip() {
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        let vals = [1.0f32, -2.5, 3.25];
+        b.record(ModuleKey::module(0, 3), CodecKind::Raw, 0, vals.len(), |out| codec::encode_raw(&vals, out));
+        b.record(ModuleKey::META, CodecKind::Raw, 0, 0, |out| out.extend_from_slice(&42u64.to_le_bytes()));
+        let total = b.finish();
+        assert_eq!(total, buf.len());
+
+        let view = FrameView::parse(&buf).unwrap();
+        assert_eq!(view.kind, FrameKind::Update);
+        assert_eq!(view.record_count(), 2);
+        let r = view.find(ModuleKey::module(0, 3)).unwrap();
+        assert_eq!(r.elems, 3);
+        let mut back = Vec::new();
+        codec::decode_raw(r.payload, r.elems, &mut back).unwrap();
+        assert_eq!(back, vals);
+        let meta = view.find(ModuleKey::META).unwrap();
+        assert_eq!(meta.payload, 42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Dense, CodecKind::Raw);
+        let vals: Vec<f32> = (0..17).map(|i| i as f32 * 0.5).collect();
+        b.record(ModuleKey::SHARED, CodecKind::Raw, 0, vals.len(), |out| codec::encode_raw(&vals, out));
+        b.finish();
+        assert!(FrameView::parse(&buf).is_ok());
+        for i in 0..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0x40;
+            assert!(FrameView::parse(&corrupted).is_err(), "flip at byte {i} not rejected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Dense, CodecKind::Raw);
+        b.record(ModuleKey::SHARED, CodecKind::Raw, 0, 2, |out| codec::encode_raw(&[1.0, 2.0], out));
+        b.finish();
+        for cut in 0..buf.len() {
+            assert!(FrameView::parse(&buf[..cut]).is_err(), "truncation to {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn sentinel_keys_do_not_collide() {
+        assert!(ModuleKey::SHARED.is_shared());
+        assert!(ModuleKey::importance(7).is_importance());
+        assert!(ModuleKey::META.is_meta());
+        assert!(ModuleKey::module(3, 11).is_module());
+        assert_ne!(ModuleKey::SHARED, ModuleKey::importance(0xFFF));
+        assert_ne!(ModuleKey::META, ModuleKey::module(0, 0));
+    }
+}

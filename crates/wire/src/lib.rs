@@ -1,0 +1,36 @@
+//! `nebula-wire` — versioned binary wire protocol for Nebula module
+//! traffic.
+//!
+//! Before this crate, the simulator *counted* bytes analytically; nothing
+//! was ever serialized. `nebula-wire` makes module exchange real: every
+//! sub-model download and module-update upload becomes a framed byte
+//! buffer with per-record codecs and a CRC32 trailer, so communication
+//! cost is measured (and fault injection can flip bytes on an actual
+//! wire).
+//!
+//! Layering (no dependencies on the rest of the workspace — this is a
+//! leaf crate):
+//!
+//! * [`crc32`] — table-driven IEEE CRC32 for the frame trailer.
+//! * [`codec`] — `Raw` / `DeltaFp32` / `QuantInt8` payload codecs plus
+//!   the sender-side [`codec::ResidualStore`] for error feedback.
+//! * [`frame`] — the framed format: header, per-module records keyed by
+//!   (layer, module), CRC trailer; [`frame::FrameBuilder`] writes into
+//!   reusable buffers, [`frame::FrameView`] parses zero-copy.
+//! * [`registry`] — cloud-side versioned baselines with bounded history
+//!   and per-device ack tracking, so deltas decode deterministically and
+//!   stale uploads are detected by version.
+//! * [`dense`] — a point-to-point channel for the flat-model baselines.
+
+pub mod codec;
+pub mod crc32;
+pub mod dense;
+mod error;
+pub mod frame;
+pub mod registry;
+
+pub use codec::{CodecKind, ResidualStore};
+pub use dense::{DenseChannel, DensePool};
+pub use error::WireError;
+pub use frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
+pub use registry::ModuleRegistry;

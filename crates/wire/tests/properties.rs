@@ -1,0 +1,192 @@
+//! Property tests for the wire subsystem: codec round trips, quantization
+//! error bounds, error-feedback decay, and corruption rejection.
+
+use nebula_wire::codec::{self, CodecKind};
+use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey};
+use proptest::prelude::*;
+
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 1..=max_len)
+}
+
+/// Encode one record through a full frame and hand back (frame bytes,
+/// decoded payload) — exercises builder, parser, and codec together.
+fn frame_round_trip(
+    vals: &[f32],
+    codec_kind: CodecKind,
+    baseline: Option<&[f32]>,
+    threshold: f32,
+) -> (Vec<u8>, Vec<f32>) {
+    let mut buf = Vec::new();
+    let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, codec_kind);
+    let key = ModuleKey::module(1, 2);
+    let mut used = codec_kind;
+    match codec_kind {
+        CodecKind::Raw => b.record(key, CodecKind::Raw, 0, vals.len(), |o| codec::encode_raw(vals, o)),
+        CodecKind::DeltaFp32 => {
+            let base = baseline.expect("delta needs a baseline");
+            b.record(key, CodecKind::DeltaFp32, 7, vals.len(), |o| {
+                used = codec::encode_delta(vals, base, threshold, o);
+            });
+        }
+        CodecKind::QuantInt8 => {
+            let mut residual = Vec::new();
+            b.record(key, CodecKind::QuantInt8, 0, vals.len(), |o| {
+                codec::encode_q8(vals, &mut residual, o);
+            });
+        }
+    }
+    b.finish();
+
+    let view = FrameView::parse(&buf).expect("pristine frame must parse");
+    let rec = *view.find(key).expect("record present");
+    let mut out = Vec::new();
+    match used {
+        CodecKind::Raw => codec::decode_raw(rec.payload, rec.elems, &mut out).unwrap(),
+        CodecKind::DeltaFp32 => {
+            codec::decode_delta(rec.payload, rec.elems, baseline.unwrap(), &mut out).unwrap()
+        }
+        CodecKind::QuantInt8 => codec::decode_q8(rec.payload, rec.elems, &mut out).unwrap(),
+    }
+    drop(view);
+    (buf, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_round_trip_is_bit_exact(vals in arb_values(512)) {
+        let (_, out) = frame_round_trip(&vals, CodecKind::Raw, None, 0.0);
+        prop_assert_eq!(out.len(), vals.len());
+        for (a, b) in vals.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "raw codec must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_is_exact_at_zero_threshold(
+        base in arb_values(512),
+        noise in arb_values(512),
+    ) {
+        let n = base.len().min(noise.len());
+        let base = &base[..n];
+        let vals: Vec<f32> = base.iter().zip(&noise[..n]).map(|(b, d)| b + d * 0.01).collect();
+        let (_, out) = frame_round_trip(&vals, CodecKind::DeltaFp32, Some(base), 0.0);
+        prop_assert_eq!(out.len(), vals.len());
+        for (v, o) in vals.iter().zip(&out) {
+            // baseline + (v - baseline) in f32: exact because decode adds
+            // back the identical f32 difference.
+            prop_assert_eq!(v.to_bits(), o.to_bits(), "delta apply must reproduce values");
+        }
+    }
+
+    #[test]
+    fn delta_threshold_bounds_per_coordinate_error(
+        base in arb_values(256),
+        threshold in 0.0f32..0.5,
+    ) {
+        let vals: Vec<f32> = base.iter().map(|b| b * 1.01 + 0.1).collect();
+        let (_, out) = frame_round_trip(&vals, CodecKind::DeltaFp32, Some(&base), threshold);
+        for (v, o) in vals.iter().zip(&out) {
+            prop_assert!((v - o).abs() <= threshold + 1e-6,
+                "dropped delta exceeded threshold: |{} - {}| > {}", v, o, threshold);
+        }
+    }
+
+    #[test]
+    fn delta_never_beats_raw_on_size(vals in arb_values(256), base in arb_values(256)) {
+        let n = vals.len().min(base.len());
+        let mut enc = Vec::new();
+        let used = codec::encode_delta(&vals[..n], &base[..n], 0.0, &mut enc);
+        // Raw fallback guarantees the payload is at most the raw size.
+        prop_assert!(enc.len() <= 4 * n, "payload {} > raw {}", enc.len(), 4 * n);
+        if used == CodecKind::DeltaFp32 {
+            prop_assert!(enc.len() < 4 * n);
+        }
+    }
+
+    #[test]
+    fn q8_round_trip_respects_quantization_bound(vals in arb_values(512)) {
+        let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = max_abs / 127.0;
+        let (_, out) = frame_round_trip(&vals, CodecKind::QuantInt8, None, 0.0);
+        prop_assert_eq!(out.len(), vals.len());
+        for (v, o) in vals.iter().zip(&out) {
+            // Fresh residual (zero carry): error ≤ scale/2 plus rounding.
+            prop_assert!((v - o).abs() <= scale * 0.5 + scale * 1e-3 + 1e-7,
+                "|{} - {}| > scale/2 = {}", v, o, scale * 0.5);
+        }
+    }
+
+    #[test]
+    fn q8_error_feedback_shrinks_accumulated_error(vals in arb_values(128), rounds in 2usize..8) {
+        // Send the same tensor `rounds` times with error feedback: the
+        // accumulated decode must approach `rounds * vals` with total
+        // error bounded by a single quantization step, i.e. the average
+        // per-round error decays like 1/rounds.
+        let mut residual = Vec::new();
+        let mut accum = vec![0.0f32; vals.len()];
+        let mut first_err = 0.0f32;
+        for round in 1..=rounds {
+            let mut enc = Vec::new();
+            codec::encode_q8(&vals, &mut residual, &mut enc);
+            let mut dec = Vec::new();
+            codec::decode_q8(&enc, vals.len(), &mut dec).unwrap();
+            for (a, d) in accum.iter_mut().zip(&dec) {
+                *a += d;
+            }
+            let avg_err = accum
+                .iter()
+                .zip(&vals)
+                .map(|(a, v)| (a - v * round as f32).abs())
+                .fold(0.0f32, f32::max)
+                / round as f32;
+            if round == 1 {
+                first_err = avg_err;
+            } else if round == rounds {
+                // By the last round the running average error collapsed to
+                // at most the single-round error (typically ~1/rounds of it).
+                prop_assert!(avg_err <= first_err + 1e-6,
+                    "error feedback failed to shrink: round1 {} vs round{} {}",
+                    first_err, rounds, avg_err);
+                // Residual carry stays bounded by one quantization step.
+                let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let scale = max_abs / 127.0;
+                for r in &residual {
+                    prop_assert!(r.abs() <= scale * 0.5 + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_corruption_is_rejected(vals in arb_values(256), at in 0usize..10_000, bit in 0u8..8) {
+        let (frame, _) = frame_round_trip(&vals, CodecKind::Raw, None, 0.0);
+        let mut corrupted = frame.clone();
+        let idx = at % corrupted.len();
+        corrupted[idx] ^= 1 << bit;
+        prop_assert!(FrameView::parse(&corrupted).is_err(),
+            "byte flip at {} bit {} accepted", idx, bit);
+        // And the pristine frame still parses.
+        prop_assert!(FrameView::parse(&frame).is_ok());
+    }
+
+    #[test]
+    fn planned_bytes_upper_bounds_measured_payload(vals in arb_values(256)) {
+        for kind in [CodecKind::Raw, CodecKind::QuantInt8] {
+            let mut enc = Vec::new();
+            match kind {
+                CodecKind::Raw => codec::encode_raw(&vals, &mut enc),
+                CodecKind::QuantInt8 => {
+                    let mut residual = Vec::new();
+                    codec::encode_q8(&vals, &mut residual, &mut enc);
+                }
+                CodecKind::DeltaFp32 => unreachable!(),
+            }
+            prop_assert!(enc.len() as u64 <= kind.planned_bytes(vals.len()),
+                "{} measured {} > planned {}", kind.name(), enc.len(),
+                kind.planned_bytes(vals.len()));
+        }
+    }
+}
