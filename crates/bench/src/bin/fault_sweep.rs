@@ -26,6 +26,8 @@ struct FaultRecord {
     dropout_prob: f64,
     straggler_prob: f64,
     corrupt_prob: f64,
+    /// P(an upload frame is corrupted in transit → CRC-rejected).
+    frame_corrupt_prob: f64,
     /// Accuracy before the adaptation step (pre-trained model).
     accuracy_before: f32,
     /// Accuracy after adapting under faults; -1 when the model was
@@ -42,9 +44,11 @@ struct FaultRecord {
     rejected: u64,
     retried: u64,
     stale: u64,
+    /// Upload frames rejected by the wire CRC check.
+    corrupt_frames: u64,
 }
 
-fn plan(dropout: f64, straggler: f64, corrupt: f64) -> FaultPlan {
+fn plan(dropout: f64, straggler: f64, corrupt: f64, frame_corrupt: f64) -> FaultPlan {
     FaultPlan {
         seed: 0xFA17,
         dropout_prob: dropout,
@@ -56,7 +60,7 @@ fn plan(dropout: f64, straggler: f64, corrupt: f64) -> FaultPlan {
         corrupt_prob: corrupt,
         corruption: CorruptionKind::NanPoison,
         explode_scale: 1e4,
-        frame_corrupt_prob: 0.0,
+        frame_corrupt_prob: frame_corrupt,
     }
 }
 
@@ -65,15 +69,29 @@ fn main() {
     let seed = 42u64;
     let corrupt = 0.08; // ~2 corrupted updates per 25-device round
     let row = TaskRow::table1_rows()[1]; // CIFAR-10, m=2
-    let grid: [(f64, f64); 6] = [(0.0, 0.0), (0.15, 0.0), (0.3, 0.0), (0.5, 0.0), (0.0, 0.3), (0.3, 0.3)];
+
+    // (dropout, straggler, frame_corrupt): the original dropout/straggler
+    // grid plus a transit-corruption sweep exercising the CRC-reject path.
+    let grid: [(f64, f64, f64); 9] = [
+        (0.0, 0.0, 0.0),
+        (0.15, 0.0, 0.0),
+        (0.3, 0.0, 0.0),
+        (0.5, 0.0, 0.0),
+        (0.0, 0.3, 0.0),
+        (0.3, 0.3, 0.0),
+        (0.0, 0.0, 0.1),
+        (0.0, 0.0, 0.3),
+        (0.3, 0.3, 0.1),
+    ];
 
     println!("Fault sweep: adaptation under dropout/straggler/corruption\n");
-    let widths = [9usize, 8, 8, 9, 9, 9, 7, 7, 7, 7];
+    let widths = [9usize, 8, 8, 8, 9, 9, 9, 7, 7, 7, 7, 7];
     print_row(
         [
             "Strategy",
             "Drop",
             "Straggle",
+            "FrmCor",
             "AccBefore",
             "AccAfter",
             "Comm(MiB)",
@@ -81,13 +99,14 @@ fn main() {
             "Lost",
             "Rej",
             "Retry",
+            "BadFrm",
         ]
         .map(String::from)
         .as_ref(),
         &widths,
     );
 
-    for &(dropout, straggler) in &grid {
+    for &(dropout, straggler, frame_corrupt) in &grid {
         let strategies: Vec<Box<dyn AdaptStrategy>> = vec![
             Box::new(FedAvgStrategy::new(row.strategy_config(scale), seed)),
             Box::new(HeteroFlStrategy::new(row.strategy_config(scale), seed)),
@@ -95,7 +114,7 @@ fn main() {
         ];
         for mut s in strategies {
             let mut world = row.world(scale, None, seed);
-            world.set_fault_plan(plan(dropout, straggler, corrupt));
+            world.set_fault_plan(plan(dropout, straggler, corrupt, frame_corrupt));
             world.set_round_policy(RoundPolicy { deadline_factor: Some(4.0), ..RoundPolicy::default() });
             let exp = ExperimentConfig { eval_devices: scale.eval_devices, seed };
             let out = run_adaptation_step(s.as_mut(), &mut world, &exp);
@@ -108,6 +127,7 @@ fn main() {
                     out.strategy.clone(),
                     format!("{dropout:.2}"),
                     format!("{straggler:.2}"),
+                    format!("{frame_corrupt:.2}"),
                     format!("{:.3}", out.accuracy_before),
                     if poisoned { "NaN".to_string() } else { format!("{acc_after:.3}") },
                     format!("{:.1}", out.comm.total_mib()),
@@ -115,6 +135,7 @@ fn main() {
                     format!("{}", f.lost()),
                     format!("{}", f.rejected),
                     format!("{}", f.retried),
+                    format!("{}", f.corrupt_frames),
                 ],
                 &widths,
             );
@@ -127,6 +148,7 @@ fn main() {
                     dropout_prob: dropout,
                     straggler_prob: straggler,
                     corrupt_prob: corrupt,
+                    frame_corrupt_prob: frame_corrupt,
                     accuracy_before: out.accuracy_before,
                     accuracy_after: acc_after,
                     poisoned,
@@ -140,6 +162,7 @@ fn main() {
                     rejected: f.rejected,
                     retried: f.retried,
                     stale: f.stale,
+                    corrupt_frames: f.corrupt_frames,
                 },
             );
         }

@@ -60,7 +60,8 @@ fn main() {
                 &mut world,
                 &ExperimentConfig { eval_devices: 2, seed: 42 },
                 slots,
-            );
+            )
+            .expect("continuous run config is valid");
             let mean = out.accuracy_per_slot.iter().sum::<f32>() / out.accuracy_per_slot.len().max(1) as f32;
             let head: Vec<String> =
                 out.accuracy_per_slot.iter().take(10).map(|a| format!("{:.2}", a)).collect();

@@ -86,7 +86,8 @@ fn main() {
             &mut world,
             &ExperimentConfig { eval_devices: scale.eval_devices.min(6), seed: 42 },
             slots,
-        );
+        )
+        .expect("continuous run config is valid");
         let series: Vec<String> = out.accuracy_per_slot.iter().map(|a| format!("{:.3}", a)).collect();
         println!("  {name:<38}: {}", series.join("  "));
         for (slot, acc) in out.accuracy_per_slot.iter().enumerate() {

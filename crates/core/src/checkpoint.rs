@@ -10,6 +10,7 @@
 
 use nebula_modular::{ModularConfig, ModularModel};
 use nebula_nn::Layer;
+use nebula_wire::crc32;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io;
@@ -73,6 +74,9 @@ pub enum CheckpointError {
     /// A stored weight is NaN or infinite; restoring it would poison
     /// every subsequent forward pass.
     NonFiniteParam { index: usize, value: f32 },
+    /// The CRC32 trailer does not match the file contents — a flipped
+    /// bit, a torn write, or any other in-place corruption.
+    ChecksumMismatch { stored: u32, computed: u32 },
 }
 
 impl fmt::Display for CheckpointError {
@@ -93,6 +97,9 @@ impl fmt::Display for CheckpointError {
             Self::NonFiniteParam { index, value } => {
                 write!(f, "non-finite parameter at index {index}: {value}")
             }
+            Self::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
         }
     }
 }
@@ -105,8 +112,13 @@ impl From<CheckpointError> for io::Error {
     }
 }
 
-/// The current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// The current checkpoint format version. Version 2 adds a declared
+/// parameter count (explicit truncation detection) and a CRC32 trailer
+/// (bit-flip detection); version 1 files remain loadable.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Oldest format version the loader still accepts.
+pub const MIN_CHECKPOINT_VERSION: u32 = 1;
 
 /// Snapshots a model into a [`Checkpoint`].
 pub fn snapshot(model: &ModularModel) -> Checkpoint {
@@ -123,7 +135,7 @@ pub fn snapshot(model: &ModularModel) -> Checkpoint {
 // The mismatch variant carries both configs for diagnostics; restore is not hot.
 #[allow(clippy::result_large_err)]
 pub fn restore(model: &mut ModularModel, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
-    if ckpt.version != CHECKPOINT_VERSION {
+    if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&ckpt.version) {
         return Err(CheckpointError::UnsupportedVersion(ckpt.version));
     }
     let expect = CheckpointConfig::from(model.config());
@@ -162,24 +174,32 @@ pub fn load_from_file(model: &mut ModularModel, path: &Path) -> io::Result<()> {
 /// Magic prefix of the binary checkpoint format.
 const BINARY_MAGIC: &[u8; 4] = b"NBLA";
 
-/// Encodes a checkpoint in the compact binary format:
-/// `magic ‖ u32 version ‖ u32 json-header-len ‖ json header ‖ f32 params (LE)`.
-/// Exactly 4 bytes per parameter plus a small header.
+/// Encodes a checkpoint in the compact binary format (version 2):
+/// `magic ‖ u32 version ‖ u32 json-header-len ‖ u32 param-count ‖
+/// json header ‖ f32 params (LE) ‖ u32 crc32` — 4 bytes per parameter
+/// plus a small header and an integrity trailer over everything before
+/// it. The declared count makes truncation detectable before the CRC is
+/// even consulted; the CRC catches bit flips and torn rewrites.
 pub fn encode_binary(ckpt: &Checkpoint) -> Vec<u8> {
     let header = serde_json::to_vec(&ckpt.config).expect("config serialises");
-    let mut buf = Vec::with_capacity(12 + header.len() + ckpt.params.len() * 4);
+    let mut buf = Vec::with_capacity(20 + header.len() + ckpt.params.len() * 4);
     buf.extend_from_slice(BINARY_MAGIC);
-    buf.extend_from_slice(&ckpt.version.to_le_bytes());
+    buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
     buf.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(ckpt.params.len() as u32).to_le_bytes());
     buf.extend_from_slice(&header);
     for &p in &ckpt.params {
         buf.extend_from_slice(&p.to_le_bytes());
     }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
     buf
 }
 
-/// Decodes the binary checkpoint format. Any malformed input — wrong
-/// magic, truncation anywhere, garbage header — returns an error.
+/// Decodes the binary checkpoint format (versions 1 and 2). Any
+/// malformed input — wrong magic, truncation anywhere, flipped bytes
+/// (v2), garbage header — returns an error; nothing panics and nothing
+/// corrupt decodes silently.
 // The mismatch variant carries both configs for diagnostics; decoding is not hot.
 #[allow(clippy::result_large_err)]
 pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
@@ -187,6 +207,18 @@ pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
         return Err(CheckpointError::NotACheckpoint);
     }
     let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    match version {
+        1 => decode_v1(data),
+        2 => decode_v2(data),
+        other => Err(CheckpointError::UnsupportedVersion(other)),
+    }
+}
+
+/// Version-1 layout: `magic ‖ ver ‖ header-len ‖ header ‖ params`.
+/// No declared count and no trailer, so only structural truncation is
+/// detectable — kept verbatim so pre-existing checkpoints still load.
+#[allow(clippy::result_large_err)]
+fn decode_v1(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let header_len = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
     let rest = &data[12..];
     if rest.len() < header_len {
@@ -200,7 +232,41 @@ pub fn decode_binary(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
     }
     let params =
         payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect();
-    Ok(Checkpoint { version, config, params })
+    Ok(Checkpoint { version: 1, config, params })
+}
+
+/// Version-2 layout (see [`encode_binary`]). The CRC is verified over
+/// the whole body before the JSON header is parsed, so corruption is
+/// reported as [`CheckpointError::ChecksumMismatch`] rather than as a
+/// confusing downstream parse error.
+#[allow(clippy::result_large_err)]
+fn decode_v2(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    const FIXED: usize = 16; // magic + version + header-len + param-count
+    if data.len() < FIXED {
+        return Err(CheckpointError::Truncated { expected: FIXED - data.len(), available: data.len() });
+    }
+    let header_len = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    let param_count = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+    let expected_total = FIXED + header_len + param_count * 4 + 4;
+    if data.len() < expected_total {
+        return Err(CheckpointError::Truncated {
+            expected: expected_total - data.len(),
+            available: data.len(),
+        });
+    }
+    let body = &data[..expected_total - 4];
+    let stored = u32::from_le_bytes(data[expected_total - 4..expected_total].try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let config: CheckpointConfig = serde_json::from_slice(&body[FIXED..FIXED + header_len])
+        .map_err(|e| CheckpointError::MalformedHeader(e.to_string()))?;
+    let params = body[FIXED + header_len..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Ok(Checkpoint { version: 2, config, params })
 }
 
 /// Saves the compact binary checkpoint.
@@ -353,12 +419,93 @@ mod tests {
         let mut oversized = valid.clone();
         oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_binary(&oversized).unwrap_err(), CheckpointError::Truncated { .. }));
-        // Corrupted JSON header bytes.
+        // Corrupted JSON header bytes: the CRC is verified before the
+        // header parses, so this surfaces as a checksum failure.
         let mut bad_header = valid.clone();
-        for b in &mut bad_header[12..20] {
+        for b in &mut bad_header[16..24] {
             *b = 0xff;
         }
-        assert!(matches!(decode_binary(&bad_header).unwrap_err(), CheckpointError::MalformedHeader(_)));
+        assert!(matches!(decode_binary(&bad_header).unwrap_err(), CheckpointError::ChecksumMismatch { .. }));
+    }
+
+    /// Builds a version-1 file (no param count, no CRC trailer) the way
+    /// the pre-v2 encoder did.
+    fn encode_v1(ckpt: &Checkpoint) -> Vec<u8> {
+        let header = serde_json::to_vec(&ckpt.config).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"NBLA");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&header);
+        for &p in &ckpt.params {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let a = model(10);
+        let encoded = encode_v1(&snapshot(&a));
+        let decoded = decode_binary(&encoded).unwrap();
+        assert_eq!(decoded.version, 1);
+        let mut b = model(11);
+        restore(&mut b, &decoded).unwrap();
+        assert_eq!(b.param_vector(), a.param_vector());
+    }
+
+    #[test]
+    fn binary_version_skew_is_rejected() {
+        let mut encoded = encode_binary(&snapshot(&model(12)));
+        encoded[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(decode_binary(&encoded).unwrap_err(), CheckpointError::UnsupportedVersion(3));
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let ckpt = snapshot(&model(13));
+        let valid = encode_binary(&ckpt);
+        // Flip one bit in every byte position; no variant may decode to
+        // the original content, and the parameter region must always
+        // fail the checksum.
+        for pos in 0..valid.len() {
+            let mut flipped = valid.clone();
+            flipped[pos] ^= 0x10;
+            match decode_binary(&flipped) {
+                Ok(decoded) => {
+                    // A trailer/length flip can only "succeed" if the
+                    // decode reproduces a self-consistent file — which a
+                    // single bit flip never does.
+                    panic!("flip at {pos} decoded: version {}", decoded.version);
+                }
+                Err(
+                    CheckpointError::ChecksumMismatch { .. }
+                    | CheckpointError::Truncated { .. }
+                    | CheckpointError::NotACheckpoint
+                    | CheckpointError::UnsupportedVersion(_)
+                    | CheckpointError::MalformedHeader(_),
+                ) => {}
+                Err(e) => panic!("flip at {pos}: unexpected error {e}"),
+            }
+        }
+        // A flip in the parameter region specifically is a checksum error.
+        let mut flipped = valid.clone();
+        let param_pos = valid.len() - 8; // inside the last parameter
+        flipped[param_pos] ^= 0x01;
+        assert!(matches!(decode_binary(&flipped).unwrap_err(), CheckpointError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn truncation_reports_missing_bytes() {
+        let valid = encode_binary(&snapshot(&model(14)));
+        let cut = &valid[..valid.len() - 10];
+        match decode_binary(cut).unwrap_err() {
+            CheckpointError::Truncated { expected, available } => {
+                assert_eq!(expected, 10);
+                assert_eq!(available, cut.len());
+            }
+            e => panic!("unexpected error {e}"),
+        }
     }
 
     #[test]

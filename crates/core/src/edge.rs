@@ -11,7 +11,7 @@ use crate::aggregate::ModuleUpdate;
 use crate::cloud::SubModelPayload;
 use nebula_data::{Dataset, TrainConfig};
 use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
-use nebula_nn::Sgd;
+use nebula_nn::{Layer, Sgd};
 use nebula_tensor::NebulaRng;
 use std::collections::HashMap;
 
@@ -163,6 +163,69 @@ impl EdgeClient {
     pub fn model_mut(&mut self) -> &mut ModularModel {
         &mut self.model
     }
+
+    /// Captures the client's full mutable state (parameters + active and
+    /// installed sub-model specs) for a run snapshot.
+    pub fn export_state(&self) -> EdgeClientState {
+        EdgeClientState {
+            params: self.model.param_vector(),
+            active: self.spec.layers().to_vec(),
+            installed: self.installed.layers().to_vec(),
+        }
+    }
+
+    /// Rebuilds a client from state captured by [`Self::export_state`].
+    /// Validates the parameter count and spec structure against `cfg`
+    /// before constructing anything, so corrupted or mismatched state is
+    /// an error rather than a panic.
+    pub fn from_state(cfg: ModularConfig, state: &EdgeClientState) -> Result<Self, String> {
+        let check_spec = |name: &str, layers: &[Vec<usize>]| -> Result<(), String> {
+            if layers.len() != cfg.num_layers {
+                return Err(format!("{name} spec has {} layers, model has {}", layers.len(), cfg.num_layers));
+            }
+            for (l, mods) in layers.iter().enumerate() {
+                if mods.is_empty() {
+                    return Err(format!("{name} spec layer {l} is empty"));
+                }
+                if let Some(&bad) = mods.iter().find(|&&m| m >= cfg.modules_per_layer) {
+                    return Err(format!(
+                        "{name} spec layer {l} references module {bad} of {}",
+                        cfg.modules_per_layer
+                    ));
+                }
+            }
+            Ok(())
+        };
+        check_spec("active", &state.active)?;
+        check_spec("installed", &state.installed)?;
+        let mut model = ModularModel::new(cfg, 0);
+        if state.params.len() != model.param_count() {
+            return Err(format!(
+                "client state has {} params, model wants {}",
+                state.params.len(),
+                model.param_count()
+            ));
+        }
+        if let Some((i, &v)) = state.params.iter().enumerate().find(|(_, p)| !p.is_finite()) {
+            return Err(format!("client state param {i} is non-finite ({v})"));
+        }
+        model.load_param_vector(&state.params);
+        let spec = SubModelSpec::new(state.active.clone());
+        let installed = SubModelSpec::new(state.installed.clone());
+        model.set_submodel(Some(&spec));
+        Ok(Self { model, spec, installed })
+    }
+}
+
+/// Serializable snapshot of an [`EdgeClient`]'s mutable state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeClientState {
+    /// Flat parameters of the full local model instance.
+    pub params: Vec<f32>,
+    /// Active sub-model (module indices per layer).
+    pub active: Vec<Vec<usize>>,
+    /// Installed sub-model (what the last payload shipped).
+    pub installed: Vec<Vec<usize>>,
 }
 
 #[cfg(test)]

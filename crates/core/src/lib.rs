@@ -29,6 +29,7 @@ pub mod checkpoint;
 pub mod cloud;
 pub mod derive;
 pub mod edge;
+pub mod journal;
 pub mod offline;
 pub mod presets;
 pub mod profile;
@@ -41,7 +42,11 @@ pub use aggregate::{
 pub use checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
 pub use cloud::{AggregateOutcome, GuardedOutcome, NebulaCloud, NebulaParams, SubModelPayload};
 pub use derive::{derive_submodel, derive_submodel_with_codec, DeriveOutcome};
-pub use edge::{EdgeClient, EdgeUpdate};
+pub use edge::{EdgeClient, EdgeClientState, EdgeUpdate};
+pub use journal::{
+    read_journal, write_atomic, DurabilityError, JournalContents, JournalWriter, LoadedSnapshot,
+    SnapshotStore,
+};
 pub use offline::{enhance_module_abilities, pretrain, subtask_load_matrices, EnhanceConfig, PretrainConfig};
 pub use presets::{modular_config_for, modular_config_for_sequence};
 pub use profile::ResourceProfile;

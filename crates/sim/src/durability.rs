@@ -1,0 +1,747 @@
+//! Crash-safe experiment drivers: atomic run snapshots, a write-ahead
+//! round journal, and deterministic resume.
+//!
+//! The durability layer wraps the two long-running experiment shapes
+//! ([`run_until_target_durable`] / [`run_continuous_durable`]) so that a
+//! run killed at any instant — including mid-write — can be restarted
+//! with [`resume_until_target`] / [`resume_continuous`] and produce the
+//! **bit-identical** accuracy and communication trajectory the
+//! uninterrupted run would have produced.
+//!
+//! ## Protocol
+//!
+//! * After the offline stage a **snapshot** (sequence 0) is persisted, so
+//!   there is always at least one valid recovery point.
+//! * Every completed round appends one CRC-framed [`RoundRecord`] to an
+//!   append-only **journal** (`rounds.nblj`), fsynced before the round is
+//!   considered durable.
+//! * Every `snapshot_every` rounds a full [`RunState`] snapshot is written
+//!   with write-temp-then-rename atomicity and a CRC trailer; older
+//!   snapshots beyond `keep_snapshots` are pruned (always keeping ≥ 2 so a
+//!   torn newest file leaves a fallback).
+//! * Resume loads the newest *valid* snapshot (torn or bit-flipped files
+//!   are detected by CRC and skipped), truncates any torn journal tail,
+//!   re-executes the journal tail deterministically — verifying each
+//!   re-executed round against its journal record — and continues.
+//!
+//! ## Determinism contract
+//!
+//! Bit-identical resume requires every random draw after the recovery
+//! point to replay. The snapshot therefore captures the harness RNG, the
+//! world RNG, the fault-plan round cursor, all outcome accumulators, and
+//! the full strategy state ([`StrategyState`]). Strategies whose wire
+//! codec keeps cross-round compression state (delta / int8 baselines)
+//! refuse to export ([`AdaptStrategy::export_state`] returns `None`) and
+//! the durable drivers report [`RunError::UnsupportedStrategy`] up front
+//! rather than silently producing a divergent resume.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{mean_accuracy, pick_eval_ids, ContinuousOutcome, ExperimentConfig, TargetOutcome};
+use crate::faults::{FaultPlan, RoundPolicy, RoundReport};
+use crate::network::CommTracker;
+use crate::strategy::{AdaptStrategy, StrategyState};
+use crate::world::SimWorld;
+use nebula_core::{DurabilityError, JournalWriter, SnapshotStore};
+use nebula_tensor::NebulaRng;
+use serde::{Deserialize, Serialize};
+
+/// Version tag inside every serialized [`RunState`].
+pub const RUN_STATE_FORMAT: u32 = 1;
+
+/// Journal file name inside the durability directory.
+pub const JOURNAL_FILE: &str = "rounds.nblj";
+
+const MODE_TARGET: &str = "target";
+const MODE_CONTINUOUS: &str = "continuous";
+
+/// Everything that can go wrong while driving a durable run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The caller-supplied configuration cannot produce a meaningful run.
+    InvalidConfig(String),
+    /// Snapshot/journal I/O or integrity failure.
+    Durability(DurabilityError),
+    /// The strategy cannot export/import deterministic state (e.g. a
+    /// lossy wire codec with cross-round baselines).
+    UnsupportedStrategy(String),
+    /// The persisted state disagrees with the caller's reconstruction
+    /// (different seed, mode, strategy, or eval set).
+    StateMismatch(String),
+    /// A re-executed round did not reproduce its journal record.
+    ReplayDivergence { round: u64, detail: String },
+    /// Chaos harness: the injected kill point was reached.
+    Killed { round: u64 },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidConfig(msg) => write!(f, "invalid experiment config: {msg}"),
+            RunError::Durability(e) => write!(f, "durability failure: {e}"),
+            RunError::UnsupportedStrategy(msg) => {
+                write!(f, "strategy does not support durable runs: {msg}")
+            }
+            RunError::StateMismatch(msg) => write!(f, "persisted state mismatch: {msg}"),
+            RunError::ReplayDivergence { round, detail } => {
+                write!(f, "replay diverged at round {round}: {detail}")
+            }
+            RunError::Killed { round } => write!(f, "injected kill after round {round}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<DurabilityError> for RunError {
+    fn from(e: DurabilityError) -> Self {
+        RunError::Durability(e)
+    }
+}
+
+impl From<serde::Error> for RunError {
+    fn from(e: serde::Error) -> Self {
+        RunError::Durability(DurabilityError::Malformed(format!("state serialization: {e}")))
+    }
+}
+
+/// Where, relative to a round's durability writes, an injected kill fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillSpot {
+    /// Round computed but its journal record not yet appended — resume
+    /// must re-execute the round.
+    BeforeAppend,
+    /// Record appended, snapshot (if due) not yet written — resume
+    /// replays from the previous snapshot through the journal tail.
+    AfterAppend,
+    /// All durability writes for the round finished.
+    AfterSnapshot,
+}
+
+/// Chaos-harness hooks threaded through the durable drivers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosControl {
+    /// Abort with [`RunError::Killed`] when round `.0` reaches `.1`.
+    pub kill: Option<(u64, KillSpot)>,
+}
+
+impl ChaosControl {
+    fn wants_kill(&self, round: u64, spot: KillSpot) -> bool {
+        self.kill == Some((round, spot))
+    }
+}
+
+/// Where and how often durable state is persisted.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding snapshots and the round journal.
+    pub dir: PathBuf,
+    /// Full snapshot cadence, in completed rounds (≥ 1).
+    pub snapshot_every: usize,
+    /// Snapshots retained after pruning (≥ 1; ≥ 2 keeps a fallback for a
+    /// torn newest file).
+    pub keep_snapshots: usize,
+}
+
+impl DurabilityConfig {
+    /// Snapshot every 5 rounds, keep the 3 newest.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), snapshot_every: 5, keep_snapshots: 3 }
+    }
+
+    fn validate(&self) -> Result<(), RunError> {
+        if self.snapshot_every == 0 {
+            return Err(RunError::InvalidConfig("snapshot_every must be ≥ 1".into()));
+        }
+        if self.keep_snapshots == 0 {
+            return Err(RunError::InvalidConfig("keep_snapshots must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+}
+
+/// Durable-driver options: persistence knobs plus chaos hooks.
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    pub durability: DurabilityConfig,
+    pub chaos: ChaosControl,
+}
+
+impl DurableOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { durability: DurabilityConfig::new(dir), chaos: ChaosControl::default() }
+    }
+}
+
+/// One write-ahead journal record: what a single completed round produced.
+///
+/// Floats are stored as IEEE-754 bit patterns so the JSON round-trip is
+/// exact and replay verification can compare for bit equality.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round (or slot) index within the run.
+    pub index: u64,
+    /// The round's communication.
+    pub comm: CommTracker,
+    /// The round's robustness accounting.
+    pub faults: RoundReport,
+    /// Bits of the mean eval accuracy *after* this round (unchanged since
+    /// the previous probe on non-probe rounds).
+    pub acc_bits: u32,
+    /// Bits of the round's mean on-device adaptation time (ms, `f64`).
+    pub time_bits: u64,
+}
+
+/// Full recovery point: everything needed to continue a run
+/// bit-identically from the end of round `rounds`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunState {
+    /// [`RUN_STATE_FORMAT`] at write time.
+    pub format: u32,
+    /// Run identity derived from the experiment seed and mode; resume
+    /// refuses state from a different run.
+    pub run_id: u64,
+    /// `"target"` or `"continuous"`.
+    pub mode: String,
+    /// Completed rounds (target mode) or slots (continuous mode).
+    pub rounds: u64,
+    /// World drift slots advanced (continuous mode; 0 for target mode).
+    pub slot: u64,
+    /// Fault-plan cursor: rounds the world has started.
+    pub rounds_started: u64,
+    /// xoshiro256** state of the harness RNG (4 words).
+    pub harness_rng: Vec<u64>,
+    /// xoshiro256** state of the world RNG (4 words).
+    pub world_rng: Vec<u64>,
+    /// Communication accumulated so far (target mode).
+    pub comm: CommTracker,
+    /// Fault accounting accumulated so far.
+    pub faults: RoundReport,
+    /// Bits of the latest probed mean eval accuracy.
+    pub acc_bits: u32,
+    /// Bits of the accumulated adaptation-time sum (ms, `f64`).
+    pub time_sum_bits: u64,
+    /// Bits of per-slot accuracies so far (continuous mode).
+    pub acc_per_slot_bits: Vec<u32>,
+    /// The world's fault plan at capture time.
+    pub plan: FaultPlan,
+    /// The world's round policy at capture time.
+    pub policy: RoundPolicy,
+    /// Tracked evaluation devices.
+    pub eval_ids: Vec<usize>,
+    /// `strategy.name()` at capture time.
+    pub strategy_name: String,
+    /// Full strategy state (models, clients, selector).
+    pub strategy: StrategyState,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn derive_run_id(seed: u64, mode: &str) -> u64 {
+    let salt = match mode {
+        MODE_TARGET => 0x7A6C_E77A_6CE7_0001,
+        _ => 0xC0C0_17D5_C0C0_0002,
+    };
+    splitmix64(seed ^ salt)
+}
+
+fn arr4(words: &[u64], what: &str) -> Result<[u64; 4], RunError> {
+    if words.len() != 4 {
+        return Err(DurabilityError::Malformed(format!(
+            "{what}: expected 4 rng state words, got {}",
+            words.len()
+        ))
+        .into());
+    }
+    Ok([words[0], words[1], words[2], words[3]])
+}
+
+fn rng_from_state(words: &[u64], what: &str) -> Result<NebulaRng, RunError> {
+    NebulaRng::from_state(arr4(words, what)?)
+        .ok_or_else(|| DurabilityError::Malformed(format!("{what}: all-zero rng state")).into())
+}
+
+fn encode_state(state: &RunState) -> Result<Vec<u8>, RunError> {
+    Ok(serde_json::to_vec(state)?)
+}
+
+fn decode_state(bytes: &[u8]) -> Result<RunState, RunError> {
+    let state: RunState =
+        serde_json::from_slice(bytes).map_err(|e| DurabilityError::Malformed(format!("run state: {e}")))?;
+    if state.format != RUN_STATE_FORMAT {
+        return Err(DurabilityError::UnsupportedVersion(state.format).into());
+    }
+    Ok(state)
+}
+
+fn encode_record(rec: &RoundRecord) -> Result<Vec<u8>, RunError> {
+    Ok(serde_json::to_vec(rec)?)
+}
+
+fn decode_record(bytes: &[u8]) -> Result<RoundRecord, RunError> {
+    Ok(serde_json::from_slice(bytes).map_err(|e| DurabilityError::Malformed(format!("round record: {e}")))?)
+}
+
+/// Shared validation for the experiment drivers (plain and durable).
+pub(crate) fn validate_common(world: &SimWorld, cfg: &ExperimentConfig) -> Result<(), RunError> {
+    if world.num_devices() == 0 {
+        return Err(RunError::InvalidConfig("world has no devices".into()));
+    }
+    if cfg.eval_devices == 0 {
+        return Err(RunError::InvalidConfig("eval_devices must be ≥ 1".into()));
+    }
+    Ok(())
+}
+
+pub(crate) fn validate_target(
+    world: &SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    probe_every: usize,
+) -> Result<(), RunError> {
+    validate_common(world, cfg)?;
+    if !target.is_finite() {
+        return Err(RunError::InvalidConfig(format!("target accuracy must be finite, got {target}")));
+    }
+    if probe_every == 0 {
+        return Err(RunError::InvalidConfig("probe_every must be ≥ 1".into()));
+    }
+    Ok(())
+}
+
+/// Mutable accumulators a durable run threads through execute/replay.
+struct Accum {
+    rng: NebulaRng,
+    comm: CommTracker,
+    faults: RoundReport,
+    rounds: u64,
+    slot: u64,
+    acc: f32,
+    time_sum: f64,
+    acc_per_slot: Vec<f32>,
+}
+
+impl Accum {
+    fn fresh(rng: NebulaRng, acc: f32) -> Self {
+        Self {
+            rng,
+            comm: CommTracker::new(),
+            faults: RoundReport::default(),
+            rounds: 0,
+            slot: 0,
+            acc,
+            time_sum: 0.0,
+            acc_per_slot: Vec::new(),
+        }
+    }
+}
+
+struct Engine<'a> {
+    store: SnapshotStore,
+    journal: JournalWriter,
+    opts: &'a DurableOptions,
+    run_id: u64,
+    mode: &'static str,
+    eval_ids: Vec<usize>,
+}
+
+impl Engine<'_> {
+    fn capture(
+        &self,
+        strategy: &dyn AdaptStrategy,
+        world: &SimWorld,
+        acc: &Accum,
+    ) -> Result<RunState, RunError> {
+        let strategy_state = strategy.export_state().ok_or_else(|| {
+            RunError::UnsupportedStrategy(format!(
+                "{} cannot export deterministic state (lossy wire codec?)",
+                strategy.name()
+            ))
+        })?;
+        Ok(RunState {
+            format: RUN_STATE_FORMAT,
+            run_id: self.run_id,
+            mode: self.mode.to_string(),
+            rounds: acc.rounds,
+            slot: acc.slot,
+            rounds_started: world.rounds_started(),
+            harness_rng: acc.rng.state().to_vec(),
+            world_rng: world.rng_state().to_vec(),
+            comm: acc.comm,
+            faults: acc.faults,
+            acc_bits: acc.acc.to_bits(),
+            time_sum_bits: acc.time_sum.to_bits(),
+            acc_per_slot_bits: acc.acc_per_slot.iter().map(|a| a.to_bits()).collect(),
+            plan: world.faults,
+            policy: world.policy,
+            eval_ids: self.eval_ids.clone(),
+            strategy_name: strategy.name().to_string(),
+            strategy: strategy_state,
+        })
+    }
+
+    fn save_snapshot(
+        &self,
+        strategy: &dyn AdaptStrategy,
+        world: &SimWorld,
+        acc: &Accum,
+    ) -> Result<(), RunError> {
+        let state = self.capture(strategy, world, acc)?;
+        self.store.save(acc.rounds, &encode_state(&state)?)?;
+        self.store.prune(self.opts.durability.keep_snapshots)?;
+        Ok(())
+    }
+
+    /// Journals a completed round, snapshots when due, and honours
+    /// injected kill points. Returns `Err(Killed)` at a chaos kill.
+    fn finish_round(
+        &mut self,
+        rec: &RoundRecord,
+        strategy: &dyn AdaptStrategy,
+        world: &SimWorld,
+        acc: &Accum,
+    ) -> Result<(), RunError> {
+        let chaos = &self.opts.chaos;
+        if chaos.wants_kill(rec.index, KillSpot::BeforeAppend) {
+            return Err(RunError::Killed { round: rec.index });
+        }
+        self.journal.append(&encode_record(rec)?)?;
+        if chaos.wants_kill(rec.index, KillSpot::AfterAppend) {
+            return Err(RunError::Killed { round: rec.index });
+        }
+        if (acc.rounds as usize).is_multiple_of(self.opts.durability.snapshot_every) {
+            self.save_snapshot(strategy, world, acc)?;
+        }
+        if chaos.wants_kill(rec.index, KillSpot::AfterSnapshot) {
+            return Err(RunError::Killed { round: rec.index });
+        }
+        Ok(())
+    }
+}
+
+fn verify_replay(rec: &RoundRecord, executed: &RoundRecord) -> Result<(), RunError> {
+    if rec != executed {
+        return Err(RunError::ReplayDivergence {
+            round: rec.index,
+            detail: format!("journal {rec:?} vs re-executed {executed:?}"),
+        });
+    }
+    Ok(())
+}
+
+fn open_or_create_journal(
+    path: &Path,
+    run_id: u64,
+) -> Result<(JournalWriter, BTreeMap<u64, RoundRecord>), RunError> {
+    if path.exists() {
+        let (writer, contents) = JournalWriter::open_append(path, run_id)?;
+        let mut records = BTreeMap::new();
+        for bytes in &contents.records {
+            let rec = decode_record(bytes)?;
+            records.insert(rec.index, rec);
+        }
+        Ok((writer, records))
+    } else {
+        Ok((JournalWriter::create(path, run_id)?, BTreeMap::new()))
+    }
+}
+
+/// One until-target round: execute, accumulate, probe. Returns the
+/// round's journal record.
+fn target_round(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    eval_ids: &[usize],
+    acc: &mut Accum,
+    max_rounds: usize,
+    probe_every: usize,
+) -> RoundRecord {
+    let report = strategy.adaptation_step(world, &mut acc.rng);
+    acc.comm.merge(&report.comm);
+    acc.faults.merge(&report.faults);
+    acc.time_sum += report.adapt_time_ms;
+    acc.rounds += 1;
+    if (acc.rounds as usize).is_multiple_of(probe_every) || acc.rounds as usize == max_rounds {
+        acc.acc = mean_accuracy(strategy, world, eval_ids);
+    }
+    RoundRecord {
+        index: acc.rounds,
+        comm: report.comm,
+        faults: report.faults,
+        acc_bits: acc.acc.to_bits(),
+        time_bits: report.adapt_time_ms.to_bits(),
+    }
+}
+
+/// One continuous slot: drift, adapt, evaluate. Returns the record.
+fn continuous_slot(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    eval_ids: &[usize],
+    acc: &mut Accum,
+) -> RoundRecord {
+    world.advance_slot();
+    acc.slot += 1;
+    let report = strategy.adaptation_step(world, &mut acc.rng);
+    acc.comm.merge(&report.comm);
+    acc.faults.merge(&report.faults);
+    acc.time_sum += report.adapt_time_ms;
+    acc.rounds += 1;
+    acc.acc = mean_accuracy(strategy, world, eval_ids);
+    acc.acc_per_slot.push(acc.acc);
+    RoundRecord {
+        index: acc.rounds,
+        comm: report.comm,
+        faults: report.faults,
+        acc_bits: acc.acc.to_bits(),
+        time_bits: report.adapt_time_ms.to_bits(),
+    }
+}
+
+fn target_outcome(strategy: &dyn AdaptStrategy, acc: &Accum, target: f32) -> TargetOutcome {
+    TargetOutcome {
+        strategy: strategy.name().to_string(),
+        reached: acc.acc >= target,
+        rounds: acc.rounds as usize,
+        comm_total_bytes: acc.comm.total_bytes(),
+        final_accuracy: acc.acc,
+        faults: acc.faults,
+    }
+}
+
+fn continuous_outcome(strategy: &dyn AdaptStrategy, acc: &Accum) -> ContinuousOutcome {
+    ContinuousOutcome {
+        strategy: strategy.name().to_string(),
+        accuracy_per_slot: acc.acc_per_slot.clone(),
+        mean_adapt_time_ms: acc.time_sum / acc.acc_per_slot.len().max(1) as f64,
+        faults: acc.faults,
+    }
+}
+
+/// [`crate::experiment::run_until_target`] with crash safety: snapshots,
+/// a write-ahead round journal, and chaos kill hooks.
+pub fn run_until_target_durable(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    max_rounds: usize,
+    probe_every: usize,
+    opts: &DurableOptions,
+) -> Result<TargetOutcome, RunError> {
+    validate_target(world, cfg, target, probe_every)?;
+    opts.durability.validate()?;
+
+    let run_id = derive_run_id(cfg.seed, MODE_TARGET);
+    let store = SnapshotStore::open(&opts.durability.dir)?;
+    let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
+    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+    strategy.track(&eval_ids);
+    strategy.offline(world, &mut rng);
+    let first_probe = mean_accuracy(strategy, world, &eval_ids);
+    let mut acc = Accum::fresh(rng, first_probe);
+
+    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
+    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_TARGET, eval_ids };
+    // Guaranteed recovery point (and early UnsupportedStrategy signal).
+    eng.save_snapshot(&*strategy, world, &acc)?;
+
+    while acc.acc < target && (acc.rounds as usize) < max_rounds {
+        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
+        eng.finish_round(&rec, &*strategy, world, &acc)?;
+    }
+    Ok(target_outcome(&*strategy, &acc, target))
+}
+
+/// Restores a durable run from `opts.durability.dir` and drives it to
+/// completion. `strategy` and `world` must be freshly constructed with
+/// the same configuration the original run used.
+pub fn resume_until_target(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    max_rounds: usize,
+    probe_every: usize,
+    opts: &DurableOptions,
+) -> Result<TargetOutcome, RunError> {
+    validate_target(world, cfg, target, probe_every)?;
+    opts.durability.validate()?;
+
+    let run_id = derive_run_id(cfg.seed, MODE_TARGET);
+    let (eng_parts, mut acc) =
+        restore(strategy, world, cfg, run_id, MODE_TARGET, opts, |_world, _state| Ok(()))?;
+    let (store, journal, eval_ids, tail) = eng_parts;
+    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_TARGET, eval_ids };
+
+    // Deterministically re-execute the journal tail, verifying each round.
+    let replay_to = tail.keys().next_back().copied().unwrap_or(0);
+    while acc.acc < target && (acc.rounds as usize) < max_rounds && acc.rounds < replay_to {
+        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
+        if let Some(journaled) = tail.get(&rec.index) {
+            verify_replay(journaled, &rec)?;
+        }
+    }
+    // Continue the live run.
+    while acc.acc < target && (acc.rounds as usize) < max_rounds {
+        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
+        eng.finish_round(&rec, &*strategy, world, &acc)?;
+    }
+    Ok(target_outcome(&*strategy, &acc, target))
+}
+
+/// [`crate::experiment::run_continuous`] with crash safety.
+pub fn run_continuous_durable(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    slots: usize,
+    opts: &DurableOptions,
+) -> Result<ContinuousOutcome, RunError> {
+    validate_common(world, cfg)?;
+    opts.durability.validate()?;
+
+    let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
+    let store = SnapshotStore::open(&opts.durability.dir)?;
+    let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
+    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+    strategy.track(&eval_ids);
+    strategy.offline(world, &mut rng);
+    let first_probe = mean_accuracy(strategy, world, &eval_ids);
+    let mut acc = Accum::fresh(rng, first_probe);
+
+    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
+    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_CONTINUOUS, eval_ids };
+    eng.save_snapshot(&*strategy, world, &acc)?;
+
+    while (acc.rounds as usize) < slots {
+        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
+        eng.finish_round(&rec, &*strategy, world, &acc)?;
+    }
+    Ok(continuous_outcome(&*strategy, &acc))
+}
+
+/// Restores a durable continuous run and drives it through `slots`.
+pub fn resume_continuous(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    slots: usize,
+    opts: &DurableOptions,
+) -> Result<ContinuousOutcome, RunError> {
+    validate_common(world, cfg)?;
+    opts.durability.validate()?;
+
+    let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
+    let (eng_parts, mut acc) =
+        restore(strategy, world, cfg, run_id, MODE_CONTINUOUS, opts, |world, state| {
+            // Drift the fresh world forward to the snapshot's slot. Only
+            // per-device RNGs advance here; the world RNG is restored after.
+            for _ in 0..state.slot {
+                world.advance_slot();
+            }
+            Ok(())
+        })?;
+    let (store, journal, eval_ids, tail) = eng_parts;
+    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_CONTINUOUS, eval_ids };
+
+    let replay_to = tail.keys().next_back().copied().unwrap_or(0);
+    while (acc.rounds as usize) < slots && acc.rounds < replay_to {
+        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
+        if let Some(journaled) = tail.get(&rec.index) {
+            verify_replay(journaled, &rec)?;
+        }
+    }
+    while (acc.rounds as usize) < slots {
+        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
+        eng.finish_round(&rec, &*strategy, world, &acc)?;
+    }
+    Ok(continuous_outcome(&*strategy, &acc))
+}
+
+type EngineParts = (SnapshotStore, JournalWriter, Vec<usize>, BTreeMap<u64, RoundRecord>);
+
+/// Loads the newest valid snapshot, validates it against the caller's
+/// reconstruction, restores strategy/world/accumulators, and opens the
+/// journal (truncating any torn tail). Returns the engine pieces plus
+/// the journal records newer than the snapshot.
+fn restore(
+    strategy: &mut dyn AdaptStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    run_id: u64,
+    mode: &'static str,
+    opts: &DurableOptions,
+    world_prep: impl FnOnce(&mut SimWorld, &RunState) -> Result<(), RunError>,
+) -> Result<(EngineParts, Accum), RunError> {
+    let store = SnapshotStore::open(&opts.durability.dir)?;
+    let loaded = store.load_newest_valid()?;
+    let state = decode_state(&loaded.payload)?;
+
+    if state.run_id != run_id {
+        return Err(RunError::StateMismatch(format!(
+            "snapshot belongs to run {:#x}, caller reconstructs run {:#x} (seed/mode differ?)",
+            state.run_id, run_id
+        )));
+    }
+    if state.mode != mode {
+        return Err(RunError::StateMismatch(format!("snapshot mode {:?} vs requested {mode:?}", state.mode)));
+    }
+    if state.strategy_name != strategy.name() {
+        return Err(RunError::StateMismatch(format!(
+            "snapshot strategy {:?} vs caller strategy {:?}",
+            state.strategy_name,
+            strategy.name()
+        )));
+    }
+    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+    if eval_ids != state.eval_ids {
+        return Err(RunError::StateMismatch(format!(
+            "eval set changed: snapshot {:?} vs reconstruction {:?}",
+            state.eval_ids, eval_ids
+        )));
+    }
+    if state.rounds != loaded.seq {
+        return Err(RunError::StateMismatch(format!(
+            "snapshot file seq {} disagrees with embedded round count {}",
+            loaded.seq, state.rounds
+        )));
+    }
+
+    world_prep(world, &state)?;
+    strategy.track(&eval_ids);
+    strategy.import_state(&state.strategy).map_err(RunError::StateMismatch)?;
+    world.set_fault_plan(state.plan);
+    world.set_round_policy(state.policy);
+    world
+        .restore_rng_state(arr4(&state.world_rng, "world rng")?)
+        .ok_or_else(|| RunError::from(DurabilityError::Malformed("world rng: all-zero state".into())))?;
+    world.set_rounds_started(state.rounds_started);
+
+    let rng = rng_from_state(&state.harness_rng, "harness rng")?;
+    let acc = Accum {
+        rng,
+        comm: state.comm,
+        faults: state.faults,
+        rounds: state.rounds,
+        slot: state.slot,
+        acc: f32::from_bits(state.acc_bits),
+        time_sum: f64::from_bits(state.time_sum_bits),
+        acc_per_slot: state.acc_per_slot_bits.iter().map(|&b| f32::from_bits(b)).collect(),
+    };
+
+    let (journal, mut records) = open_or_create_journal(&opts.durability.journal_path(), run_id)?;
+    records.retain(|&idx, _| idx > state.rounds);
+    Ok(((store, journal, eval_ids, records), acc))
+}

@@ -7,12 +7,18 @@
 //!   accuracy (comm bytes at target);
 //! * [`run_continuous`] — Figs 10–11: many drift slots, accuracy per slot.
 
+use crate::durability::{validate_common, validate_target};
 use crate::faults::RoundReport;
 use crate::network::CommTracker;
 use crate::strategy::AdaptStrategy;
 use crate::world::SimWorld;
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
+
+pub use crate::durability::{
+    resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
+    DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
+};
 
 /// Shared experiment-scale knobs.
 #[derive(Clone, Copy, Debug)]
@@ -163,6 +169,9 @@ pub struct TargetOutcome {
 /// `max_rounds`), measuring accuracy every `probe_every` rounds. The
 /// strategy's `adaptation_step` must perform exactly one round per call —
 /// callers configure `rounds_per_step = 1`.
+///
+/// Returns [`RunError::InvalidConfig`] for an empty world, zero
+/// `eval_devices`, a non-finite target, or `probe_every == 0`.
 pub fn run_until_target(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -170,7 +179,8 @@ pub fn run_until_target(
     target: f32,
     max_rounds: usize,
     probe_every: usize,
-) -> TargetOutcome {
+) -> Result<TargetOutcome, RunError> {
+    validate_target(world, cfg, target, probe_every)?;
     let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
     let eval_ids = pick_eval_ids(world, cfg.eval_devices);
     strategy.track(&eval_ids);
@@ -185,18 +195,18 @@ pub fn run_until_target(
         comm.merge(&report.comm);
         faults.merge(&report.faults);
         rounds += 1;
-        if rounds % probe_every.max(1) == 0 || rounds == max_rounds {
+        if rounds % probe_every == 0 || rounds == max_rounds {
             acc = mean_accuracy(strategy, world, &eval_ids);
         }
     }
-    TargetOutcome {
+    Ok(TargetOutcome {
         strategy: strategy.name().to_string(),
         reached: acc >= target,
         rounds,
         comm_total_bytes: comm.total_bytes(),
         final_accuracy: acc,
         faults,
-    }
+    })
 }
 
 /// Result of a continuous (multi-slot) adaptation run.
@@ -213,12 +223,16 @@ pub struct ContinuousOutcome {
 
 /// Runs `slots` drift steps; each slot the world drifts, the strategy
 /// adapts, and tracked devices are evaluated.
+///
+/// Returns [`RunError::InvalidConfig`] for an empty world or zero
+/// `eval_devices`.
 pub fn run_continuous(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
     cfg: &ExperimentConfig,
     slots: usize,
-) -> ContinuousOutcome {
+) -> Result<ContinuousOutcome, RunError> {
+    validate_common(world, cfg)?;
     let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
     let eval_ids = pick_eval_ids(world, cfg.eval_devices);
     strategy.track(&eval_ids);
@@ -234,12 +248,12 @@ pub fn run_continuous(
         faults.merge(&report.faults);
         acc_per_slot.push(mean_accuracy(strategy, world, &eval_ids));
     }
-    ContinuousOutcome {
+    Ok(ContinuousOutcome {
         strategy: strategy.name().to_string(),
         accuracy_per_slot: acc_per_slot,
         mean_adapt_time_ms: time_sum / slots.max(1) as f64,
         faults,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -306,9 +320,26 @@ mod tests {
         let mut world = toy_world(true);
         let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
         let cfg = ExperimentConfig { eval_devices: 2, seed: 2 };
-        let out = run_continuous(&mut s, &mut world, &cfg, 4);
+        let out = run_continuous(&mut s, &mut world, &cfg, 4).expect("valid config");
         assert_eq!(out.accuracy_per_slot.len(), 4);
         assert!(out.accuracy_per_slot.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn invalid_configs_are_structured_errors_not_panics() {
+        let mut world = toy_world(false);
+        let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
+        let no_eval = ExperimentConfig { eval_devices: 0, seed: 1 };
+        assert!(matches!(run_continuous(&mut s, &mut world, &no_eval, 2), Err(RunError::InvalidConfig(_))));
+        let cfg = ExperimentConfig { eval_devices: 2, seed: 1 };
+        assert!(matches!(
+            run_until_target(&mut s, &mut world, &cfg, f32::NAN, 3, 1),
+            Err(RunError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            run_until_target(&mut s, &mut world, &cfg, 0.9, 3, 0),
+            Err(RunError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -339,7 +370,7 @@ mod tests {
         let mut s = NoAdaptStrategy::new(cfg_s, 1);
         let cfg = ExperimentConfig { eval_devices: 2, seed: 3 };
         // NA never reaches 1.01 accuracy → must stop at max_rounds.
-        let out = run_until_target(&mut s, &mut world, &cfg, 1.01, 3, 1);
+        let out = run_until_target(&mut s, &mut world, &cfg, 1.01, 3, 1).expect("valid config");
         assert!(!out.reached);
         assert_eq!(out.rounds, 3);
     }

@@ -24,9 +24,13 @@
 //!   (NA, LA, AN, FA, HFL, Nebula) behind one trait.
 //! * [`experiment`] — shared drivers: one adaptation step, rounds-to-
 //!   target-accuracy, continuous multi-slot adaptation.
+//! * [`durability`] — crash-safe variants of the long-running drivers:
+//!   atomic run snapshots, a write-ahead round journal, deterministic
+//!   resume, and chaos kill hooks.
 
 pub mod contention;
 pub mod device;
+pub mod durability;
 pub mod experiment;
 pub mod faults;
 pub mod latency;
@@ -37,6 +41,10 @@ pub mod world;
 
 pub use contention::contention_multiplier;
 pub use device::SimDevice;
+pub use durability::{
+    resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
+    DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
+};
 pub use experiment::{AdaptationOutcome, ExperimentConfig};
 pub use faults::{CorruptionKind, DeviceFate, FaultPlan, RoundPolicy, RoundReport};
 pub use network::CommTracker;

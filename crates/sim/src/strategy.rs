@@ -26,14 +26,15 @@ use nebula_baselines::{
     fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::{
-    discount_staleness, EdgeClient, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy, WireConfig,
-    WireContext,
+    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy,
+    WireConfig, WireContext,
 };
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
 use nebula_nn::Layer;
 use nebula_tensor::NebulaRng;
-use nebula_wire::DensePool;
+use nebula_wire::{CodecKind, DensePool};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// What one adaptation step cost.
@@ -181,6 +182,52 @@ fn dense_footprint(model: &DenseModel, ratio: f32) -> Footprint {
     }
 }
 
+/// Serializable mutable state of a dense-model strategy (NA/FA/HFL):
+/// the server/base parameters, stored as `f32::to_bits` words so the
+/// JSON round trip is bit-exact even for non-finite values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseState {
+    /// `name()` of the exporting strategy, checked on import.
+    pub name: String,
+    pub param_bits: Vec<u32>,
+}
+
+/// Serializable state of one Nebula edge client.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClientState {
+    pub id: usize,
+    pub param_bits: Vec<u32>,
+    pub active: Vec<Vec<usize>>,
+    pub installed: Vec<Vec<usize>>,
+}
+
+/// Serializable mutable state of [`NebulaStrategy`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NebulaState {
+    /// Full cloud model parameters (stem + module layers + head +
+    /// unified selector), as bit patterns.
+    pub cloud_param_bits: Vec<u32>,
+    pub enhanced: bool,
+    pub tracked: Vec<usize>,
+    /// Edge clients sorted by device id (deterministic encoding).
+    pub clients: Vec<ClientState>,
+}
+
+/// A strategy's exported run state (see [`AdaptStrategy::export_state`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StrategyState {
+    Dense(DenseState),
+    Nebula(NebulaState),
+}
+
+fn bits_of(params: &[f32]) -> Vec<u32> {
+    params.iter().map(|p| p.to_bits()).collect()
+}
+
+fn floats_of(bits: &[u32]) -> Vec<f32> {
+    bits.iter().map(|&b| f32::from_bits(b)).collect()
+}
+
 /// One adaptation system under test.
 pub trait AdaptStrategy {
     /// Display name (matches the paper's table headers).
@@ -202,6 +249,47 @@ pub trait AdaptStrategy {
 
     /// Resource footprint of the model device `id` runs.
     fn footprint(&self, world: &SimWorld, id: usize) -> Footprint;
+
+    /// Exports the strategy's full mutable state for a run snapshot, or
+    /// `None` when the strategy cannot support deterministic resume
+    /// (per-device state that is not captured, or a stateful wire codec
+    /// whose residual/ack history is not reconstructible). The default
+    /// opts out; strategies that support durability override it.
+    fn export_state(&self) -> Option<StrategyState> {
+        None
+    }
+
+    /// Restores state produced by [`Self::export_state`] into a freshly
+    /// constructed strategy (same config and seed). Errors on any
+    /// mismatch; the strategy may be partially modified on failure, so
+    /// callers must discard it on error.
+    fn import_state(&mut self, _state: &StrategyState) -> Result<(), String> {
+        Err(format!("{} does not support state import", self.name()))
+    }
+}
+
+/// Dense-strategy export shared by NA/FA/HFL.
+fn dense_export(name: &str, model: &DenseModel) -> StrategyState {
+    StrategyState::Dense(DenseState { name: name.to_string(), param_bits: bits_of(&model.param_vector()) })
+}
+
+/// Dense-strategy import shared by NA/FA/HFL.
+fn dense_import(name: &str, model: &mut DenseModel, state: &StrategyState) -> Result<(), String> {
+    let StrategyState::Dense(d) = state else {
+        return Err(format!("{name}: expected dense strategy state"));
+    };
+    if d.name != name {
+        return Err(format!("state belongs to strategy {}, not {name}", d.name));
+    }
+    if d.param_bits.len() != model.param_count() {
+        return Err(format!(
+            "{name}: state has {} params, model wants {}",
+            d.param_bits.len(),
+            model.param_count()
+        ));
+    }
+    model.load_param_vector(&floats_of(&d.param_bits));
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +342,14 @@ impl AdaptStrategy for NoAdaptStrategy {
 
     fn footprint(&self, _world: &SimWorld, _id: usize) -> Footprint {
         dense_footprint(&self.model, 1.0)
+    }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        Some(dense_export("NA", &self.model))
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> Result<(), String> {
+        dense_import("NA", &mut self.model, state)
     }
 }
 
@@ -647,6 +743,20 @@ impl AdaptStrategy for FedAvgStrategy {
     fn footprint(&self, _world: &SimWorld, _id: usize) -> Footprint {
         dense_footprint(&self.server, 1.0)
     }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        // Delta/int8 dense channels carry baseline and error-feedback
+        // history that a snapshot does not capture; only Raw resumes
+        // bit-identically.
+        (self.cfg.wire.codec == CodecKind::Raw).then(|| dense_export("FA", &self.server))
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> Result<(), String> {
+        if self.cfg.wire.codec != CodecKind::Raw {
+            return Err("FA: state import requires the Raw wire codec".to_string());
+        }
+        dense_import("FA", &mut self.server, state)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -877,6 +987,17 @@ impl AdaptStrategy for HeteroFlStrategy {
 
     fn footprint(&self, world: &SimWorld, id: usize) -> Footprint {
         dense_footprint(&self.server, self.ratio_for(&world.devices[id]))
+    }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        (self.cfg.wire.codec == CodecKind::Raw).then(|| dense_export("HFL", &self.server))
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> Result<(), String> {
+        if self.cfg.wire.codec != CodecKind::Raw {
+            return Err("HFL: state import requires the Raw wire codec".to_string());
+        }
+        dense_import("HFL", &mut self.server, state)
     }
 }
 
@@ -1305,6 +1426,61 @@ impl AdaptStrategy for NebulaStrategy {
         };
         let c = self.cloud.cost_model().submodel(&spec);
         Footprint { params: c.params, train_mem_bytes: c.training_mem_bytes, forward_flops: c.flops }
+    }
+
+    fn export_state(&self) -> Option<StrategyState> {
+        // Delta/int8 wire traffic depends on registry/residual history
+        // that a snapshot does not capture; only Raw resumes
+        // bit-identically (DESIGN.md §11).
+        if self.cfg.wire.codec != CodecKind::Raw {
+            return None;
+        }
+        let mut clients: Vec<ClientState> = self
+            .clients
+            .iter()
+            .map(|(&id, client)| {
+                let s = client.export_state();
+                ClientState { id, param_bits: bits_of(&s.params), active: s.active, installed: s.installed }
+            })
+            .collect();
+        clients.sort_by_key(|c| c.id);
+        Some(StrategyState::Nebula(NebulaState {
+            cloud_param_bits: bits_of(&self.cloud.model().param_vector()),
+            enhanced: self.enhanced,
+            tracked: self.tracked.clone(),
+            clients,
+        }))
+    }
+
+    fn import_state(&mut self, state: &StrategyState) -> Result<(), String> {
+        if self.cfg.wire.codec != CodecKind::Raw {
+            return Err("Nebula: state import requires the Raw wire codec".to_string());
+        }
+        let StrategyState::Nebula(n) = state else {
+            return Err("Nebula: expected Nebula strategy state".to_string());
+        };
+        let want = self.cloud.model().param_count();
+        if n.cloud_param_bits.len() != want {
+            return Err(format!(
+                "Nebula: state has {} cloud params, model wants {want}",
+                n.cloud_param_bits.len()
+            ));
+        }
+        self.cloud.model_mut().load_param_vector(&floats_of(&n.cloud_param_bits));
+        self.enhanced = n.enhanced;
+        self.tracked = n.tracked.clone();
+        self.clients.clear();
+        for c in &n.clients {
+            let s = EdgeClientState {
+                params: floats_of(&c.param_bits),
+                active: c.active.clone(),
+                installed: c.installed.clone(),
+            };
+            let client = EdgeClient::from_state(self.cfg.modular.clone(), &s)
+                .map_err(|e| format!("Nebula: client {}: {e}", c.id))?;
+            self.clients.insert(c.id, client);
+        }
+        Ok(())
     }
 }
 

@@ -142,6 +142,28 @@ impl SimWorld {
         r
     }
 
+    /// Rounds started so far (the fault-plan cursor), for run snapshots.
+    pub fn rounds_started(&self) -> u64 {
+        self.rounds_started
+    }
+
+    /// Restores the round counter from a run snapshot.
+    pub fn set_rounds_started(&mut self, rounds: u64) {
+        self.rounds_started = rounds;
+    }
+
+    /// The world RNG's raw state, for run snapshots.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the world RNG from a captured state. `None` means the
+    /// state is not one a seeded generator can hold (corrupt snapshot).
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) -> Option<()> {
+        self.rng = NebulaRng::from_state(state)?;
+        Some(())
+    }
+
     /// The injected fate of `device` in `round` under the current plan.
     pub fn fate(&self, round: u64, device: usize) -> DeviceFate {
         self.faults.fate(round, device)

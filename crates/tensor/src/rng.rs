@@ -22,6 +22,18 @@ impl NebulaRng {
         Self { inner: StdRng::seed_from_u64(seed) }
     }
 
+    /// Raw generator state (xoshiro256** words) for checkpoint/resume.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Restores an RNG from a captured [`Self::state`]. Returns `None`
+    /// for the all-zero state, which no seeded stream can reach — a
+    /// corrupted snapshot rather than a real generator.
+    pub fn from_state(state: [u64; 4]) -> Option<Self> {
+        StdRng::from_state(state).map(|inner| Self { inner })
+    }
+
     /// Derives an independent child stream labelled by `stream`.
     ///
     /// Children are decorrelated by hashing the label into the parent's

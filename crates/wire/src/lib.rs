@@ -30,6 +30,7 @@ pub mod frame;
 pub mod registry;
 
 pub use codec::{CodecKind, ResidualStore};
+pub use crc32::crc32;
 pub use dense::{DenseChannel, DensePool};
 pub use error::WireError;
 pub use frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};

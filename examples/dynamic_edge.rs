@@ -41,7 +41,8 @@ fn main() {
         vec![Box::new(NoAdaptStrategy::new(cfg.clone(), 1)), Box::new(NebulaStrategy::new(cfg.clone(), 1))];
     for mut s in strategies {
         let mut w = world(5);
-        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 4, seed: 3 }, slots);
+        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 4, seed: 3 }, slots)
+            .expect("valid config");
         lines.push((out.strategy.clone(), out.accuracy_per_slot));
     }
 

@@ -45,7 +45,8 @@ fn main() {
 
     for mut s in strategies {
         let mut w = world(5);
-        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 3, seed: 3 }, slots);
+        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 3, seed: 3 }, slots)
+            .expect("valid config");
         let mean = out.accuracy_per_slot.iter().sum::<f32>() / slots as f32;
         let cells: String = out.accuracy_per_slot.iter().map(|a| format!("{:>6.1}", a * 100.0)).collect();
         println!("{:<22} mean {:>5.1}%  per-slot:{cells}", out.strategy, mean * 100.0);

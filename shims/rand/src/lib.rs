@@ -32,6 +32,23 @@ pub mod rngs {
             Self { s }
         }
 
+        /// Raw generator state, for checkpoint/resume of seeded streams.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`Self::state`].
+        ///
+        /// An all-zero state is the xoshiro fixed point (the stream would
+        /// be constant zero); it can never be produced by seeding, so it
+        /// is rejected here to catch corrupted checkpoints.
+        pub fn from_state(s: [u64; 4]) -> Option<Self> {
+            if s == [0; 4] {
+                return None;
+            }
+            Some(Self { s })
+        }
+
         pub(crate) fn next(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;

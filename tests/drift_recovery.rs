@@ -28,7 +28,8 @@ fn toy_cfg() -> StrategyConfig {
 
 fn mean_acc(strategy: &mut dyn AdaptStrategy, slots: usize) -> f32 {
     let mut world = drifting_world(5);
-    let out = run_continuous(strategy, &mut world, &ExperimentConfig { eval_devices: 3, seed: 7 }, slots);
+    let out = run_continuous(strategy, &mut world, &ExperimentConfig { eval_devices: 3, seed: 7 }, slots)
+        .expect("valid config");
     out.accuracy_per_slot.iter().sum::<f32>() / slots as f32
 }
 
