@@ -24,8 +24,8 @@ use nebula_modular::ModularConfig;
 use nebula_sim::resources::ResourceSampler;
 use nebula_sim::strategy::{NebulaStrategy, StrategyConfig};
 use nebula_sim::{
-    resume_until_target, run_until_target_durable, ChaosControl, DurableOptions, ExperimentConfig, FaultPlan,
-    KillSpot, RoundRecord, RunError, SimWorld,
+    ChaosControl, DurableOptions, ExperimentConfig, FaultPlan, KillSpot, RoundRecord, RunError, Runner,
+    SimWorld,
 };
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
@@ -170,15 +170,18 @@ fn reference_run(seed: u64, max_rounds: usize) -> Reference {
     let dir = work_dir(&format!("ref-{seed}"));
     let (mut s, mut world) = build(seed);
     let cfg = ExperimentConfig { eval_devices: 3, seed };
-    let out =
-        run_until_target_durable(&mut s, &mut world, &cfg, TARGET, max_rounds, PROBE_EVERY, &opts(&dir))
-            .expect("uninterrupted reference run");
+    let out = Runner::new(&mut world, &mut s)
+        .config(cfg)
+        .target(TARGET, max_rounds, PROBE_EVERY)
+        .durable(opts(&dir).durability)
+        .run()
+        .expect("uninterrupted reference run");
     let records = journal_records(&dir).expect("reference journal");
     let _ = fs::remove_dir_all(&dir);
     Reference {
         final_acc_bits: out.final_accuracy.to_bits(),
-        rounds: out.rounds,
-        comm_total_bytes: out.comm_total_bytes,
+        rounds: out.rounds as usize,
+        comm_total_bytes: out.stats.comm.total_bytes(),
         records,
     }
 }
@@ -200,15 +203,25 @@ fn run_case(
 
     let report = (|| -> Result<(bool, String), String> {
         let (mut s, mut world) = build(seed);
-        match run_until_target_durable(&mut s, &mut world, &cfg, TARGET, max_rounds, PROBE_EVERY, &o) {
+        match Runner::new(&mut world, &mut s)
+            .config(cfg)
+            .target(TARGET, max_rounds, PROBE_EVERY)
+            .durable(o.durability.clone())
+            .chaos(o.chaos)
+            .run()
+        {
             Err(RunError::Killed { round }) if round == kill_round => {}
             other => return Err(format!("expected kill at round {kill_round}, got {other:?}")),
         }
         corrupt(&dir, corruption);
 
         let (mut s, mut world) = build(seed);
-        let resumed =
-            resume_until_target(&mut s, &mut world, &cfg, TARGET, max_rounds, PROBE_EVERY, &opts(&dir));
+        let resumed = Runner::new(&mut world, &mut s)
+            .config(cfg)
+            .target(TARGET, max_rounds, PROBE_EVERY)
+            .durable(opts(&dir).durability)
+            .resume()
+            .run();
 
         if corruption == Corruption::AllSnapshotsBitFlip {
             return match resumed {
@@ -226,13 +239,14 @@ fn run_case(
                 reference.final_acc_bits
             ));
         }
-        if out.rounds != reference.rounds {
+        if out.rounds as usize != reference.rounds {
             return Err(format!("round count diverged: {} vs {}", out.rounds, reference.rounds));
         }
-        if out.comm_total_bytes != reference.comm_total_bytes {
+        if out.stats.comm.total_bytes() != reference.comm_total_bytes {
             return Err(format!(
                 "comm bytes diverged: {} vs {}",
-                out.comm_total_bytes, reference.comm_total_bytes
+                out.stats.comm.total_bytes(),
+                reference.comm_total_bytes
             ));
         }
         let records = journal_records(&dir)?;

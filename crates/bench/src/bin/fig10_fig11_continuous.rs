@@ -11,8 +11,8 @@
 
 use nebula_bench::{emit_record, Scale, TaskRow};
 use nebula_data::TaskPreset;
-use nebula_sim::experiment::{run_continuous, ExperimentConfig};
-use nebula_sim::{AdaptStrategy, LocalAdaptStrategy, NebulaStrategy, NebulaVariant, NoAdaptStrategy};
+use nebula_sim::experiment::ExperimentConfig;
+use nebula_sim::{AdaptStrategy, LocalAdaptStrategy, NebulaStrategy, NebulaVariant, NoAdaptStrategy, Runner};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -55,13 +55,11 @@ fn main() {
 
         for mut s in strategies {
             let mut world = row.world(scale, Some(0.5), 42);
-            let out = run_continuous(
-                s.as_mut(),
-                &mut world,
-                &ExperimentConfig { eval_devices: 2, seed: 42 },
-                slots,
-            )
-            .expect("continuous run config is valid");
+            let out = Runner::new(&mut world, s.as_mut())
+                .config(ExperimentConfig { eval_devices: 2, seed: 42 })
+                .continuous(slots)
+                .run()
+                .expect("continuous run config is valid");
             let mean = out.accuracy_per_slot.iter().sum::<f32>() / out.accuracy_per_slot.len().max(1) as f32;
             let head: Vec<String> =
                 out.accuracy_per_slot.iter().take(10).map(|a| format!("{:.2}", a)).collect();

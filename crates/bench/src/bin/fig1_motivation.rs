@@ -13,9 +13,11 @@
 use nebula_bench::{emit_record, Scale, TaskRow};
 use nebula_data::TaskPreset;
 use nebula_sim::contention::contention_multiplier;
-use nebula_sim::experiment::{run_continuous, ExperimentConfig};
+use nebula_sim::experiment::ExperimentConfig;
 use nebula_sim::strategy::AdaptStrategy;
-use nebula_sim::{AdaptiveNetStrategy, FedAvgStrategy, LocalAdaptStrategy, NoAdaptStrategy, SimWorld};
+use nebula_sim::{
+    AdaptiveNetStrategy, FedAvgStrategy, LocalAdaptStrategy, NoAdaptStrategy, RoundStats, Runner, SimWorld,
+};
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
 
@@ -42,12 +44,8 @@ impl AdaptStrategy for StaticEdge {
     fn track(&mut self, ids: &[usize]) {
         self.0.track(ids);
     }
-    fn adaptation_step(
-        &mut self,
-        _world: &mut SimWorld,
-        _rng: &mut NebulaRng,
-    ) -> nebula_sim::strategy::StepReport {
-        nebula_sim::strategy::StepReport::default() // frozen: never adapts
+    fn adaptation_step(&mut self, _world: &mut SimWorld, _rng: &mut NebulaRng) -> RoundStats {
+        RoundStats::default() // frozen: never adapts
     }
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
         self.0.device_accuracy(world, id)
@@ -81,13 +79,11 @@ fn main() {
 
     for (mut s, name) in strategies.into_iter().zip(names) {
         let mut world = row.world(scale, Some(0.3), 42);
-        let out = run_continuous(
-            s.as_mut(),
-            &mut world,
-            &ExperimentConfig { eval_devices: scale.eval_devices.min(6), seed: 42 },
-            slots,
-        )
-        .expect("continuous run config is valid");
+        let out = Runner::new(&mut world, s.as_mut())
+            .config(ExperimentConfig { eval_devices: scale.eval_devices.min(6), seed: 42 })
+            .continuous(slots)
+            .run()
+            .expect("continuous run config is valid");
         let series: Vec<String> = out.accuracy_per_slot.iter().map(|a| format!("{:.3}", a)).collect();
         println!("  {name:<38}: {}", series.join("  "));
         for (slot, acc) in out.accuracy_per_slot.iter().enumerate() {

@@ -17,11 +17,13 @@
 use nebula_core::{modular_config_for, NebulaCloud, NebulaParams, ResourceProfile, WireConfig, WireContext};
 use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer, TaskPreset};
 use nebula_modular::ModularConfig;
-use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::strategy::{AdaptStrategy, StrategyConfig};
 use nebula_sim::{FaultPlan, NebulaStrategy, ResourceSampler, SimWorld};
+use nebula_telemetry::{MemorySink, NullSink, Telemetry};
 use nebula_tensor::linalg::set_reference_kernels;
 use nebula_tensor::{NebulaRng, Tensor};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which GEMM entry point a case exercises.
@@ -210,9 +212,20 @@ fn round_cfg(smoke: bool) -> StrategyConfig {
 /// Runs `rounds` fault-free Nebula rounds and returns seconds per round.
 fn time_rounds(rounds: usize, smoke: bool, use_reference: bool) -> f64 {
     set_reference_kernels(use_reference);
+    let per_round = time_rounds_with(rounds, smoke, Telemetry::off());
+    set_reference_kernels(false);
+    per_round
+}
+
+/// Same round loop with a telemetry handle attached (blocked kernels).
+/// With a [`NullSink`] the handle disarms, so this measures the cost the
+/// instrumentation seams add to an untraced round; with an armed sink it
+/// measures full span/metric/event collection.
+fn time_rounds_with(rounds: usize, smoke: bool, telemetry: Telemetry) -> f64 {
     let mut world = toy_world(if smoke { 6 } else { 10 }, 5);
     world.set_fault_plan(FaultPlan::none());
     let mut s = NebulaStrategy::new(round_cfg(smoke), 1);
+    s.set_telemetry(telemetry);
     let mut rng = NebulaRng::seed(3);
     // One warm-up round outside the timer (first round pays pretraining).
     s.single_round(&mut world, &mut rng);
@@ -220,9 +233,7 @@ fn time_rounds(rounds: usize, smoke: bool, use_reference: bool) -> f64 {
     for _ in 0..rounds {
         s.single_round(&mut world, &mut rng);
     }
-    let per_round = t.elapsed().as_secs_f64() / rounds as f64;
-    set_reference_kernels(false);
-    per_round
+    t.elapsed().as_secs_f64() / rounds as f64
 }
 
 struct WireRow {
@@ -304,7 +315,7 @@ fn round_wire_bytes(rounds: usize, smoke: bool, wire: WireConfig) -> u64 {
     let mut total = 0u64;
     for _ in 0..rounds {
         let out = s.single_round(&mut world, &mut rng);
-        total += out.comm.down_bytes + out.comm.up_bytes;
+        total += out.stats.comm.down_bytes + out.stats.comm.up_bytes;
     }
     total
 }
@@ -384,18 +395,41 @@ fn main() {
         reference_s * 1e3,
         speedup
     );
+    // Telemetry overhead: a NullSink disarms the handle (the acceptance
+    // bar is <1% vs the uninstrumented loop); an armed MemorySink prices
+    // full trace collection. Longer loops than the kernel comparison, and
+    // a fresh same-length baseline, keep the deltas out of timer noise.
+    let trounds = rounds * 3;
+    let base_s = time_rounds_with(trounds, smoke, Telemetry::off());
+    let null_s = time_rounds_with(trounds, smoke, Telemetry::new(Arc::new(NullSink)));
+    let armed_s = time_rounds_with(trounds, smoke, Telemetry::new(Arc::new(MemorySink::new())));
+    let null_overhead_pct = (null_s / base_s - 1.0) * 100.0;
+    let armed_overhead_pct = (armed_s / base_s - 1.0) * 100.0;
+    println!(
+        "telemetry: null-sink {:.1} ms/round ({:+.2}%), armed memory-sink {:.1} ms/round ({:+.2}%)",
+        null_s * 1e3,
+        null_overhead_pct,
+        armed_s * 1e3,
+        armed_overhead_pct
+    );
     let round_json = format!(
         concat!(
             "{{\n  \"mode\": \"{}\",\n  \"rounds\": {},\n",
             "  \"blocked_ms_per_round\": {:.3},\n  \"reference_ms_per_round\": {:.3},\n",
-            "  \"blocked_rounds_per_s\": {:.3},\n  \"speedup\": {:.3}\n}}\n"
+            "  \"blocked_rounds_per_s\": {:.3},\n  \"speedup\": {:.3},\n",
+            "  \"null_telemetry_ms_per_round\": {:.3},\n  \"null_telemetry_overhead_pct\": {:.3},\n",
+            "  \"armed_telemetry_ms_per_round\": {:.3},\n  \"armed_telemetry_overhead_pct\": {:.3}\n}}\n"
         ),
         mode,
         rounds,
         blocked_s * 1e3,
         reference_s * 1e3,
         1.0 / blocked_s,
-        speedup
+        speedup,
+        null_s * 1e3,
+        null_overhead_pct,
+        armed_s * 1e3,
+        armed_overhead_pct
     );
     let round_path = repo_root().join("BENCH_ROUND.json");
     std::fs::write(&round_path, round_json).expect("write BENCH_ROUND.json");

@@ -33,6 +33,7 @@ pub mod journal;
 pub mod offline;
 pub mod presets;
 pub mod profile;
+pub mod stats;
 pub mod transport;
 
 pub use aggregate::{
@@ -50,4 +51,5 @@ pub use journal::{
 pub use offline::{enhance_module_abilities, pretrain, subtask_load_matrices, EnhanceConfig, PretrainConfig};
 pub use presets::{modular_config_for, modular_config_for_sequence};
 pub use profile::ResourceProfile;
+pub use stats::{CommTracker, RoundReport, RoundStats};
 pub use transport::{WireConfig, WireContext};

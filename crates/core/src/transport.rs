@@ -26,6 +26,7 @@
 use crate::aggregate::ModuleUpdate;
 use crate::cloud::SubModelPayload;
 use nebula_modular::{ModularModel, SubModelSpec};
+use nebula_telemetry::Telemetry;
 use nebula_wire::codec::{self, CodecKind};
 use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
 use nebula_wire::{ModuleRegistry, ResidualStore, WireError};
@@ -70,6 +71,8 @@ pub struct WireContext {
     up_residuals: ResidualStore,
     /// Download error feedback, keyed by the receiving device.
     down_residuals: ResidualStore,
+    /// Frame/byte/CRC-reject accounting; off by default.
+    telemetry: Telemetry,
 }
 
 impl WireContext {
@@ -81,7 +84,14 @@ impl WireContext {
             registry: ModuleRegistry::new(4),
             up_residuals: ResidualStore::new(),
             down_residuals: ResidualStore::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle; every encode/decode from here on
+    /// counts frames, bytes and CRC rejects (`wire.*` metrics).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     pub fn config(&self) -> WireConfig {
@@ -229,7 +239,9 @@ impl WireContext {
         // Registry version this payload was cut from; acked on decode.
         let version = self.registry.version();
         b.record(ModuleKey::META, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(&version.to_le_bytes()));
-        b.finish()
+        let n = b.finish();
+        self.note_frame("down", device, n);
+        n
     }
 
     /// Decode a payload frame on behalf of `device`. On success the
@@ -237,6 +249,14 @@ impl WireContext {
     /// version, so the next download can be a delta. Any error leaves the
     /// ack state untouched (the sender retries the identical frame).
     pub fn decode_payload(&mut self, device: u64, bytes: &[u8]) -> Result<SubModelPayload, WireError> {
+        let res = self.decode_payload_impl(device, bytes);
+        if let Err(e) = &res {
+            self.note_decode_error("down", device, e);
+        }
+        res
+    }
+
+    fn decode_payload_impl(&mut self, device: u64, bytes: &[u8]) -> Result<SubModelPayload, WireError> {
         let view = FrameView::parse(bytes)?;
         let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
         let mut shared_params = Vec::new();
@@ -302,12 +322,22 @@ impl WireContext {
         }
         let volume = update.data_volume as u64;
         b.record(ModuleKey::META, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(&volume.to_le_bytes()));
-        b.finish()
+        let n = b.finish();
+        self.note_frame("up", device, n);
+        n
     }
 
     /// Decode an update frame on the cloud. Stale delta uploads (baseline
     /// version already evicted) surface as [`WireError::StaleBaseline`].
     pub fn decode_update(&mut self, bytes: &[u8]) -> Result<ModuleUpdate, WireError> {
+        let res = self.decode_update_impl(bytes);
+        if let Err(e) = &res {
+            self.note_decode_error("up", 0, e);
+        }
+        res
+    }
+
+    fn decode_update_impl(&mut self, bytes: &[u8]) -> Result<ModuleUpdate, WireError> {
         let view = FrameView::parse(bytes)?;
         let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
         let mut shared_params = Vec::new();
@@ -334,6 +364,37 @@ impl WireContext {
         let importance: Vec<Vec<f32>> = importance_rows.into_iter().map(|(_, r)| r).collect();
         let spec = spec_from_keys(module_params.keys().copied());
         Ok(ModuleUpdate { spec, module_params, shared_params, importance, data_volume })
+    }
+
+    /// Telemetry for one encoded frame: per-direction frame/byte counters,
+    /// a frame-size histogram, and a `kind = "wire"` trace event.
+    fn note_frame(&self, dir: &'static str, device: u64, bytes: usize) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry.counter_add(&format!("wire.frames_{dir}"), 1);
+        self.telemetry.counter_add(&format!("wire.bytes_{dir}"), bytes as u64);
+        self.telemetry.observe(&format!("wire.frame_bytes_{dir}"), bytes as f64);
+        self.telemetry.emit("wire", |e| {
+            e.text.insert("dir".into(), dir.into());
+            e.ints.insert("device".into(), device);
+            e.ints.insert("bytes".into(), bytes as u64);
+        });
+    }
+
+    /// Telemetry for a failed decode, classifying CRC rejects (transit
+    /// corruption) apart from structural/baseline errors.
+    fn note_decode_error(&self, dir: &'static str, device: u64, err: &WireError) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let class = if matches!(err, WireError::CrcMismatch { .. }) { "crc" } else { "decode" };
+        self.telemetry.counter_add(&format!("wire.rejects_{class}"), 1);
+        self.telemetry.emit("wire", |e| {
+            e.text.insert("dir".into(), dir.into());
+            e.text.insert("reject".into(), class.into());
+            e.ints.insert("device".into(), device);
+        });
     }
 }
 
@@ -497,6 +558,34 @@ mod tests {
         }
         // Pristine frame still decodes after the failed attempts.
         assert!(wire.decode_payload(7, &frame).is_ok());
+    }
+
+    #[test]
+    fn telemetry_counts_frames_bytes_and_crc_rejects() {
+        use nebula_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let c = cloud();
+        let mut wire = WireContext::new(WireConfig::raw());
+        let mem = Arc::new(MemorySink::new());
+        let t = Telemetry::new(mem.clone());
+        wire.set_telemetry(t.clone());
+
+        let payload = c.dispatch(&spec());
+        let mut frame = Vec::new();
+        let n = wire.encode_payload(7, &payload, &mut frame) as u64;
+        let mut bad = frame.clone();
+        bad[frame.len() / 2] ^= 0xFF;
+        assert!(wire.decode_payload(7, &bad).is_err());
+        assert!(wire.decode_payload(7, &frame).is_ok());
+
+        let m = t.metrics().expect("telemetry on");
+        assert_eq!(m.counters["wire.frames_down"], 1);
+        assert_eq!(m.counters["wire.bytes_down"], n);
+        assert_eq!(m.counters["wire.rejects_crc"], 1);
+        assert_eq!(m.histograms["wire.frame_bytes_down"].count, 1);
+        let wire_events: Vec<_> = mem.events().into_iter().filter(|e| e.kind == "wire").collect();
+        assert_eq!(wire_events.len(), 2, "one frame event + one reject event");
+        assert_eq!(wire_events[1].text["reject"], "crc");
     }
 
     #[test]

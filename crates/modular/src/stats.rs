@@ -26,23 +26,7 @@ impl LayerRoutingStats {
     /// Normalised entropy of the mean gate distribution
     /// (1.0 = perfectly uniform utilisation).
     pub fn gate_entropy(&self) -> f64 {
-        let n = self.mean_gate.len() as f64;
-        if n <= 1.0 {
-            return 0.0;
-        }
-        let h: f64 = self
-            .mean_gate
-            .iter()
-            .map(|&p| {
-                let p = p as f64;
-                if p > 0.0 {
-                    -p * p.ln()
-                } else {
-                    0.0
-                }
-            })
-            .sum();
-        h / n.ln()
+        normalized_entropy(&self.mean_gate)
     }
 
     /// Modules that receive effectively no traffic (load below `eps`) —
@@ -50,6 +34,30 @@ impl LayerRoutingStats {
     pub fn dead_modules(&self, eps: f32) -> Vec<usize> {
         self.load.iter().enumerate().filter_map(|(i, &l)| (l < eps).then_some(i)).collect()
     }
+}
+
+/// Normalised Shannon entropy of a gate-probability vector
+/// (1.0 = uniform over its modules, 0.0 = one-hot or degenerate).
+/// Shared by the offline routing diagnostics and the online
+/// gate-probability telemetry, which sees one such vector per layer in
+/// every accepted edge update.
+pub fn normalized_entropy(probs: &[f32]) -> f64 {
+    let n = probs.len() as f64;
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let h: f64 = probs
+        .iter()
+        .map(|&p| {
+            let p = p as f64;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    h / n.ln()
 }
 
 /// Collects per-layer routing statistics of `model` over inputs `x`,

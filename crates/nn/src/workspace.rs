@@ -17,10 +17,23 @@
 //! than any keyed map.
 
 use nebula_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cap on pooled buffers so a workspace cannot hoard memory if a caller
 /// recycles more shapes than it ever reuses.
 const MAX_POOLED: usize = 8;
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide workspace pool effectiveness: `(hits, misses)` where a
+/// hit is a [`Workspace::zeroed`] served from a pooled buffer of
+/// sufficient capacity and a miss required (re)allocation. Counters are
+/// monotonic across all workspaces; telemetry consumers diff two
+/// readings to attribute a window of work.
+pub fn pool_stats() -> (u64, u64) {
+    (POOL_HITS.load(Ordering::Relaxed), POOL_MISSES.load(Ordering::Relaxed))
+}
 
 /// A free-list buffer pool for layer-internal scratch tensors.
 #[derive(Default)]
@@ -46,8 +59,14 @@ impl Workspace {
             }
         }
         let mut buf = match pick {
-            Some(i) => self.pool.swap_remove(i),
-            None => self.pool.pop().unwrap_or_default(),
+            Some(i) => {
+                POOL_HITS.fetch_add(1, Ordering::Relaxed);
+                self.pool.swap_remove(i)
+            }
+            None => {
+                POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+                self.pool.pop().unwrap_or_default()
+            }
         };
         buf.clear();
         buf.resize(n, 0.0);

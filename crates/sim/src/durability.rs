@@ -45,8 +45,10 @@ use crate::network::CommTracker;
 use crate::strategy::{AdaptStrategy, StrategyState};
 use crate::world::SimWorld;
 use nebula_core::{DurabilityError, JournalWriter, SnapshotStore};
+use nebula_telemetry::Telemetry;
 use nebula_tensor::NebulaRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Version tag inside every serialized [`RunState`].
 pub const RUN_STATE_FORMAT: u32 = 1;
@@ -54,8 +56,8 @@ pub const RUN_STATE_FORMAT: u32 = 1;
 /// Journal file name inside the durability directory.
 pub const JOURNAL_FILE: &str = "rounds.nblj";
 
-const MODE_TARGET: &str = "target";
-const MODE_CONTINUOUS: &str = "continuous";
+pub(crate) const MODE_TARGET: &str = "target";
+pub(crate) const MODE_CONTINUOUS: &str = "continuous";
 
 /// Everything that can go wrong while driving a durable run.
 #[derive(Clone, Debug, PartialEq)]
@@ -131,6 +133,11 @@ impl ChaosControl {
     fn wants_kill(&self, round: u64, spot: KillSpot) -> bool {
         self.kill == Some((round, spot))
     }
+
+    /// Whether any chaos hook is armed.
+    pub fn is_armed(&self) -> bool {
+        self.kill.is_some()
+    }
 }
 
 /// Where and how often durable state is persisted.
@@ -151,7 +158,7 @@ impl DurabilityConfig {
         Self { dir: dir.into(), snapshot_every: 5, keep_snapshots: 3 }
     }
 
-    fn validate(&self) -> Result<(), RunError> {
+    pub(crate) fn validate(&self) -> Result<(), RunError> {
         if self.snapshot_every == 0 {
             return Err(RunError::InvalidConfig("snapshot_every must be ≥ 1".into()));
         }
@@ -161,7 +168,7 @@ impl DurabilityConfig {
         Ok(())
     }
 
-    fn journal_path(&self) -> PathBuf {
+    pub(crate) fn journal_path(&self) -> PathBuf {
         self.dir.join(JOURNAL_FILE)
     }
 }
@@ -248,7 +255,7 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn derive_run_id(seed: u64, mode: &str) -> u64 {
+pub(crate) fn derive_run_id(seed: u64, mode: &str) -> u64 {
     let salt = match mode {
         MODE_TARGET => 0x7A6C_E77A_6CE7_0001,
         _ => 0xC0C0_17D5_C0C0_0002,
@@ -320,20 +327,22 @@ pub(crate) fn validate_target(
     Ok(())
 }
 
-/// Mutable accumulators a durable run threads through execute/replay.
-struct Accum {
-    rng: NebulaRng,
-    comm: CommTracker,
-    faults: RoundReport,
-    rounds: u64,
-    slot: u64,
-    acc: f32,
-    time_sum: f64,
-    acc_per_slot: Vec<f32>,
+/// Mutable accumulators a run threads through execute/replay. Shared by
+/// the durable drivers and the plain [`crate::runner::Runner`] loops so
+/// both paths accumulate — and therefore probe — identically.
+pub(crate) struct Accum {
+    pub(crate) rng: NebulaRng,
+    pub(crate) comm: CommTracker,
+    pub(crate) faults: RoundReport,
+    pub(crate) rounds: u64,
+    pub(crate) slot: u64,
+    pub(crate) acc: f32,
+    pub(crate) time_sum: f64,
+    pub(crate) acc_per_slot: Vec<f32>,
 }
 
 impl Accum {
-    fn fresh(rng: NebulaRng, acc: f32) -> Self {
+    pub(crate) fn fresh(rng: NebulaRng, acc: f32) -> Self {
         Self {
             rng,
             comm: CommTracker::new(),
@@ -347,16 +356,19 @@ impl Accum {
     }
 }
 
-struct Engine<'a> {
-    store: SnapshotStore,
-    journal: JournalWriter,
-    opts: &'a DurableOptions,
-    run_id: u64,
-    mode: &'static str,
-    eval_ids: Vec<usize>,
+pub(crate) struct Engine {
+    pub(crate) store: SnapshotStore,
+    pub(crate) journal: JournalWriter,
+    pub(crate) opts: DurableOptions,
+    pub(crate) run_id: u64,
+    pub(crate) mode: &'static str,
+    pub(crate) eval_ids: Vec<usize>,
+    /// Observes `journal.append_ms` / `snapshot.save_ms` latencies; the
+    /// disarmed default costs one branch per durability write.
+    pub(crate) telemetry: Telemetry,
 }
 
-impl Engine<'_> {
+impl Engine {
     fn capture(
         &self,
         strategy: &dyn AdaptStrategy,
@@ -391,32 +403,42 @@ impl Engine<'_> {
         })
     }
 
-    fn save_snapshot(
+    pub(crate) fn save_snapshot(
         &self,
         strategy: &dyn AdaptStrategy,
         world: &SimWorld,
         acc: &Accum,
     ) -> Result<(), RunError> {
+        let started = self.telemetry.enabled().then(Instant::now);
         let state = self.capture(strategy, world, acc)?;
         self.store.save(acc.rounds, &encode_state(&state)?)?;
         self.store.prune(self.opts.durability.keep_snapshots)?;
+        if let Some(t0) = started {
+            self.telemetry.counter_add("snapshot.saves", 1);
+            self.telemetry.observe("snapshot.save_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
         Ok(())
     }
 
     /// Journals a completed round, snapshots when due, and honours
     /// injected kill points. Returns `Err(Killed)` at a chaos kill.
-    fn finish_round(
+    pub(crate) fn finish_round(
         &mut self,
         rec: &RoundRecord,
         strategy: &dyn AdaptStrategy,
         world: &SimWorld,
         acc: &Accum,
     ) -> Result<(), RunError> {
-        let chaos = &self.opts.chaos;
+        let chaos = self.opts.chaos;
         if chaos.wants_kill(rec.index, KillSpot::BeforeAppend) {
             return Err(RunError::Killed { round: rec.index });
         }
+        let started = self.telemetry.enabled().then(Instant::now);
         self.journal.append(&encode_record(rec)?)?;
+        if let Some(t0) = started {
+            self.telemetry.counter_add("journal.appends", 1);
+            self.telemetry.observe("journal.append_ms", t0.elapsed().as_secs_f64() * 1e3);
+        }
         if chaos.wants_kill(rec.index, KillSpot::AfterAppend) {
             return Err(RunError::Killed { round: rec.index });
         }
@@ -430,7 +452,7 @@ impl Engine<'_> {
     }
 }
 
-fn verify_replay(rec: &RoundRecord, executed: &RoundRecord) -> Result<(), RunError> {
+pub(crate) fn verify_replay(rec: &RoundRecord, executed: &RoundRecord) -> Result<(), RunError> {
     if rec != executed {
         return Err(RunError::ReplayDivergence {
             round: rec.index,
@@ -459,7 +481,7 @@ fn open_or_create_journal(
 
 /// One until-target round: execute, accumulate, probe. Returns the
 /// round's journal record.
-fn target_round(
+pub(crate) fn target_round(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
     eval_ids: &[usize],
@@ -485,7 +507,7 @@ fn target_round(
 }
 
 /// One continuous slot: drift, adapt, evaluate. Returns the record.
-fn continuous_slot(
+pub(crate) fn continuous_slot(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
     eval_ids: &[usize],
@@ -509,28 +531,9 @@ fn continuous_slot(
     }
 }
 
-fn target_outcome(strategy: &dyn AdaptStrategy, acc: &Accum, target: f32) -> TargetOutcome {
-    TargetOutcome {
-        strategy: strategy.name().to_string(),
-        reached: acc.acc >= target,
-        rounds: acc.rounds as usize,
-        comm_total_bytes: acc.comm.total_bytes(),
-        final_accuracy: acc.acc,
-        faults: acc.faults,
-    }
-}
-
-fn continuous_outcome(strategy: &dyn AdaptStrategy, acc: &Accum) -> ContinuousOutcome {
-    ContinuousOutcome {
-        strategy: strategy.name().to_string(),
-        accuracy_per_slot: acc.acc_per_slot.clone(),
-        mean_adapt_time_ms: acc.time_sum / acc.acc_per_slot.len().max(1) as f64,
-        faults: acc.faults,
-    }
-}
-
 /// [`crate::experiment::run_until_target`] with crash safety: snapshots,
 /// a write-ahead round journal, and chaos kill hooks.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..).durable(..)")]
 pub fn run_until_target_durable(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -540,33 +543,19 @@ pub fn run_until_target_durable(
     probe_every: usize,
     opts: &DurableOptions,
 ) -> Result<TargetOutcome, RunError> {
-    validate_target(world, cfg, target, probe_every)?;
-    opts.durability.validate()?;
-
-    let run_id = derive_run_id(cfg.seed, MODE_TARGET);
-    let store = SnapshotStore::open(&opts.durability.dir)?;
-    let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
-    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
-    strategy.track(&eval_ids);
-    strategy.offline(world, &mut rng);
-    let first_probe = mean_accuracy(strategy, world, &eval_ids);
-    let mut acc = Accum::fresh(rng, first_probe);
-
-    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
-    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_TARGET, eval_ids };
-    // Guaranteed recovery point (and early UnsupportedStrategy signal).
-    eng.save_snapshot(&*strategy, world, &acc)?;
-
-    while acc.acc < target && (acc.rounds as usize) < max_rounds {
-        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
-        eng.finish_round(&rec, &*strategy, world, &acc)?;
-    }
-    Ok(target_outcome(&*strategy, &acc, target))
+    crate::runner::Runner::new(world, strategy)
+        .config(*cfg)
+        .target(target, max_rounds, probe_every)
+        .durable(opts.durability.clone())
+        .chaos(opts.chaos)
+        .run()
+        .map(crate::runner::RunOutcome::into_target)
 }
 
 /// Restores a durable run from `opts.durability.dir` and drives it to
 /// completion. `strategy` and `world` must be freshly constructed with
 /// the same configuration the original run used.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..).durable(..).resume()")]
 pub fn resume_until_target(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -576,32 +565,18 @@ pub fn resume_until_target(
     probe_every: usize,
     opts: &DurableOptions,
 ) -> Result<TargetOutcome, RunError> {
-    validate_target(world, cfg, target, probe_every)?;
-    opts.durability.validate()?;
-
-    let run_id = derive_run_id(cfg.seed, MODE_TARGET);
-    let (eng_parts, mut acc) =
-        restore(strategy, world, cfg, run_id, MODE_TARGET, opts, |_world, _state| Ok(()))?;
-    let (store, journal, eval_ids, tail) = eng_parts;
-    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_TARGET, eval_ids };
-
-    // Deterministically re-execute the journal tail, verifying each round.
-    let replay_to = tail.keys().next_back().copied().unwrap_or(0);
-    while acc.acc < target && (acc.rounds as usize) < max_rounds && acc.rounds < replay_to {
-        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
-        if let Some(journaled) = tail.get(&rec.index) {
-            verify_replay(journaled, &rec)?;
-        }
-    }
-    // Continue the live run.
-    while acc.acc < target && (acc.rounds as usize) < max_rounds {
-        let rec = target_round(strategy, world, &eng.eval_ids, &mut acc, max_rounds, probe_every);
-        eng.finish_round(&rec, &*strategy, world, &acc)?;
-    }
-    Ok(target_outcome(&*strategy, &acc, target))
+    crate::runner::Runner::new(world, strategy)
+        .config(*cfg)
+        .target(target, max_rounds, probe_every)
+        .durable(opts.durability.clone())
+        .chaos(opts.chaos)
+        .resume()
+        .run()
+        .map(crate::runner::RunOutcome::into_target)
 }
 
 /// [`crate::experiment::run_continuous`] with crash safety.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..).durable(..)")]
 pub fn run_continuous_durable(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -609,30 +584,17 @@ pub fn run_continuous_durable(
     slots: usize,
     opts: &DurableOptions,
 ) -> Result<ContinuousOutcome, RunError> {
-    validate_common(world, cfg)?;
-    opts.durability.validate()?;
-
-    let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
-    let store = SnapshotStore::open(&opts.durability.dir)?;
-    let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
-    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
-    strategy.track(&eval_ids);
-    strategy.offline(world, &mut rng);
-    let first_probe = mean_accuracy(strategy, world, &eval_ids);
-    let mut acc = Accum::fresh(rng, first_probe);
-
-    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
-    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_CONTINUOUS, eval_ids };
-    eng.save_snapshot(&*strategy, world, &acc)?;
-
-    while (acc.rounds as usize) < slots {
-        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
-        eng.finish_round(&rec, &*strategy, world, &acc)?;
-    }
-    Ok(continuous_outcome(&*strategy, &acc))
+    crate::runner::Runner::new(world, strategy)
+        .config(*cfg)
+        .continuous(slots)
+        .durable(opts.durability.clone())
+        .chaos(opts.chaos)
+        .run()
+        .map(crate::runner::RunOutcome::into_continuous)
 }
 
 /// Restores a durable continuous run and drives it through `slots`.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..).durable(..).resume()")]
 pub fn resume_continuous(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -640,43 +602,23 @@ pub fn resume_continuous(
     slots: usize,
     opts: &DurableOptions,
 ) -> Result<ContinuousOutcome, RunError> {
-    validate_common(world, cfg)?;
-    opts.durability.validate()?;
-
-    let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
-    let (eng_parts, mut acc) =
-        restore(strategy, world, cfg, run_id, MODE_CONTINUOUS, opts, |world, state| {
-            // Drift the fresh world forward to the snapshot's slot. Only
-            // per-device RNGs advance here; the world RNG is restored after.
-            for _ in 0..state.slot {
-                world.advance_slot();
-            }
-            Ok(())
-        })?;
-    let (store, journal, eval_ids, tail) = eng_parts;
-    let mut eng = Engine { store, journal, opts, run_id, mode: MODE_CONTINUOUS, eval_ids };
-
-    let replay_to = tail.keys().next_back().copied().unwrap_or(0);
-    while (acc.rounds as usize) < slots && acc.rounds < replay_to {
-        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
-        if let Some(journaled) = tail.get(&rec.index) {
-            verify_replay(journaled, &rec)?;
-        }
-    }
-    while (acc.rounds as usize) < slots {
-        let rec = continuous_slot(strategy, world, &eng.eval_ids, &mut acc);
-        eng.finish_round(&rec, &*strategy, world, &acc)?;
-    }
-    Ok(continuous_outcome(&*strategy, &acc))
+    crate::runner::Runner::new(world, strategy)
+        .config(*cfg)
+        .continuous(slots)
+        .durable(opts.durability.clone())
+        .chaos(opts.chaos)
+        .resume()
+        .run()
+        .map(crate::runner::RunOutcome::into_continuous)
 }
 
-type EngineParts = (SnapshotStore, JournalWriter, Vec<usize>, BTreeMap<u64, RoundRecord>);
+pub(crate) type EngineParts = (SnapshotStore, JournalWriter, Vec<usize>, BTreeMap<u64, RoundRecord>);
 
 /// Loads the newest valid snapshot, validates it against the caller's
 /// reconstruction, restores strategy/world/accumulators, and opens the
 /// journal (truncating any torn tail). Returns the engine pieces plus
 /// the journal records newer than the snapshot.
-fn restore(
+pub(crate) fn restore(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
     cfg: &ExperimentConfig,

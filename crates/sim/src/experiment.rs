@@ -7,14 +7,15 @@
 //!   accuracy (comm bytes at target);
 //! * [`run_continuous`] — Figs 10–11: many drift slots, accuracy per slot.
 
-use crate::durability::{validate_common, validate_target};
 use crate::faults::RoundReport;
 use crate::network::CommTracker;
+use crate::runner::{RunOutcome, Runner};
 use crate::strategy::AdaptStrategy;
 use crate::world::SimWorld;
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
 
+#[allow(deprecated)]
 pub use crate::durability::{
     resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
     DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
@@ -172,6 +173,7 @@ pub struct TargetOutcome {
 ///
 /// Returns [`RunError::InvalidConfig`] for an empty world, zero
 /// `eval_devices`, a non-finite target, or `probe_every == 0`.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..)")]
 pub fn run_until_target(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
@@ -180,33 +182,11 @@ pub fn run_until_target(
     max_rounds: usize,
     probe_every: usize,
 ) -> Result<TargetOutcome, RunError> {
-    validate_target(world, cfg, target, probe_every)?;
-    let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
-    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
-    strategy.track(&eval_ids);
-    strategy.offline(world, &mut rng);
-
-    let mut comm = CommTracker::new();
-    let mut faults = RoundReport::default();
-    let mut rounds = 0;
-    let mut acc = mean_accuracy(strategy, world, &eval_ids);
-    while acc < target && rounds < max_rounds {
-        let report = strategy.adaptation_step(world, &mut rng);
-        comm.merge(&report.comm);
-        faults.merge(&report.faults);
-        rounds += 1;
-        if rounds % probe_every == 0 || rounds == max_rounds {
-            acc = mean_accuracy(strategy, world, &eval_ids);
-        }
-    }
-    Ok(TargetOutcome {
-        strategy: strategy.name().to_string(),
-        reached: acc >= target,
-        rounds,
-        comm_total_bytes: comm.total_bytes(),
-        final_accuracy: acc,
-        faults,
-    })
+    Runner::new(world, strategy)
+        .config(*cfg)
+        .target(target, max_rounds, probe_every)
+        .run()
+        .map(RunOutcome::into_target)
 }
 
 /// Result of a continuous (multi-slot) adaptation run.
@@ -226,34 +206,14 @@ pub struct ContinuousOutcome {
 ///
 /// Returns [`RunError::InvalidConfig`] for an empty world or zero
 /// `eval_devices`.
+#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..)")]
 pub fn run_continuous(
     strategy: &mut dyn AdaptStrategy,
     world: &mut SimWorld,
     cfg: &ExperimentConfig,
     slots: usize,
 ) -> Result<ContinuousOutcome, RunError> {
-    validate_common(world, cfg)?;
-    let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
-    let eval_ids = pick_eval_ids(world, cfg.eval_devices);
-    strategy.track(&eval_ids);
-    strategy.offline(world, &mut rng);
-
-    let mut acc_per_slot = Vec::with_capacity(slots);
-    let mut time_sum = 0.0;
-    let mut faults = RoundReport::default();
-    for _ in 0..slots {
-        world.advance_slot();
-        let report = strategy.adaptation_step(world, &mut rng);
-        time_sum += report.adapt_time_ms;
-        faults.merge(&report.faults);
-        acc_per_slot.push(mean_accuracy(strategy, world, &eval_ids));
-    }
-    Ok(ContinuousOutcome {
-        strategy: strategy.name().to_string(),
-        accuracy_per_slot: acc_per_slot,
-        mean_adapt_time_ms: time_sum / slots.max(1) as f64,
-        faults,
-    })
+    Runner::new(world, strategy).config(*cfg).continuous(slots).run().map(RunOutcome::into_continuous)
 }
 
 #[cfg(test)]
@@ -320,7 +280,7 @@ mod tests {
         let mut world = toy_world(true);
         let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
         let cfg = ExperimentConfig { eval_devices: 2, seed: 2 };
-        let out = run_continuous(&mut s, &mut world, &cfg, 4).expect("valid config");
+        let out = Runner::new(&mut world, &mut s).config(cfg).continuous(4).run().expect("valid config");
         assert_eq!(out.accuracy_per_slot.len(), 4);
         assert!(out.accuracy_per_slot.iter().all(|a| (0.0..=1.0).contains(a)));
     }
@@ -330,16 +290,21 @@ mod tests {
         let mut world = toy_world(false);
         let mut s = NoAdaptStrategy::new(toy_cfg(), 1);
         let no_eval = ExperimentConfig { eval_devices: 0, seed: 1 };
-        assert!(matches!(run_continuous(&mut s, &mut world, &no_eval, 2), Err(RunError::InvalidConfig(_))));
+        assert!(matches!(
+            Runner::new(&mut world, &mut s).config(no_eval).continuous(2).run(),
+            Err(RunError::InvalidConfig(_))
+        ));
         let cfg = ExperimentConfig { eval_devices: 2, seed: 1 };
         assert!(matches!(
-            run_until_target(&mut s, &mut world, &cfg, f32::NAN, 3, 1),
+            Runner::new(&mut world, &mut s).config(cfg).target(f32::NAN, 3, 1).run(),
             Err(RunError::InvalidConfig(_))
         ));
         assert!(matches!(
-            run_until_target(&mut s, &mut world, &cfg, 0.9, 3, 0),
+            Runner::new(&mut world, &mut s).config(cfg).target(0.9, 3, 0).run(),
             Err(RunError::InvalidConfig(_))
         ));
+        // A Runner without a mode is itself an invalid configuration.
+        assert!(matches!(Runner::new(&mut world, &mut s).config(cfg).run(), Err(RunError::InvalidConfig(_))));
     }
 
     #[test]
@@ -370,7 +335,7 @@ mod tests {
         let mut s = NoAdaptStrategy::new(cfg_s, 1);
         let cfg = ExperimentConfig { eval_devices: 2, seed: 3 };
         // NA never reaches 1.01 accuracy → must stop at max_rounds.
-        let out = run_until_target(&mut s, &mut world, &cfg, 1.01, 3, 1).expect("valid config");
+        let out = Runner::new(&mut world, &mut s).config(cfg).target(1.01, 3, 1).run().expect("valid config");
         assert!(!out.reached);
         assert_eq!(out.rounds, 3);
     }

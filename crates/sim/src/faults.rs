@@ -199,55 +199,11 @@ pub fn backoff_ms(base_ms: f64, attempt: u32) -> f64 {
     base_ms * 2f64.powi(attempt.min(16) as i32)
 }
 
-/// Per-round robustness accounting, summed over a step/run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct RoundReport {
-    /// Devices the server sampled.
-    pub sampled: u64,
-    /// Updates that arrived (before the sanitize gate).
-    pub participated: u64,
-    /// Never started (dropout).
-    pub dropped: u64,
-    /// Trained but crashed before uploading.
-    pub crashed: u64,
-    /// Dropped by the round deadline.
-    pub deadline_dropped: u64,
-    /// Dropped after exhausting link retries.
-    pub link_dropped: u64,
-    /// Updates rejected by the sanitize gate.
-    pub rejected: u64,
-    /// Extra transfer attempts (retries) over flaky links.
-    pub retried: u64,
-    /// Late arrivals accepted with discounted importance.
-    pub stale: u64,
-    /// Aggregations undone by the checkpoint guard.
-    pub rolled_back: u64,
-    /// Frames rejected by the wire CRC check (transit corruption).
-    #[serde(default)]
-    pub corrupt_frames: u64,
-}
-
-impl RoundReport {
-    /// Sums another report into this one (saturating).
-    pub fn merge(&mut self, other: &RoundReport) {
-        self.sampled = self.sampled.saturating_add(other.sampled);
-        self.participated = self.participated.saturating_add(other.participated);
-        self.dropped = self.dropped.saturating_add(other.dropped);
-        self.crashed = self.crashed.saturating_add(other.crashed);
-        self.deadline_dropped = self.deadline_dropped.saturating_add(other.deadline_dropped);
-        self.link_dropped = self.link_dropped.saturating_add(other.link_dropped);
-        self.rejected = self.rejected.saturating_add(other.rejected);
-        self.retried = self.retried.saturating_add(other.retried);
-        self.stale = self.stale.saturating_add(other.stale);
-        self.rolled_back = self.rolled_back.saturating_add(other.rolled_back);
-        self.corrupt_frames = self.corrupt_frames.saturating_add(other.corrupt_frames);
-    }
-
-    /// All devices that missed the round, whatever the cause.
-    pub fn lost(&self) -> u64 {
-        self.dropped + self.crashed + self.deadline_dropped + self.link_dropped
-    }
-}
+/// Per-round robustness accounting, summed over a step/run. Defined in
+/// `nebula-core::stats` (with [`CommTracker`](crate::network::CommTracker)
+/// and `RoundStats`) so bench bins and telemetry sinks consume one shape;
+/// re-exported here for the fault-injection call sites that fill it in.
+pub use nebula_core::stats::RoundReport;
 
 /// Applies `kind` to a module update in place (what a corrupted upload
 /// looks like when it reaches the cloud).
@@ -440,18 +396,5 @@ mod tests {
             assert!(f.corruption.is_none());
         }
         assert!(p.is_active());
-    }
-
-    #[test]
-    fn report_merge_and_lost() {
-        let mut a =
-            RoundReport { sampled: 10, participated: 7, dropped: 2, crashed: 1, ..Default::default() };
-        let b =
-            RoundReport { sampled: 10, participated: 9, link_dropped: 1, retried: 3, ..Default::default() };
-        a.merge(&b);
-        assert_eq!(a.sampled, 20);
-        assert_eq!(a.participated, 16);
-        assert_eq!(a.retried, 3);
-        assert_eq!(a.lost(), 4);
     }
 }

@@ -24,9 +24,12 @@
 //!   (NA, LA, AN, FA, HFL, Nebula) behind one trait.
 //! * [`experiment`] — shared drivers: one adaptation step, rounds-to-
 //!   target-accuracy, continuous multi-slot adaptation.
-//! * [`durability`] — crash-safe variants of the long-running drivers:
-//!   atomic run snapshots, a write-ahead round journal, deterministic
-//!   resume, and chaos kill hooks.
+//! * [`durability`] — crash-safe run state: atomic run snapshots, a
+//!   write-ahead round journal, deterministic resume, and chaos kill
+//!   hooks.
+//! * [`runner`] — the unified [`Runner`] builder every experiment shape
+//!   (plain/durable × target/continuous) goes through, with optional
+//!   [`nebula_telemetry`] tracing.
 
 pub mod contention;
 pub mod device;
@@ -36,19 +39,23 @@ pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod resources;
+pub mod runner;
 pub mod strategy;
 pub mod world;
 
 pub use contention::contention_multiplier;
 pub use device::SimDevice;
+#[allow(deprecated)]
 pub use durability::{
     resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
     DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
 };
 pub use experiment::{AdaptationOutcome, ExperimentConfig};
 pub use faults::{CorruptionKind, DeviceFate, FaultPlan, RoundPolicy, RoundReport};
+pub use nebula_core::stats::RoundStats;
 pub use network::CommTracker;
 pub use resources::{DeviceClass, DeviceResources, ResourceSampler};
+pub use runner::{RunOutcome, Runner};
 pub use strategy::{
     AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy, NebulaStrategy,
     NebulaVariant, NoAdaptStrategy,

@@ -1,0 +1,466 @@
+//! The unified experiment driver.
+//!
+//! [`Runner`] subsumes the six free-function drivers that grew across
+//! earlier iterations (`run_until_target`, `run_continuous`, their
+//! `_durable` variants and the two `resume_*` functions) behind one
+//! builder:
+//!
+//! ```text
+//! Runner::new(&mut world, &mut strategy)
+//!     .config(cfg)                    // seed, eval cohort size
+//!     .target(0.8, 200, 5)            // or .continuous(slots)
+//!     .durable(DurabilityConfig::new(dir))   // optional crash safety
+//!     .chaos(ChaosControl::default())        // optional kill injection
+//!     .telemetry(Telemetry::new(sink))       // optional tracing
+//!     .run()?                          // -> RunOutcome
+//! ```
+//!
+//! Every path funnels through the same round helpers the durable drivers
+//! use ([`crate::durability`]'s `target_round` / `continuous_slot`), so a
+//! plain run and a durable run of the same configuration produce
+//! **bit-identical** trajectories — the legacy free functions are now
+//! thin deprecated wrappers over this type, and a parity test holds them
+//! to bit equality.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry is strictly observational: no instrumentation call consumes
+//! simulation RNG or feeds back into round execution, so a run with a
+//! [`nebula_telemetry::JsonlSink`] attached produces the same
+//! [`RunOutcome`] as one with the disarmed default.
+
+use crate::durability::{
+    continuous_slot, derive_run_id, restore, target_round, validate_common, validate_target, verify_replay,
+    Accum, ChaosControl, DurabilityConfig, DurableOptions, Engine, RunError, MODE_CONTINUOUS, MODE_TARGET,
+};
+use crate::experiment::{mean_accuracy, pick_eval_ids, ContinuousOutcome, ExperimentConfig, TargetOutcome};
+use crate::strategy::AdaptStrategy;
+use crate::world::SimWorld;
+use nebula_core::stats::RoundStats;
+use nebula_core::{JournalWriter, SnapshotStore};
+use nebula_telemetry::{Span, Telemetry};
+use nebula_tensor::NebulaRng;
+use serde::Serialize;
+
+/// Which experiment shape a [`Runner`] drives.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    /// Rounds until `target` accuracy (probe every `probe_every`), capped
+    /// at `max_rounds`.
+    Target { target: f32, max_rounds: usize, probe_every: usize },
+    /// `slots` drift slots, adapting and evaluating after each.
+    Continuous { slots: usize },
+}
+
+/// Unified result of a [`Runner`] run, covering both experiment shapes.
+///
+/// Convert to the legacy per-shape outcomes with
+/// [`RunOutcome::into_target`] / [`RunOutcome::into_continuous`].
+#[derive(Clone, Debug, Serialize)]
+pub struct RunOutcome {
+    /// `strategy.name()`.
+    pub strategy: String,
+    /// `"target"` or `"continuous"`.
+    pub mode: String,
+    /// Target mode: whether the accuracy target was reached. Always true
+    /// in continuous mode (it has no target).
+    pub reached: bool,
+    /// Completed rounds (target) or slots (continuous).
+    pub rounds: u64,
+    /// Last probed mean eval accuracy.
+    pub final_accuracy: f32,
+    /// Per-slot accuracies (continuous mode; empty in target mode).
+    pub accuracy_per_slot: Vec<f32>,
+    /// Mean on-device adaptation time per round/slot, ms.
+    pub mean_adapt_time_ms: f64,
+    /// The evaluation cohort the run probed (sampled by the Runner,
+    /// stable across resume).
+    pub eval_ids: Vec<usize>,
+    /// Communication, fault accounting, and total adaptation time summed
+    /// over the whole run.
+    pub stats: RoundStats,
+}
+
+impl RunOutcome {
+    /// The legacy rounds-to-target outcome shape.
+    pub fn into_target(self) -> TargetOutcome {
+        TargetOutcome {
+            strategy: self.strategy,
+            reached: self.reached,
+            rounds: self.rounds as usize,
+            comm_total_bytes: self.stats.comm.total_bytes(),
+            final_accuracy: self.final_accuracy,
+            faults: self.stats.faults,
+        }
+    }
+
+    /// The legacy continuous-adaptation outcome shape.
+    pub fn into_continuous(self) -> ContinuousOutcome {
+        ContinuousOutcome {
+            strategy: self.strategy,
+            accuracy_per_slot: self.accuracy_per_slot,
+            mean_adapt_time_ms: self.mean_adapt_time_ms,
+            faults: self.stats.faults,
+        }
+    }
+}
+
+/// Builder-style driver for one experiment run.
+///
+/// See the [module docs](self) for the full shape. `world` and
+/// `strategy` are borrowed mutably for the builder's lifetime and driven
+/// by [`Runner::run`].
+pub struct Runner<'a> {
+    world: &'a mut SimWorld,
+    strategy: &'a mut dyn AdaptStrategy,
+    cfg: ExperimentConfig,
+    mode: Option<Mode>,
+    durability: Option<DurabilityConfig>,
+    chaos: ChaosControl,
+    resume: bool,
+    telemetry: Telemetry,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner over `world` driving `strategy`; defaults to
+    /// [`ExperimentConfig::default`], no durability, no chaos, and
+    /// disarmed telemetry. A mode ([`Runner::target`] or
+    /// [`Runner::continuous`]) must be chosen before [`Runner::run`].
+    pub fn new(world: &'a mut SimWorld, strategy: &'a mut dyn AdaptStrategy) -> Self {
+        Runner {
+            world,
+            strategy,
+            cfg: ExperimentConfig::default(),
+            mode: None,
+            durability: None,
+            chaos: ChaosControl::default(),
+            resume: false,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Seed and eval-cohort knobs (defaults: seed 1, 20 eval devices).
+    pub fn config(mut self, cfg: ExperimentConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Run collaborative rounds until mean eval accuracy reaches
+    /// `target` (probing every `probe_every` rounds), stopping at
+    /// `max_rounds`.
+    pub fn target(mut self, target: f32, max_rounds: usize, probe_every: usize) -> Self {
+        self.mode = Some(Mode::Target { target, max_rounds, probe_every });
+        self
+    }
+
+    /// Run `slots` drift slots: each slot the world drifts, the strategy
+    /// adapts, and the eval cohort is probed.
+    pub fn continuous(mut self, slots: usize) -> Self {
+        self.mode = Some(Mode::Continuous { slots });
+        self
+    }
+
+    /// Persist crash-safe state (snapshots + round journal) under
+    /// `durability.dir`.
+    pub fn durable(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Arm chaos-harness kill injection (requires [`Runner::durable`]).
+    pub fn chaos(mut self, chaos: ChaosControl) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Attach telemetry. Accepts a [`Telemetry`] handle or any
+    /// `Arc<impl Collector>` (e.g. `Arc<JsonlSink>`, `Arc<MemorySink>`).
+    pub fn telemetry(mut self, telemetry: impl Into<Telemetry>) -> Self {
+        self.telemetry = telemetry.into();
+        self
+    }
+
+    /// Restore from the durability directory instead of starting fresh
+    /// (requires [`Runner::durable`]); replays the journal tail with
+    /// divergence verification, then continues live.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Drives the configured run to completion.
+    pub fn run(self) -> Result<RunOutcome, RunError> {
+        let mode = self.mode.ok_or_else(|| {
+            RunError::InvalidConfig("Runner needs a mode: call .target(..) or .continuous(..)".into())
+        })?;
+        if self.durability.is_none() {
+            if self.resume {
+                return Err(RunError::InvalidConfig(".resume() requires .durable(..)".into()));
+            }
+            if self.chaos.is_armed() {
+                return Err(RunError::InvalidConfig("chaos injection requires .durable(..)".into()));
+            }
+        }
+        match mode {
+            Mode::Target { target, max_rounds, probe_every } => {
+                self.run_target(target, max_rounds, probe_every)
+            }
+            Mode::Continuous { slots } => self.run_continuous(slots),
+        }
+    }
+
+    fn run_target(self, target: f32, max_rounds: usize, probe_every: usize) -> Result<RunOutcome, RunError> {
+        validate_target(self.world, &self.cfg, target, probe_every)?;
+        let Runner { world, strategy, cfg, durability, chaos, resume, telemetry, .. } = self;
+        if let Some(d) = &durability {
+            d.validate()?;
+        }
+        let opts = durability.map(|d| DurableOptions { durability: d, chaos });
+
+        strategy.set_telemetry(telemetry.clone());
+        let pool0 = nebula_nn::workspace::pool_stats();
+        let mut run_span = open_run(&telemetry, strategy, MODE_TARGET, &cfg, |e| {
+            e.num.insert("target".into(), target as f64);
+            e.ints.insert("max_rounds".into(), max_rounds as u64);
+            e.ints.insert("probe_every".into(), probe_every as u64);
+        });
+        run_span.num("target", target as f64);
+
+        let (eval_ids, mut acc, mut eng) = if resume {
+            let opts = opts.expect("run() rejects resume without durability");
+            let run_id = derive_run_id(cfg.seed, MODE_TARGET);
+            let (parts, mut acc) =
+                restore(strategy, world, &cfg, run_id, MODE_TARGET, &opts, |_world, _state| Ok(()))?;
+            let (store, journal, eval_ids, tail) = parts;
+            note_eval_cohort(&telemetry, &eval_ids, acc.rounds);
+            let eng = Engine {
+                store,
+                journal,
+                opts,
+                run_id,
+                mode: MODE_TARGET,
+                eval_ids: eval_ids.clone(),
+                telemetry: telemetry.clone(),
+            };
+            // Deterministically re-execute the journal tail, verifying
+            // each round against its record.
+            let replay_to = tail.keys().next_back().copied().unwrap_or(0);
+            while acc.acc < target && (acc.rounds as usize) < max_rounds && acc.rounds < replay_to {
+                let rec = target_round(strategy, world, &eval_ids, &mut acc, max_rounds, probe_every);
+                if let Some(journaled) = tail.get(&rec.index) {
+                    verify_replay(journaled, &rec)?;
+                }
+            }
+            (eval_ids, acc, Some(eng))
+        } else {
+            // Open the store before any simulation work so I/O problems
+            // surface ahead of the (expensive) offline stage — same order
+            // the legacy durable driver used.
+            let store = match &opts {
+                Some(o) => Some(SnapshotStore::open(&o.durability.dir)?),
+                None => None,
+            };
+            let mut rng = NebulaRng::seed(cfg.seed ^ 0x7A6);
+            let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+            note_eval_cohort(&telemetry, &eval_ids, 0);
+            strategy.track(&eval_ids);
+            {
+                let _offline = telemetry.span("offline");
+                strategy.offline(world, &mut rng);
+            }
+            let first_probe = mean_accuracy(strategy, world, &eval_ids);
+            let acc = Accum::fresh(rng, first_probe);
+            let eng = match (store, opts) {
+                (Some(store), Some(opts)) => {
+                    let run_id = derive_run_id(cfg.seed, MODE_TARGET);
+                    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
+                    let eng = Engine {
+                        store,
+                        journal,
+                        opts,
+                        run_id,
+                        mode: MODE_TARGET,
+                        eval_ids: eval_ids.clone(),
+                        telemetry: telemetry.clone(),
+                    };
+                    // Guaranteed recovery point (and early
+                    // UnsupportedStrategy signal).
+                    eng.save_snapshot(&*strategy, world, &acc)?;
+                    Some(eng)
+                }
+                _ => None,
+            };
+            (eval_ids, acc, eng)
+        };
+
+        while acc.acc < target && (acc.rounds as usize) < max_rounds {
+            let rec = target_round(strategy, world, &eval_ids, &mut acc, max_rounds, probe_every);
+            if let Some(eng) = &mut eng {
+                eng.finish_round(&rec, &*strategy, world, &acc)?;
+            }
+        }
+        let reached = acc.acc >= target;
+        Ok(finalize(strategy, &telemetry, run_span, MODE_TARGET, reached, eval_ids, acc, pool0))
+    }
+
+    fn run_continuous(self, slots: usize) -> Result<RunOutcome, RunError> {
+        validate_common(self.world, &self.cfg)?;
+        let Runner { world, strategy, cfg, durability, chaos, resume, telemetry, .. } = self;
+        if let Some(d) = &durability {
+            d.validate()?;
+        }
+        let opts = durability.map(|d| DurableOptions { durability: d, chaos });
+
+        strategy.set_telemetry(telemetry.clone());
+        let pool0 = nebula_nn::workspace::pool_stats();
+        let mut run_span = open_run(&telemetry, strategy, MODE_CONTINUOUS, &cfg, |e| {
+            e.ints.insert("slots".into(), slots as u64);
+        });
+        run_span.int("slots", slots as u64);
+
+        let (eval_ids, mut acc, mut eng) = if resume {
+            let opts = opts.expect("run() rejects resume without durability");
+            let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
+            let (parts, mut acc) =
+                restore(strategy, world, &cfg, run_id, MODE_CONTINUOUS, &opts, |world, state| {
+                    // Drift the fresh world forward to the snapshot's
+                    // slot. Only per-device RNGs advance here; the world
+                    // RNG is restored after.
+                    for _ in 0..state.slot {
+                        world.advance_slot();
+                    }
+                    Ok(())
+                })?;
+            let (store, journal, eval_ids, tail) = parts;
+            note_eval_cohort(&telemetry, &eval_ids, acc.rounds);
+            let eng = Engine {
+                store,
+                journal,
+                opts,
+                run_id,
+                mode: MODE_CONTINUOUS,
+                eval_ids: eval_ids.clone(),
+                telemetry: telemetry.clone(),
+            };
+            let replay_to = tail.keys().next_back().copied().unwrap_or(0);
+            while (acc.rounds as usize) < slots && acc.rounds < replay_to {
+                let rec = continuous_slot(strategy, world, &eval_ids, &mut acc);
+                if let Some(journaled) = tail.get(&rec.index) {
+                    verify_replay(journaled, &rec)?;
+                }
+            }
+            (eval_ids, acc, Some(eng))
+        } else {
+            let store = match &opts {
+                Some(o) => Some(SnapshotStore::open(&o.durability.dir)?),
+                None => None,
+            };
+            let mut rng = NebulaRng::seed(cfg.seed ^ 0xC0);
+            let eval_ids = pick_eval_ids(world, cfg.eval_devices);
+            note_eval_cohort(&telemetry, &eval_ids, 0);
+            strategy.track(&eval_ids);
+            {
+                let _offline = telemetry.span("offline");
+                strategy.offline(world, &mut rng);
+            }
+            let first_probe = mean_accuracy(strategy, world, &eval_ids);
+            let acc = Accum::fresh(rng, first_probe);
+            let eng = match (store, opts) {
+                (Some(store), Some(opts)) => {
+                    let run_id = derive_run_id(cfg.seed, MODE_CONTINUOUS);
+                    let journal = JournalWriter::create(&opts.durability.journal_path(), run_id)?;
+                    let eng = Engine {
+                        store,
+                        journal,
+                        opts,
+                        run_id,
+                        mode: MODE_CONTINUOUS,
+                        eval_ids: eval_ids.clone(),
+                        telemetry: telemetry.clone(),
+                    };
+                    eng.save_snapshot(&*strategy, world, &acc)?;
+                    Some(eng)
+                }
+                _ => None,
+            };
+            (eval_ids, acc, eng)
+        };
+
+        while (acc.rounds as usize) < slots {
+            let rec = continuous_slot(strategy, world, &eval_ids, &mut acc);
+            if let Some(eng) = &mut eng {
+                eng.finish_round(&rec, &*strategy, world, &acc)?;
+            }
+        }
+        Ok(finalize(strategy, &telemetry, run_span, MODE_CONTINUOUS, true, eval_ids, acc, pool0))
+    }
+}
+
+/// Opens the run-level span and emits the `kind = "run"` header event.
+fn open_run(
+    telemetry: &Telemetry,
+    strategy: &dyn AdaptStrategy,
+    mode: &'static str,
+    cfg: &ExperimentConfig,
+    extra: impl FnOnce(&mut nebula_telemetry::Event),
+) -> Span {
+    let mut span = telemetry.span("run");
+    span.int("seed", cfg.seed);
+    telemetry.emit("run", |e| {
+        e.text.insert("strategy".into(), strategy.name().to_string());
+        e.text.insert("mode".into(), mode.to_string());
+        e.ints.insert("seed".into(), cfg.seed);
+        e.ints.insert("eval_devices".into(), cfg.eval_devices as u64);
+        extra(e);
+    });
+    span
+}
+
+/// Records the sampled evaluation cohort (once per run/resume).
+fn note_eval_cohort(telemetry: &Telemetry, eval_ids: &[usize], resumed_rounds: u64) {
+    telemetry.emit("eval_cohort", |e| {
+        e.ints.insert("count".into(), eval_ids.len() as u64);
+        e.ints.insert("resumed_rounds".into(), resumed_rounds);
+        let ids: Vec<String> = eval_ids.iter().map(ToString::to_string).collect();
+        e.text.insert("ids".into(), ids.join(","));
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    strategy: &dyn AdaptStrategy,
+    telemetry: &Telemetry,
+    mut run_span: Span,
+    mode: &'static str,
+    reached: bool,
+    eval_ids: Vec<usize>,
+    acc: Accum,
+    pool0: (u64, u64),
+) -> RunOutcome {
+    let mean_adapt_time_ms = if mode == MODE_CONTINUOUS {
+        acc.time_sum / acc.acc_per_slot.len().max(1) as f64
+    } else {
+        acc.time_sum / acc.rounds.max(1) as f64
+    };
+    if telemetry.enabled() {
+        let (hits, misses) = nebula_nn::workspace::pool_stats();
+        telemetry.counter_add("nn.pool_hits", hits.saturating_sub(pool0.0));
+        telemetry.counter_add("nn.pool_misses", misses.saturating_sub(pool0.1));
+        telemetry.gauge_set("run.final_accuracy", acc.acc as f64);
+        run_span.int("rounds", acc.rounds);
+        run_span.num("final_accuracy", acc.acc as f64);
+    }
+    drop(run_span);
+    telemetry.finish();
+    RunOutcome {
+        strategy: strategy.name().to_string(),
+        mode: mode.to_string(),
+        reached,
+        rounds: acc.rounds,
+        final_accuracy: acc.acc,
+        accuracy_per_slot: acc.acc_per_slot,
+        mean_adapt_time_ms,
+        eval_ids,
+        stats: RoundStats { comm: acc.comm, adapt_time_ms: acc.time_sum, faults: acc.faults },
+    }
+}

@@ -26,35 +26,31 @@ use nebula_baselines::{
     fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::{
-    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, SanitizePolicy,
-    WireConfig, WireContext,
+    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, RoundStats,
+    SanitizePolicy, WireConfig, WireContext,
 };
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
 use nebula_nn::Layer;
+use nebula_telemetry::Telemetry;
 use nebula_tensor::NebulaRng;
 use nebula_wire::{CodecKind, DensePool};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// What one adaptation step cost.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct StepReport {
-    /// Communication during the step.
-    pub comm: CommTracker,
-    /// Mean wall-clock of the on-device part per tracked device, ms.
-    pub adapt_time_ms: f64,
-    /// Robustness accounting summed over the step's rounds.
-    pub faults: RoundReport,
-}
+/// What one adaptation step cost. The fields formerly defined here were
+/// merged with the per-round counters into [`RoundStats`] in
+/// `nebula-core::stats`; this alias keeps old call sites compiling.
+#[deprecated(note = "use RoundStats (defined in nebula-core, re-exported from nebula-sim)")]
+pub type StepReport = RoundStats;
 
 /// What one collaborative round produced under the fault plan.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoundOutcome {
-    /// The round's communication (including retry re-sends).
-    pub comm: CommTracker,
-    /// Who participated, dropped, got rejected, retried.
-    pub report: RoundReport,
+    /// The round's communication and robustness accounting.
+    /// `stats.adapt_time_ms` stays 0 here: per-participant latency is a
+    /// step-level estimate, not a per-round quantity.
+    pub stats: RoundStats,
     /// Predicted synchronous round wall-clock, ms (capped at the deadline
     /// when one is set).
     pub round_time_ms: f64,
@@ -228,6 +224,50 @@ fn floats_of(bits: &[u32]) -> Vec<f32> {
     bits.iter().map(|&b| f32::from_bits(b)).collect()
 }
 
+/// Round-level telemetry shared by the collaborative strategies: fault
+/// counters plus one `kind = "round"` event. One branch on a disarmed
+/// handle.
+fn note_round(t: &Telemetry, round: u64, comm: &CommTracker, report: &RoundReport, round_time_ms: f64) {
+    if !t.enabled() {
+        return;
+    }
+    t.counter_add("rounds", 1);
+    t.counter_add("faults.dropped", report.dropped);
+    t.counter_add("faults.crashed", report.crashed);
+    t.counter_add("faults.deadline_dropped", report.deadline_dropped);
+    t.counter_add("faults.link_dropped", report.link_dropped);
+    t.counter_add("faults.rejected", report.rejected);
+    t.counter_add("faults.retried", report.retried);
+    t.counter_add("faults.stale", report.stale);
+    t.counter_add("faults.rolled_back", report.rolled_back);
+    t.counter_add("faults.corrupt_frames", report.corrupt_frames);
+    t.observe("round.time_ms", round_time_ms);
+    t.emit("round", |e| {
+        e.ints.insert("index".into(), round);
+        e.ints.insert("sampled".into(), report.sampled);
+        e.ints.insert("participated".into(), report.participated);
+        e.ints.insert("lost".into(), report.lost());
+        e.ints.insert("rejected".into(), report.rejected);
+        e.ints.insert("down_bytes".into(), comm.down_bytes);
+        e.ints.insert("up_bytes".into(), comm.up_bytes);
+        e.ints.insert("retry_bytes".into(), comm.retry_bytes);
+        e.num.insert("round_time_ms".into(), round_time_ms);
+    });
+}
+
+/// Per-device fate telemetry (`kind = "client"`). `time_ms` is the
+/// simulated participant wall-clock when one was derived before the
+/// device's fate resolved.
+fn note_client(t: &Telemetry, device: usize, outcome: &'static str, time_ms: Option<f64>) {
+    t.emit("client", |e| {
+        e.ints.insert("device".into(), device as u64);
+        e.text.insert("outcome".into(), outcome.into());
+        if let Some(ms) = time_ms {
+            e.num.insert("time_ms".into(), ms);
+        }
+    });
+}
+
 /// One adaptation system under test.
 pub trait AdaptStrategy {
     /// Display name (matches the paper's table headers).
@@ -240,9 +280,15 @@ pub trait AdaptStrategy {
     /// persistent state for exactly these.
     fn track(&mut self, ids: &[usize]);
 
+    /// Attaches a telemetry handle for the run (spans, metrics, event
+    /// traces). Instrumentation must never feed back into the simulation:
+    /// a disarmed handle and an armed one see identical RNG streams and
+    /// identical results. Strategies without seams ignore it.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
     /// One adaptation step (collaborative rounds and/or tracked-device
     /// local updates against the devices' *current* data).
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport;
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats;
 
     /// Personalized accuracy of tracked device `id` on its local test set.
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32;
@@ -332,8 +378,8 @@ impl AdaptStrategy for NoAdaptStrategy {
 
     fn track(&mut self, _ids: &[usize]) {}
 
-    fn adaptation_step(&mut self, _world: &mut SimWorld, _rng: &mut NebulaRng) -> StepReport {
-        StepReport::default()
+    fn adaptation_step(&mut self, _world: &mut SimWorld, _rng: &mut NebulaRng) -> RoundStats {
+        RoundStats::default()
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -398,7 +444,7 @@ impl AdaptStrategy for LocalAdaptStrategy {
         self.tracked = ids.to_vec();
     }
 
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {
         let mut time_ms = 0.0;
         for &id in &self.tracked.clone() {
             let model = self.device_models.entry(id).or_insert_with(|| self.base.deep_clone());
@@ -420,7 +466,7 @@ impl AdaptStrategy for LocalAdaptStrategy {
                 self.cfg.batch_size,
             );
         }
-        StepReport {
+        RoundStats {
             comm: CommTracker::new(),
             adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
             faults: RoundReport::default(),
@@ -495,7 +541,7 @@ impl AdaptStrategy for AdaptiveNetStrategy {
         self.tracked = ids.to_vec();
     }
 
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {
         let mut time_ms = 0.0;
         let mut comm = CommTracker::new();
         for &id in &self.tracked.clone() {
@@ -524,7 +570,7 @@ impl AdaptStrategy for AdaptiveNetStrategy {
                 self.cfg.batch_size,
             );
         }
-        StepReport {
+        RoundStats {
             comm,
             adapt_time_ms: time_ms / self.tracked.len().max(1) as f64,
             faults: RoundReport::default(),
@@ -554,13 +600,14 @@ pub struct FedAvgStrategy {
     server: DenseModel,
     /// Per-device wire channels; all model traffic moves as real frames.
     pool: DensePool,
+    telemetry: Telemetry,
 }
 
 impl FedAvgStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
         let pool = cfg.dense_pool();
-        Self { cfg, server, pool }
+        Self { cfg, server, pool, telemetry: Telemetry::off() }
     }
 
     /// One communication round (used by the rounds-to-target driver),
@@ -570,8 +617,11 @@ impl FedAvgStrategy {
     /// averaged weights themselves ([`poison_dense_mean`]) — the contrast
     /// the fault sweep measures against Nebula's sanitize gate.
     pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
+        let telemetry = self.telemetry.clone();
+        let mut round_span = telemetry.span("round");
         let ids = world.sample_participants(self.cfg.devices_per_round);
         let round = world.next_round_index();
+        round_span.int("index", round);
         let plan = world.faults;
         let policy = world.policy;
         let mut comm = CommTracker::new();
@@ -691,13 +741,19 @@ impl FedAvgStrategy {
             }
         }
         comm.end_round();
-        RoundOutcome { comm, report, round_time_ms }
+        note_round(&telemetry, round, &comm, &report, round_time_ms);
+        round_span.num("time_ms", round_time_ms);
+        RoundOutcome { stats: RoundStats { comm, adapt_time_ms: 0.0, faults: report }, round_time_ms }
     }
 }
 
 impl AdaptStrategy for FedAvgStrategy {
     fn name(&self) -> &'static str {
         "FA"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
@@ -718,13 +774,10 @@ impl AdaptStrategy for FedAvgStrategy {
 
     fn track(&mut self, _ids: &[usize]) {}
 
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
-        let mut comm = CommTracker::new();
-        let mut faults = RoundReport::default();
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {
+        let mut stats = RoundStats::default();
         for _ in 0..self.cfg.rounds_per_step {
-            let out = self.single_round(world, rng);
-            comm.merge(&out.comm);
-            faults.merge(&out.report);
+            stats.merge(&self.single_round(world, rng).stats);
         }
         // Per-participant local-training + transfer latency, averaged over
         // an evenly-spaced device sample (a single device's hardware would
@@ -733,7 +786,7 @@ impl AdaptStrategy for FedAvgStrategy {
         let bytes = 2 * (self.server.param_count() * 4) as u64;
         let time_ms =
             mean_participant_latency_ms(world, flops, bytes, self.cfg.local_epochs, self.cfg.batch_size);
-        StepReport { comm, adapt_time_ms: time_ms, faults }
+        RoundStats { adapt_time_ms: time_ms, ..stats }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -769,13 +822,14 @@ pub struct HeteroFlStrategy {
     server: DenseModel,
     /// Per-device wire channels carrying each device's active slice.
     pool: DensePool,
+    telemetry: Telemetry,
 }
 
 impl HeteroFlStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
         let pool = cfg.dense_pool();
-        Self { cfg, server, pool }
+        Self { cfg, server, pool, telemetry: Telemetry::off() }
     }
 
     fn ratio_for(&self, dev: &SimDevice) -> f32 {
@@ -789,8 +843,11 @@ impl HeteroFlStrategy {
     /// Like FedAvg, HeteroFL has no per-update gate: corrupted clients
     /// poison the width-wise averaged weights ([`poison_dense_mean`]).
     pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
+        let telemetry = self.telemetry.clone();
+        let mut round_span = telemetry.span("round");
         let ids = world.sample_participants(self.cfg.devices_per_round);
         let round = world.next_round_index();
+        round_span.int("index", round);
         let plan = world.faults;
         let policy = world.policy;
         let mut comm = CommTracker::new();
@@ -918,13 +975,19 @@ impl HeteroFlStrategy {
             }
         }
         comm.end_round();
-        RoundOutcome { comm, report, round_time_ms }
+        note_round(&telemetry, round, &comm, &report, round_time_ms);
+        round_span.num("time_ms", round_time_ms);
+        RoundOutcome { stats: RoundStats { comm, adapt_time_ms: 0.0, faults: report }, round_time_ms }
     }
 }
 
 impl AdaptStrategy for HeteroFlStrategy {
     fn name(&self) -> &'static str {
         "HFL"
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
@@ -945,13 +1008,10 @@ impl AdaptStrategy for HeteroFlStrategy {
 
     fn track(&mut self, _ids: &[usize]) {}
 
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
-        let mut comm = CommTracker::new();
-        let mut faults = RoundReport::default();
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {
+        let mut stats = RoundStats::default();
         for _ in 0..self.cfg.rounds_per_step {
-            let out = self.single_round(world, rng);
-            comm.merge(&out.comm);
-            faults.merge(&out.report);
+            stats.merge(&self.single_round(world, rng).stats);
         }
         // Mean over a device sample, each at its own width level.
         let mut time_ms = 0.0;
@@ -974,7 +1034,7 @@ impl AdaptStrategy for HeteroFlStrategy {
             );
         }
         time_ms /= ids.len().max(1) as f64;
-        StepReport { comm, adapt_time_ms: time_ms, faults }
+        RoundStats { adapt_time_ms: time_ms, ..stats }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {
@@ -1036,6 +1096,7 @@ pub struct NebulaStrategy {
     wire: WireContext,
     /// Reusable frame buffer for all encode/decode round trips.
     frame_buf: Vec<u8>,
+    telemetry: Telemetry,
 }
 
 impl NebulaStrategy {
@@ -1062,6 +1123,7 @@ impl NebulaStrategy {
             rollback: None,
             wire,
             frame_buf: Vec::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -1103,12 +1165,22 @@ impl NebulaStrategy {
     pub fn single_round(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundOutcome {
         use rayon::prelude::*;
 
+        let telemetry = self.telemetry.clone();
+        let mut round_span = telemetry.span("round");
         let ids = world.sample_participants(self.cfg.devices_per_round);
         let round = world.next_round_index();
+        round_span.int("index", round);
         let plan = world.faults;
         let policy = world.policy;
         let mut comm = CommTracker::new();
         let mut report = RoundReport { sampled: ids.len() as u64, ..Default::default() };
+        // Per-layer module-activation counts of this round's accepted
+        // updates (telemetry only; empty when disarmed).
+        let mut round_loads: Vec<Vec<u64>> = if telemetry.enabled() {
+            vec![vec![0u64; self.cfg.modular.modules_per_layer]; self.cfg.modular.num_layers]
+        } else {
+            Vec::new()
+        };
 
         // Baselines for this round's wire traffic (no-op for non-delta
         // codecs).
@@ -1122,9 +1194,12 @@ impl NebulaStrategy {
         let mut jobs = Vec::with_capacity(ids.len());
         let mut meta: Vec<(usize, DeviceFate, f64)> = Vec::with_capacity(ids.len());
         for &id in &ids {
+            let mut client_span = telemetry.span("client");
+            client_span.int("device", id as u64);
             let fate = plan.fate(round, id);
             if fate.dropped {
                 report.dropped += 1;
+                note_client(&telemetry, id, "dropped", None);
                 continue;
             }
             let (profile, local);
@@ -1144,8 +1219,10 @@ impl NebulaStrategy {
                 }
                 report.retried += policy.max_retries as u64;
                 report.link_dropped += 1;
+                note_client(&telemetry, id, "link_dropped", None);
                 continue;
             }
+            let wire_span = telemetry.span("wire_tx");
             let wire_bytes = self.wire.encode_payload(id as u64, &payload, &mut self.frame_buf) as u64;
             comm.record_download(wire_bytes);
             let payload = match self.wire.decode_payload(id as u64, &self.frame_buf) {
@@ -1153,9 +1230,11 @@ impl NebulaStrategy {
                 Err(_) => {
                     // Defensive: a pristine in-process frame always decodes.
                     report.link_dropped += 1;
+                    note_client(&telemetry, id, "link_dropped", None);
                     continue;
                 }
             };
+            drop(wire_span);
             let extra = fate.upload_attempts.saturating_sub(1);
             let mut backoff = 0.0;
             for attempt in 0..extra {
@@ -1183,6 +1262,8 @@ impl NebulaStrategy {
         }
 
         let cfg = &self.cfg;
+        let mut train_span = telemetry.span("local_train");
+        train_span.int("clients", jobs.len() as u64);
         let updates: Vec<EdgeUpdate> = jobs
             .into_par_iter()
             .map(|(payload, local, mut drng)| {
@@ -1196,6 +1277,7 @@ impl NebulaStrategy {
                 })
             })
             .collect();
+        drop(train_span);
 
         // Round deadline from the latency model; stragglers past it drop.
         let times: Vec<f64> = meta.iter().map(|m| m.2).collect();
@@ -1207,12 +1289,14 @@ impl NebulaStrategy {
                 if time_ms > d {
                     report.deadline_dropped += 1;
                     round_time_ms = round_time_ms.max(d);
+                    note_client(&telemetry, id, "deadline_dropped", Some(time_ms));
                     continue;
                 }
             }
             if fate.crashed {
                 // Trained, but died before the upload landed.
                 report.crashed += 1;
+                note_client(&telemetry, id, "crashed", Some(time_ms));
                 continue;
             }
             round_time_ms = round_time_ms.max(time_ms);
@@ -1224,6 +1308,7 @@ impl NebulaStrategy {
             }
             // The upload is a real frame; the cloud aggregates what it
             // decodes, never the sender's structs.
+            let upload_span = telemetry.span("wire_tx");
             let enc = self.wire.encode_update(id as u64, &update, &mut self.frame_buf) as u64;
             let decoded = if fate.frame_corrupt {
                 // Transit corruption flips bytes on the wire. The CRC
@@ -1265,15 +1350,41 @@ impl NebulaStrategy {
                     }
                 }
             };
+            drop(upload_span);
             let Some(mut update) = decoded else {
                 report.link_dropped += 1;
+                note_client(&telemetry, id, "link_dropped", Some(time_ms));
                 continue;
             };
+            // Gate-probability and module-load telemetry of what the cloud
+            // actually decoded: which modules each accepted client
+            // activated, and how spread its per-layer gate distribution is.
+            if telemetry.enabled() {
+                for (layer, modules) in update.spec.layers().iter().enumerate() {
+                    for &m in modules {
+                        telemetry.load_add(&format!("gate_load.layer{layer}"), m, 1);
+                        if let Some(counts) = round_loads.get_mut(layer) {
+                            if let Some(c) = counts.get_mut(m) {
+                                *c += 1;
+                            }
+                        }
+                    }
+                    if let Some(row) = update.importance.get(layer) {
+                        telemetry.observe(
+                            &format!("gate_entropy.layer{layer}"),
+                            nebula_modular::normalized_entropy(row),
+                        );
+                    }
+                }
+            }
             if fate.straggler {
                 // Late but within the deadline: accepted at a discount
                 // (server-side, after decode).
                 discount_staleness(&mut update, policy.staleness_discount);
                 report.stale += 1;
+                note_client(&telemetry, id, "stale", Some(time_ms));
+            } else {
+                note_client(&telemetry, id, "accepted", Some(time_ms));
             }
             accepted.push(update);
         }
@@ -1281,6 +1392,8 @@ impl NebulaStrategy {
 
         // Aggregate behind the sanitize gate, optionally under the
         // checkpoint-rollback guard.
+        let mut agg_span = telemetry.span("aggregate");
+        agg_span.int("accepted", accepted.len() as u64);
         let outcome = match &self.rollback {
             Some((probe, max_drop)) => {
                 let out = self.cloud.aggregate_guarded(
@@ -1297,8 +1410,20 @@ impl NebulaStrategy {
             None => self.cloud.aggregate_robust(&accepted, &self.sanitize),
         };
         report.rejected += outcome.sanitize.rejected() as u64;
+        drop(agg_span);
         comm.end_round();
-        RoundOutcome { comm, report, round_time_ms }
+        for (layer, counts) in round_loads.iter().enumerate() {
+            telemetry.emit("gate_load", |e| {
+                e.ints.insert("round".into(), round);
+                e.ints.insert("layer".into(), layer as u64);
+                for (m, &c) in counts.iter().enumerate() {
+                    e.ints.insert(format!("b{m:03}"), c);
+                }
+            });
+        }
+        note_round(&telemetry, round, &comm, &report, round_time_ms);
+        round_span.num("time_ms", round_time_ms);
+        RoundOutcome { stats: RoundStats { comm, adapt_time_ms: 0.0, faults: report }, round_time_ms }
     }
 
     /// Refreshes (or creates) the tracked device's client from the cloud:
@@ -1346,16 +1471,20 @@ impl AdaptStrategy for NebulaStrategy {
         self.tracked = ids.to_vec();
     }
 
-    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> StepReport {
-        let mut comm = CommTracker::new();
-        let mut faults = RoundReport::default();
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        // The wire context shares the handle so frame/CRC telemetry lands
+        // in the same trace as the round spans.
+        self.wire.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {
+        let mut stats = RoundStats::default();
 
         // Edge-cloud collaborative rounds (skipped by the w/o-cloud variant).
         if self.variant != NebulaVariant::NoCloud {
             for _ in 0..self.cfg.rounds_per_step {
-                let out = self.single_round(world, rng);
-                comm.merge(&out.comm);
-                faults.merge(&out.report);
+                stats.merge(&self.single_round(world, rng).stats);
             }
         }
 
@@ -1363,6 +1492,7 @@ impl AdaptStrategy for NebulaStrategy {
         // locally, per variant. Refresh downloads are wire frames cut from
         // the post-aggregation model, so commit fresh baselines first.
         self.wire.commit_model(self.cloud.model());
+        let mut comm = stats.comm;
         let mut time_ms = 0.0;
         for &id in &self.tracked.clone() {
             let refresh = match self.variant {
@@ -1398,7 +1528,7 @@ impl AdaptStrategy for NebulaStrategy {
             }
         }
 
-        StepReport { comm, adapt_time_ms: time_ms / self.tracked.len().max(1) as f64, faults }
+        RoundStats { comm, adapt_time_ms: time_ms / self.tracked.len().max(1) as f64, faults: stats.faults }
     }
 
     fn device_accuracy(&mut self, world: &mut SimWorld, id: usize) -> f32 {

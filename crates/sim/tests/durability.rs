@@ -1,5 +1,11 @@
 //! Kill/restart durability: a run killed at any point — including with
 //! corrupted durability files — resumes to a bit-identical trajectory.
+//!
+//! Deliberately drives the deprecated free-function wrappers
+//! (`run_until_target_durable` & co.), which now delegate to
+//! `nebula_sim::Runner`: this file doubles as regression coverage that
+//! the delegation preserves the durability protocol end to end.
+#![allow(deprecated)]
 
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -63,9 +63,9 @@ fn none_plan_is_bit_identical_to_untouched_world() {
         let mut comms = Vec::new();
         for _ in 0..3 {
             let out = s.single_round(&mut world, &mut rng);
-            assert_eq!(out.report.lost(), 0);
-            assert_eq!(out.report.rejected, 0);
-            comms.push(out.comm);
+            assert_eq!(out.stats.faults.lost(), 0);
+            assert_eq!(out.stats.faults.rejected, 0);
+            comms.push(out.stats.comm);
         }
         (s.cloud().model().param_vector(), comms)
     };
@@ -89,8 +89,8 @@ fn nebula_survives_dropout_and_corruption() {
     let mut total = RoundReport::default();
     for _ in 0..6 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_conserved(&out.report);
-        total.merge(&out.report);
+        assert_conserved(&out.stats.faults);
+        total.merge(&out.stats.faults);
     }
     assert!(total.dropped > 0, "30% dropout never fired: {total:?}");
     assert!(total.rejected > 0, "corrupted updates never rejected: {total:?}");
@@ -110,7 +110,7 @@ fn fedavg_has_no_gate_and_gets_poisoned() {
     let mut s = FedAvgStrategy::new(toy_cfg(8), 1);
     let mut rng = NebulaRng::seed(3);
     let out = s.single_round(&mut world, &mut rng);
-    assert!(out.report.participated > 0);
+    assert!(out.stats.faults.participated > 0);
     // The poisoned server is what every device now evaluates.
     let acc = s.device_accuracy(&mut world, 0);
     assert!(acc.is_nan() || acc <= 0.5, "poisoned FedAvg still accurate: {acc}");
@@ -133,12 +133,12 @@ fn deadline_drops_stragglers() {
     let mut capped_rounds = 0;
     for _ in 0..4 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_conserved(&out.report);
-        if out.report.deadline_dropped > 0 {
+        assert_conserved(&out.stats.faults);
+        if out.stats.faults.deadline_dropped > 0 {
             capped_rounds += 1;
         }
         assert!(out.round_time_ms.is_finite());
-        total.merge(&out.report);
+        total.merge(&out.stats.faults);
     }
     assert!(total.deadline_dropped > 0, "no straggler ever hit the deadline: {total:?}");
     assert!(capped_rounds > 0);
@@ -158,9 +158,9 @@ fn frame_corruption_is_crc_detected_and_retried() {
     let mut comm = nebula_sim::CommTracker::new();
     for _ in 0..4 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_conserved(&out.report);
-        total.merge(&out.report);
-        comm.merge(&out.comm);
+        assert_conserved(&out.stats.faults);
+        total.merge(&out.stats.faults);
+        comm.merge(&out.stats.comm);
     }
     assert!(total.corrupt_frames > 0, "50% frame corruption never fired: {total:?}");
     // Default policy has retries: every corrupted frame is re-sent, so no
@@ -188,10 +188,10 @@ fn frame_corruption_without_retries_drops_devices() {
     let mut rng = NebulaRng::seed(3);
     let before = s.cloud().model().param_vector();
     let out = s.single_round(&mut world, &mut rng);
-    assert_conserved(&out.report);
-    assert_eq!(out.report.participated, 0, "{:?}", out.report);
-    assert_eq!(out.report.link_dropped, out.report.corrupt_frames, "{:?}", out.report);
-    assert!(out.report.corrupt_frames > 0);
+    assert_conserved(&out.stats.faults);
+    assert_eq!(out.stats.faults.participated, 0, "{:?}", out.stats.faults);
+    assert_eq!(out.stats.faults.link_dropped, out.stats.faults.corrupt_frames, "{:?}", out.stats.faults);
+    assert!(out.stats.faults.corrupt_frames > 0);
     // Nothing aggregated → the cloud model is untouched.
     let after = s.cloud().model().param_vector();
     assert_eq!(before.len(), after.len());
@@ -211,8 +211,8 @@ fn baseline_frame_corruption_accounts_retries() {
     let mut total = RoundReport::default();
     for _ in 0..3 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_conserved(&out.report);
-        total.merge(&out.report);
+        assert_conserved(&out.stats.faults);
+        total.merge(&out.stats.faults);
     }
     assert!(total.corrupt_frames > 0, "{total:?}");
     assert_eq!(total.link_dropped, 0, "retry budget should save every device: {total:?}");
@@ -236,9 +236,9 @@ fn flaky_links_account_retries() {
     let mut total = RoundReport::default();
     for _ in 0..4 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_conserved(&out.report);
-        comm.merge(&out.comm);
-        total.merge(&out.report);
+        assert_conserved(&out.stats.faults);
+        comm.merge(&out.stats.comm);
+        total.merge(&out.stats.faults);
     }
     assert!(comm.retries > 0, "no retries recorded: {comm:?}");
     assert!(comm.retry_bytes > 0);

@@ -43,7 +43,7 @@ fn run_rounds() -> (Vec<f32>, f32) {
     let mut rng = NebulaRng::seed(3);
     for _ in 0..3 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_eq!(out.report.lost(), 0);
+        assert_eq!(out.stats.faults.lost(), 0);
     }
     let acc = (0..4).map(|d| s.device_accuracy(&mut world, d)).sum::<f32>() / 4.0;
     (s.cloud().model().param_vector(), acc)

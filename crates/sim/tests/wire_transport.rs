@@ -35,8 +35,8 @@ fn round_bytes(wire: WireConfig) -> u64 {
     let mut total = 0u64;
     for _ in 0..2 {
         let out = s.single_round(&mut world, &mut rng);
-        assert_eq!(out.report.lost(), 0);
-        total += out.comm.down_bytes + out.comm.up_bytes;
+        assert_eq!(out.stats.faults.lost(), 0);
+        total += out.stats.comm.down_bytes + out.stats.comm.up_bytes;
     }
     total
 }

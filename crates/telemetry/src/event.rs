@@ -1,0 +1,86 @@
+//! The one record type every sink consumes.
+//!
+//! Keeping a single, flat, serde-friendly shape means a JSONL trace is a
+//! homogeneous stream: every line parses back into an [`Event`], whatever
+//! seam emitted it. Field maps are `BTreeMap` so serialization order (and
+//! therefore the trace bytes) is deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One telemetry record: a span closing, a per-round summary, a wire
+/// transfer, a gate-load histogram, a metric flush…
+///
+/// `kind` names the record ("span", "round", "client", "wire", "gate_load",
+/// "metric", …); the three maps carry the kind-specific fields. Timestamps
+/// are monotonic nanoseconds since the collector was created — wall-clock
+/// only, never fed back into the simulation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic nanoseconds since collector start.
+    pub t_ns: u64,
+    /// Record kind (the event schema table in DESIGN.md §12).
+    pub kind: String,
+    /// Id of the innermost open span when the event fired (0 = none).
+    pub span: u64,
+    /// Float-valued fields.
+    pub num: BTreeMap<String, f64>,
+    /// Integer-valued fields.
+    pub ints: BTreeMap<String, u64>,
+    /// String-valued fields.
+    pub text: BTreeMap<String, String>,
+}
+
+impl Event {
+    /// A blank event of `kind` (timestamp and span filled by the handle).
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event { kind: kind.into(), ..Default::default() }
+    }
+
+    /// Sets a float field (builder style).
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.num.insert(key.to_string(), v);
+        self
+    }
+
+    /// Sets an integer field (builder style).
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.ints.insert(key.to_string(), v);
+        self
+    }
+
+    /// Sets a string field (builder style).
+    pub fn text(mut self, key: &str, v: impl Into<String>) -> Self {
+        self.text.insert(key.to_string(), v.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fills_maps() {
+        let e = Event::new("wire").int("bytes", 128).num("ms", 1.5).text("dir", "up");
+        assert_eq!(e.kind, "wire");
+        assert_eq!(e.ints["bytes"], 128);
+        assert_eq!(e.num["ms"], 1.5);
+        assert_eq!(e.text["dir"], "up");
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let e = Event::new("round").int("index", 3).num("acc", 0.75).text("strategy", "Nebula");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn empty_maps_round_trip() {
+        let e = Event::new("span");
+        let back: Event = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert!(back.num.is_empty() && back.ints.is_empty() && back.text.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # nebula-telemetry
+//!
+//! Deterministic instrumentation for the simulator: what a run *did*,
+//! observable as it unfolds rather than only as terminal numbers.
+//!
+//! * [`Event`] — the single flat record every sink consumes; a JSONL
+//!   trace is a homogeneous stream of these.
+//! * [`Telemetry`] — the cheap, cloneable handle instrumented seams hold:
+//!   hierarchical [`Telemetry::span`]s with monotonic timings,
+//!   fire-and-forget [`Telemetry::emit`] events, and a metrics registry
+//!   (counters / gauges / histograms / per-bucket load histograms).
+//! * [`Collector`] sinks — [`NullSink`] (zero-overhead default, disarms
+//!   the handle entirely), [`JsonlSink`] (append-only trace next to the
+//!   durability journal), [`MemorySink`] (tests).
+//!
+//! ## Determinism contract
+//!
+//! Telemetry observes; it never participates. No instrumented seam may
+//! consume simulation RNG, reorder work, or feed a measurement back into
+//! a decision. Wall-clock shows up *only* in event timestamps and span
+//! durations; every simulated quantity (latencies, bytes, accuracies) is
+//! recorded from values the simulation already computed. A run with
+//! telemetry attached is bit-identical to one without.
+
+pub mod event;
+pub mod handle;
+pub mod metrics;
+pub mod sink;
+
+pub use event::Event;
+pub use handle::{Span, Telemetry};
+pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use sink::{Collector, JsonlSink, MemorySink, NullSink};

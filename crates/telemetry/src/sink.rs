@@ -1,0 +1,156 @@
+//! Pluggable event sinks: null (default), JSONL file, in-memory.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Where telemetry events go.
+///
+/// Implementations must be cheap and infallible from the caller's point
+/// of view: instrumented seams never branch on sink errors, and a sink
+/// must never feed anything back into the simulation (determinism
+/// contract — see DESIGN.md §12).
+pub trait Collector: Send + Sync {
+    /// Whether this sink wants events at all. Returning `false` (the
+    /// [`NullSink`] contract) disarms the whole telemetry handle up
+    /// front, so instrumented code pays one `Option` check and nothing
+    /// else — no event construction, no timestamps, no locks.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output (called when a run closes).
+    fn flush(&self) {}
+}
+
+/// The zero-overhead default: reports inactive, receives nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Collector for NullSink {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// Append-only JSON-lines trace, one [`Event`] per line — written next to
+/// the durability journal so a run directory carries both its recovery
+/// state and its observability record.
+pub struct JsonlSink {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(JsonlSink { path, file: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Where the trace is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Collector for JsonlSink {
+    fn record(&self, event: &Event) {
+        // Event serialization cannot fail (plain maps of plain values);
+        // I/O errors drop the line rather than poisoning the run.
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut w = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let mut w = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Buffers every event in memory — the test sink. Keep an `Arc` to the
+/// sink, hand a clone of that `Arc` to [`crate::Telemetry::new`], and read
+/// [`MemorySink::events`] after the run.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Collector for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_inactive() {
+        assert!(!NullSink.active());
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        sink.record(&Event::new("a"));
+        sink.record(&Event::new("b"));
+        let kinds: Vec<String> = sink.events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["a", "b"]);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("nebula-telemetry-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::new("round").int("index", 1));
+        sink.record(&Event::new("round").int("index", 2));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> =
+            text.lines().map(|l| serde_json::from_str(l).expect("line parses")).collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].ints["index"], 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the trace wire format: randomly-built [`Event`]s
+//! must survive `serde_json` exactly, and a [`JsonlSink`] file must
+//! re-parse line-by-line into the events that fed it.
+//!
+//! The vendored proptest shim has no string strategies, so keys and text
+//! values are derived from integer strategies via `prop_map`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nebula_telemetry::{Collector, Event, JsonlSink};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const KINDS: [&str; 8] = ["span", "run", "eval_cohort", "round", "client", "wire", "gate_load", "metric"];
+
+/// Builds a fully-populated event from plain integers/floats. Floats are
+/// finite by construction (NaN would break the equality check, and the
+/// instrumentation never records non-finite values).
+fn build_event(kind: u64, t_ns: u64, span: u64, ints: Vec<u64>, nums: Vec<f64>, texts: Vec<u64>) -> Event {
+    let mut e = Event::new(KINDS[(kind % KINDS.len() as u64) as usize]);
+    e.t_ns = t_ns;
+    e.span = span;
+    for (i, v) in ints.into_iter().enumerate() {
+        e.ints.insert(format!("i{i:02}"), v);
+    }
+    for (i, v) in nums.into_iter().enumerate() {
+        e.num.insert(format!("n{i:02}"), v);
+    }
+    for (i, v) in texts.into_iter().enumerate() {
+        // Exercise escaping: quotes, backslashes and control chars.
+        e.text.insert(format!("t{i:02}"), format!("v-{v}-\"\\\n\t\u{1}"));
+    }
+    e
+}
+
+fn fresh_jsonl_path() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("nebula-telemetry-rt-{}-{n}.jsonl", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One event → JSON string → event is the identity, field for field.
+    #[test]
+    fn event_round_trips_through_serde_json(
+        kind in 0u64..8,
+        t_ns in 0u64..u64::MAX,
+        span in 0u64..u64::MAX,
+        ints in vec(0u64..u64::MAX, 0..6),
+        nums in vec(-1e12f64..1e12, 0..6),
+        texts in vec(0u64..u64::MAX, 0..6),
+    ) {
+        let e = build_event(kind, t_ns, span, ints, nums, texts);
+        let line = serde_json::to_string(&e).expect("serialize");
+        let back: Event = serde_json::from_str(&line).expect("parse");
+        prop_assert_eq!(back, e);
+    }
+
+    /// A batch of events through a JsonlSink file comes back verbatim:
+    /// one line per event, in record order, parse-equal to the input.
+    #[test]
+    fn jsonl_sink_lines_round_trip(
+        seeds in vec(0u64..u64::MAX, 1..12),
+    ) {
+        let events: Vec<Event> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                build_event(
+                    s,
+                    s.rotate_left(7),
+                    s.rotate_left(13),
+                    vec![s, s ^ 0xA5A5, i as u64],
+                    vec![(s % 1_000_003) as f64 * 0.125 - 62_500.0],
+                    vec![s.rotate_left(29)],
+                )
+            })
+            .collect();
+
+        let path = fresh_jsonl_path();
+        {
+            let sink = Arc::new(JsonlSink::create(&path).expect("create sink"));
+            for e in &events {
+                sink.record(e);
+            }
+            sink.flush();
+        }
+
+        let contents = std::fs::read_to_string(&path).expect("read trace");
+        let _ = std::fs::remove_file(&path);
+        let parsed: Vec<Event> = contents
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line parses"))
+            .collect();
+        prop_assert_eq!(parsed, events);
+    }
+}

@@ -10,9 +10,9 @@
 
 use nebula::data::drift::DriftKind;
 use nebula::data::{DriftModel, PartitionSpec, Partitioner, Synthesizer, TaskPreset};
-use nebula::sim::experiment::{run_continuous, ExperimentConfig};
+use nebula::sim::experiment::ExperimentConfig;
 use nebula::sim::strategy::{AdaptStrategy, StrategyConfig};
-use nebula::sim::{NebulaStrategy, NoAdaptStrategy, ResourceSampler, SimWorld};
+use nebula::sim::{NebulaStrategy, NoAdaptStrategy, ResourceSampler, Runner, SimWorld};
 
 const GROUP_SEED: u64 = 9;
 
@@ -41,7 +41,10 @@ fn main() {
         vec![Box::new(NoAdaptStrategy::new(cfg.clone(), 1)), Box::new(NebulaStrategy::new(cfg.clone(), 1))];
     for mut s in strategies {
         let mut w = world(5);
-        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 4, seed: 3 }, slots)
+        let out = Runner::new(&mut w, s.as_mut())
+            .config(ExperimentConfig { eval_devices: 4, seed: 3 })
+            .continuous(slots)
+            .run()
             .expect("valid config");
         lines.push((out.strategy.clone(), out.accuracy_per_slot));
     }

@@ -11,9 +11,9 @@
 use nebula::data::drift::DriftKind;
 use nebula::data::DriftModel;
 use nebula::data::{PartitionSpec, Partitioner, Synthesizer, TaskPreset};
-use nebula::sim::experiment::{run_continuous, ExperimentConfig};
+use nebula::sim::experiment::ExperimentConfig;
 use nebula::sim::strategy::{AdaptStrategy, StrategyConfig};
-use nebula::sim::{LocalAdaptStrategy, NebulaStrategy, NebulaVariant, ResourceSampler, SimWorld};
+use nebula::sim::{LocalAdaptStrategy, NebulaStrategy, NebulaVariant, ResourceSampler, Runner, SimWorld};
 
 fn world(seed: u64) -> SimWorld {
     let task = TaskPreset::SpeechCommands;
@@ -45,7 +45,10 @@ fn main() {
 
     for mut s in strategies {
         let mut w = world(5);
-        let out = run_continuous(s.as_mut(), &mut w, &ExperimentConfig { eval_devices: 3, seed: 3 }, slots)
+        let out = Runner::new(&mut w, s.as_mut())
+            .config(ExperimentConfig { eval_devices: 3, seed: 3 })
+            .continuous(slots)
+            .run()
             .expect("valid config");
         let mean = out.accuracy_per_slot.iter().sum::<f32>() / slots as f32;
         let cells: String = out.accuracy_per_slot.iter().map(|a| format!("{:>6.1}", a * 100.0)).collect();

@@ -15,7 +15,10 @@
 //! * [`opt`] — the constrained solvers behind Eq. 1 and Eq. 2.
 //! * [`core`] — offline training + online edge-cloud adaptation (§4.3, §5).
 //! * [`baselines`] — NoAdapt / LocalAdapt / AdaptiveNet / FedAvg / HeteroFL.
-//! * [`sim`] — devices, resources, network accounting, time-slot loop.
+//! * [`sim`] — devices, resources, network accounting, time-slot loop, and
+//!   the unified [`sim::Runner`] experiment driver.
+//! * [`telemetry`] — counters/gauges/histograms, hierarchical spans and
+//!   pluggable JSONL / in-memory / null trace sinks.
 //!
 //! See `examples/quickstart.rs` for the 60-second tour and `DESIGN.md` for
 //! the full system inventory.
@@ -51,4 +54,5 @@ pub use nebula_modular as modular;
 pub use nebula_nn as nn;
 pub use nebula_opt as opt;
 pub use nebula_sim as sim;
+pub use nebula_telemetry as telemetry;
 pub use nebula_tensor as tensor;

@@ -4,9 +4,9 @@
 use nebula::data::drift::DriftKind;
 use nebula::data::{DriftModel, PartitionSpec, Partitioner, SynthSpec, Synthesizer};
 use nebula::modular::ModularConfig;
-use nebula::sim::experiment::{run_continuous, ExperimentConfig};
+use nebula::sim::experiment::ExperimentConfig;
 use nebula::sim::strategy::{AdaptStrategy, StrategyConfig};
-use nebula::sim::{NebulaStrategy, NebulaVariant, NoAdaptStrategy, ResourceSampler, SimWorld};
+use nebula::sim::{NebulaStrategy, NebulaVariant, NoAdaptStrategy, ResourceSampler, Runner, SimWorld};
 
 fn drifting_world(seed: u64) -> SimWorld {
     let synth = Synthesizer::new(SynthSpec::toy(), 1);
@@ -28,7 +28,10 @@ fn toy_cfg() -> StrategyConfig {
 
 fn mean_acc(strategy: &mut dyn AdaptStrategy, slots: usize) -> f32 {
     let mut world = drifting_world(5);
-    let out = run_continuous(strategy, &mut world, &ExperimentConfig { eval_devices: 3, seed: 7 }, slots)
+    let out = Runner::new(&mut world, strategy)
+        .config(ExperimentConfig { eval_devices: 3, seed: 7 })
+        .continuous(slots)
+        .run()
         .expect("valid config");
     out.accuracy_per_slot.iter().sum::<f32>() / slots as f32
 }
