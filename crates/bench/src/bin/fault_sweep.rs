@@ -14,7 +14,8 @@
 use nebula_bench::{emit_record, print_row, Scale, TaskRow};
 use nebula_sim::experiment::{run_adaptation_step, ExperimentConfig};
 use nebula_sim::{
-    AdaptStrategy, CorruptionKind, FaultPlan, FedAvgStrategy, HeteroFlStrategy, NebulaStrategy, RoundPolicy,
+    AdaptStrategy, AdversaryPlan, CorruptionKind, FaultPlan, FedAvgStrategy, HeteroFlStrategy,
+    NebulaStrategy, RoundPolicy,
 };
 use serde::Serialize;
 
@@ -61,6 +62,7 @@ fn plan(dropout: f64, straggler: f64, corrupt: f64, frame_corrupt: f64) -> Fault
         corruption: CorruptionKind::NanPoison,
         explode_scale: 1e4,
         frame_corrupt_prob: frame_corrupt,
+        adversary: AdversaryPlan::none(),
     }
 }
 

@@ -7,8 +7,8 @@
 //! account communication exactly (paper Fig. 7).
 
 use crate::aggregate::{
-    aggregate_module_wise, aggregate_module_wise_refs, sanitize_updates, ModuleUpdate, SanitizePolicy,
-    SanitizeReport,
+    aggregate_module_wise, aggregate_module_wise_robust, sanitize_updates, ModuleUpdate, RobustAggregator,
+    SanitizePolicy, SanitizeReport,
 };
 use crate::checkpoint::{self, Checkpoint, CheckpointError};
 use crate::derive::{derive_submodel, DeriveOutcome};
@@ -161,9 +161,22 @@ impl NebulaCloud {
         updates: &[ModuleUpdate],
         policy: &SanitizePolicy,
     ) -> AggregateOutcome {
+        self.aggregate_robust_with(updates, policy, RobustAggregator::WeightedMean)
+    }
+
+    /// [`NebulaCloud::aggregate_robust`] with a selectable combine rule:
+    /// the sanitize gate filters first, then `aggregator` merges the
+    /// survivors module-wise. `WeightedMean` reproduces the unparameterized
+    /// method bit-for-bit.
+    pub fn aggregate_robust_with(
+        &mut self,
+        updates: &[ModuleUpdate],
+        policy: &SanitizePolicy,
+        aggregator: RobustAggregator,
+    ) -> AggregateOutcome {
         let (kept, sanitize) = sanitize_updates(updates, policy);
         let refs: Vec<&ModuleUpdate> = kept.iter().map(|&i| &updates[i]).collect();
-        let touched = aggregate_module_wise_refs(&mut self.model, &refs, true);
+        let touched = aggregate_module_wise_robust(&mut self.model, &refs, aggregator, true);
         AggregateOutcome { touched, sanitize }
     }
 
@@ -189,12 +202,24 @@ impl NebulaCloud {
         &mut self,
         updates: &[ModuleUpdate],
         policy: &SanitizePolicy,
+        probe: impl FnMut(&mut ModularModel) -> f32,
+        max_drop: f32,
+    ) -> GuardedOutcome {
+        self.aggregate_guarded_with(updates, policy, RobustAggregator::WeightedMean, probe, max_drop)
+    }
+
+    /// [`NebulaCloud::aggregate_guarded`] with a selectable combine rule.
+    pub fn aggregate_guarded_with(
+        &mut self,
+        updates: &[ModuleUpdate],
+        policy: &SanitizePolicy,
+        aggregator: RobustAggregator,
         mut probe: impl FnMut(&mut ModularModel) -> f32,
         max_drop: f32,
     ) -> GuardedOutcome {
         let ckpt = checkpoint::snapshot(&self.model);
         let acc_before = probe(&mut self.model);
-        let out = self.aggregate_robust(updates, policy);
+        let out = self.aggregate_robust_with(updates, policy, aggregator);
         let acc_after = probe(&mut self.model);
         let rolled_back = !acc_after.is_finite() || acc_after < acc_before - max_drop;
         if rolled_back {

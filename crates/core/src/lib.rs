@@ -37,8 +37,9 @@ pub mod stats;
 pub mod transport;
 
 pub use aggregate::{
-    aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_with, discount_staleness,
-    sanitize_updates, ModuleUpdate, SanitizePolicy, SanitizeReport,
+    aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_robust,
+    aggregate_module_wise_with, discount_staleness, sanitize_updates, ModuleUpdate, RobustAggregator,
+    SanitizePolicy, SanitizeReport,
 };
 pub use checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
 pub use cloud::{AggregateOutcome, GuardedOutcome, NebulaCloud, NebulaParams, SubModelPayload};

@@ -29,7 +29,7 @@ use nebula_modular::{ModularModel, SubModelSpec};
 use nebula_telemetry::Telemetry;
 use nebula_wire::codec::{self, CodecKind};
 use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
-use nebula_wire::{ModuleRegistry, ResidualStore, WireError};
+use nebula_wire::{FrameKey, ModuleRegistry, ResidualStore, WireError};
 use std::collections::HashMap;
 
 /// Transport configuration, chosen per strategy/config.
@@ -40,11 +40,15 @@ pub struct WireConfig {
     /// Upload sparsification threshold for `DeltaFp32` (|delta| ≤
     /// threshold is dropped). Downloads always use 0 (exact).
     pub delta_threshold: f32,
+    /// Master key for frame authentication. When set, every frame is cut
+    /// with a per-device SipHash-2-4 MAC and every decode verifies it
+    /// before the CRC; `None` speaks the v1 unauthenticated format.
+    pub auth_key: Option<[u8; 16]>,
 }
 
 impl Default for WireConfig {
     fn default() -> Self {
-        WireConfig { codec: CodecKind::Raw, delta_threshold: 0.0 }
+        WireConfig { codec: CodecKind::Raw, delta_threshold: 0.0, auth_key: None }
     }
 }
 
@@ -54,11 +58,18 @@ impl WireConfig {
     }
 
     pub fn delta(threshold: f32) -> Self {
-        WireConfig { codec: CodecKind::DeltaFp32, delta_threshold: threshold }
+        WireConfig { codec: CodecKind::DeltaFp32, delta_threshold: threshold, auth_key: None }
     }
 
     pub fn int8() -> Self {
-        WireConfig { codec: CodecKind::QuantInt8, delta_threshold: 0.0 }
+        WireConfig { codec: CodecKind::QuantInt8, delta_threshold: 0.0, auth_key: None }
+    }
+
+    /// Enable authenticated frames under `key` (shared cloud-side master;
+    /// per-device keys are derived from it).
+    pub fn with_auth(mut self, key: [u8; 16]) -> Self {
+        self.auth_key = Some(key);
+        self
     }
 }
 
@@ -71,6 +82,8 @@ pub struct WireContext {
     up_residuals: ResidualStore,
     /// Download error feedback, keyed by the receiving device.
     down_residuals: ResidualStore,
+    /// Master MAC key when frame auth is enabled.
+    master_key: Option<FrameKey>,
     /// Frame/byte/CRC-reject accounting; off by default.
     telemetry: Telemetry,
 }
@@ -84,8 +97,14 @@ impl WireContext {
             registry: ModuleRegistry::new(4),
             up_residuals: ResidualStore::new(),
             down_residuals: ResidualStore::new(),
+            master_key: cfg.auth_key.as_ref().map(FrameKey::from_bytes),
             telemetry: Telemetry::off(),
         }
+    }
+
+    /// The per-device MAC key, or `None` when auth is disabled.
+    fn key_for(&self, device: u64) -> Option<FrameKey> {
+        self.master_key.as_ref().map(|m| m.derive(device))
     }
 
     /// Attaches a telemetry handle; every encode/decode from here on
@@ -239,7 +258,10 @@ impl WireContext {
         // Registry version this payload was cut from; acked on decode.
         let version = self.registry.version();
         b.record(ModuleKey::META, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(&version.to_le_bytes()));
-        let n = b.finish();
+        let n = match self.key_for(device) {
+            Some(key) => b.finish_authed(&key),
+            None => b.finish(),
+        };
         self.note_frame("down", device, n);
         n
     }
@@ -257,7 +279,7 @@ impl WireContext {
     }
 
     fn decode_payload_impl(&mut self, device: u64, bytes: &[u8]) -> Result<SubModelPayload, WireError> {
-        let view = FrameView::parse(bytes)?;
+        let view = FrameView::parse_keyed(bytes, self.key_for(device).as_ref())?;
         let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
         let mut shared_params = Vec::new();
         let mut version = 0u64;
@@ -322,23 +344,45 @@ impl WireContext {
         }
         let volume = update.data_volume as u64;
         b.record(ModuleKey::META, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(&volume.to_le_bytes()));
-        let n = b.finish();
+        let n = match self.key_for(device) {
+            Some(key) => b.finish_authed(&key),
+            None => b.finish(),
+        };
         self.note_frame("up", device, n);
         n
     }
 
-    /// Decode an update frame on the cloud. Stale delta uploads (baseline
-    /// version already evicted) surface as [`WireError::StaleBaseline`].
+    /// Decode an update frame on the cloud with no sender attribution.
+    /// Only valid while auth is disabled: with a key configured every
+    /// upload is MAC'd per device, so this path rejects with
+    /// [`WireError::AuthMissing`] — use [`Self::decode_update_from`].
     pub fn decode_update(&mut self, bytes: &[u8]) -> Result<ModuleUpdate, WireError> {
-        let res = self.decode_update_impl(bytes);
+        let res = self.decode_update_impl(None, bytes);
         if let Err(e) = &res {
             self.note_decode_error("up", 0, e);
         }
         res
     }
 
-    fn decode_update_impl(&mut self, bytes: &[u8]) -> Result<ModuleUpdate, WireError> {
-        let view = FrameView::parse(bytes)?;
+    /// Decode an update frame attributed to `device`, verifying its MAC
+    /// under the device's derived key when auth is enabled. Stale delta
+    /// uploads (baseline version already evicted) surface as
+    /// [`WireError::StaleBaseline`].
+    pub fn decode_update_from(&mut self, device: u64, bytes: &[u8]) -> Result<ModuleUpdate, WireError> {
+        let key = self.key_for(device);
+        let res = self.decode_update_impl(key.as_ref(), bytes);
+        if let Err(e) = &res {
+            self.note_decode_error("up", device, e);
+        }
+        res
+    }
+
+    fn decode_update_impl(
+        &mut self,
+        key: Option<&FrameKey>,
+        bytes: &[u8],
+    ) -> Result<ModuleUpdate, WireError> {
+        let view = FrameView::parse_keyed(bytes, key)?;
         let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
         let mut shared_params = Vec::new();
         let mut importance_rows: Vec<(usize, Vec<f32>)> = Vec::new();
@@ -383,12 +427,17 @@ impl WireContext {
     }
 
     /// Telemetry for a failed decode, classifying CRC rejects (transit
-    /// corruption) apart from structural/baseline errors.
+    /// corruption) and MAC rejects (forgery / downgrade) apart from
+    /// structural/baseline errors.
     fn note_decode_error(&self, dir: &'static str, device: u64, err: &WireError) {
         if !self.telemetry.enabled() {
             return;
         }
-        let class = if matches!(err, WireError::CrcMismatch { .. }) { "crc" } else { "decode" };
+        let class = match err {
+            WireError::CrcMismatch { .. } => "crc",
+            WireError::AuthMismatch { .. } | WireError::AuthMissing => "auth",
+            _ => "decode",
+        };
         self.telemetry.counter_add(&format!("wire.rejects_{class}"), 1);
         self.telemetry.emit("wire", |e| {
             e.text.insert("dir".into(), dir.into());
@@ -586,6 +635,82 @@ mod tests {
         let wire_events: Vec<_> = mem.events().into_iter().filter(|e| e.kind == "wire").collect();
         assert_eq!(wire_events.len(), 2, "one frame event + one reject event");
         assert_eq!(wire_events[1].text["reject"], "crc");
+    }
+
+    #[test]
+    fn authed_round_trip_and_cross_device_rejection() {
+        let c = cloud();
+        let key = [0x42u8; 16];
+        let mut wire = WireContext::new(WireConfig::raw().with_auth(key));
+        let payload = c.dispatch(&spec());
+        let mut frame = Vec::new();
+        wire.encode_payload(7, &payload, &mut frame);
+        let back = wire.decode_payload(7, &frame).unwrap();
+        assert_eq!(back.shared_params, payload.shared_params);
+        // The MAC is per-device: device 8 cannot decode device 7's frame.
+        assert!(matches!(wire.decode_payload(8, &frame), Err(WireError::AuthMismatch { .. })));
+        // A v1 (unauthenticated) context rejects the authed frame too.
+        let mut v1 = WireContext::new(WireConfig::raw());
+        assert!(matches!(v1.decode_payload(7, &frame), Err(WireError::AuthMissing)));
+    }
+
+    #[test]
+    fn forged_update_with_fixed_crc_is_rejected_before_decode() {
+        use nebula_telemetry::{MemorySink, Telemetry};
+        use std::sync::Arc;
+        let c = cloud();
+        let mut wire = WireContext::new(WireConfig::raw().with_auth([0x17u8; 16]));
+        let mem = Arc::new(MemorySink::new());
+        let t = Telemetry::new(mem.clone());
+        wire.set_telemetry(t.clone());
+
+        let payload = c.dispatch(&spec());
+        let update = ModuleUpdate {
+            spec: payload.spec.clone(),
+            module_params: payload.module_params.clone(),
+            shared_params: payload.shared_params.clone(),
+            importance: vec![vec![0.25; 4]; 2],
+            data_volume: 12,
+        };
+        let mut frame = Vec::new();
+        wire.encode_update(7, &update, &mut frame);
+        assert!(wire.decode_update_from(7, &frame).is_ok());
+
+        // Forge: flip a body byte and recompute the CRC over everything
+        // before the trailer, exactly what a CRC-only check would accept.
+        let mut forged = frame.clone();
+        let body_end = forged.len() - nebula_wire::frame::TRAILER_LEN - nebula_wire::frame::MAC_LEN;
+        forged[body_end / 2] ^= 0x01;
+        let crc = nebula_wire::crc32(&forged[..body_end]).to_le_bytes();
+        forged[body_end..body_end + 4].copy_from_slice(&crc);
+        assert!(matches!(wire.decode_update_from(7, &forged), Err(WireError::AuthMismatch { .. })));
+
+        let m = t.metrics().expect("telemetry on");
+        assert_eq!(m.counters["wire.rejects_auth"], 1);
+        assert!(!m.counters.contains_key("wire.rejects_crc"));
+    }
+
+    #[test]
+    fn unauth_upload_into_keyed_cloud_is_rejected() {
+        let c = cloud();
+        let mut sender = WireContext::new(WireConfig::raw());
+        let mut keyed = WireContext::new(WireConfig::raw().with_auth([9u8; 16]));
+        let payload = c.dispatch(&spec());
+        let update = ModuleUpdate {
+            spec: payload.spec.clone(),
+            module_params: payload.module_params.clone(),
+            shared_params: payload.shared_params.clone(),
+            importance: vec![vec![0.25; 4]; 2],
+            data_volume: 5,
+        };
+        let mut frame = Vec::new();
+        sender.encode_update(7, &update, &mut frame);
+        // Downgrade protection: a keyed cloud never accepts v1 frames.
+        assert!(matches!(keyed.decode_update_from(7, &frame), Err(WireError::AuthMissing)));
+        // And the device-less decode path refuses authed configs outright.
+        let mut authed_frame = Vec::new();
+        keyed.encode_update(7, &update, &mut authed_frame);
+        assert!(matches!(keyed.decode_update(&authed_frame), Err(WireError::AuthMissing)));
     }
 
     #[test]

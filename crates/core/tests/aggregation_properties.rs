@@ -1,8 +1,12 @@
 //! Property-based tests of module-wise aggregation (§5.2): idempotence,
 //! convexity and isolation must hold for arbitrary update sets.
 
-use nebula_core::{aggregate_module_wise, ModuleUpdate};
+use nebula_core::{
+    aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_robust, ModuleUpdate,
+    RobustAggregator,
+};
 use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
+use nebula_nn::Layer;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -121,6 +125,121 @@ proptest! {
         aggregate_module_wise(&mut c, &[u]);
         for ((l, i), before) in untouched {
             prop_assert_eq!(c.module_param_vector(l, i), before, "untouched module ({}, {}) moved", l, i);
+        }
+    }
+
+    #[test]
+    fn robust_aggregators_are_permutation_invariant(
+        spec in arb_spec(),
+        offsets in proptest::collection::vec(-3.0f32..3.0, 3..=7),
+        rot in 0usize..7,
+        seed in 0u64..100,
+    ) {
+        // The combine rule must not care which device reported first: any
+        // rotation + reversal of the update list lands on identical params.
+        let c = cloud(seed);
+        let ups: Vec<ModuleUpdate> = offsets
+            .iter()
+            .enumerate()
+            .map(|(k, &o)| offset_update(&c, &spec, o, 0.5 + k as f32, 10 + k))
+            .collect();
+        let mut shuffled = ups.clone();
+        let rot = rot % shuffled.len();
+        shuffled.rotate_left(rot);
+        shuffled.reverse();
+        for agg in [
+            RobustAggregator::CoordinateMedian,
+            RobustAggregator::TrimmedMean { frac: 0.25 },
+            RobustAggregator::Krum { f: 1 },
+        ] {
+            let mut a = cloud(seed);
+            let mut b = cloud(seed);
+            let ra: Vec<&ModuleUpdate> = ups.iter().collect();
+            let rb: Vec<&ModuleUpdate> = shuffled.iter().collect();
+            aggregate_module_wise_robust(&mut a, &ra, agg, true);
+            aggregate_module_wise_robust(&mut b, &rb, agg, true);
+            prop_assert_eq!(
+                a.param_vector(), b.param_vector(),
+                "{} changed under permutation", agg
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_point_keeps_median_inside_honest_envelope(
+        spec in arb_spec(),
+        f in 1usize..4,
+        honest in proptest::collection::vec(-1.0f32..1.0, 8),
+        evil_scale in 10.0f32..1e4,
+        seed in 0u64..100,
+    ) {
+        // 2f+1 contributions, f of them adversarial and arbitrarily far
+        // out: every aggregated coordinate must stay within the honest
+        // coordinate envelope [min honest offset, max honest offset].
+        let c = cloud(seed);
+        let honest = &honest[..f + 1];
+        let mut ups: Vec<ModuleUpdate> =
+            honest.iter().map(|&o| offset_update(&c, &spec, o, 1.0, 10)).collect();
+        for k in 0..f {
+            // Adversaries also claim enormous importance and volume.
+            ups.push(offset_update(
+                &c,
+                &spec,
+                evil_scale * if k % 2 == 0 { 1.0 } else { -1.0 },
+                1e6,
+                1_000_000,
+            ));
+        }
+        let (lo, hi) = honest
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(lo, hi), &o| (lo.min(o), hi.max(o)));
+        for agg in [
+            RobustAggregator::CoordinateMedian,
+            RobustAggregator::TrimmedMean { frac: f as f32 / ups.len() as f32 },
+        ] {
+            let mut after = cloud(seed);
+            let refs: Vec<&ModuleUpdate> = ups.iter().collect();
+            aggregate_module_wise_robust(&mut after, &refs, agg, true);
+            for (l, layer) in spec.layers().iter().enumerate() {
+                for &i in layer {
+                    let got = after.module_param_vector(l, i);
+                    let orig = c.module_param_vector(l, i);
+                    for (g, o) in got.iter().zip(&orig) {
+                        let delta = g - o;
+                        prop_assert!(
+                            delta >= lo - 1e-3 && delta <= hi + 1e-3,
+                            "{agg}: coordinate left honest envelope: {delta} outside [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_mean_matches_reference_bit_for_bit(
+        spec in arb_spec(),
+        offsets in proptest::collection::vec(-3.0f32..3.0, 1..=6),
+        seed in 0u64..100,
+    ) {
+        // RobustAggregator::WeightedMean is a pure delegation: bit-identical
+        // params and identical touched count for arbitrary update sets.
+        let c = cloud(seed);
+        let ups: Vec<ModuleUpdate> = offsets
+            .iter()
+            .enumerate()
+            .map(|(k, &o)| offset_update(&c, &spec, o, 0.1 + k as f32, 5 + 3 * k))
+            .collect();
+        let refs: Vec<&ModuleUpdate> = ups.iter().collect();
+        let mut a = cloud(seed);
+        let mut b = cloud(seed);
+        let ta = aggregate_module_wise_refs(&mut a, &refs, true);
+        let tb = aggregate_module_wise_robust(&mut b, &refs, RobustAggregator::WeightedMean, true);
+        prop_assert_eq!(ta, tb);
+        let (pa, pb) = (a.param_vector(), b.param_vector());
+        prop_assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "WeightedMean diverged from reference");
         }
     }
 

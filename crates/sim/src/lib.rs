@@ -51,7 +51,9 @@ pub use durability::{
     DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
 };
 pub use experiment::{AdaptationOutcome, ExperimentConfig};
-pub use faults::{CorruptionKind, DeviceFate, FaultPlan, RoundPolicy, RoundReport};
+pub use faults::{
+    AdversaryPlan, AttackPersona, CorruptionKind, DeviceFate, FaultPlan, RoundPolicy, RoundReport,
+};
 pub use nebula_core::stats::RoundStats;
 pub use network::CommTracker;
 pub use resources::{DeviceClass, DeviceResources, ResourceSampler};

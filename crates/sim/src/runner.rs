@@ -37,7 +37,7 @@ use crate::experiment::{mean_accuracy, pick_eval_ids, ContinuousOutcome, Experim
 use crate::strategy::AdaptStrategy;
 use crate::world::SimWorld;
 use nebula_core::stats::RoundStats;
-use nebula_core::{JournalWriter, SnapshotStore};
+use nebula_core::{JournalWriter, RobustAggregator, SanitizePolicy, SnapshotStore};
 use nebula_telemetry::{Span, Telemetry};
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
@@ -119,6 +119,8 @@ pub struct Runner<'a> {
     chaos: ChaosControl,
     resume: bool,
     telemetry: Telemetry,
+    sanitize: Option<SanitizePolicy>,
+    aggregator: Option<RobustAggregator>,
 }
 
 impl<'a> Runner<'a> {
@@ -136,6 +138,8 @@ impl<'a> Runner<'a> {
             chaos: ChaosControl::default(),
             resume: false,
             telemetry: Telemetry::off(),
+            sanitize: None,
+            aggregator: None,
         }
     }
 
@@ -180,6 +184,22 @@ impl<'a> Runner<'a> {
         self
     }
 
+    /// Replace the sanitize gate the strategy's cloud applies before
+    /// aggregation. Applied via [`AdaptStrategy::set_sanitize_policy`];
+    /// strategies without a gate ignore it.
+    pub fn sanitize(mut self, policy: SanitizePolicy) -> Self {
+        self.sanitize = Some(policy);
+        self
+    }
+
+    /// Select the module-wise combine rule used at aggregation. Applied
+    /// via [`AdaptStrategy::set_aggregator`]; strategies without
+    /// module-wise aggregation ignore it.
+    pub fn aggregator(mut self, aggregator: RobustAggregator) -> Self {
+        self.aggregator = Some(aggregator);
+        self
+    }
+
     /// Restore from the durability directory instead of starting fresh
     /// (requires [`Runner::durable`]); replays the journal tail with
     /// divergence verification, then continues live.
@@ -211,13 +231,21 @@ impl<'a> Runner<'a> {
 
     fn run_target(self, target: f32, max_rounds: usize, probe_every: usize) -> Result<RunOutcome, RunError> {
         validate_target(self.world, &self.cfg, target, probe_every)?;
-        let Runner { world, strategy, cfg, durability, chaos, resume, telemetry, .. } = self;
+        let Runner {
+            world, strategy, cfg, durability, chaos, resume, telemetry, sanitize, aggregator, ..
+        } = self;
         if let Some(d) = &durability {
             d.validate()?;
         }
         let opts = durability.map(|d| DurableOptions { durability: d, chaos });
 
         strategy.set_telemetry(telemetry.clone());
+        if let Some(policy) = sanitize {
+            strategy.set_sanitize_policy(policy);
+        }
+        if let Some(agg) = aggregator {
+            strategy.set_aggregator(agg);
+        }
         let pool0 = nebula_nn::workspace::pool_stats();
         let mut run_span = open_run(&telemetry, strategy, MODE_TARGET, &cfg, |e| {
             e.num.insert("target".into(), target as f64);
@@ -305,13 +333,21 @@ impl<'a> Runner<'a> {
 
     fn run_continuous(self, slots: usize) -> Result<RunOutcome, RunError> {
         validate_common(self.world, &self.cfg)?;
-        let Runner { world, strategy, cfg, durability, chaos, resume, telemetry, .. } = self;
+        let Runner {
+            world, strategy, cfg, durability, chaos, resume, telemetry, sanitize, aggregator, ..
+        } = self;
         if let Some(d) = &durability {
             d.validate()?;
         }
         let opts = durability.map(|d| DurableOptions { durability: d, chaos });
 
         strategy.set_telemetry(telemetry.clone());
+        if let Some(policy) = sanitize {
+            strategy.set_sanitize_policy(policy);
+        }
+        if let Some(agg) = aggregator {
+            strategy.set_aggregator(agg);
+        }
         let pool0 = nebula_nn::workspace::pool_stats();
         let mut run_span = open_run(&telemetry, strategy, MODE_CONTINUOUS, &cfg, |e| {
             e.ints.insert("slots".into(), slots as u64);

@@ -17,7 +17,8 @@
 
 use crate::device::SimDevice;
 use crate::faults::{
-    backoff_ms, corrupt_frame, corrupt_module_update, poison_dense_mean, DeviceFate, RoundReport,
+    apply_attack, attack_dense_mean, backoff_ms, corrupt_frame, corrupt_module_update, forge_frame,
+    poison_dense_mean, DeviceFate, RoundReport,
 };
 use crate::latency::adaptation_latency_ms;
 use crate::network::{transfer_time_ms, CommTracker};
@@ -26,8 +27,8 @@ use nebula_baselines::{
     fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::{
-    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, RoundStats,
-    SanitizePolicy, WireConfig, WireContext,
+    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, RobustAggregator,
+    RoundStats, SanitizePolicy, WireConfig, WireContext,
 };
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
@@ -86,6 +87,11 @@ pub struct StrategyConfig {
     /// default (`Raw`) is bit-identical to the analytic exchange; delta
     /// and int8 codecs shrink the *measured* bytes.
     pub wire: WireConfig,
+    /// Module-wise combine rule applied behind the sanitize gate (Nebula
+    /// only). The default `WeightedMean` is the paper's importance-weighted
+    /// aggregation, bit-identical to the unparameterized path; the robust
+    /// rules trade clean-run fidelity for Byzantine tolerance.
+    pub aggregator: RobustAggregator,
 }
 
 impl StrategyConfig {
@@ -102,6 +108,7 @@ impl StrategyConfig {
             pretrain_epochs: 15,
             proxy_samples: 3000,
             wire: WireConfig::raw(),
+            aggregator: RobustAggregator::WeightedMean,
         }
     }
 
@@ -285,6 +292,14 @@ pub trait AdaptStrategy {
     /// a disarmed handle and an armed one see identical RNG streams and
     /// identical results. Strategies without seams ignore it.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Replaces the sanitize gate the cloud applies before aggregation.
+    /// Strategies without a server-side gate ignore it.
+    fn set_sanitize_policy(&mut self, _policy: SanitizePolicy) {}
+
+    /// Selects the module-wise combine rule used at aggregation.
+    /// Strategies without module-wise aggregation ignore it.
+    fn set_aggregator(&mut self, _aggregator: RobustAggregator) {}
 
     /// One adaptation step (collaborative rounds and/or tracked-device
     /// local updates against the devices' *current* data).
@@ -683,6 +698,7 @@ impl FedAvgStrategy {
         let deadline = round_deadline_ms(policy.deadline_factor, &times);
         let mut trainers: Vec<usize> = Vec::with_capacity(meta.len());
         let mut n_corrupt = 0usize;
+        let mut n_malicious = 0usize;
         let mut round_time_ms = 0.0f64;
         for (id, fate, time_ms) in meta {
             if let Some(d) = deadline {
@@ -707,6 +723,9 @@ impl FedAvgStrategy {
             round_time_ms = round_time_ms.max(time_ms);
             if fate.corruption.is_some() {
                 n_corrupt += 1;
+            }
+            if fate.malicious.is_some() {
+                n_malicious += 1;
             }
             trainers.push(id);
         }
@@ -736,6 +755,19 @@ impl FedAvgStrategy {
                     plan.corruption,
                     plan.explode_scale,
                     n_corrupt as f32 / trainers.len() as f32,
+                    plan.seed ^ (round << 20),
+                );
+                self.server.load_param_vector(&params);
+            }
+            if n_malicious > 0 {
+                // No per-update gate and no robust combine: the Byzantine
+                // cohort's attacked mean lands on the server weights.
+                let mut params = self.server.param_vector();
+                attack_dense_mean(
+                    &mut params,
+                    &plan.adversary,
+                    n_malicious as f32 / trainers.len() as f32,
+                    plan.adversary.attack_seed(round, usize::MAX),
                 );
                 self.server.load_param_vector(&params);
             }
@@ -910,6 +942,7 @@ impl HeteroFlStrategy {
         let deadline = round_deadline_ms(policy.deadline_factor, &times);
         let mut trainers: Vec<usize> = Vec::with_capacity(meta.len());
         let mut n_corrupt = 0usize;
+        let mut n_malicious = 0usize;
         let mut round_time_ms = 0.0f64;
         for (id, fate, time_ms) in meta {
             if let Some(d) = deadline {
@@ -939,6 +972,9 @@ impl HeteroFlStrategy {
             round_time_ms = round_time_ms.max(time_ms);
             if fate.corruption.is_some() {
                 n_corrupt += 1;
+            }
+            if fate.malicious.is_some() {
+                n_malicious += 1;
             }
             trainers.push(id);
         }
@@ -970,6 +1006,19 @@ impl HeteroFlStrategy {
                     plan.corruption,
                     plan.explode_scale,
                     n_corrupt as f32 / trainers.len() as f32,
+                    plan.seed ^ (round << 20),
+                );
+                self.server.load_param_vector(&params);
+            }
+            if n_malicious > 0 {
+                // Like FedAvg: no gate, no robust combine — the attacked
+                // width-wise mean lands on the server weights.
+                let mut params = self.server.param_vector();
+                attack_dense_mean(
+                    &mut params,
+                    &plan.adversary,
+                    n_malicious as f32 / trainers.len() as f32,
+                    plan.adversary.attack_seed(round, usize::MAX),
                 );
                 self.server.load_param_vector(&params);
             }
@@ -1089,6 +1138,8 @@ pub struct NebulaStrategy {
     enhanced: bool,
     /// Sanitize gate the cloud applies to every round's updates.
     sanitize: SanitizePolicy,
+    /// Module-wise combine rule applied behind the gate.
+    aggregator: RobustAggregator,
     /// Checkpoint-rollback guard: probe dataset + max tolerated accuracy
     /// drop per aggregation. Off by default.
     rollback: Option<(Dataset, f32)>,
@@ -1112,6 +1163,7 @@ impl NebulaStrategy {
         params.local_lr = cfg.local_lr;
         let cloud = NebulaCloud::new(cfg.modular.clone(), params, seed);
         let wire = WireContext::new(cfg.wire);
+        let aggregator = cfg.aggregator;
         Self {
             cfg,
             cloud,
@@ -1120,6 +1172,7 @@ impl NebulaStrategy {
             tracked: Vec::new(),
             enhanced: false,
             sanitize: SanitizePolicy::default(),
+            aggregator,
             rollback: None,
             wire,
             frame_buf: Vec::new(),
@@ -1140,6 +1193,11 @@ impl NebulaStrategy {
     /// Replaces the sanitize gate's policy (testing/ablation hook).
     pub fn set_sanitize_policy(&mut self, policy: SanitizePolicy) {
         self.sanitize = policy;
+    }
+
+    /// Selects the module-wise combine rule applied behind the gate.
+    pub fn set_aggregator(&mut self, aggregator: RobustAggregator) {
+        self.aggregator = aggregator;
     }
 
     /// Arms the checkpoint-rollback guard: every aggregation is probed on
@@ -1304,20 +1362,38 @@ impl NebulaStrategy {
                 // App-level corruption garbles the tensors *before* the
                 // frame is cut: the frame is valid, the sanitize gate is
                 // the defence.
-                corrupt_module_update(&mut update, kind, plan.explode_scale);
+                corrupt_module_update(
+                    &mut update,
+                    kind,
+                    plan.explode_scale,
+                    plan.seed ^ (round << 20) ^ id as u64,
+                );
+            }
+            if fate.malicious.is_some() {
+                // Byzantine persona: a well-formed update deliberately
+                // crafted to poison the aggregate (colluders share one
+                // per-round attack seed). The robust combine rule is the
+                // defence, not the frame or the sanitize gate.
+                apply_attack(&mut update, &plan.adversary, plan.adversary.attack_seed(round, id));
             }
             // The upload is a real frame; the cloud aggregates what it
             // decodes, never the sender's structs.
             let upload_span = telemetry.span("wire_tx");
             let enc = self.wire.encode_update(id as u64, &update, &mut self.frame_buf) as u64;
             let decoded = if fate.frame_corrupt {
-                // Transit corruption flips bytes on the wire. The CRC
-                // check rejects the frame and the retry path re-sends it;
-                // without a retry budget the device is lost.
+                // Transit corruption flips bytes on the wire; under frame
+                // auth the tamper also recomputes the CRC (the forgery only
+                // the MAC catches). Either way the decode rejects before
+                // aggregation and the retry path re-sends; without a retry
+                // budget the device is lost.
                 report.corrupt_frames += 1;
                 let mut bad = self.frame_buf.clone();
-                corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
-                match self.wire.decode_update(&bad) {
+                if self.cfg.wire.auth_key.is_some() {
+                    forge_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                } else {
+                    corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                }
+                match self.wire.decode_update_from(id as u64, &bad) {
                     Ok(u) => {
                         comm.record_upload(enc);
                         Some(u)
@@ -1328,7 +1404,7 @@ impl NebulaStrategy {
                             None
                         } else {
                             report.retried += 1;
-                            match self.wire.decode_update(&self.frame_buf) {
+                            match self.wire.decode_update_from(id as u64, &self.frame_buf) {
                                 Ok(u) => {
                                     comm.record_upload(enc);
                                     Some(u)
@@ -1339,7 +1415,7 @@ impl NebulaStrategy {
                     }
                 }
             } else {
-                match self.wire.decode_update(&self.frame_buf) {
+                match self.wire.decode_update_from(id as u64, &self.frame_buf) {
                     Ok(u) => {
                         comm.record_upload(enc);
                         Some(u)
@@ -1396,9 +1472,10 @@ impl NebulaStrategy {
         agg_span.int("accepted", accepted.len() as u64);
         let outcome = match &self.rollback {
             Some((probe, max_drop)) => {
-                let out = self.cloud.aggregate_guarded(
+                let out = self.cloud.aggregate_guarded_with(
                     &accepted,
                     &self.sanitize,
+                    self.aggregator,
                     |m| nebula_data::evaluate_accuracy(m, probe, 64),
                     *max_drop,
                 );
@@ -1407,9 +1484,20 @@ impl NebulaStrategy {
                 }
                 nebula_core::AggregateOutcome { touched: out.touched, sanitize: out.sanitize }
             }
-            None => self.cloud.aggregate_robust(&accepted, &self.sanitize),
+            None => self.cloud.aggregate_robust_with(&accepted, &self.sanitize, self.aggregator),
         };
         report.rejected += outcome.sanitize.rejected() as u64;
+        if telemetry.enabled() {
+            let s = outcome.sanitize;
+            telemetry.counter_add("sanitize.rejected_non_finite", s.rejected_non_finite as u64);
+            telemetry.counter_add("sanitize.rejected_outlier", s.rejected_outlier as u64);
+            telemetry.emit("sanitize", |e| {
+                e.ints.insert("round".into(), round);
+                e.ints.insert("accepted".into(), s.accepted as u64);
+                e.ints.insert("non_finite".into(), s.rejected_non_finite as u64);
+                e.ints.insert("outlier".into(), s.rejected_outlier as u64);
+            });
+        }
         drop(agg_span);
         comm.end_round();
         for (layer, counts) in round_loads.iter().enumerate() {
@@ -1476,6 +1564,14 @@ impl AdaptStrategy for NebulaStrategy {
         // in the same trace as the round spans.
         self.wire.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    fn set_sanitize_policy(&mut self, policy: SanitizePolicy) {
+        self.sanitize = policy;
+    }
+
+    fn set_aggregator(&mut self, aggregator: RobustAggregator) {
+        self.aggregator = aggregator;
     }
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {

@@ -1,0 +1,233 @@
+//! End-to-end adversary tests: persona assignment determinism, the
+//! authenticated-wire reject path through a full Nebula round, the
+//! attacks-disabled bit-identity guarantee, and robust aggregation
+//! holding up where the weighted mean collapses.
+
+use std::sync::Arc;
+
+use nebula_core::{RobustAggregator, SanitizePolicy};
+use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+use nebula_modular::ModularConfig;
+use nebula_nn::Layer;
+use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::{
+    AdaptStrategy, AdversaryPlan, AttackPersona, FaultPlan, NebulaStrategy, ResourceSampler, RoundPolicy,
+    SimWorld,
+};
+use nebula_telemetry::{MemorySink, Telemetry};
+use nebula_tensor::NebulaRng;
+
+fn toy_world(devices: usize, seed: u64) -> SimWorld {
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m: 2 });
+    SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), seed)
+}
+
+fn toy_cfg(devices_per_round: usize) -> StrategyConfig {
+    let mut modular = ModularConfig::toy(16, 4);
+    modular.gate_noise_std = 0.3;
+    let mut cfg = StrategyConfig::new(modular);
+    cfg.devices_per_round = devices_per_round;
+    cfg.rounds_per_step = 2;
+    cfg.pretrain_epochs = 2;
+    cfg.proxy_samples = 200;
+    cfg
+}
+
+fn adversary(frac: f64, persona: AttackPersona) -> AdversaryPlan {
+    AdversaryPlan { seed: 0xBAD_5EED, frac, persona, ..AdversaryPlan::none() }
+}
+
+// --- persona assignment ---------------------------------------------------
+
+/// Roles are a pure function of (plan seed, device): stable across calls,
+/// across plan clones, and across rounds — a device never flips sides.
+#[test]
+fn malicious_roles_are_deterministic_and_persistent() {
+    let plan = adversary(0.3, AttackPersona::SignFlip);
+    let roles: Vec<Option<AttackPersona>> = (0..200).map(|d| plan.malicious(d)).collect();
+    let again: Vec<Option<AttackPersona>> = (0..200).map(|d| plan.malicious(d)).collect();
+    assert_eq!(roles, again, "role assignment must be deterministic");
+    let clone = adversary(0.3, AttackPersona::SignFlip);
+    assert_eq!(roles, (0..200).map(|d| clone.malicious(d)).collect::<Vec<_>>());
+
+    let n_bad = roles.iter().filter(|r| r.is_some()).count();
+    assert!((30..=90).contains(&n_bad), "~30% of 200 devices should be malicious, got {n_bad}");
+    assert!(roles.iter().flatten().all(|p| *p == AttackPersona::SignFlip));
+
+    // A different adversary seed compromises a different cohort.
+    let other = AdversaryPlan { seed: 0x5EED, ..adversary(0.3, AttackPersona::SignFlip) };
+    let other_roles: Vec<Option<AttackPersona>> = (0..200).map(|d| other.malicious(d)).collect();
+    assert_ne!(roles, other_roles, "seed must reshuffle who is compromised");
+}
+
+/// Attack seeds vary per round; colluding cohorts share one per round.
+#[test]
+fn attack_seeds_fresh_per_round_and_shared_under_collusion() {
+    let solo = adversary(0.5, AttackPersona::GaussianNoise);
+    assert_ne!(solo.attack_seed(1, 3), solo.attack_seed(2, 3), "rounds must reseed");
+    assert_ne!(solo.attack_seed(1, 3), solo.attack_seed(1, 4), "independent attackers differ");
+
+    let cartel = AdversaryPlan { collude: true, ..solo };
+    assert_eq!(cartel.attack_seed(1, 3), cartel.attack_seed(1, 4), "colluders share the round's attack seed");
+    assert_ne!(cartel.attack_seed(1, 3), cartel.attack_seed(2, 3));
+}
+
+/// `AdversaryPlan::none()` marks nobody.
+#[test]
+fn none_plan_has_no_malicious_devices() {
+    let plan = AdversaryPlan::none();
+    assert!(!plan.is_active());
+    assert!((0..500).all(|d| plan.malicious(d).is_none()));
+}
+
+// --- authenticated wire through a full round ------------------------------
+
+/// With frame auth on and transit forgery at 100% (CRC fixed up, MAC not),
+/// every forged upload is rejected *before* decode: the rejects surface in
+/// `wire.rejects_auth`, nothing is aggregated, and with no retry budget the
+/// cloud model is bit-untouched.
+#[test]
+fn forged_frames_are_auth_rejected_and_never_aggregated() {
+    let mut world = toy_world(12, 5);
+    world.set_fault_plan(FaultPlan { seed: 19, frame_corrupt_prob: 1.0, ..FaultPlan::none() });
+    world.set_round_policy(RoundPolicy { max_retries: 0, ..RoundPolicy::default() });
+    let mut cfg = toy_cfg(6);
+    cfg.wire = cfg.wire.with_auth([0xA5u8; 16]);
+    let mut s = NebulaStrategy::new(cfg, 1);
+    let mem = Arc::new(MemorySink::new());
+    let t = Telemetry::new(mem);
+    s.set_telemetry(t.clone());
+
+    let mut rng = NebulaRng::seed(3);
+    let before = s.cloud().model().param_vector();
+    let out = s.single_round(&mut world, &mut rng);
+
+    assert_eq!(out.stats.faults.participated, 0, "{:?}", out.stats.faults);
+    assert!(out.stats.faults.corrupt_frames > 0);
+    let m = t.metrics().expect("telemetry armed");
+    assert!(
+        m.counters.get("wire.rejects_auth").copied().unwrap_or(0) > 0,
+        "forgeries must be MAC-rejected, counters: {:?}",
+        m.counters
+    );
+    assert!(
+        !m.counters.contains_key("wire.rejects_crc"),
+        "forgery fixes the CRC; only the MAC may reject it"
+    );
+    let after = s.cloud().model().param_vector();
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.to_bits(), b.to_bits(), "a forged frame reached aggregation");
+    }
+}
+
+/// The same forgery without auth slips past the CRC-only check — the
+/// contrast that motivates the MAC. (The sanitize gate is the only thing
+/// left standing, and a CRC-fixed frame decodes cleanly.)
+#[test]
+fn authed_rounds_still_complete_without_forgery() {
+    let mut world = toy_world(12, 5);
+    let mut cfg = toy_cfg(6);
+    cfg.wire = cfg.wire.with_auth([0xA5u8; 16]);
+    let mut s = NebulaStrategy::new(cfg, 1);
+    let mut rng = NebulaRng::seed(3);
+    let out = s.single_round(&mut world, &mut rng);
+    assert!(out.stats.faults.participated > 0, "auth must not break honest uploads");
+    assert_eq!(out.stats.faults.corrupt_frames, 0);
+    assert!(s.cloud().model().param_vector().iter().all(|p| p.is_finite()));
+}
+
+// --- attacks-disabled bit-identity ----------------------------------------
+
+/// An installed-but-inactive adversary (frac 0) under the default
+/// WeightedMean aggregator is bit-identical to a world that never touched
+/// the adversary APIs at all.
+#[test]
+fn inactive_adversary_is_bit_identical_to_clean_run() {
+    let run = |with_plan: bool| {
+        let mut world = toy_world(8, 5);
+        if with_plan {
+            world.set_fault_plan(FaultPlan {
+                adversary: adversary(0.0, AttackPersona::ScaledUpdate),
+                ..FaultPlan::none()
+            });
+        }
+        let mut s = NebulaStrategy::new(toy_cfg(4), 1);
+        s.set_aggregator(RobustAggregator::WeightedMean);
+        s.set_sanitize_policy(SanitizePolicy::default());
+        let mut rng = NebulaRng::seed(3);
+        for _ in 0..3 {
+            let out = s.single_round(&mut world, &mut rng);
+            assert_eq!(out.stats.faults.rejected, 0);
+        }
+        s.cloud().model().param_vector()
+    };
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "param {i} differs: {x} vs {y}");
+    }
+}
+
+// --- robust aggregation under live attack ---------------------------------
+
+/// Distance of the strategy's cloud params from a clean (attack-free)
+/// reference run with the same seeds and aggregator-independent setup.
+fn attacked_drift(aggregator: RobustAggregator, persona: AttackPersona) -> f32 {
+    let clean = {
+        let mut world = toy_world(12, 5);
+        let mut s = NebulaStrategy::new(toy_cfg(6), 1);
+        let mut rng = NebulaRng::seed(3);
+        for _ in 0..3 {
+            s.single_round(&mut world, &mut rng);
+        }
+        s.cloud().model().param_vector()
+    };
+    let mut world = toy_world(12, 5);
+    world.set_fault_plan(FaultPlan { adversary: adversary(0.25, persona), ..FaultPlan::none() });
+    let mut s = NebulaStrategy::new(toy_cfg(6), 1);
+    s.set_aggregator(aggregator);
+    let mut rng = NebulaRng::seed(3);
+    for _ in 0..3 {
+        s.single_round(&mut world, &mut rng);
+    }
+    let attacked = s.cloud().model().param_vector();
+    assert!(attacked.iter().all(|p| p.is_finite()), "{aggregator}: params went non-finite");
+    clean
+        .iter()
+        .zip(&attacked)
+        .map(|(c, a)| {
+            let d = c - a;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Under a 25% scaled-update cohort the coordinate median stays far closer
+/// to the clean trajectory than the importance-weighted mean, which the
+/// attackers drag (scale 8 slips under the sanitize gate's 10× cutoff).
+#[test]
+fn coordinate_median_resists_scaled_update_cohort() {
+    let weighted = attacked_drift(RobustAggregator::WeightedMean, AttackPersona::ScaledUpdate);
+    let median = attacked_drift(RobustAggregator::CoordinateMedian, AttackPersona::ScaledUpdate);
+    assert!(
+        median < weighted,
+        "coordinate median (drift {median}) should beat weighted mean (drift {weighted})"
+    );
+    assert!(weighted > 1.0, "the scaled cohort should visibly drag the weighted mean: {weighted}");
+}
+
+/// Gate gaming inflates importance/volume to capture the weighted average;
+/// the median ignores both weights, so the cohort gains nothing extra.
+#[test]
+fn median_ignores_gate_gaming_inflation() {
+    let weighted = attacked_drift(RobustAggregator::WeightedMean, AttackPersona::GateGaming);
+    let median = attacked_drift(RobustAggregator::CoordinateMedian, AttackPersona::GateGaming);
+    assert!(
+        median <= weighted,
+        "median (drift {median}) must not amplify gate gaming vs weighted mean ({weighted})"
+    );
+}

@@ -26,6 +26,15 @@ pub enum WireError {
     LengthMismatch { expected: usize, got: usize },
     /// Trailer checksum does not match the frame contents.
     CrcMismatch { expected: u32, got: u32 },
+    /// The frame's MAC does not verify under the receiver's key: the
+    /// frame was forged or tampered with by someone who could recompute
+    /// the CRC but does not hold the key.
+    AuthMismatch { expected: u64, got: u64 },
+    /// Authentication state disagrees with the receiver's expectation:
+    /// either the frame demands a key the receiver does not hold, or the
+    /// receiver requires authentication and the frame carries none
+    /// (downgrade-stripping protection).
+    AuthMissing,
     /// A delta record references a baseline version the decoder no longer
     /// (or does not yet) hold for this module.
     StaleBaseline { key: ModuleKey, version: u64 },
@@ -49,6 +58,12 @@ impl fmt::Display for WireError {
             }
             WireError::CrcMismatch { expected, got } => {
                 write!(f, "crc mismatch: expected {expected:#010x}, got {got:#010x}")
+            }
+            WireError::AuthMismatch { expected, got } => {
+                write!(f, "auth mismatch: frame MAC {expected:#018x}, computed {got:#018x}")
+            }
+            WireError::AuthMissing => {
+                write!(f, "authentication required but frame and key disagree")
             }
             WireError::StaleBaseline { key, version } => {
                 write!(

@@ -7,11 +7,13 @@
 //!      4     1  wire version (currently 1)
 //!      5     1  frame kind   (0 payload, 1 update, 2 dense)
 //!      6     1  default codec id (hint; records carry their own)
-//!      7     1  reserved (0)
+//!      7     1  flags (bit 0: authenticated; rest reserved 0)
 //!      8     4  record count            u32 LE
 //!     12     4  body length in bytes    u32 LE
 //!     16   ...  records (back to back)
 //!    end     4  CRC32 (IEEE) over header + body   u32 LE
+//!   +opt     8  SipHash-2-4 MAC over header + body   u64 LE
+//!                (present iff the auth flag is set)
 //!
 //! record:
 //!      0     2  layer   u16 LE   (0xFFFD..=0xFFFF are sentinels)
@@ -32,6 +34,7 @@
 
 use crate::codec::CodecKind;
 use crate::crc32::crc32;
+use crate::siphash::FrameKey;
 use crate::WireError;
 
 pub const MAGIC: [u8; 4] = *b"NBW1";
@@ -39,6 +42,10 @@ pub const WIRE_VERSION: u8 = 1;
 pub const HEADER_LEN: usize = 16;
 pub const RECORD_HEADER_LEN: usize = 24;
 pub const TRAILER_LEN: usize = 4;
+/// Length of the optional SipHash-2-4 MAC trailer.
+pub const MAC_LEN: usize = 8;
+/// Header flag bit (byte 7): frame carries a MAC trailer after the CRC.
+pub const FLAG_AUTH: u8 = 0x01;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +192,23 @@ impl<'a> FrameBuilder<'a> {
         self.buf.extend_from_slice(&crc.to_le_bytes());
         self.buf.len()
     }
+
+    /// Terminate an *authenticated* frame: set the auth flag, backpatch
+    /// header fields, then append the CRC trailer followed by a
+    /// SipHash-2-4 MAC over header+body under `key`. The flag byte is
+    /// covered by both CRC and MAC, so neither can be stripped or forged
+    /// without the key being caught.
+    pub fn finish_authed(self, key: &FrameKey) -> usize {
+        self.buf[7] |= FLAG_AUTH;
+        let body_len = (self.buf.len() - HEADER_LEN) as u32;
+        self.buf[8..12].copy_from_slice(&self.count.to_le_bytes());
+        self.buf[12..16].copy_from_slice(&body_len.to_le_bytes());
+        let mac = key.mac(self.buf);
+        let crc = crc32(self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(&mac.to_le_bytes());
+        self.buf.len()
+    }
 }
 
 /// A validated, parsed frame borrowing the input bytes.
@@ -195,11 +219,28 @@ pub struct FrameView<'a> {
 }
 
 impl<'a> FrameView<'a> {
+    /// Validate and index `bytes` as one unauthenticated (v1) frame.
+    /// Equivalent to [`FrameView::parse_keyed`] with no key: frames
+    /// carrying the auth flag are rejected because the MAC cannot be
+    /// verified.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, WireError> {
+        Self::parse_keyed(bytes, None)
+    }
+
     /// Validate and index `bytes` as one frame. Checks, in order: minimum
     /// length, magic, version, kind, codec ids, declared body length vs
-    /// actual, CRC, then walks every record checking bounds. Any byte
-    /// flip that survives all structural checks is caught by the CRC.
-    pub fn parse(bytes: &'a [u8]) -> Result<Self, WireError> {
+    /// actual, MAC (authenticated frames only), CRC, then walks every
+    /// record checking bounds. Any byte flip that survives all structural
+    /// checks is caught by the CRC; any rewrite with a fixed-up CRC is
+    /// caught by the MAC.
+    ///
+    /// Key semantics are strict in both directions: a key-holding
+    /// receiver rejects unauthenticated frames (stripping the flag is not
+    /// a downgrade path), and an authenticated frame is useless to a
+    /// receiver without the key. The MAC is verified *before* the CRC so
+    /// forgery surfaces as [`WireError::AuthMismatch`] even when the
+    /// attacker recomputed the checksum.
+    pub fn parse_keyed(bytes: &'a [u8], key: Option<&FrameKey>) -> Result<Self, WireError> {
         let min = HEADER_LEN + TRAILER_LEN;
         if bytes.len() < min {
             return Err(WireError::Truncated { needed: min, have: bytes.len() });
@@ -212,13 +253,27 @@ impl<'a> FrameView<'a> {
         }
         let kind = FrameKind::from_id(bytes[5])?;
         let codec = CodecKind::from_id(bytes[6])?;
+        let authed = bytes[7] & FLAG_AUTH != 0;
         let count = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
         let body_len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
-        let expected_total = HEADER_LEN + body_len + TRAILER_LEN;
+        let trailer = TRAILER_LEN + if authed { MAC_LEN } else { 0 };
+        let expected_total = HEADER_LEN + body_len + trailer;
         if bytes.len() != expected_total {
             return Err(WireError::LengthMismatch { expected: expected_total, got: bytes.len() });
         }
-        let crc_at = bytes.len() - TRAILER_LEN;
+        let crc_at = HEADER_LEN + body_len;
+        if authed {
+            let Some(key) = key else { return Err(WireError::AuthMissing) };
+            let mac_at = crc_at + TRAILER_LEN;
+            let stored =
+                u64::from_le_bytes(bytes[mac_at..mac_at + MAC_LEN].try_into().expect("MAC_LEN bytes"));
+            let actual = key.mac(&bytes[..crc_at]);
+            if stored != actual {
+                return Err(WireError::AuthMismatch { expected: stored, got: actual });
+            }
+        } else if key.is_some() {
+            return Err(WireError::AuthMissing);
+        }
         let stored =
             u32::from_le_bytes([bytes[crc_at], bytes[crc_at + 1], bytes[crc_at + 2], bytes[crc_at + 3]]);
         let actual = crc32(&bytes[..crc_at]);
@@ -324,6 +379,98 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(FrameView::parse(&buf[..cut]).is_err(), "truncation to {cut} accepted");
         }
+    }
+
+    fn test_key() -> FrameKey {
+        FrameKey::from_bytes(&[0xA5; 16]).derive(7)
+    }
+
+    fn authed_frame() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        let vals: Vec<f32> = (0..9).map(|i| i as f32 - 4.0).collect();
+        b.record(ModuleKey::module(1, 2), CodecKind::Raw, 0, vals.len(), |out| codec::encode_raw(&vals, out));
+        b.finish_authed(&test_key());
+        buf
+    }
+
+    #[test]
+    fn authed_round_trip_and_key_checks() {
+        let buf = authed_frame();
+        let view = FrameView::parse_keyed(&buf, Some(&test_key())).unwrap();
+        assert_eq!(view.record_count(), 1);
+        // Wrong key: MAC fails.
+        let wrong = FrameKey::from_bytes(&[0x5A; 16]).derive(7);
+        assert!(matches!(FrameView::parse_keyed(&buf, Some(&wrong)), Err(WireError::AuthMismatch { .. })));
+        // Sibling device's key fails too.
+        let sibling = FrameKey::from_bytes(&[0xA5; 16]).derive(8);
+        assert!(matches!(FrameView::parse_keyed(&buf, Some(&sibling)), Err(WireError::AuthMismatch { .. })));
+        // No key: cannot verify, must not decode.
+        assert_eq!(FrameView::parse(&buf).err(), Some(WireError::AuthMissing));
+    }
+
+    #[test]
+    fn authed_every_byte_flip_is_rejected() {
+        let buf = authed_frame();
+        let key = test_key();
+        for i in 0..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[i] ^= 0x40;
+            assert!(FrameView::parse_keyed(&corrupted, Some(&key)).is_err(), "flip at byte {i} not rejected");
+        }
+        // Flips under the MAC's coverage (header+body) surface as auth
+        // mismatches, before the CRC is even consulted.
+        let mut corrupted = buf.clone();
+        corrupted[HEADER_LEN] ^= 0x40;
+        assert!(matches!(
+            FrameView::parse_keyed(&corrupted, Some(&key)),
+            Err(WireError::AuthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn crc_fixup_forgery_is_caught_only_with_auth() {
+        // The attack frame auth exists for: tamper with a body byte and
+        // recompute the CRC. An unauthenticated frame decodes silently.
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        b.record(ModuleKey::SHARED, CodecKind::Raw, 0, 2, |out| codec::encode_raw(&[1.0, 2.0], out));
+        b.finish();
+        let mut forged = buf.clone();
+        forged[HEADER_LEN + RECORD_HEADER_LEN] ^= 0x80; // flip a payload sign bit
+        let crc_at = forged.len() - TRAILER_LEN;
+        let crc = crc32(&forged[..crc_at]);
+        forged[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(FrameView::parse(&forged).is_ok(), "CRC alone cannot detect forgery");
+
+        // The same forgery against an authenticated frame is rejected.
+        let mut abuf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut abuf, FrameKind::Update, CodecKind::Raw);
+        b.record(ModuleKey::SHARED, CodecKind::Raw, 0, 2, |out| codec::encode_raw(&[1.0, 2.0], out));
+        b.finish_authed(&test_key());
+        let mut forged = abuf.clone();
+        forged[HEADER_LEN + RECORD_HEADER_LEN] ^= 0x80;
+        let crc_at = forged.len() - TRAILER_LEN - MAC_LEN;
+        let crc = crc32(&forged[..crc_at]);
+        forged[crc_at..crc_at + TRAILER_LEN].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            FrameView::parse_keyed(&forged, Some(&test_key())),
+            Err(WireError::AuthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stripping_the_auth_flag_is_rejected() {
+        // Downgrade attack: clear the flag, drop the MAC, fix the CRC.
+        // A key-holding receiver must still refuse the frame.
+        let buf = authed_frame();
+        let mut stripped = buf[..buf.len() - MAC_LEN].to_vec();
+        stripped[7] &= !FLAG_AUTH;
+        let crc_at = stripped.len() - TRAILER_LEN;
+        let crc = crc32(&stripped[..crc_at]);
+        stripped[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(FrameView::parse(&stripped).is_ok(), "stripped frame is a valid v1 frame");
+        assert_eq!(FrameView::parse_keyed(&stripped, Some(&test_key())).err(), Some(WireError::AuthMissing));
     }
 
     #[test]

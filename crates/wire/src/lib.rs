@@ -17,6 +17,10 @@
 //! * [`frame`] — the framed format: header, per-module records keyed by
 //!   (layer, module), CRC trailer; [`frame::FrameBuilder`] writes into
 //!   reusable buffers, [`frame::FrameView`] parses zero-copy.
+//! * [`siphash`] — SipHash-2-4 keyed PRF and per-device
+//!   [`siphash::FrameKey`] derivation for the optional MAC trailer, so
+//!   forged frames (tampering plus a recomputed CRC) are rejected before
+//!   decode.
 //! * [`registry`] — cloud-side versioned baselines with bounded history
 //!   and per-device ack tracking, so deltas decode deterministically and
 //!   stale uploads are detected by version.
@@ -28,6 +32,7 @@ pub mod dense;
 mod error;
 pub mod frame;
 pub mod registry;
+pub mod siphash;
 
 pub use codec::{CodecKind, ResidualStore};
 pub use crc32::crc32;
@@ -35,3 +40,4 @@ pub use dense::{DenseChannel, DensePool};
 pub use error::WireError;
 pub use frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
 pub use registry::ModuleRegistry;
+pub use siphash::{siphash24, FrameKey};

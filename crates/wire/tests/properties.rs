@@ -1,8 +1,10 @@
 //! Property tests for the wire subsystem: codec round trips, quantization
-//! error bounds, error-feedback decay, and corruption rejection.
+//! error bounds, error-feedback decay, corruption rejection, and keyed
+//! frame authentication.
 
 use nebula_wire::codec::{self, CodecKind};
-use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey};
+use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, MAC_LEN, TRAILER_LEN};
+use nebula_wire::{crc32, FrameKey};
 use proptest::prelude::*;
 
 fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -170,6 +172,77 @@ proptest! {
             "byte flip at {} bit {} accepted", idx, bit);
         // And the pristine frame still parses.
         prop_assert!(FrameView::parse(&frame).is_ok());
+    }
+
+    #[test]
+    fn authed_round_trip_for_any_payload_and_key(
+        vals in arb_values(256),
+        key_bytes in proptest::collection::vec(0u8..=255u8, 16..=16),
+        device in 0u64..1000,
+    ) {
+        let key_bytes: [u8; 16] = key_bytes.as_slice().try_into().unwrap();
+        let key = FrameKey::from_bytes(&key_bytes).derive(device);
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        let mk = ModuleKey::module(1, 2);
+        b.record(mk, CodecKind::Raw, 0, vals.len(), |o| codec::encode_raw(vals.as_slice(), o));
+        b.finish_authed(&key);
+
+        let view = FrameView::parse_keyed(&buf, Some(&key)).expect("authed frame must parse with its key");
+        let rec = *view.find(mk).expect("record present");
+        let mut out = Vec::new();
+        codec::decode_raw(rec.payload, rec.elems, &mut out).unwrap();
+        drop(view);
+        prop_assert_eq!(out.len(), vals.len());
+        for (a, b) in vals.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // An unkeyed parser rejects the authed frame (no downgrade), and a
+        // sibling device's key never verifies it.
+        prop_assert!(FrameView::parse(&buf).is_err());
+        let sibling = FrameKey::from_bytes(&key_bytes).derive(device + 1);
+        prop_assert!(FrameView::parse_keyed(&buf, Some(&sibling)).is_err());
+    }
+
+    #[test]
+    fn mac_rejects_any_tamper_even_with_fixed_crc(
+        vals in arb_values(256),
+        key_bytes in proptest::collection::vec(0u8..=255u8, 16..=16),
+        at in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let key_bytes: [u8; 16] = key_bytes.as_slice().try_into().unwrap();
+        let key = FrameKey::from_bytes(&key_bytes).derive(3);
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        let mk = ModuleKey::module(0, 0);
+        b.record(mk, CodecKind::Raw, 0, vals.len(), |o| codec::encode_raw(vals.as_slice(), o));
+        b.finish_authed(&key);
+
+        // Forge: flip one covered byte, then recompute the CRC so only the
+        // MAC stands between the forgery and a successful decode.
+        let body_end = buf.len() - TRAILER_LEN - MAC_LEN;
+        let mut forged = buf.clone();
+        let idx = at % body_end;
+        forged[idx] ^= 1 << bit;
+        let crc = crc32(&forged[..body_end]).to_le_bytes();
+        forged[body_end..body_end + TRAILER_LEN].copy_from_slice(&crc);
+        prop_assert!(FrameView::parse_keyed(&forged, Some(&key)).is_err(),
+            "forged byte {} bit {} accepted", idx, bit);
+        // The pristine frame still parses.
+        prop_assert!(FrameView::parse_keyed(&buf, Some(&key)).is_ok());
+    }
+
+    #[test]
+    fn v1_frames_still_decode_without_a_key(vals in arb_values(256)) {
+        // Backward compatibility: unauthenticated frames keep parsing via
+        // both entry points when no key is supplied.
+        let (frame, _) = frame_round_trip(&vals, CodecKind::Raw, None, 0.0);
+        prop_assert!(FrameView::parse(&frame).is_ok());
+        prop_assert!(FrameView::parse_keyed(&frame, None).is_ok());
+        // But a keyed receiver refuses them (downgrade protection).
+        let key = FrameKey::from_bytes(&[7u8; 16]).derive(0);
+        prop_assert!(FrameView::parse_keyed(&frame, Some(&key)).is_err());
     }
 
     #[test]

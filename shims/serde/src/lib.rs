@@ -379,6 +379,16 @@ pub fn from_field<T: Deserialize>(v: &Value, ty: &str, field: &str) -> Result<T,
     T::from_value(val).map_err(|e| Error::custom(format!("{ty}.{field}: {e}")))
 }
 
+/// [`from_field`] for `#[serde(default)]` fields: a missing field yields
+/// `Default::default()` so payloads written before the field existed
+/// still deserialize (derive-generated code).
+pub fn from_field_or_default<T: Deserialize + Default>(v: &Value, ty: &str, field: &str) -> Result<T, Error> {
+    match v.get(field) {
+        None => Ok(T::default()),
+        Some(val) => T::from_value(val).map_err(|e| Error::custom(format!("{ty}.{field}: {e}"))),
+    }
+}
+
 /// Splits a single-key object into `(variant_name, payload)` — the shape
 /// of a serialized newtype/tuple enum variant.
 pub fn variant_payload(v: &Value) -> Option<(&str, &Value)> {

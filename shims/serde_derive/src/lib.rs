@@ -16,6 +16,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing field deserializes to
+    /// `Default::default()` instead of erroring (back-compat for fields
+    /// added after payloads were written).
+    default: bool,
 }
 
 struct Variant {
@@ -97,6 +101,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             for f in &fields[..] {
                 if f.skip {
                     inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::from_field_or_default(v, \"{name}\", \"{n}\")?,\n",
+                        n = f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::from_field(v, \"{name}\", \"{n}\")?,\n",
@@ -243,15 +252,17 @@ fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// `(attrs) (pub (scope)?)? name : type` → field name + skip flag.
+/// `(attrs) (pub (scope)?)? name : type` → field name + skip/default flags.
 fn parse_field(tokens: Vec<TokenTree>) -> Result<Option<Field>, String> {
     let mut skip = false;
+    let mut default = false;
     let mut iter = tokens.into_iter().peekable();
     loop {
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    skip |= attr_is_serde_skip(&g);
+                    skip |= attr_has_serde_flag(&g, "skip");
+                    default |= attr_has_serde_flag(&g, "default");
                 }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -262,7 +273,7 @@ fn parse_field(tokens: Vec<TokenTree>) -> Result<Option<Field>, String> {
                 }
             }
             Some(TokenTree::Ident(id)) => {
-                return Ok(Some(Field { name: id.to_string(), skip }));
+                return Ok(Some(Field { name: id.to_string(), skip, default }));
             }
             Some(other) => return Err(format!("serde shim derive: bad field token `{other}`")),
             None => return Ok(None), // trailing comma
@@ -296,18 +307,17 @@ fn parse_variant(tokens: Vec<TokenTree>) -> Result<Option<Variant>, String> {
     Ok(Some(Variant { name, arity }))
 }
 
-/// True when the attribute group is `[serde(... skip ...)]`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// True when the attribute group is `[serde(... flag ...)]`.
+fn attr_has_serde_flag(group: &proc_macro::Group, flag: &str) -> bool {
     let mut iter = group.stream().into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
         _ => return false,
     }
     match iter.next() {
-        Some(TokenTree::Group(args)) => args
-            .stream()
-            .into_iter()
-            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        Some(TokenTree::Group(args)) => {
+            args.stream().into_iter().any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == flag))
+        }
         _ => false,
     }
 }
