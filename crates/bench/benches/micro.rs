@@ -9,7 +9,7 @@ use nebula_modular::cost::CostModel;
 use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
 use nebula_nn::{Layer, Mode};
 use nebula_tensor::{NebulaRng, Tensor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn paper_config() -> ModularConfig {
     // ResNet18-equivalent: 4 layers × 16 modules.
@@ -109,7 +109,7 @@ fn bench_aggregation(c: &mut Criterion) {
             let spec = SubModelSpec::new(
                 (0..cfg.num_layers).map(|_| rng.sample_indices(cfg.modules_per_layer, 8)).collect(),
             );
-            let mut module_params = HashMap::new();
+            let mut module_params = BTreeMap::new();
             for (l, layer) in spec.layers().iter().enumerate() {
                 for &i in layer {
                     module_params.insert((l, i), cloud.module_param_vector(l, i));

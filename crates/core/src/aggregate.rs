@@ -12,17 +12,22 @@
 //! with data-volume weights (FedAvg-style).
 
 use nebula_modular::{ModularModel, SubModelSpec};
+use std::borrow::Borrow;
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One device's contribution to a round of aggregation.
+///
+/// `module_params` is a `BTreeMap` so every walk over an update's modules
+/// is in `(layer, index)` order — aggregation, sanitize norms, and
+/// shard-merge order can never depend on hasher state.
 #[derive(Clone, Debug)]
 pub struct ModuleUpdate {
     /// Which modules the device trained.
     pub spec: SubModelSpec,
     /// Updated parameters of each trained module, keyed by `(layer, index)`.
-    pub module_params: HashMap<(usize, usize), Vec<f32>>,
+    pub module_params: BTreeMap<(usize, usize), Vec<f32>>,
     /// Updated shared-part parameters.
     pub shared_params: Vec<f32>,
     /// Device-local module importance `importance[layer][module]`.
@@ -46,8 +51,7 @@ pub fn aggregate_module_wise_with(
     updates: &[ModuleUpdate],
     use_importance: bool,
 ) -> usize {
-    let refs: Vec<&ModuleUpdate> = updates.iter().collect();
-    aggregate_module_wise_refs(cloud, &refs, use_importance)
+    aggregate_module_wise_impl(cloud, updates, use_importance)
 }
 
 /// [`aggregate_module_wise_with`] over update references — the form the
@@ -58,19 +62,37 @@ pub fn aggregate_module_wise_refs(
     updates: &[&ModuleUpdate],
     use_importance: bool,
 ) -> usize {
+    aggregate_module_wise_impl(cloud, updates, use_importance)
+}
+
+/// The materialized reference path, generic over owned or borrowed update
+/// slices so neither entry point re-collects a `Vec<&ModuleUpdate>`. One
+/// accumulator buffer is reused across every module.
+///
+/// Per coordinate the fold is `Σ w_k·p_k / Σ w_k` with contributions taken
+/// in update order; [`StreamingAccumulator`] performs the same operations
+/// in the same order, which is what keeps the two paths bit-identical
+/// (test-pinned).
+fn aggregate_module_wise_impl<U: Borrow<ModuleUpdate>>(
+    cloud: &mut ModularModel,
+    updates: &[U],
+    use_importance: bool,
+) -> usize {
     if updates.is_empty() {
         return 0;
     }
     let layers = cloud.num_layers();
     let n = cloud.config().modules_per_layer;
     let mut touched = 0usize;
+    let mut acc: Vec<f32> = Vec::new();
 
     for l in 0..layers {
         for i in 0..n {
             // Gather contributions with positive importance.
-            let mut acc: Option<Vec<f32>> = None;
+            acc.clear();
             let mut weight_sum = 0.0f32;
             for u in updates {
+                let u = u.borrow();
                 if !u.spec.contains(l, i) {
                     continue;
                 }
@@ -81,45 +103,311 @@ pub fn aggregate_module_wise_refs(
                     continue; // residual module: nothing to aggregate
                 }
                 let w = if use_importance { u.importance[l][i].max(1e-8) } else { 1.0 };
-                match &mut acc {
-                    None => {
-                        acc = Some(params.iter().map(|&p| p * w).collect());
-                    }
-                    Some(a) => {
-                        assert_eq!(a.len(), params.len(), "module param size mismatch at ({l},{i})");
-                        for (av, &pv) in a.iter_mut().zip(params) {
-                            *av += w * pv;
-                        }
+                if acc.is_empty() {
+                    acc.extend(params.iter().map(|&p| p * w));
+                } else {
+                    assert_eq!(acc.len(), params.len(), "module param size mismatch at ({l},{i})");
+                    for (av, &pv) in acc.iter_mut().zip(params) {
+                        *av += w * pv;
                     }
                 }
                 weight_sum += w;
             }
-            if let Some(mut a) = acc {
-                if weight_sum > 0.0 {
-                    a.iter_mut().for_each(|v| *v /= weight_sum);
-                    cloud.load_module_param_vector(l, i, &a);
-                    touched += 1;
-                }
+            if !acc.is_empty() && weight_sum > 0.0 {
+                acc.iter_mut().for_each(|v| *v /= weight_sum);
+                cloud.load_module_param_vector(l, i, &acc);
+                touched += 1;
             }
         }
     }
 
-    // Shared parts: volume-weighted average over all participants.
-    let total_volume: f32 = updates.iter().map(|u| u.data_volume as f32).sum();
+    // Shared parts: volume-weighted average over all participants. The
+    // volume weights are applied unnormalized (`Σ vol_k·p_k / Σ vol_k`,
+    // one division at the end) so a single forward pass — the streaming
+    // accumulator — can reproduce the result bit-for-bit.
+    let total_volume: f32 = updates.iter().map(|u| u.borrow().data_volume as f32).sum();
     if total_volume > 0.0 {
-        let len = updates[0].shared_params.len();
+        let len = updates[0].borrow().shared_params.len();
         let mut shared = vec![0.0f32; len];
         for u in updates {
+            let u = u.borrow();
             assert_eq!(u.shared_params.len(), len, "shared param size mismatch");
-            let w = u.data_volume as f32 / total_volume;
+            let w = u.data_volume as f32;
             for (s, &p) in shared.iter_mut().zip(&u.shared_params) {
                 *s += w * p;
             }
         }
+        shared.iter_mut().for_each(|v| *v /= total_volume);
         cloud.load_shared_param_vector(&shared);
     }
 
     touched
+}
+
+// ---------------------------------------------------------------------------
+// Streaming aggregation (constant-memory weighted mean)
+// ---------------------------------------------------------------------------
+
+/// Running weighted sum for one module.
+#[derive(Clone, Debug)]
+struct ModuleSum {
+    sum: Vec<f32>,
+    weight: f32,
+}
+
+/// Constant-memory module-wise aggregation: folds each arriving
+/// [`ModuleUpdate`] into importance-weighted sums instead of holding the
+/// round's updates until aggregation time.
+///
+/// Memory is bounded by the union of module vectors contributed so far
+/// (≤ one full model) regardless of how many updates fold in — the
+/// property that lets a round scale to 10^5–10^6 devices. Folding updates
+/// in the same order the materialized path iterates them reproduces
+/// [`aggregate_module_wise_refs`] bit-for-bit (test-pinned): per
+/// coordinate both paths compute `p_1·w_1 + w_2·p_2 + …` then divide by
+/// the same weight sum.
+///
+/// Accumulators [`merge`](Self::merge) associatively *in value* but not
+/// in f32 bits: `fold(a);fold(b)` and `merge(fold(a), fold(b))` sum in a
+/// different association. Callers that need bit-stable results across
+/// shard counts must merge partials at a canonical granularity that does
+/// not depend on the shard count (see `nebula-sim`'s cell-level fold
+/// plan).
+#[derive(Clone, Debug)]
+pub struct StreamingAccumulator {
+    use_importance: bool,
+    folded: usize,
+    modules: BTreeMap<(usize, usize), ModuleSum>,
+    shared_sum: Vec<f32>,
+    volume_sum: f32,
+}
+
+impl StreamingAccumulator {
+    /// An empty accumulator. `use_importance = false` is the plain-mean
+    /// ablation, mirroring [`aggregate_module_wise_with`].
+    pub fn new(use_importance: bool) -> Self {
+        Self { use_importance, folded: 0, modules: BTreeMap::new(), shared_sum: Vec::new(), volume_sum: 0.0 }
+    }
+
+    /// Updates folded in (directly or via merge).
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// True if nothing has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.folded == 0
+    }
+
+    /// Folds one update into the running sums. Skip rules match the
+    /// materialized path exactly: a module contributes iff the spec
+    /// contains it and its parameter vector is present and non-empty.
+    pub fn fold(&mut self, u: &ModuleUpdate) {
+        for (l, layer) in u.spec.layers().iter().enumerate() {
+            for &i in layer {
+                let Some(params) = u.module_params.get(&(l, i)) else {
+                    continue;
+                };
+                if params.is_empty() {
+                    continue; // residual module: nothing to aggregate
+                }
+                let w = if self.use_importance { u.importance[l][i].max(1e-8) } else { 1.0 };
+                match self.modules.get_mut(&(l, i)) {
+                    None => {
+                        self.modules.insert(
+                            (l, i),
+                            ModuleSum { sum: params.iter().map(|&p| p * w).collect(), weight: w },
+                        );
+                    }
+                    Some(m) => {
+                        assert_eq!(m.sum.len(), params.len(), "module param size mismatch at ({l},{i})");
+                        for (av, &pv) in m.sum.iter_mut().zip(params) {
+                            *av += w * pv;
+                        }
+                        m.weight += w;
+                    }
+                }
+            }
+        }
+        if self.folded == 0 {
+            self.shared_sum = vec![0.0; u.shared_params.len()];
+        }
+        assert_eq!(self.shared_sum.len(), u.shared_params.len(), "shared param size mismatch");
+        let w = u.data_volume as f32;
+        for (s, &p) in self.shared_sum.iter_mut().zip(&u.shared_params) {
+            *s += w * p;
+        }
+        self.volume_sum += w;
+        self.folded += 1;
+    }
+
+    /// Adds another accumulator's sums into this one (shard/cell partial
+    /// merge). Element-wise addition, so the merged value equals folding
+    /// both partials' updates into one accumulator — up to f32
+    /// association (see the type docs).
+    pub fn merge(&mut self, other: &StreamingAccumulator) {
+        assert_eq!(self.use_importance, other.use_importance, "accumulator weighting modes differ");
+        if other.folded == 0 {
+            return;
+        }
+        if self.folded == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (k, om) in &other.modules {
+            match self.modules.get_mut(k) {
+                None => {
+                    self.modules.insert(*k, om.clone());
+                }
+                Some(m) => {
+                    assert_eq!(m.sum.len(), om.sum.len(), "module param size mismatch at {k:?}");
+                    for (av, &ov) in m.sum.iter_mut().zip(&om.sum) {
+                        *av += ov;
+                    }
+                    m.weight += om.weight;
+                }
+            }
+        }
+        assert_eq!(self.shared_sum.len(), other.shared_sum.len(), "shared param size mismatch");
+        for (s, &o) in self.shared_sum.iter_mut().zip(&other.shared_sum) {
+            *s += o;
+        }
+        self.volume_sum += other.volume_sum;
+        self.folded += other.folded;
+    }
+
+    /// Divides the sums and loads them into the cloud model, in
+    /// `(layer, index)` order. Returns the number of modules touched.
+    pub fn apply(&self, cloud: &mut ModularModel) -> usize {
+        let mut touched = 0usize;
+        let mut buf: Vec<f32> = Vec::new();
+        for (&(l, i), m) in &self.modules {
+            if m.weight <= 0.0 {
+                continue;
+            }
+            buf.clear();
+            buf.extend(m.sum.iter().map(|&v| v / m.weight));
+            cloud.load_module_param_vector(l, i, &buf);
+            touched += 1;
+        }
+        if self.volume_sum > 0.0 {
+            buf.clear();
+            buf.extend(self.shared_sum.iter().map(|&v| v / self.volume_sum));
+            cloud.load_shared_param_vector(&buf);
+        }
+        touched
+    }
+
+    /// Bytes an edge→cloud upload of this partial costs on the wire
+    /// (f32 sums + one weight per module + shared sums + volume).
+    pub fn wire_bytes(&self) -> u64 {
+        let sums: usize = self.modules.values().map(|m| m.sum.len() + 1).sum();
+        ((sums + self.shared_sum.len() + 1) * 4) as u64
+    }
+}
+
+/// One edge server's contribution to a hierarchical round: either
+/// streamed constant-memory partials (WeightedMean) or the buffered
+/// updates a robust combine rule needs, plus the edge-side sanitize
+/// accounting.
+#[derive(Clone, Debug, Default)]
+pub struct EdgePartial {
+    /// Sealed accumulator groups in canonical `(group, sums)` order.
+    /// Groups are the unit the cloud merges in — per shard for lowest
+    /// memory, per cell for shard-count-invariant bits.
+    pub groups: Vec<(u64, StreamingAccumulator)>,
+    /// Updates buffered for a robust combine rule (empty when streaming).
+    pub buffered: Vec<ModuleUpdate>,
+    /// Edge-side sanitize accounting (streaming mode only; buffered
+    /// updates run the full gate at the cloud).
+    pub report: SanitizeReport,
+    /// Devices that reported to this edge.
+    pub devices: usize,
+}
+
+impl EdgePartial {
+    /// Bytes the edge→cloud upload costs.
+    pub fn wire_bytes(&self) -> u64 {
+        let streamed: u64 = self.groups.iter().map(|(_, a)| a.wire_bytes()).sum();
+        let buffered: u64 = self.buffered.iter().map(update_wire_bytes).sum();
+        streamed + buffered
+    }
+}
+
+fn update_wire_bytes(u: &ModuleUpdate) -> u64 {
+    let module: usize = u.module_params.values().map(Vec::len).sum();
+    ((module + u.shared_params.len()) * 4) as u64
+}
+
+/// The aggregation half of an edge server: ingests device updates as they
+/// arrive and emits an [`EdgePartial`] for the cloud.
+///
+/// In `WeightedMean` mode updates are folded immediately (constant
+/// memory); the edge applies the sanitize gate's non-finite check at fold
+/// time, but the cross-cohort norm-outlier check is unavailable — it
+/// needs the whole cohort's norms *before* any fold, and a fold cannot be
+/// undone bit-exactly. Robust rules (median/trimmed-mean/Krum) buffer
+/// updates instead and leave the full sanitize gate to the cloud: that is
+/// the documented memory/robustness trade-off.
+#[derive(Clone, Debug)]
+pub struct EdgeAccumulator {
+    aggregator: RobustAggregator,
+    policy: SanitizePolicy,
+    use_importance: bool,
+    acc: StreamingAccumulator,
+    partial: EdgePartial,
+}
+
+impl EdgeAccumulator {
+    pub fn new(aggregator: RobustAggregator, policy: SanitizePolicy, use_importance: bool) -> Self {
+        Self {
+            aggregator,
+            policy,
+            use_importance,
+            acc: StreamingAccumulator::new(use_importance),
+            partial: EdgePartial::default(),
+        }
+    }
+
+    /// Whether this edge streams (WeightedMean) or buffers (robust rules).
+    pub fn streaming(&self) -> bool {
+        self.aggregator == RobustAggregator::WeightedMean
+    }
+
+    /// Ingests one device update. Returns false if the edge rejected it
+    /// (streaming mode, non-finite parameters).
+    pub fn ingest(&mut self, u: ModuleUpdate) -> bool {
+        self.partial.devices += 1;
+        if self.streaming() {
+            if self.policy.reject_non_finite && !update_is_finite(&u) {
+                self.partial.report.rejected_non_finite += 1;
+                return false;
+            }
+            self.partial.report.accepted += 1;
+            self.acc.fold(&u);
+        } else {
+            self.partial.buffered.push(u);
+        }
+        true
+    }
+
+    /// Seals the open accumulator as canonical group `group`. Call once
+    /// per cell for shard-count-invariant bits; never call mid-round for
+    /// one group per shard (lowest memory).
+    pub fn seal(&mut self, group: u64) {
+        if self.acc.is_empty() {
+            return;
+        }
+        let sealed = std::mem::replace(&mut self.acc, StreamingAccumulator::new(self.use_importance));
+        self.partial.groups.push((group, sealed));
+    }
+
+    /// Finishes the round: seals any open accumulator under `group` and
+    /// returns the partial for the cloud.
+    pub fn finish(mut self, group: u64) -> EdgePartial {
+        self.seal(group);
+        self.partial
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -367,7 +655,10 @@ impl SanitizeReport {
     }
 }
 
-fn update_is_finite(u: &ModuleUpdate) -> bool {
+/// Whether every parameter and importance weight the update carries is
+/// finite — the sanitize check an edge can run per update at fold time,
+/// without buffering the cohort.
+pub fn update_is_finite(u: &ModuleUpdate) -> bool {
     u.module_params.values().all(|p| p.iter().all(|v| v.is_finite()))
         && u.shared_params.iter().all(|v| v.is_finite())
         && u.importance.iter().all(|row| row.iter().all(|v| v.is_finite()))
@@ -399,11 +690,14 @@ fn update_rms_norm(u: &ModuleUpdate) -> f32 {
 /// uploads that are still finite). A permissive policy that accepts
 /// everything returns the identity, so fault-free rounds aggregate
 /// exactly as before.
-pub fn sanitize_updates(updates: &[ModuleUpdate], policy: &SanitizePolicy) -> (Vec<usize>, SanitizeReport) {
+pub fn sanitize_updates<U: Borrow<ModuleUpdate>>(
+    updates: &[U],
+    policy: &SanitizePolicy,
+) -> (Vec<usize>, SanitizeReport) {
     let mut report = SanitizeReport::default();
     let mut finite: Vec<usize> = Vec::with_capacity(updates.len());
     for (i, u) in updates.iter().enumerate() {
-        if policy.reject_non_finite && !update_is_finite(u) {
+        if policy.reject_non_finite && !update_is_finite(u.borrow()) {
             report.rejected_non_finite += 1;
         } else {
             finite.push(i);
@@ -411,7 +705,7 @@ pub fn sanitize_updates(updates: &[ModuleUpdate], policy: &SanitizePolicy) -> (V
     }
 
     let kept: Vec<usize> = if finite.len() >= 3 && policy.norm_outlier_ratio.is_finite() {
-        let mut norms: Vec<f32> = finite.iter().map(|&i| update_rms_norm(&updates[i])).collect();
+        let mut norms: Vec<f32> = finite.iter().map(|&i| update_rms_norm(updates[i].borrow())).collect();
         let mut sorted = norms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite norms"));
         let median = sorted[sorted.len() / 2];
@@ -466,7 +760,7 @@ mod tests {
         offset: f32,
         volume: usize,
     ) -> ModuleUpdate {
-        let mut module_params = HashMap::new();
+        let mut module_params = BTreeMap::new();
         for (l, layer) in spec.layers().iter().enumerate() {
             for &i in layer {
                 let p: Vec<f32> = cloud.module_param_vector(l, i).iter().map(|v| v + offset).collect();
@@ -751,6 +1045,146 @@ mod tests {
         let after = c.param_vector();
         assert_eq!(after, before, "all-rejected round must be a no-op");
         assert!(after.iter().all(|v| v.is_finite()));
+    }
+
+    // --- streaming accumulator --------------------------------------------
+
+    /// A mixed cohort: overlapping specs, varying importance/volumes, one
+    /// residual (empty) module, one missing entry.
+    fn mixed_cohort(c: &ModularModel) -> Vec<ModuleUpdate> {
+        let mut ups = Vec::new();
+        for k in 0..5usize {
+            let spec = if k % 2 == 0 {
+                SubModelSpec::new(vec![vec![0, 1], vec![k % 3]])
+            } else {
+                SubModelSpec::new(vec![vec![k % 3], vec![0, 2]])
+            };
+            let imp = vec![vec![0.1 + 0.3 * k as f32; 4]; 2];
+            let mut u = update_for(c, spec, imp, 0.4 * k as f32 - 0.7, 5 + 7 * k);
+            if k == 2 {
+                u.module_params.insert((1, 2), Vec::new()); // residual
+            }
+            if k == 3 {
+                u.module_params.remove(&(1, 0)); // torn upload
+            }
+            ups.push(u);
+        }
+        ups
+    }
+
+    #[test]
+    fn streaming_fold_matches_materialized_bitwise() {
+        for use_importance in [true, false] {
+            let c = cloud();
+            let ups = mixed_cohort(&c);
+            let mut reference = cloud();
+            let touched_ref = aggregate_module_wise_with(&mut reference, &ups, use_importance);
+
+            let mut acc = StreamingAccumulator::new(use_importance);
+            for u in &ups {
+                acc.fold(u);
+            }
+            let mut streamed = cloud();
+            let touched_stream = acc.apply(&mut streamed);
+            assert_eq!(touched_ref, touched_stream);
+            assert_eq!(
+                reference.param_vector(),
+                streamed.param_vector(),
+                "streaming fold must be bit-identical (use_importance={use_importance})"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_partials_equal_single_fold_within_tolerance() {
+        let c = cloud();
+        let ups = mixed_cohort(&c);
+        let mut whole = StreamingAccumulator::new(true);
+        for u in &ups {
+            whole.fold(u);
+        }
+        let mut left = StreamingAccumulator::new(true);
+        let mut right = StreamingAccumulator::new(true);
+        for u in &ups[..2] {
+            left.fold(u);
+        }
+        for u in &ups[2..] {
+            right.fold(u);
+        }
+        left.merge(&right);
+        assert_eq!(left.folded(), whole.folded());
+        let mut a = cloud();
+        let mut b = cloud();
+        whole.apply(&mut a);
+        left.apply(&mut b);
+        for (x, y) in a.param_vector().iter().zip(b.param_vector()) {
+            nebula_tensor::assert_close(*x, y, 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_is_a_noop() {
+        let mut c = cloud();
+        let before = c.param_vector();
+        let acc = StreamingAccumulator::new(true);
+        assert!(acc.is_empty());
+        assert_eq!(acc.apply(&mut c), 0);
+        assert_eq!(c.param_vector(), before);
+    }
+
+    #[test]
+    fn edge_accumulator_streams_and_rejects_non_finite() {
+        let c = cloud();
+        let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
+        let good = update_for(&c, spec.clone(), vec![vec![1.0; 4]; 2], 1.0, 10);
+        let bad = poisoned(&c, 1.0);
+        let mut edge = EdgeAccumulator::new(RobustAggregator::WeightedMean, SanitizePolicy::default(), true);
+        assert!(edge.streaming());
+        assert!(edge.ingest(good.clone()));
+        assert!(!edge.ingest(bad));
+        let partial = edge.finish(0);
+        assert_eq!(partial.devices, 2);
+        assert_eq!(partial.report.rejected_non_finite, 1);
+        assert_eq!(partial.report.accepted, 1);
+        assert_eq!(partial.groups.len(), 1);
+        assert!(partial.buffered.is_empty());
+        assert!(partial.wire_bytes() > 0);
+
+        // The streamed partial equals aggregating the surviving update.
+        let mut reference = cloud();
+        aggregate_module_wise_with(&mut reference, &[good], true);
+        let mut streamed = cloud();
+        partial.groups[0].1.apply(&mut streamed);
+        assert_eq!(reference.param_vector(), streamed.param_vector());
+    }
+
+    #[test]
+    fn edge_accumulator_buffers_for_robust_rules() {
+        let c = cloud();
+        let ups = attacked_round(&c);
+        let mut edge =
+            EdgeAccumulator::new(RobustAggregator::CoordinateMedian, SanitizePolicy::default(), true);
+        assert!(!edge.streaming());
+        for u in &ups {
+            assert!(edge.ingest(u.clone()));
+        }
+        let partial = edge.finish(0);
+        assert_eq!(partial.buffered.len(), ups.len());
+        assert!(partial.groups.is_empty(), "robust mode must not fold");
+    }
+
+    #[test]
+    fn sealed_groups_preserve_cell_order() {
+        let c = cloud();
+        let ups = mixed_cohort(&c);
+        let mut edge = EdgeAccumulator::new(RobustAggregator::WeightedMean, SanitizePolicy::default(), true);
+        for (k, u) in ups.iter().enumerate() {
+            edge.ingest(u.clone());
+            edge.seal(k as u64); // one group per update
+        }
+        let partial = edge.finish(99);
+        let groups: Vec<u64> = partial.groups.iter().map(|(g, _)| *g).collect();
+        assert_eq!(groups, vec![0, 1, 2, 3, 4], "seal order must be the ingest order");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! account communication exactly (paper Fig. 7).
 
 use crate::aggregate::{
-    aggregate_module_wise, aggregate_module_wise_robust, sanitize_updates, ModuleUpdate, RobustAggregator,
-    SanitizePolicy, SanitizeReport,
+    aggregate_module_wise, aggregate_module_wise_robust, sanitize_updates, EdgePartial, ModuleUpdate,
+    RobustAggregator, SanitizePolicy, SanitizeReport, StreamingAccumulator,
 };
 use crate::checkpoint::{self, Checkpoint, CheckpointError};
 use crate::derive::{derive_submodel, DeriveOutcome};
@@ -18,7 +18,7 @@ use nebula_data::Dataset;
 use nebula_modular::cost::CostModel;
 use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
 use nebula_tensor::NebulaRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Framework hyper-parameters (paper §6.1 defaults).
 #[derive(Clone, Copy, Debug)]
@@ -51,8 +51,9 @@ impl Default for NebulaParams {
 pub struct SubModelPayload {
     /// The sub-model structure.
     pub spec: SubModelSpec,
-    /// Parameters of each included module (residuals ship empty vectors).
-    pub module_params: HashMap<(usize, usize), Vec<f32>>,
+    /// Parameters of each included module (residuals ship empty vectors),
+    /// in deterministic `(layer, index)` order.
+    pub module_params: BTreeMap<(usize, usize), Vec<f32>>,
     /// Shared stem/head/selector parameters.
     pub shared_params: Vec<f32>,
 }
@@ -138,7 +139,7 @@ impl NebulaCloud {
     /// Packages a sub-model for shipping to a device.
     pub fn dispatch(&self, spec: &SubModelSpec) -> SubModelPayload {
         spec.validate(self.model.num_layers(), self.model.config().modules_per_layer);
-        let mut module_params = HashMap::new();
+        let mut module_params = BTreeMap::new();
         for (l, layer) in spec.layers().iter().enumerate() {
             for &i in layer {
                 module_params.insert((l, i), self.model.module_param_vector(l, i));
@@ -178,6 +179,80 @@ impl NebulaCloud {
         let refs: Vec<&ModuleUpdate> = kept.iter().map(|&i| &updates[i]).collect();
         let touched = aggregate_module_wise_robust(&mut self.model, &refs, aggregator, true);
         AggregateOutcome { touched, sanitize }
+    }
+
+    /// Applies a streamed accumulator to the cloud model. Returns the
+    /// number of modules touched. Callers that need the sanitize gate
+    /// should have applied its per-update checks at fold time (see
+    /// [`crate::aggregate::EdgeAccumulator`]).
+    pub fn apply_accumulator(&mut self, acc: &StreamingAccumulator) -> usize {
+        acc.apply(&mut self.model)
+    }
+
+    /// Hierarchical aggregation: merges edge partials into the cloud
+    /// model, in the order given.
+    ///
+    /// Streamed groups (WeightedMean) are merged left-to-right across all
+    /// partials — callers pass partials in shard order, so group order is
+    /// the canonical cell order and the result does not depend on how
+    /// cells were assigned to shards. Buffered updates (robust combine
+    /// rules) are concatenated in the same order and pushed through the
+    /// full sanitize gate + robust rule, exactly as a flat round would.
+    pub fn absorb_partials(
+        &mut self,
+        partials: &[EdgePartial],
+        policy: &SanitizePolicy,
+        aggregator: RobustAggregator,
+    ) -> AggregateOutcome {
+        let mut sanitize = SanitizeReport::default();
+        let mut merged: Option<StreamingAccumulator> = None;
+        for p in partials {
+            sanitize.accepted += p.report.accepted;
+            sanitize.rejected_non_finite += p.report.rejected_non_finite;
+            sanitize.rejected_outlier += p.report.rejected_outlier;
+            for (_, group) in &p.groups {
+                match &mut merged {
+                    None => merged = Some(group.clone()),
+                    Some(m) => m.merge(group),
+                }
+            }
+        }
+        let mut touched = match &merged {
+            Some(m) => m.apply(&mut self.model),
+            None => 0,
+        };
+        let buffered: Vec<&ModuleUpdate> = partials.iter().flat_map(|p| p.buffered.iter()).collect();
+        if !buffered.is_empty() {
+            let (kept, report) = sanitize_updates(&buffered, policy);
+            let refs: Vec<&ModuleUpdate> = kept.iter().map(|&i| buffered[i]).collect();
+            touched += aggregate_module_wise_robust(&mut self.model, &refs, aggregator, true);
+            sanitize.accepted += report.accepted;
+            sanitize.rejected_non_finite += report.rejected_non_finite;
+            sanitize.rejected_outlier += report.rejected_outlier;
+        }
+        AggregateOutcome { touched, sanitize }
+    }
+
+    /// [`NebulaCloud::absorb_partials`] under the checkpoint-rollback
+    /// guard (same contract as [`NebulaCloud::aggregate_guarded_with`]).
+    pub fn absorb_partials_guarded(
+        &mut self,
+        partials: &[EdgePartial],
+        policy: &SanitizePolicy,
+        aggregator: RobustAggregator,
+        mut probe: impl FnMut(&mut ModularModel) -> f32,
+        max_drop: f32,
+    ) -> GuardedOutcome {
+        let ckpt = checkpoint::snapshot(&self.model);
+        let acc_before = probe(&mut self.model);
+        let out = self.absorb_partials(partials, policy, aggregator);
+        let acc_after = probe(&mut self.model);
+        let rolled_back = !acc_after.is_finite() || acc_after < acc_before - max_drop;
+        if rolled_back {
+            checkpoint::restore(&mut self.model, &ckpt)
+                .expect("a snapshot of the same model always restores");
+        }
+        GuardedOutcome { touched: out.touched, sanitize: out.sanitize, rolled_back, acc_before, acc_after }
     }
 
     /// In-memory checkpoint of the cloud model (for the rollback guard).
@@ -296,7 +371,7 @@ mod tests {
 
     fn honest_update(c: &NebulaCloud, offset: f32) -> ModuleUpdate {
         let spec = SubModelSpec::new(vec![vec![0], vec![0]]);
-        let mut module_params = HashMap::new();
+        let mut module_params = BTreeMap::new();
         for (l, layer) in spec.layers().iter().enumerate() {
             for &i in layer {
                 let p: Vec<f32> = c.model().module_param_vector(l, i).iter().map(|v| v + offset).collect();

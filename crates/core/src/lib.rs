@@ -38,13 +38,13 @@ pub mod transport;
 
 pub use aggregate::{
     aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_robust,
-    aggregate_module_wise_with, discount_staleness, sanitize_updates, ModuleUpdate, RobustAggregator,
-    SanitizePolicy, SanitizeReport,
+    aggregate_module_wise_with, discount_staleness, sanitize_updates, update_is_finite, EdgeAccumulator,
+    EdgePartial, ModuleUpdate, RobustAggregator, SanitizePolicy, SanitizeReport, StreamingAccumulator,
 };
 pub use checkpoint::{restore, snapshot, Checkpoint, CheckpointError};
 pub use cloud::{AggregateOutcome, GuardedOutcome, NebulaCloud, NebulaParams, SubModelPayload};
 pub use derive::{derive_submodel, derive_submodel_with_codec, DeriveOutcome};
-pub use edge::{EdgeClient, EdgeClientState, EdgeUpdate};
+pub use edge::{EdgeClient, EdgeClientState, EdgeServer, EdgeUpdate};
 pub use journal::{
     read_journal, write_atomic, DurabilityError, JournalContents, JournalWriter, LoadedSnapshot,
     SnapshotStore,

@@ -30,7 +30,7 @@ use nebula_telemetry::Telemetry;
 use nebula_wire::codec::{self, CodecKind};
 use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
 use nebula_wire::{FrameKey, ModuleRegistry, ResidualStore, WireError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Transport configuration, chosen per strategy/config.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -280,7 +280,7 @@ impl WireContext {
 
     fn decode_payload_impl(&mut self, device: u64, bytes: &[u8]) -> Result<SubModelPayload, WireError> {
         let view = FrameView::parse_keyed(bytes, self.key_for(device).as_ref())?;
-        let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
+        let mut module_params: BTreeMap<(usize, usize), Vec<f32>> = BTreeMap::new();
         let mut shared_params = Vec::new();
         let mut version = 0u64;
         for rec in view.records() {
@@ -383,7 +383,7 @@ impl WireContext {
         bytes: &[u8],
     ) -> Result<ModuleUpdate, WireError> {
         let view = FrameView::parse_keyed(bytes, key)?;
-        let mut module_params: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
+        let mut module_params: BTreeMap<(usize, usize), Vec<f32>> = BTreeMap::new();
         let mut shared_params = Vec::new();
         let mut importance_rows: Vec<(usize, Vec<f32>)> = Vec::new();
         let mut data_volume = 0usize;

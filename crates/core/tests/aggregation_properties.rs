@@ -3,12 +3,12 @@
 
 use nebula_core::{
     aggregate_module_wise, aggregate_module_wise_refs, aggregate_module_wise_robust, ModuleUpdate,
-    RobustAggregator,
+    RobustAggregator, StreamingAccumulator,
 };
 use nebula_modular::{ModularConfig, ModularModel, SubModelSpec};
 use nebula_nn::Layer;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn cloud(seed: u64) -> ModularModel {
     let mut cfg = ModularConfig::toy(8, 3);
@@ -26,7 +26,7 @@ fn offset_update(
     importance: f32,
     volume: usize,
 ) -> ModuleUpdate {
-    let mut module_params = HashMap::new();
+    let mut module_params = BTreeMap::new();
     for (l, layer) in spec.layers().iter().enumerate() {
         for &i in layer {
             let p: Vec<f32> = cloud.module_param_vector(l, i).iter().map(|v| v + offset).collect();
@@ -240,6 +240,75 @@ proptest! {
         prop_assert_eq!(pa.len(), pb.len());
         for (x, y) in pa.iter().zip(&pb) {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "WeightedMean diverged from reference");
+        }
+    }
+
+    #[test]
+    fn streaming_fold_matches_materialized_bit_for_bit(
+        spec in arb_spec(),
+        offsets in proptest::collection::vec(-3.0f32..3.0, 1..=8),
+        seed in 0u64..100,
+    ) {
+        // The constant-memory streaming path must be indistinguishable —
+        // not just close — from materializing the whole cohort: same
+        // touched count, bit-identical parameters, for arbitrary specs,
+        // importance values and volumes.
+        let c = cloud(seed);
+        let ups: Vec<ModuleUpdate> = offsets
+            .iter()
+            .enumerate()
+            .map(|(k, &o)| offset_update(&c, &spec, o, 0.1 + 0.9 * k as f32, 5 + 7 * k))
+            .collect();
+        let refs: Vec<&ModuleUpdate> = ups.iter().collect();
+        let mut materialized = cloud(seed);
+        let tm = aggregate_module_wise_refs(&mut materialized, &refs, true);
+        let mut streamed = cloud(seed);
+        let mut acc = StreamingAccumulator::new(true);
+        for u in &ups {
+            acc.fold(u);
+        }
+        let ts = acc.apply(&mut streamed);
+        prop_assert_eq!(tm, ts, "touched counts diverged");
+        for (x, y) in materialized.param_vector().iter().zip(&streamed.param_vector()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "streaming diverged from materialized");
+        }
+    }
+
+    #[test]
+    fn merged_shard_accumulators_stay_close_to_single_fold(
+        spec in arb_spec(),
+        offsets in proptest::collection::vec(-3.0f32..3.0, 2..=9),
+        cut in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        // Shard-merge equivalence: folding the cohort in two shard
+        // accumulators and merging is the same sum in a different
+        // association order, so results agree to fp tolerance (the
+        // PerCell fold plan exists precisely to make this *bit*-stable).
+        let c = cloud(seed);
+        let ups: Vec<ModuleUpdate> = offsets
+            .iter()
+            .enumerate()
+            .map(|(k, &o)| offset_update(&c, &spec, o, 0.3 + k as f32, 10 + k))
+            .collect();
+        let cut = cut.min(ups.len() - 1).max(1);
+        let mut single = StreamingAccumulator::new(true);
+        for u in &ups {
+            single.fold(u);
+        }
+        let (mut left, mut right) = (StreamingAccumulator::new(true), StreamingAccumulator::new(true));
+        for u in &ups[..cut] {
+            left.fold(u);
+        }
+        for u in &ups[cut..] {
+            right.fold(u);
+        }
+        left.merge(&right);
+        let mut a = cloud(seed);
+        let mut b = cloud(seed);
+        prop_assert_eq!(single.apply(&mut a), left.apply(&mut b));
+        for (x, y) in a.param_vector().iter().zip(&b.param_vector()) {
+            prop_assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0), "merge drifted: {x} vs {y}");
         }
     }
 

@@ -333,13 +333,12 @@ pub fn corrupt_elements(params: &mut [f32], frac: f32, rng: &mut NebulaRng, mut 
 }
 
 /// Visits every parameter tensor of an update in a deterministic order
-/// (sorted module keys, then the shared part) — corruption and attacks
-/// that consume RNG draws must not depend on `HashMap` iteration order.
+/// (module keys in `(layer, index)` order — `module_params` is a
+/// `BTreeMap` — then the shared part): corruption and attacks that
+/// consume RNG draws see a stable tensor sequence.
 fn for_each_tensor(update: &mut ModuleUpdate, mut f: impl FnMut(&mut [f32])) {
-    let mut keys: Vec<(usize, usize)> = update.module_params.keys().copied().collect();
-    keys.sort_unstable();
-    for k in keys {
-        f(update.module_params.get_mut(&k).expect("key just listed"));
+    for params in update.module_params.values_mut() {
+        f(params);
     }
     f(&mut update.shared_params);
 }
@@ -523,7 +522,7 @@ pub fn attack_dense_mean(params: &mut [f32], plan: &AdversaryPlan, frac: f32, se
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn plan(p: f64) -> FaultPlan {
         FaultPlan {
@@ -545,7 +544,7 @@ mod tests {
     fn toy_update(n: usize) -> ModuleUpdate {
         ModuleUpdate {
             spec: nebula_modular::SubModelSpec::new(vec![vec![0]]),
-            module_params: HashMap::from([((0, 0), vec![1.0f32; n])]),
+            module_params: BTreeMap::from([((0, 0), vec![1.0f32; n])]),
             shared_params: vec![2.0f32; n],
             importance: vec![vec![1.0]],
             data_volume: 10,

@@ -20,6 +20,10 @@
 //!   types every strategy shares.
 //! * [`world`] — the device population plus the drift process advancing
 //!   it through time slots.
+//! * [`shard`] — the sharded round engine for 10^5–10^6-device *virtual*
+//!   populations: devices materialized on demand from per-id seeds,
+//!   per-shard edge replicas folding streaming partials, simulated
+//!   hierarchical round clock.
 //! * [`strategy`] — the six adaptation systems behind Table 1 / Figs 7–11
 //!   (NA, LA, AN, FA, HFL, Nebula) behind one trait.
 //! * [`experiment`] — shared drivers: one adaptation step, rounds-to-
@@ -40,6 +44,7 @@ pub mod latency;
 pub mod network;
 pub mod resources;
 pub mod runner;
+pub mod shard;
 pub mod strategy;
 pub mod world;
 
@@ -58,6 +63,9 @@ pub use nebula_core::stats::RoundStats;
 pub use network::CommTracker;
 pub use resources::{DeviceClass, DeviceResources, ResourceSampler};
 pub use runner::{RunOutcome, Runner};
+pub use shard::{
+    FoldPlan, LinkModel, RoundMode, ShardConfig, ShardRound, ShardSpec, ShardedWorld, VirtualDevice,
+};
 pub use strategy::{
     AdaptStrategy, AdaptiveNetStrategy, FedAvgStrategy, HeteroFlStrategy, LocalAdaptStrategy, NebulaStrategy,
     NebulaVariant, NoAdaptStrategy,

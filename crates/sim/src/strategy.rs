@@ -27,8 +27,8 @@ use nebula_baselines::{
     fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::{
-    discount_staleness, EdgeClient, EdgeClientState, EdgeUpdate, NebulaCloud, NebulaParams, RobustAggregator,
-    RoundStats, SanitizePolicy, WireConfig, WireContext,
+    discount_staleness, EdgeAccumulator, EdgeClient, EdgeClientState, EdgePartial, EdgeUpdate, NebulaCloud,
+    NebulaParams, RobustAggregator, RoundStats, SanitizePolicy, WireConfig, WireContext,
 };
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
@@ -92,6 +92,16 @@ pub struct StrategyConfig {
     /// aggregation, bit-identical to the unparameterized path; the robust
     /// rules trade clean-run fidelity for Byzantine tolerance.
     pub aggregator: RobustAggregator,
+    /// Hierarchical cloud→edge→device fan-out (DESIGN.md §14): the
+    /// accepted cohort is folded at this many simulated edge servers
+    /// (contiguous chunks in cohort order) and the cloud merges one
+    /// partial per edge, in edge order. `None` keeps the flat
+    /// direct-to-cloud path. Under `WeightedMean` each edge streams its
+    /// chunk into a constant-memory accumulator, so the cloud-side cost
+    /// is O(edges), not O(devices); robust rules buffer per edge and run
+    /// the full sanitize gate + combine rule at the cloud, matching the
+    /// flat trajectory exactly.
+    pub edge_groups: Option<usize>,
 }
 
 impl StrategyConfig {
@@ -109,6 +119,7 @@ impl StrategyConfig {
             proxy_samples: 3000,
             wire: WireConfig::raw(),
             aggregator: RobustAggregator::WeightedMean,
+            edge_groups: None,
         }
     }
 
@@ -1470,21 +1481,45 @@ impl NebulaStrategy {
         // checkpoint-rollback guard.
         let mut agg_span = telemetry.span("aggregate");
         agg_span.int("accepted", accepted.len() as u64);
-        let outcome = match &self.rollback {
-            Some((probe, max_drop)) => {
-                let out = self.cloud.aggregate_guarded_with(
-                    &accepted,
-                    &self.sanitize,
-                    self.aggregator,
-                    |m| nebula_data::evaluate_accuracy(m, probe, 64),
-                    *max_drop,
-                );
-                if out.rolled_back {
-                    report.rolled_back += 1;
+        let outcome = if let Some(partials) = self.edge_partials(&accepted) {
+            // Hierarchical fan-out: the cloud only ever sees one partial
+            // per edge group. (Edge→cloud backhaul byte/latency accounting
+            // lives in the sharded engine; `comm` here stays the
+            // device-side traffic, identical to the flat path.)
+            agg_span.int("edge_partials", partials.len() as u64);
+            match &self.rollback {
+                Some((probe, max_drop)) => {
+                    let out = self.cloud.absorb_partials_guarded(
+                        &partials,
+                        &self.sanitize,
+                        self.aggregator,
+                        |m| nebula_data::evaluate_accuracy(m, probe, 64),
+                        *max_drop,
+                    );
+                    if out.rolled_back {
+                        report.rolled_back += 1;
+                    }
+                    nebula_core::AggregateOutcome { touched: out.touched, sanitize: out.sanitize }
                 }
-                nebula_core::AggregateOutcome { touched: out.touched, sanitize: out.sanitize }
+                None => self.cloud.absorb_partials(&partials, &self.sanitize, self.aggregator),
             }
-            None => self.cloud.aggregate_robust_with(&accepted, &self.sanitize, self.aggregator),
+        } else {
+            match &self.rollback {
+                Some((probe, max_drop)) => {
+                    let out = self.cloud.aggregate_guarded_with(
+                        &accepted,
+                        &self.sanitize,
+                        self.aggregator,
+                        |m| nebula_data::evaluate_accuracy(m, probe, 64),
+                        *max_drop,
+                    );
+                    if out.rolled_back {
+                        report.rolled_back += 1;
+                    }
+                    nebula_core::AggregateOutcome { touched: out.touched, sanitize: out.sanitize }
+                }
+                None => self.cloud.aggregate_robust_with(&accepted, &self.sanitize, self.aggregator),
+            }
         };
         report.rejected += outcome.sanitize.rejected() as u64;
         if telemetry.enabled() {
@@ -1512,6 +1547,31 @@ impl NebulaStrategy {
         note_round(&telemetry, round, &comm, &report, round_time_ms);
         round_span.num("time_ms", round_time_ms);
         RoundOutcome { stats: RoundStats { comm, adapt_time_ms: 0.0, faults: report }, round_time_ms }
+    }
+
+    /// Folds the accepted cohort at `cfg.edge_groups` simulated edge
+    /// servers — contiguous chunks in cohort order — and returns their
+    /// partials in edge order. `None` when the hierarchy is disabled (or
+    /// configured with zero edges), which keeps the flat path.
+    fn edge_partials(&self, accepted: &[EdgeUpdate]) -> Option<Vec<EdgePartial>> {
+        let groups = self.cfg.edge_groups?;
+        if groups == 0 {
+            return None;
+        }
+        let chunk = accepted.len().div_ceil(groups.min(accepted.len())).max(1);
+        Some(
+            accepted
+                .chunks(chunk)
+                .enumerate()
+                .map(|(g, block)| {
+                    let mut edge = EdgeAccumulator::new(self.aggregator, self.sanitize, true);
+                    for u in block {
+                        edge.ingest(u.clone());
+                    }
+                    edge.finish(g as u64)
+                })
+                .collect(),
+        )
     }
 
     /// Refreshes (or creates) the tracked device's client from the cloud:

@@ -2,6 +2,7 @@
 //! the drift process that advances it through time slots.
 
 use crate::device::SimDevice;
+use crate::durability::RunError;
 use crate::faults::{DeviceFate, FaultPlan, RoundPolicy};
 use crate::resources::ResourceSampler;
 use nebula_data::partition::{cooccurrence_groups, partition, PartitionSpec, Partitioner};
@@ -70,15 +71,23 @@ impl SimWorld {
     /// Builds the paper's real-world testbed population (Fig. 6): 10
     /// Jetson Nanos and 10 Raspberry Pi 4Bs on a WiFi LAN, with fixed
     /// (non-sampled) hardware per device class.
+    ///
+    /// Errors with [`RunError::InvalidConfig`] when the partition spec
+    /// does not describe the testbed's 20 devices.
     pub fn testbed(
         synth: Synthesizer,
         partition_spec: PartitionSpec,
         group_seed: u64,
         drift: Option<DriftModel>,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, RunError> {
         use crate::resources::{DeviceClass, DeviceResources};
-        assert_eq!(partition_spec.devices, 20, "the paper's testbed has 20 devices");
+        if partition_spec.devices != 20 {
+            return Err(RunError::InvalidConfig(format!(
+                "the paper's testbed has 20 devices, partition spec describes {}",
+                partition_spec.devices
+            )));
+        }
         let mut rng = NebulaRng::seed(seed);
         let parts = partition(&synth, &partition_spec, group_seed, &mut rng);
         let hw = |class: DeviceClass| match class {
@@ -108,7 +117,7 @@ impl SimWorld {
                 SimDevice::new(id, p, hw(class), drng, &synth)
             })
             .collect();
-        Self {
+        Ok(Self {
             synth,
             devices,
             drift,
@@ -119,7 +128,7 @@ impl SimWorld {
             faults: FaultPlan::none(),
             policy: RoundPolicy::default(),
             rounds_started: 0,
-        }
+        })
     }
 
     /// Installs a fault plan; every strategy run on this world afterwards
@@ -318,7 +327,7 @@ mod tests {
         use crate::resources::DeviceClass;
         let synth = Synthesizer::new(SynthSpec::toy(), 1);
         let spec = PartitionSpec::new(20, Partitioner::LabelSkew { m: 2 });
-        let w = SimWorld::testbed(synth, spec, 9, None, 5);
+        let w = SimWorld::testbed(synth, spec, 9, None, 5).expect("valid 20-device testbed spec");
         let nanos = w.devices.iter().filter(|d| d.resources.class == DeviceClass::MobileSoc).count();
         assert_eq!(nanos, 10);
         assert_eq!(w.num_devices(), 20);
@@ -329,11 +338,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "20 devices")]
     fn testbed_rejects_wrong_population_size() {
         let synth = Synthesizer::new(SynthSpec::toy(), 1);
         let spec = PartitionSpec::new(8, Partitioner::Iid);
-        SimWorld::testbed(synth, spec, 9, None, 5);
+        match SimWorld::testbed(synth, spec, 9, None, 5) {
+            Err(RunError::InvalidConfig(msg)) => {
+                assert!(msg.contains("20 devices"), "unhelpful error: {msg}");
+                assert!(msg.contains('8'), "error should name the bad count: {msg}");
+            }
+            Err(e) => panic!("wrong error variant: {e}"),
+            Ok(_) => panic!("8-device testbed spec must be rejected"),
+        }
     }
 
     #[test]

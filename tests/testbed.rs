@@ -10,7 +10,7 @@ use nebula::sim::{DeviceClass, NebulaStrategy, SimWorld};
 fn testbed() -> SimWorld {
     let synth = Synthesizer::new(SynthSpec::toy(), 1);
     let spec = PartitionSpec::new(20, Partitioner::LabelSkew { m: 2 });
-    SimWorld::testbed(synth, spec, 9, None, 5)
+    SimWorld::testbed(synth, spec, 9, None, 5).expect("valid 20-device testbed spec")
 }
 
 fn toy_cfg() -> StrategyConfig {
