@@ -384,6 +384,9 @@ impl EdgeAccumulator {
                 return false;
             }
             self.partial.report.accepted += 1;
+            if self.policy.norm_outlier_ratio.is_finite() {
+                self.partial.report.outlier_check_skipped += 1;
+            }
             self.acc.fold(&u);
         } else {
             self.partial.buffered.push(u);
@@ -631,6 +634,12 @@ pub struct SanitizePolicy {
     /// the round's median RMS norm (needs ≥ 3 finite updates to have a
     /// trustworthy median). RMS — not raw L2 — so devices with different
     /// sub-model sizes are comparable.
+    ///
+    /// The check needs every cohort norm *before* any fold, so streaming
+    /// paths ([`EdgeAccumulator`] under `WeightedMean` — `edge_groups`,
+    /// `ShardedWorld`) cannot run it: finite updates fold in unchecked.
+    /// That is not silent — every accept that bypassed an enabled check
+    /// is counted in [`SanitizeReport::outlier_check_skipped`].
     pub norm_outlier_ratio: f32,
 }
 
@@ -646,6 +655,13 @@ pub struct SanitizeReport {
     pub accepted: usize,
     pub rejected_non_finite: usize,
     pub rejected_outlier: usize,
+    /// Accepted updates that never faced an *enabled* norm-outlier check
+    /// — folded at a streaming edge, or part of a cohort too small for a
+    /// trustworthy median. Zero whenever `norm_outlier_ratio` is
+    /// infinite (check disabled) or the full gate ran. Non-zero means
+    /// `rejected_outlier == 0` is absence of evidence, not evidence of
+    /// absence.
+    pub outlier_check_skipped: usize,
 }
 
 impl SanitizeReport {
@@ -720,6 +736,11 @@ pub fn sanitize_updates<U: Borrow<ModuleUpdate>>(
         }
         kept
     } else {
+        if policy.norm_outlier_ratio.is_finite() {
+            // The check was enabled but the cohort is too small for a
+            // trustworthy median — these accepts went unchecked.
+            report.outlier_check_skipped = finite.len();
+        }
         finite
     };
 
@@ -1014,6 +1035,7 @@ mod tests {
         assert_eq!(kept, vec![0, 2, 3]);
         assert_eq!(report.rejected_outlier, 1);
         assert_eq!(report.rejected(), 1);
+        assert_eq!(report.outlier_check_skipped, 0, "the check ran; nothing was skipped");
     }
 
     #[test]
@@ -1027,9 +1049,14 @@ mod tests {
             *v *= 1e6;
         }
         let small = update_for(&c, spec, vec![vec![1.0; 4]; 2], 0.1, 10);
-        let (kept, report) = sanitize_updates(&[small, big], &SanitizePolicy::default());
+        let (kept, report) = sanitize_updates(&[small.clone(), big.clone()], &SanitizePolicy::default());
         assert_eq!(kept.len(), 2);
         assert_eq!(report.rejected(), 0);
+        assert_eq!(report.outlier_check_skipped, 2, "the bypassed check must be accounted");
+        // With the check disabled outright, nothing counts as skipped.
+        let permissive = SanitizePolicy { norm_outlier_ratio: f32::INFINITY, ..SanitizePolicy::default() };
+        let (_, report) = sanitize_updates(&[small, big], &permissive);
+        assert_eq!(report.outlier_check_skipped, 0);
     }
 
     #[test]
@@ -1146,6 +1173,9 @@ mod tests {
         assert_eq!(partial.devices, 2);
         assert_eq!(partial.report.rejected_non_finite, 1);
         assert_eq!(partial.report.accepted, 1);
+        // Default policy enables the norm-outlier check, which a
+        // streaming fold cannot run — the accept must count as skipped.
+        assert_eq!(partial.report.outlier_check_skipped, 1);
         assert_eq!(partial.groups.len(), 1);
         assert!(partial.buffered.is_empty());
         assert!(partial.wire_bytes() > 0);

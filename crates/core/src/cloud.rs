@@ -210,6 +210,7 @@ impl NebulaCloud {
             sanitize.accepted += p.report.accepted;
             sanitize.rejected_non_finite += p.report.rejected_non_finite;
             sanitize.rejected_outlier += p.report.rejected_outlier;
+            sanitize.outlier_check_skipped += p.report.outlier_check_skipped;
             for (_, group) in &p.groups {
                 match &mut merged {
                     None => merged = Some(group.clone()),
@@ -229,6 +230,7 @@ impl NebulaCloud {
             sanitize.accepted += report.accepted;
             sanitize.rejected_non_finite += report.rejected_non_finite;
             sanitize.rejected_outlier += report.rejected_outlier;
+            sanitize.outlier_check_skipped += report.outlier_check_skipped;
         }
         AggregateOutcome { touched, sanitize }
     }

@@ -187,12 +187,18 @@ pub struct ShardRound {
     pub round: u64,
     pub population: usize,
     pub shards: usize,
-    /// Devices the round sampled (per-cell quotas, clamped to cell size).
+    /// Devices the round sampled (per-cell quotas; always equals the
+    /// configured `devices_per_round`).
     pub sampled: usize,
     /// Updates the sanitize gate accepted.
     pub accepted: usize,
     /// Updates it rejected (non-finite or norm outlier).
     pub rejected: usize,
+    /// Accepted updates that bypassed an enabled norm-outlier check —
+    /// streaming folds cannot run it (see
+    /// [`SanitizePolicy::norm_outlier_ratio`]), so a zero `rejected`
+    /// with this non-zero is absence of evidence, not a clean round.
+    pub outlier_check_skipped: usize,
     /// Modules that received at least one accepted contribution.
     pub touched: usize,
     /// Simulated synchronous round wall-clock, ms.
@@ -326,14 +332,31 @@ impl ShardedWorld {
     }
 
     /// Sampling quota of `cell` this round: `devices_per_round` spread as
-    /// evenly as the cell grid allows, independent of the shard count,
-    /// clamped to the cell's width.
+    /// evenly as the cell grid allows, independent of the shard count.
+    /// When the even spread would overrun the trailing short cell, that
+    /// cell saturates and the remainder respreads over the full-width
+    /// cells, so the quotas always sum to exactly `devices_per_round`
+    /// (config validation guarantees the grid has the capacity).
     fn cell_quota(&self, cell: usize) -> usize {
         let cells = self.cells();
         let base = self.cfg.devices_per_round / cells;
-        let quota = base + usize::from(cell < self.cfg.devices_per_round % cells);
-        let (start, end) = self.cell_bounds(cell);
-        quota.min(end - start)
+        // Only the trailing cell can be narrower than `cell_size`, so at
+        // most one saturation is ever needed, and the respread over the
+        // equal-width rest cannot overrun them (their combined capacity
+        // covers anything the validated `devices_per_round` leaves over).
+        let last_width = self.cfg.population - (cells - 1) * self.cfg.spec.cell_size;
+        if base <= last_width {
+            // The even spread fits as-is: the last cell never takes a
+            // remainder unit (its index is never below the remainder),
+            // and a full cell's `base + 1` is at most `cell_size`.
+            base + usize::from(cell < self.cfg.devices_per_round % cells)
+        } else if cell == cells - 1 {
+            last_width
+        } else {
+            let rest = self.cfg.devices_per_round - last_width;
+            let full = cells - 1;
+            rest / full + usize::from(cell < rest % full)
+        }
     }
 
     /// Materializes device `id` from its seed. Pure in `(world seed, id)`.
@@ -519,6 +542,7 @@ impl ShardedWorld {
             sampled,
             accepted: outcome.sanitize.accepted,
             rejected: outcome.sanitize.rejected(),
+            outlier_check_skipped: outcome.sanitize.outlier_check_skipped,
             touched: outcome.touched,
             sim_round_ms,
             sim_max_device_ms: max_device_ms,
@@ -562,6 +586,48 @@ mod tests {
         let w = toy_world(1000, 100, 4, FoldPlan::PerCell);
         let total: usize = (0..w.cells()).map(|c| w.cell_quota(c)).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn quotas_respread_around_a_saturated_short_cell() {
+        // population=70, cell_size=64 → widths {64, 6}. The even spread
+        // (30, 30) would overrun the short cell; it saturates at 6 and
+        // the rest moves to the full cell instead of being dropped.
+        let w = toy_world(70, 60, 2, FoldPlan::PerCell);
+        let quotas: Vec<usize> = (0..w.cells()).map(|c| w.cell_quota(c)).collect();
+        assert_eq!(quotas, vec![54, 6]);
+    }
+
+    #[test]
+    fn quotas_sum_exactly_and_fit_cell_widths() {
+        // Sweep the regimes: short trailing cell (saturated and not),
+        // full-capacity rounds, grid-aligned populations, one cell.
+        for &(pop, dpr) in &[
+            (70usize, 60usize),
+            (70, 70),
+            (129, 128),
+            (129, 129),
+            (133, 133),
+            (1000, 100),
+            (65, 64),
+            (128, 128),
+            (63, 63),
+            (1, 1),
+        ] {
+            let w = toy_world(pop, dpr, 1, FoldPlan::PerCell);
+            let mut total = 0;
+            for c in 0..w.cells() {
+                let q = w.cell_quota(c);
+                let (start, end) = w.cell_bounds(c);
+                assert!(
+                    q <= end - start,
+                    "pop={pop} dpr={dpr} cell={c}: quota {q} exceeds width {}",
+                    end - start
+                );
+                total += q;
+            }
+            assert_eq!(total, dpr, "pop={pop} dpr={dpr}: quotas must cover the round");
+        }
     }
 
     #[test]

@@ -101,6 +101,14 @@ pub struct StrategyConfig {
     /// is O(edges), not O(devices); robust rules buffer per edge and run
     /// the full sanitize gate + combine rule at the cloud, matching the
     /// flat trajectory exactly.
+    ///
+    /// Caveat: under `WeightedMean` the fold-time gate runs only the
+    /// non-finite check — the cross-cohort norm-outlier rejection of
+    /// [`SanitizePolicy::norm_outlier_ratio`] cannot run on a stream, so
+    /// enabling the hierarchy weakens that defense relative to the flat
+    /// path. Each bypassed accept is counted in
+    /// `SanitizeReport::outlier_check_skipped` (telemetry counter
+    /// `sanitize.outlier_check_skipped`).
     pub edge_groups: Option<usize>,
 }
 
@@ -1526,11 +1534,13 @@ impl NebulaStrategy {
             let s = outcome.sanitize;
             telemetry.counter_add("sanitize.rejected_non_finite", s.rejected_non_finite as u64);
             telemetry.counter_add("sanitize.rejected_outlier", s.rejected_outlier as u64);
+            telemetry.counter_add("sanitize.outlier_check_skipped", s.outlier_check_skipped as u64);
             telemetry.emit("sanitize", |e| {
                 e.ints.insert("round".into(), round);
                 e.ints.insert("accepted".into(), s.accepted as u64);
                 e.ints.insert("non_finite".into(), s.rejected_non_finite as u64);
                 e.ints.insert("outlier".into(), s.rejected_outlier as u64);
+                e.ints.insert("outlier_skipped".into(), s.outlier_check_skipped as u64);
             });
         }
         drop(agg_span);
@@ -1558,7 +1568,14 @@ impl NebulaStrategy {
         if groups == 0 {
             return None;
         }
-        let chunk = accepted.len().div_ceil(groups.min(accepted.len())).max(1);
+        // A dead round — every sampled device crashed, missed the
+        // deadline, or dropped its link — has nothing to fold.
+        // `absorb_partials` of an empty list is a no-op, so the round
+        // records zeros instead of the whole experiment crashing.
+        if accepted.is_empty() {
+            return Some(Vec::new());
+        }
+        let chunk = accepted.len().div_ceil(groups.min(accepted.len()));
         Some(
             accepted
                 .chunks(chunk)
