@@ -139,6 +139,26 @@ impl ScalableBlock {
     }
 }
 
+/// Static architecture of a [`DenseModel`]: enough to rebuild an
+/// identical (untrained) model elsewhere — the shape a transport job
+/// ships to a remote executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DenseDims {
+    pub input: usize,
+    pub width: usize,
+    pub blocks: usize,
+    pub block_hidden: usize,
+    pub classes: usize,
+}
+
+impl DenseDims {
+    /// Builds a fresh model of this shape (deterministic seed-0 init;
+    /// callers load real parameters on top).
+    pub fn build(&self) -> DenseModel {
+        DenseModel::new(self.input, self.width, self.blocks, self.block_hidden, self.classes, 0)
+    }
+}
+
 /// Width-scalable dense residual MLP.
 pub struct DenseModel {
     stem_w: Tensor,
@@ -237,13 +257,20 @@ impl DenseModel {
         self.mask_for_ratio(r).iter().filter(|&&m| m).count()
     }
 
+    /// The model's static architecture (see [`DenseDims`]).
+    pub fn dims(&self) -> DenseDims {
+        DenseDims {
+            input: self.stem_w.shape()[1],
+            width: self.stem_w.shape()[0],
+            blocks: self.blocks.len(),
+            block_hidden: self.blocks.first().map_or(0, ScalableBlock::full_hidden),
+            classes: self.head_w.shape()[0],
+        }
+    }
+
     /// Deep copy (parameters only; caches reset).
     pub fn deep_clone(&self) -> DenseModel {
-        let input = self.stem_w.shape()[1];
-        let width = self.stem_w.shape()[0];
-        let classes = self.head_w.shape()[0];
-        let block_hidden = self.blocks.first().map_or(0, ScalableBlock::full_hidden);
-        let mut m = DenseModel::new(input, width, self.blocks.len(), block_hidden, classes, 0);
+        let mut m = self.dims().build();
         m.load_param_vector(&self.param_vector());
         m.set_width_ratio(self.width_ratio);
         m

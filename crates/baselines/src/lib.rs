@@ -25,11 +25,15 @@ pub mod dense;
 pub mod fedavg;
 pub mod heterofl;
 pub mod local_adapt;
+pub mod transport_rounds;
 pub mod wire_rounds;
 
 pub use adaptivenet::{AdaptiveNet, BRANCH_RATIOS};
-pub use dense::DenseModel;
+pub use dense::{DenseDims, DenseModel};
 pub use fedavg::{fedavg_round, FedAvgUpdate};
 pub use heterofl::{heterofl_round, ratio_for_budget, HeteroFlUpdate, HETEROFL_RATIOS};
 pub use local_adapt::local_adapt;
+pub use transport_rounds::{
+    fedavg_round_transport, heterofl_round_transport, DenseJobRunner, TransportRound,
+};
 pub use wire_rounds::{fedavg_round_wire, heterofl_round_wire, WireBytes};

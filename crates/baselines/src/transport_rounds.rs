@@ -1,0 +1,404 @@
+//! Transport-routed variants of the dense baseline rounds, plus the
+//! executor that runs dense jobs on the far side.
+//!
+//! [`fedavg_round_transport`] / [`heterofl_round_transport`] mirror the
+//! wire rounds ([`crate::wire_rounds`]) exactly, except the per-device
+//! local training is handed to a [`Transport`] instead of an inline
+//! rayon loop. All channel state stays coordinator-side — `send_down` /
+//! `send_up` still move every frame through the [`DensePool`], so the
+//! measured bytes and the decoded values are identical for *every*
+//! codec; only the already-decoded parameter vector travels inside the
+//! job. With a loopback transport over [`DenseJobRunner`] the result is
+//! bit-identical to the wire rounds (test-pinned); with a socket
+//! transport the same bits come back from a separate worker process.
+//!
+//! A job the transport loses (worker crash, deadline) drops that device
+//! from the round's average — the same degrade-not-hang semantics the
+//! collaborative strategies apply — and is counted in the returned
+//! `lost` tally so the caller can record fates.
+
+use crate::dense::{DenseDims, DenseModel};
+use crate::fedavg::FedAvgUpdate;
+use crate::heterofl::HeteroFlUpdate;
+use crate::wire_rounds::WireBytes;
+use nebula_core::net::{DispatchJob, JobResult, JobRunner, JobSpec, TrainParams, Transport, TransportError};
+use nebula_data::{Dataset, TrainConfig};
+use nebula_nn::{Layer, Sgd};
+use nebula_tensor::NebulaRng;
+use nebula_wire::DensePool;
+
+/// Executes [`JobSpec::Dense`] jobs: rebuild the model from its shipped
+/// dimensions, load the decoded parameters, train, return the trained
+/// vector. The exact closure body of the wire rounds, relocated behind
+/// the [`JobRunner`] seam.
+pub struct DenseJobRunner;
+
+impl JobRunner for DenseJobRunner {
+    fn run(&self, job: &DispatchJob) -> Result<JobResult, TransportError> {
+        let JobSpec::Dense { input, width, blocks, block_hidden, classes, ratio, params } = &job.spec else {
+            return Err(TransportError::Rejected("dense runner cannot execute modular jobs".into()));
+        };
+        let dims = DenseDims {
+            input: *input,
+            width: *width,
+            blocks: *blocks,
+            block_hidden: *block_hidden,
+            classes: *classes,
+        };
+        let mut local = dims.build();
+        if params.len() != local.param_count() {
+            return Err(TransportError::Rejected(format!(
+                "dense job ships {} params, model wants {}",
+                params.len(),
+                local.param_count()
+            )));
+        }
+        let mut rng = NebulaRng::from_state(job.rng_state)
+            .ok_or_else(|| TransportError::Rejected("degenerate rng state".into()))?;
+        local.load_param_vector(params);
+        local.set_width_ratio(*ratio);
+        let mut opt = Sgd::with_momentum(job.train.lr, 0.9);
+        nebula_data::train_epochs(
+            &mut local,
+            &mut opt,
+            &job.data,
+            TrainConfig { epochs: job.train.epochs, batch_size: job.train.batch_size, clip_norm: Some(5.0) },
+            &mut rng,
+        );
+        Ok(JobResult::Params(local.param_vector()))
+    }
+}
+
+/// What a transport-routed round moved and lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportRound {
+    pub bytes: WireBytes,
+    /// Devices whose jobs the transport failed to bring back.
+    pub lost: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dense_job(
+    round: usize,
+    device: u64,
+    dims: DenseDims,
+    ratio: f32,
+    params: Vec<f32>,
+    rng: &mut NebulaRng,
+    stream: u64,
+    train: TrainParams,
+    data: Dataset,
+) -> DispatchJob {
+    DispatchJob {
+        round,
+        device,
+        spec: JobSpec::Dense {
+            input: dims.input,
+            width: dims.width,
+            blocks: dims.blocks,
+            block_hidden: dims.block_hidden,
+            classes: dims.classes,
+            ratio,
+            params,
+        },
+        rng_state: rng.fork(stream).state(),
+        train,
+        data,
+    }
+}
+
+/// One FedAvg round with training routed through `transport`. Matches
+/// [`crate::fedavg_round_wire`] bit-for-bit when every job returns
+/// (loopback, healthy workers).
+#[allow(clippy::too_many_arguments)]
+pub fn fedavg_round_transport(
+    server: &mut DenseModel,
+    device_data: &[&Dataset],
+    device_ids: &[u64],
+    pool: &mut DensePool,
+    local_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut NebulaRng,
+    transport: &mut dyn Transport,
+) -> TransportRound {
+    assert!(!device_data.is_empty(), "FedAvg round with no participants");
+    assert_eq!(device_data.len(), device_ids.len(), "data/id length mismatch");
+
+    let server_params = server.param_vector();
+    let dims = server.dims();
+    let mut bytes = WireBytes::default();
+
+    // Downloads stay coordinator-side: channel state (delta baselines,
+    // quantizer residuals) and measured bytes are codec-faithful, and
+    // the *decoded* vector is what ships inside the job.
+    let mut downloads: Vec<Vec<f32>> = Vec::with_capacity(device_ids.len());
+    for &id in device_ids {
+        let mut decoded = Vec::new();
+        bytes.down +=
+            pool.send_down(id, &server_params, &mut decoded).expect("pristine in-process frame must decode");
+        downloads.push(decoded);
+    }
+
+    let train = TrainParams { epochs: local_epochs, batch_size, lr };
+    let jobs: Vec<DispatchJob> = device_ids
+        .iter()
+        .zip(device_data)
+        .zip(downloads)
+        .enumerate()
+        // Stream label `k` (participant index), exactly like the wire
+        // round's sequential `rng.fork(k)` calls.
+        .map(|(k, ((&id, data), decoded))| {
+            dense_job(0, id, dims, 1.0, decoded, rng, k as u64, train, (*data).clone())
+        })
+        .collect();
+    let results = transport.round_trip(jobs);
+
+    let mut lost = 0u64;
+    let mut updates: Vec<(u64, FedAvgUpdate)> = Vec::with_capacity(results.len());
+    for ((res, &id), data) in results.into_iter().zip(device_ids).zip(device_data) {
+        match res {
+            Ok(JobResult::Params(params)) => updates.push((id, FedAvgUpdate { params, volume: data.len() })),
+            Ok(JobResult::Frame(_)) | Err(_) => lost += 1,
+        }
+    }
+    if updates.is_empty() {
+        // Every job lost: the round degrades to a no-op instead of
+        // averaging nothing (or hanging).
+        return TransportRound { bytes, lost };
+    }
+
+    let len = updates[0].1.params.len();
+    let total: f32 = updates.iter().map(|(_, u)| u.volume as f32).sum();
+    let mut avg = vec![0.0f32; len];
+    let mut decoded_up = Vec::new();
+    for (id, u) in &updates {
+        assert_eq!(u.params.len(), len);
+        bytes.up +=
+            pool.send_up(*id, &u.params, &mut decoded_up).expect("pristine in-process frame must decode");
+        let w = u.volume as f32 / total;
+        for (a, &p) in avg.iter_mut().zip(&decoded_up) {
+            *a += w * p;
+        }
+    }
+    server.load_param_vector(&avg);
+    TransportRound { bytes, lost }
+}
+
+/// One HeteroFL round with training routed through `transport`. Matches
+/// [`crate::heterofl_round_wire`] bit-for-bit when every job returns.
+#[allow(clippy::too_many_arguments)]
+pub fn heterofl_round_transport(
+    server: &mut DenseModel,
+    device_data: &[&Dataset],
+    device_ratios: &[f32],
+    device_ids: &[u64],
+    pool: &mut DensePool,
+    local_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut NebulaRng,
+    transport: &mut dyn Transport,
+) -> TransportRound {
+    assert_eq!(device_data.len(), device_ratios.len(), "data/ratio length mismatch");
+    assert_eq!(device_data.len(), device_ids.len(), "data/id length mismatch");
+    assert!(!device_data.is_empty(), "HeteroFL round with no participants");
+
+    let base = server.param_vector();
+    let dims = server.dims();
+    let mut bytes = WireBytes::default();
+
+    // Downloads: active slice over the device's channel, spliced into a
+    // full vector coordinator-side — the job ships the decoded result.
+    let masks: Vec<Vec<bool>> = device_ratios.iter().map(|&r| server.mask_for_ratio(r)).collect();
+    let mut downloads: Vec<Vec<f32>> = Vec::with_capacity(device_ids.len());
+    let mut decoded = Vec::new();
+    for (&id, mask) in device_ids.iter().zip(&masks) {
+        let slice: Vec<f32> = base.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+        bytes.down +=
+            pool.send_down(id, &slice, &mut decoded).expect("pristine in-process frame must decode");
+        let mut full = base.clone();
+        let mut it = decoded.iter();
+        for (v, &m) in full.iter_mut().zip(mask) {
+            if m {
+                *v = *it.next().expect("decoded slice shorter than mask");
+            }
+        }
+        downloads.push(full);
+    }
+
+    let train = TrainParams { epochs: local_epochs, batch_size, lr };
+    let jobs: Vec<DispatchJob> = device_ids
+        .iter()
+        .zip(device_data)
+        .zip(device_ratios)
+        .zip(downloads)
+        .enumerate()
+        .map(|(k, (((&id, data), &ratio), full))| {
+            dense_job(0, id, dims, ratio, full, rng, k as u64, train, (*data).clone())
+        })
+        .collect();
+    let results = transport.round_trip(jobs);
+
+    let mut lost = 0u64;
+    let mut updates: Vec<(u64, usize, HeteroFlUpdate)> = Vec::with_capacity(results.len());
+    for (k, (res, data)) in results.into_iter().zip(device_data).enumerate() {
+        match res {
+            Ok(JobResult::Params(params)) => updates.push((
+                device_ids[k],
+                k,
+                HeteroFlUpdate { ratio: device_ratios[k], params, volume: data.len() },
+            )),
+            Ok(JobResult::Frame(_)) | Err(_) => lost += 1,
+        }
+    }
+    if updates.is_empty() {
+        return TransportRound { bytes, lost };
+    }
+
+    let len = base.len();
+    let mut acc = vec![0.0f32; len];
+    let mut weight = vec![0.0f32; len];
+    for (id, k, u) in &updates {
+        let mask = &masks[*k];
+        let slice: Vec<f32> = u.params.iter().zip(mask).filter_map(|(&v, &m)| m.then_some(v)).collect();
+        bytes.up += pool.send_up(*id, &slice, &mut decoded).expect("pristine in-process frame must decode");
+        let w = u.volume as f32;
+        let mut it = decoded.iter();
+        for i in 0..len {
+            if mask[i] {
+                acc[i] += w * it.next().expect("decoded slice shorter than mask");
+                weight[i] += w;
+            }
+        }
+    }
+    let merged: Vec<f32> =
+        (0..len).map(|i| if weight[i] > 0.0 { acc[i] / weight[i] } else { base[i] }).collect();
+    server.load_param_vector(&merged);
+    TransportRound { bytes, lost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire_rounds::{fedavg_round_wire, heterofl_round_wire};
+    use nebula_core::net::Loopback;
+    use nebula_data::{SynthSpec, Synthesizer};
+    use std::sync::Arc;
+
+    fn server() -> DenseModel {
+        DenseModel::new(16, 24, 2, 32, 4, 7)
+    }
+
+    #[test]
+    fn loopback_fedavg_round_matches_wire_round_bitwise() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let d1 = synth.sample_classes(80, &[0, 1], 0, &mut NebulaRng::seed(5));
+        let d2 = synth.sample_classes(80, &[2, 3], 0, &mut NebulaRng::seed(6));
+
+        let mut s_wire = server();
+        let mut wire_pool = DensePool::raw();
+        let wire = fedavg_round_wire(
+            &mut s_wire,
+            &[&d1, &d2],
+            &[0, 1],
+            &mut wire_pool,
+            2,
+            16,
+            0.03,
+            &mut NebulaRng::seed(11),
+        );
+
+        let mut s_t = server();
+        let mut t_pool = DensePool::raw();
+        let mut transport = Loopback::new(Arc::new(DenseJobRunner));
+        let routed = fedavg_round_transport(
+            &mut s_t,
+            &[&d1, &d2],
+            &[0, 1],
+            &mut t_pool,
+            2,
+            16,
+            0.03,
+            &mut NebulaRng::seed(11),
+            &mut transport,
+        );
+        assert_eq!(routed.lost, 0);
+        assert_eq!(routed.bytes, wire);
+        assert_eq!(s_wire.param_vector(), s_t.param_vector());
+    }
+
+    #[test]
+    fn loopback_heterofl_round_matches_wire_round_bitwise() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let d1 = synth.sample(80, 0, &mut NebulaRng::seed(7));
+        let d2 = synth.sample(80, 0, &mut NebulaRng::seed(8));
+
+        let mut s_wire = server();
+        let mut wire_pool = DensePool::raw();
+        let wire = heterofl_round_wire(
+            &mut s_wire,
+            &[&d1, &d2],
+            &[1.0, 0.25],
+            &[0, 1],
+            &mut wire_pool,
+            2,
+            16,
+            0.03,
+            &mut NebulaRng::seed(21),
+        );
+
+        let mut s_t = server();
+        let mut t_pool = DensePool::raw();
+        let mut transport = Loopback::new(Arc::new(DenseJobRunner));
+        let routed = heterofl_round_transport(
+            &mut s_t,
+            &[&d1, &d2],
+            &[1.0, 0.25],
+            &[0, 1],
+            &mut t_pool,
+            2,
+            16,
+            0.03,
+            &mut NebulaRng::seed(21),
+            &mut transport,
+        );
+        assert_eq!(routed.lost, 0);
+        assert_eq!(routed.bytes, wire);
+        assert_eq!(s_wire.param_vector(), s_t.param_vector());
+    }
+
+    /// A transport that loses every job: the round must degrade (server
+    /// unchanged, lost counted), never hang or panic.
+    struct BlackHole;
+    impl Transport for BlackHole {
+        fn kind(&self) -> &'static str {
+            "black-hole"
+        }
+        fn round_trip(&mut self, jobs: Vec<DispatchJob>) -> Vec<Result<JobResult, TransportError>> {
+            jobs.iter().map(|_| Err(TransportError::Closed("worker died".into()))).collect()
+        }
+    }
+
+    #[test]
+    fn lost_jobs_degrade_the_round_instead_of_hanging() {
+        let synth = Synthesizer::new(SynthSpec::toy(), 1);
+        let d = synth.sample(40, 0, &mut NebulaRng::seed(9));
+        let mut s = server();
+        let before = s.param_vector();
+        let mut pool = DensePool::raw();
+        let out = fedavg_round_transport(
+            &mut s,
+            &[&d],
+            &[0],
+            &mut pool,
+            1,
+            16,
+            0.03,
+            &mut NebulaRng::seed(3),
+            &mut BlackHole,
+        );
+        assert_eq!(out.lost, 1);
+        assert_eq!(s.param_vector(), before, "an all-lost round must leave the server untouched");
+    }
+}

@@ -30,9 +30,11 @@ pub mod cloud;
 pub mod derive;
 pub mod edge;
 pub mod journal;
+pub mod net;
 pub mod offline;
 pub mod presets;
 pub mod profile;
+pub mod retry;
 pub mod stats;
 pub mod transport;
 
@@ -49,8 +51,13 @@ pub use journal::{
     read_journal, write_atomic, DurabilityError, JournalContents, JournalWriter, LoadedSnapshot,
     SnapshotStore,
 };
+pub use net::{
+    DispatchJob, JobResult, JobRunner, JobSpec, Loopback, ModularRunner, TrainParams, Transport,
+    TransportError,
+};
 pub use offline::{enhance_module_abilities, pretrain, subtask_load_matrices, EnhanceConfig, PretrainConfig};
 pub use presets::{modular_config_for, modular_config_for_sequence};
 pub use profile::ResourceProfile;
+pub use retry::{backoff_ms, plan_corrupt_resend, plan_upload, round_deadline_ms, RetryPolicy, UploadPlan};
 pub use stats::{CommTracker, RoundReport, RoundStats};
 pub use transport::{WireConfig, WireContext};

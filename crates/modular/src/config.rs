@@ -1,11 +1,13 @@
 //! Configuration of a modularized model.
 
+use serde::{Deserialize, Serialize};
+
 /// Optional convolutional stem for sequence tasks (speech/HAR): the raw
 /// input is interpreted as `in_channels × in_len` (so
 /// `in_channels · in_len` must equal [`ModularConfig::input_dim`]) and
 /// passes through `Conv1d → ReLU → MaxPool1d → Linear → ReLU` before the
 /// module layers. `None` uses the dense `Linear → ReLU` stem.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConvStemConfig {
     pub in_channels: usize,
     pub in_len: usize,
@@ -32,7 +34,7 @@ impl ConvStemConfig {
 ///
 /// All module layers share the same `width` so the parameter-free residual
 /// module (input bypass) is well-typed at every layer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ModularConfig {
     /// Input feature dimensionality.
     pub input_dim: usize,

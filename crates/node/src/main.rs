@@ -1,0 +1,253 @@
+//! `nebula-node` — the serving plane as real processes.
+//!
+//! Two roles, one binary:
+//!
+//! * `nebula-node coordinator` binds the listeners, waits for a worker
+//!   quorum, then drives a toy Nebula run (the same synthetic world and
+//!   modular config the serving-plane tests pin) through
+//!   [`nebula_serve::SocketTransport`], printing one JSON line per
+//!   round. An optional ops endpoint answers `/healthz`, `/metrics`
+//!   and `/round` throughout — and through `--linger-ms` after the last
+//!   round, so probes can scrape a finished run.
+//! * `nebula-node worker` dials the coordinator and executes dispatched
+//!   cohort jobs until told to shut down.
+//!
+//! Flags are `--key value` pairs, parsed by hand — the workspace takes
+//! no CLI dependency. Run either role with `--help` for the list.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
+use nebula_modular::ModularConfig;
+use nebula_nn::Layer;
+use nebula_serve::worker::{run_worker, WorkerConfig};
+use nebula_serve::{Coordinator, Endpoint, OpsServer, ServeConfig, WorkerRunConfig};
+use nebula_sim::strategy::StrategyConfig;
+use nebula_sim::{AdaptStrategy, NebulaStrategy, ResourceSampler, SimWorld};
+use nebula_telemetry::{JsonlSink, Telemetry};
+use nebula_tensor::NebulaRng;
+
+const USAGE: &str = "\
+nebula-node — Nebula serving-plane processes
+
+USAGE:
+  nebula-node coordinator [--tcp HOST:PORT] [--uds PATH] [--workers N]
+                          [--rounds N] [--devices N] [--seed N]
+                          [--deadline-ms MS] [--auth HEX32]
+                          [--ops HOST:PORT] [--telemetry PATH]
+                          [--linger-ms MS]
+  nebula-node worker      --connect ENDPOINT [--name NAME] [--threads N]
+                          [--auth HEX32] [--telemetry PATH]
+
+A coordinator needs at least one of --tcp/--uds. ENDPOINT is a TCP
+host:port or a UDS path (anything containing '/'). --auth takes the
+16-byte master key as 32 hex chars; both sides must hold the same key
+(it also MACs the inner per-device payload frames).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("coordinator") => coordinator_cmd(&args[1..]),
+        Some("worker") => worker_cmd(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown role {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(why) => {
+            eprintln!("nebula-node: {why}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `--key value` pairs, every key consuming exactly one value.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key =
+                args[i].strip_prefix("--").ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+            let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            out.push((key.to_string(), value));
+            i += 2;
+        }
+        Ok(Flags(out))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+}
+
+/// 32 hex chars → the 16-byte master key.
+fn parse_key(hex: &str) -> Result<[u8; 16], String> {
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("--auth: {:?} is not a hex digit", c as char)),
+        }
+    };
+    let bytes = hex.as_bytes();
+    if bytes.len() != 32 {
+        return Err(format!("--auth wants 32 hex chars (16 bytes), got {}", bytes.len()));
+    }
+    let mut key = [0u8; 16];
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        key[i] = (nibble(pair[0])? << 4) | nibble(pair[1])?;
+    }
+    Ok(key)
+}
+
+fn telemetry_from(flags: &Flags) -> Result<Telemetry, String> {
+    match flags.get("telemetry") {
+        None => Ok(Telemetry::off()),
+        Some(path) => {
+            let sink = JsonlSink::create(path).map_err(|e| format!("--telemetry {path}: {e}"))?;
+            Ok(Telemetry::new(Arc::new(sink)))
+        }
+    }
+}
+
+/// The same toy run the serving-plane tests pin: small synthetic world,
+/// 16-wide modular blocks, 4 devices per round.
+fn toy_strategy_cfg() -> StrategyConfig {
+    let mut modular = ModularConfig::toy(16, 4);
+    modular.gate_noise_std = 0.3;
+    let mut cfg = StrategyConfig::new(modular);
+    cfg.devices_per_round = 4;
+    cfg.rounds_per_step = 1;
+    cfg.pretrain_epochs = 1;
+    cfg.proxy_samples = 100;
+    cfg.local_epochs = 1;
+    cfg
+}
+
+fn coordinator_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let quorum: usize = flags.num("workers", 2)?;
+    let rounds: usize = flags.num("rounds", 3)?;
+    let devices: usize = flags.num("devices", 8)?;
+    let seed: u64 = flags.num("seed", 5)?;
+    let deadline_ms: u64 = flags.num("deadline-ms", 60_000)?;
+    let linger_ms: u64 = flags.num("linger-ms", 0)?;
+    let auth = flags.get("auth").map(parse_key).transpose()?;
+    let telemetry = telemetry_from(&flags)?;
+
+    let mut strategy_cfg = toy_strategy_cfg();
+    if let Some(key) = auth {
+        strategy_cfg.wire = strategy_cfg.wire.with_auth(key);
+    }
+    let worker_config = WorkerRunConfig {
+        modular: Some(strategy_cfg.modular.clone()),
+        delta_threshold: strategy_cfg.wire.delta_threshold,
+        payload_auth: auth.is_some(),
+    };
+    let mut cfg = ServeConfig::new(worker_config);
+    cfg.tcp = flags.get("tcp").map(String::from);
+    cfg.uds = flags.get("uds").map(std::path::PathBuf::from);
+    if cfg.tcp.is_none() && cfg.uds.is_none() {
+        return Err("coordinator needs --tcp and/or --uds".into());
+    }
+    cfg.auth_key = auth;
+    cfg.deadline_ms = deadline_ms;
+    cfg.telemetry = telemetry.clone();
+
+    let coordinator = Coordinator::bind(cfg).map_err(|e| e.to_string())?;
+    if let Some(addr) = coordinator.tcp_addr() {
+        eprintln!("coordinator: listening on tcp://{addr}");
+    }
+    if let Some(path) = flags.get("uds") {
+        eprintln!("coordinator: listening on uds://{path}");
+    }
+    let ops = flags
+        .get("ops")
+        .map(|addr| OpsServer::spawn(addr, coordinator.clone()))
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    if let Some(ops) = &ops {
+        eprintln!("coordinator: ops endpoint on http://{}", ops.addr());
+    }
+
+    eprintln!("coordinator: waiting for {quorum} worker(s)");
+    if !coordinator.wait_for_workers(quorum, Duration::from_secs(120)) {
+        return Err(format!(
+            "only {} of {quorum} workers registered within 120s",
+            coordinator.worker_count()
+        ));
+    }
+    eprintln!("coordinator: quorum up ({:?}), running {rounds} round(s)", coordinator.worker_names());
+
+    let synth = Synthesizer::new(SynthSpec::toy(), 1);
+    let spec = PartitionSpec::new(devices, Partitioner::LabelSkew { m: 2 });
+    let mut world = SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), seed);
+    let mut strategy = NebulaStrategy::new(strategy_cfg, 1);
+    strategy.set_telemetry(telemetry.clone());
+    strategy.set_transport(Box::new(coordinator.transport()));
+    let mut rng = NebulaRng::seed(3);
+    for round in 0..rounds {
+        let out = strategy.single_round(&mut world, &mut rng);
+        println!(
+            "{{\"round\":{round},\"participated\":{},\"link_dropped\":{},\"up_bytes\":{},\"down_bytes\":{}}}",
+            out.stats.faults.participated,
+            out.stats.faults.link_dropped,
+            out.stats.comm.up_bytes,
+            out.stats.comm.down_bytes,
+        );
+    }
+    let params = strategy.cloud().model().param_vector();
+    let l2 = params.iter().map(|p| (*p as f64) * (*p as f64)).sum::<f64>().sqrt();
+    println!(
+        "{{\"done\":true,\"rounds\":{},\"params\":{},\"param_l2\":{l2}}}",
+        coordinator.rounds_completed(),
+        params.len(),
+    );
+
+    if linger_ms > 0 {
+        eprintln!("coordinator: lingering {linger_ms}ms for probes");
+        std::thread::sleep(Duration::from_millis(linger_ms));
+    }
+    if let Some(ops) = ops {
+        ops.stop();
+    }
+    coordinator.shutdown();
+    Ok(())
+}
+
+fn worker_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let endpoint = Endpoint::parse(flags.get("connect").ok_or("worker needs --connect")?);
+    let mut cfg = WorkerConfig::new(endpoint);
+    if let Some(name) = flags.get("name") {
+        cfg.name = name.to_string();
+    }
+    cfg.threads = flags.num("threads", 2)?;
+    cfg.auth_key = flags.get("auth").map(parse_key).transpose()?;
+    cfg.telemetry = telemetry_from(&flags)?;
+    eprintln!("worker {}: dialing {}", cfg.name, cfg.endpoint);
+    let report = run_worker(cfg).map_err(|e| e.to_string())?;
+    println!("{{\"worker_id\":{},\"jobs_run\":{}}}", report.worker_id, report.jobs_run);
+    Ok(())
+}

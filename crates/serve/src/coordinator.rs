@@ -1,0 +1,502 @@
+//! The cloud coordinator: listeners, the worker registry, and the
+//! socket transport with its deadline-driven round barrier.
+//!
+//! ## Round barrier
+//!
+//! [`SocketTransport::round_trip`] installs the batch as the current
+//! round, spreads the jobs round-robin over the live workers, and
+//! blocks on a condvar until every slot is resolved or the wall-clock
+//! deadline passes. Results stream in on per-worker reader threads.
+//!
+//! ## Failure semantics
+//!
+//! A worker that dies mid-round (reader hits EOF/error, or a send
+//! fails) is dropped from the registry and its outstanding jobs are
+//! *reassigned* to the survivors, each reassignment consuming one unit
+//! of the job's retry budget ([`nebula_core::RetryPolicy`], the same
+//! policy family the simulated fault paths use). A job that exhausts
+//! the budget — or has no surviving worker to go to — resolves to
+//! [`TransportError::Closed`]; jobs still unresolved at the deadline
+//! resolve to [`TransportError::Timeout`]. The strategy above maps
+//! every error onto its existing `link_dropped` fate, so a dying or
+//! straggling worker degrades the round exactly like a simulated lossy
+//! cohort and can never hang the run.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nebula_core::{DispatchJob, JobResult, RetryPolicy, Transport, TransportError};
+use nebula_telemetry::Telemetry;
+use nebula_wire::hello::{decode_hello, encode_hello_ack, HelloAck, HELLO_PROTO};
+use nebula_wire::stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
+use nebula_wire::{CodecKind, FrameKey};
+
+use crate::netio::Conn;
+use crate::proto::{self, Message};
+use crate::{ServeError, WorkerRunConfig};
+
+/// Coordinator deployment knobs.
+pub struct ServeConfig {
+    /// TCP listen address (`host:port`), if any.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path, if any (an existing file is replaced).
+    pub uds: Option<PathBuf>,
+    /// Shared master key; when set the handshake and all job traffic
+    /// are MAC'd and unauthenticated workers are rejected.
+    pub auth_key: Option<[u8; 16]>,
+    /// What admitted workers are told to run.
+    pub worker_config: WorkerRunConfig,
+    /// Round barrier wall-clock deadline.
+    pub deadline_ms: u64,
+    /// Reassignment budget for jobs on dying workers.
+    pub retry: RetryPolicy,
+    /// Hostile-length cap for inbound frames.
+    pub max_frame_len: usize,
+    pub telemetry: Telemetry,
+}
+
+impl ServeConfig {
+    /// A config with no listeners yet: set `tcp` and/or `uds` before
+    /// [`Coordinator::bind`].
+    pub fn new(worker_config: WorkerRunConfig) -> Self {
+        ServeConfig {
+            tcp: None,
+            uds: None,
+            auth_key: None,
+            worker_config,
+            deadline_ms: 60_000,
+            retry: RetryPolicy::default(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            telemetry: Telemetry::off(),
+        }
+    }
+}
+
+/// One admitted worker connection.
+struct WorkerHandle {
+    name: String,
+    /// Write half; reads happen on the connection's own reader thread.
+    writer: Arc<Mutex<Conn>>,
+}
+
+/// The in-flight round, if any.
+struct RoundState {
+    jobs: Vec<DispatchJob>,
+    /// Per job: (owning worker id, dispatch attempt). Worker ids start
+    /// at 1, so the initial `(0, 0)` never matches a real owner.
+    assigned: Vec<(u64, u32)>,
+    results: Vec<Option<Result<JobResult, TransportError>>>,
+    outstanding: usize,
+}
+
+struct Shared {
+    key: Option<FrameKey>,
+    config_json: String,
+    deadline_ms: u64,
+    retry: RetryPolicy,
+    max_frame_len: usize,
+    telemetry: Telemetry,
+    workers: Mutex<BTreeMap<u64, WorkerHandle>>,
+    round: Mutex<Option<RoundState>>,
+    round_done: Condvar,
+    next_worker_id: AtomicU64,
+    rounds_completed: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Live worker writers, in id order. Never held together with the
+    /// round lock — callers snapshot, release, then lock the round.
+    fn live_workers(&self) -> Vec<(u64, Arc<Mutex<Conn>>)> {
+        let map = self.workers.lock().unwrap();
+        map.iter().map(|(id, w)| (*id, Arc::clone(&w.writer))).collect()
+    }
+
+    /// Resolves `job_idx` under the round lock (idempotent).
+    fn resolve(&self, st: &mut RoundState, job_idx: usize, outcome: Result<JobResult, TransportError>) {
+        if st.results[job_idx].is_some() {
+            return;
+        }
+        match &outcome {
+            Ok(_) => self.telemetry.counter_add("serve.results_ok", 1),
+            Err(_) => self.telemetry.counter_add("serve.results_failed", 1),
+        }
+        st.results[job_idx] = Some(outcome);
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            self.round_done.notify_all();
+        }
+    }
+
+    /// Records the assignment and encodes under the round lock, writes
+    /// outside it. Returns false when the write failed (caller drops
+    /// the target worker).
+    fn send_job(&self, job_idx: usize, target: u64, attempt: u32, writer: &Mutex<Conn>) -> bool {
+        let mut buf = Vec::new();
+        {
+            let mut round = self.round.lock().unwrap();
+            let Some(st) = round.as_mut() else { return true };
+            if st.results[job_idx].is_some() {
+                return true;
+            }
+            st.assigned[job_idx] = (target, attempt);
+            if let Err(e) =
+                proto::encode_job(&mut buf, &st.jobs[job_idx], job_idx as u64, attempt, self.key.as_ref())
+            {
+                self.resolve(st, job_idx, Err(TransportError::Wire(e.to_string())));
+                return true;
+            }
+        }
+        let ok = {
+            let mut w = writer.lock().unwrap();
+            write_frame(&mut *w, &buf).is_ok()
+        };
+        if ok {
+            self.telemetry.counter_add("serve.jobs_sent", 1);
+        }
+        ok
+    }
+
+    /// A result frame arrived from a worker.
+    fn deliver(&self, job_idx: u64, attempt: u32, outcome: Result<JobResult, String>) {
+        let mut round = self.round.lock().unwrap();
+        let Some(st) = round.as_mut() else { return };
+        let j = job_idx as usize;
+        if j >= st.results.len() || st.assigned[j].1 != attempt {
+            // Late echo of a superseded attempt; the reassigned copy owns
+            // the slot now.
+            return;
+        }
+        // A worker-side rejection is deterministic — re-running it
+        // elsewhere returns the same refusal, so no retry.
+        self.resolve(st, j, outcome.map_err(TransportError::Rejected));
+    }
+
+    /// Drops `dead` from the registry and re-homes its unresolved jobs:
+    /// each reassignment burns one retry; over-budget (or unplaceable)
+    /// jobs resolve to `Closed`. Safe to call repeatedly and from any
+    /// thread; recursion through failed resends is bounded by the
+    /// worker count.
+    fn drop_worker(&self, dead: u64) {
+        if self.workers.lock().unwrap().remove(&dead).is_some() {
+            self.telemetry.counter_add("serve.workers_lost", 1);
+        }
+        let live = self.live_workers();
+        let mut sends: Vec<(usize, u32, u64, Arc<Mutex<Conn>>)> = Vec::new();
+        {
+            let mut round = self.round.lock().unwrap();
+            let Some(st) = round.as_mut() else { return };
+            let mut spread = 0usize;
+            for j in 0..st.jobs.len() {
+                if st.results[j].is_some() || st.assigned[j].0 != dead {
+                    continue;
+                }
+                let attempt = st.assigned[j].1 + 1;
+                if live.is_empty() || attempt > self.retry.max_retries {
+                    self.resolve(
+                        st,
+                        j,
+                        Err(TransportError::Closed(format!(
+                            "worker {dead} lost (attempt {attempt}/{} budget)",
+                            self.retry.max_retries
+                        ))),
+                    );
+                    continue;
+                }
+                let (wid, writer) = live[spread % live.len()].clone();
+                spread += 1;
+                st.assigned[j] = (wid, attempt);
+                sends.push((j, attempt, wid, writer));
+            }
+        }
+        for (j, attempt, wid, writer) in sends {
+            self.telemetry.counter_add("serve.jobs_reassigned", 1);
+            if !self.send_job(j, wid, attempt, &writer) {
+                self.drop_worker(wid);
+            }
+        }
+    }
+}
+
+/// A coordinator: cheaply cloneable handle over the shared serving
+/// state (listeners, registry, round barrier).
+#[derive(Clone)]
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl Coordinator {
+    /// Binds the configured listeners and starts accepting workers.
+    pub fn bind(cfg: ServeConfig) -> Result<Coordinator, ServeError> {
+        let config_json =
+            serde_json::to_string(&cfg.worker_config).map_err(|e| ServeError::Proto(e.to_string()))?;
+        let shared = Arc::new(Shared {
+            key: cfg.auth_key.map(|k| FrameKey::from_bytes(&k)),
+            config_json,
+            deadline_ms: cfg.deadline_ms,
+            retry: cfg.retry,
+            max_frame_len: cfg.max_frame_len,
+            telemetry: cfg.telemetry,
+            workers: Mutex::new(BTreeMap::new()),
+            round: Mutex::new(None),
+            round_done: Condvar::new(),
+            next_worker_id: AtomicU64::new(1),
+            rounds_completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut tcp_addr = None;
+        if let Some(addr) = &cfg.tcp {
+            let listener = TcpListener::bind(addr)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let s = Arc::clone(&shared);
+            thread::spawn(move || accept_tcp(listener, s));
+        }
+        if let Some(path) = &cfg.uds {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            let s = Arc::clone(&shared);
+            thread::spawn(move || accept_uds(listener, s));
+        }
+        Ok(Coordinator { shared, tcp_addr, uds_path: cfg.uds })
+    }
+
+    /// The bound TCP address (useful after binding port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.lock().unwrap().len()
+    }
+
+    /// Names of the live workers, in id order (ops/status surface).
+    pub fn worker_names(&self) -> Vec<String> {
+        self.shared.workers.lock().unwrap().values().map(|w| w.name.clone()).collect()
+    }
+
+    pub fn rounds_completed(&self) -> u64 {
+        self.shared.rounds_completed.load(Ordering::SeqCst)
+    }
+
+    /// Polls until at least `n` workers are registered. Returns false
+    /// on timeout.
+    pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.worker_count() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+
+    /// A transport handle for `Runner::transport` /
+    /// `AdaptStrategy::set_transport`. Many handles may exist; one round
+    /// runs at a time (the strategy drives rounds sequentially).
+    pub fn transport(&self) -> SocketTransport {
+        SocketTransport { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The telemetry registry snapshot as JSON (`{}` when telemetry is
+    /// off). What `/metrics` serves.
+    pub fn metrics_json(&self) -> String {
+        match self.shared.telemetry.metrics() {
+            Some(snap) => serde_json::to_string(&snap).unwrap_or_else(|_| "{}".into()),
+            None => "{}".into(),
+        }
+    }
+
+    /// Tells every worker to drain and exit, then closes the listeners.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let mut buf = Vec::new();
+        if proto::encode_shutdown(&mut buf, self.shared.key.as_ref()).is_ok() {
+            for (_, writer) in self.shared.live_workers() {
+                let mut w = writer.lock().unwrap();
+                let _ = write_frame(&mut *w, &buf);
+                w.shutdown();
+            }
+        }
+        // Dial the listeners once so their accept loops observe the flag.
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = UnixStream::connect(path);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(s) = stream {
+            s.set_nodelay(true).ok();
+            spawn_conn(Conn::Tcp(s), Arc::clone(&shared));
+        }
+    }
+}
+
+fn accept_uds(listener: UnixListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(s) = stream {
+            spawn_conn(Conn::Uds(s), Arc::clone(&shared));
+        }
+    }
+}
+
+fn spawn_conn(conn: Conn, shared: Arc<Shared>) {
+    shared.telemetry.counter_add("serve.connections", 1);
+    thread::spawn(move || {
+        if handshake_and_serve(conn, &shared).is_err() {
+            shared.telemetry.counter_add("serve.handshake_failed", 1);
+        }
+    });
+}
+
+/// Admits one connection: hello → validate → ack (+ run config), then
+/// runs the connection's reader loop until EOF/error.
+fn handshake_and_serve(mut conn: Conn, shared: &Arc<Shared>) -> Result<(), ServeError> {
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut buf = Vec::new();
+    if !read_frame(&mut conn, shared.max_frame_len, &mut buf)? {
+        return Err(ServeError::Handshake("closed before hello".into()));
+    }
+    let hello = decode_hello(&buf, shared.key.as_ref())
+        .map_err(|e| ServeError::Handshake(format!("bad hello: {e:?}")))?;
+    let reject = |reason: &str| HelloAck {
+        accepted: false,
+        codec: CodecKind::Raw,
+        worker_id: 0,
+        reason: reason.into(),
+        config_json: String::new(),
+    };
+    let ack = if hello.proto != HELLO_PROTO {
+        reject(&format!("unsupported handshake revision {}", hello.proto))
+    } else if hello.codec != CodecKind::Raw {
+        // Stateful codecs would need the coordinator's channel state on
+        // the worker; the serving plane speaks Raw only.
+        reject(&format!("codec {:?} not served; speak Raw", hello.codec))
+    } else {
+        HelloAck {
+            accepted: true,
+            codec: CodecKind::Raw,
+            worker_id: shared.next_worker_id.fetch_add(1, Ordering::SeqCst),
+            reason: String::new(),
+            config_json: shared.config_json.clone(),
+        }
+    };
+    encode_hello_ack(&mut buf, &ack, shared.key.as_ref());
+    write_frame(&mut conn, &buf)?;
+    if !ack.accepted {
+        return Err(ServeError::Handshake(ack.reason));
+    }
+    conn.set_read_timeout(None)?;
+
+    let id = ack.worker_id;
+    let writer = Arc::new(Mutex::new(conn.try_clone()?));
+    shared.workers.lock().unwrap().insert(id, WorkerHandle { name: hello.name.clone(), writer });
+    shared.telemetry.counter_add("serve.workers_joined", 1);
+    shared.telemetry.emit("serve_worker", |e| {
+        e.ints.insert("worker".into(), id);
+        e.text.insert("name".into(), hello.name.clone());
+    });
+
+    while let Ok(true) = read_frame(&mut conn, shared.max_frame_len, &mut buf) {
+        match proto::decode_message(&buf, shared.key.as_ref()) {
+            Ok(Message::Result(job, attempt, _device, outcome)) => {
+                shared.deliver(job, attempt, outcome);
+            }
+            Ok(_) => {}
+            Err(_) => shared.telemetry.counter_add("serve.bad_frames", 1),
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    shared.drop_worker(id);
+    Ok(())
+}
+
+/// The remote [`Transport`]: ships each round's jobs to the registered
+/// workers and blocks on the deadline barrier.
+pub struct SocketTransport {
+    shared: Arc<Shared>,
+}
+
+impl Transport for SocketTransport {
+    fn kind(&self) -> &'static str {
+        "socket"
+    }
+
+    fn round_trip(&mut self, jobs: Vec<DispatchJob>) -> Vec<Result<JobResult, TransportError>> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut span = self.shared.telemetry.span("serve.round_trip");
+        span.int("jobs", n as u64);
+        let live = self.shared.live_workers();
+        if live.is_empty() {
+            self.shared.telemetry.counter_add("serve.rounds_unserved", 1);
+            return (0..n).map(|_| Err(TransportError::Closed("no workers connected".into()))).collect();
+        }
+        *self.shared.round.lock().unwrap() =
+            Some(RoundState { jobs, assigned: vec![(0, 0); n], results: vec![None; n], outstanding: n });
+        for j in 0..n {
+            let (wid, writer) = live[j % live.len()].clone();
+            if !self.shared.send_job(j, wid, 0, &writer) {
+                self.shared.drop_worker(wid);
+            }
+        }
+
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(self.shared.deadline_ms);
+        let mut round = self.shared.round.lock().unwrap();
+        loop {
+            let outstanding = round.as_ref().map_or(0, |st| st.outstanding);
+            if outstanding == 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Stragglers missed the barrier: the round degrades, it
+                // does not hang.
+                let waited_ms = started.elapsed().as_millis() as u64;
+                if let Some(st) = round.as_mut() {
+                    for j in 0..st.results.len() {
+                        if st.results[j].is_none() {
+                            self.shared.resolve(st, j, Err(TransportError::Timeout { waited_ms }));
+                        }
+                    }
+                }
+                self.shared.telemetry.counter_add("serve.round_timeouts", 1);
+                break;
+            }
+            let (guard, _) = self.shared.round_done.wait_timeout(round, deadline - now).unwrap();
+            round = guard;
+        }
+        let st = round.take().expect("round state present until the barrier resolves");
+        drop(round);
+        self.shared.rounds_completed.fetch_add(1, Ordering::SeqCst);
+        st.results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(TransportError::Closed("round aborted".into()))))
+            .collect()
+    }
+}

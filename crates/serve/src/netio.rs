@@ -1,0 +1,126 @@
+//! Socket plumbing shared by coordinator and worker: one connection
+//! type over both TCP and Unix-domain streams, and the endpoint
+//! addressing that picks between them.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a worker dials (or a listener sits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `host:port`.
+    Tcp(String),
+    /// Filesystem path of a Unix-domain socket.
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: anything containing a `/` is a UDS
+    /// path, everything else a TCP `host:port`.
+    pub fn parse(s: &str) -> Endpoint {
+        if s.contains('/') {
+            Endpoint::Uds(PathBuf::from(s))
+        } else {
+            Endpoint::Tcp(s.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            Endpoint::Uds(p) => write!(f, "uds://{}", p.display()),
+        }
+    }
+}
+
+/// A connected byte stream, TCP or UDS, with uniform clone/timeout
+/// controls. Frame I/O goes through [`nebula_wire::stream`] on top.
+pub enum Conn {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Conn {
+    /// Dials `endpoint` once.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true).ok();
+                Ok(Conn::Tcp(s))
+            }
+            Endpoint::Uds(path) => Ok(Conn::Uds(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// An independently owned handle to the same socket (shared file
+    /// description: one side may read while the other writes).
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+        }
+    }
+
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            Conn::Uds(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Tears the connection down in both directions; a blocked reader
+    /// on the other handle wakes with EOF/error.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_picks_the_family() {
+        assert_eq!(Endpoint::parse("127.0.0.1:7070"), Endpoint::Tcp("127.0.0.1:7070".into()));
+        assert_eq!(Endpoint::parse("/tmp/nebula.sock"), Endpoint::Uds(PathBuf::from("/tmp/nebula.sock")));
+        assert_eq!(Endpoint::parse("./run.sock"), Endpoint::Uds(PathBuf::from("./run.sock")));
+    }
+}

@@ -1,0 +1,124 @@
+//! A hand-rolled HTTP/1.1 ops endpoint for the coordinator.
+//!
+//! Three read-only routes, all JSON, all `Connection: close`:
+//!
+//! * `GET /healthz` — liveness plus the live worker count.
+//! * `GET /metrics` — the telemetry metrics registry snapshot.
+//! * `GET /round`   — round-barrier progress.
+//!
+//! The parser accepts exactly what `curl`/probes emit: a request line
+//! and headers, no bodies, no keep-alive. Anything else gets a 400/404
+//! and the connection is closed either way.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::coordinator::Coordinator;
+use crate::ServeError;
+
+/// A running ops endpoint; dropping it leaks the listener thread, call
+/// [`OpsServer::stop`] for a clean teardown.
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves the coordinator's
+    /// status until [`OpsServer::stop`].
+    pub fn spawn(addr: &str, coordinator: Coordinator) -> Result<OpsServer, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(mut s) = stream {
+                    let _ = serve_one(&mut s, &coordinator);
+                }
+            }
+        });
+        Ok(OpsServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads one request (capped at 8 KiB), routes it, writes one response.
+fn serve_one(stream: &mut TcpStream, coordinator: &Coordinator) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !raw.windows(4).any(|w| w == b"\r\n\r\n") {
+        if raw.len() > 8192 {
+            return respond(stream, 400, "{\"error\":\"request too large\"}");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(stream, 405, "{\"error\":\"method not allowed\"}");
+    }
+    match path {
+        "/healthz" => {
+            let names = serde_json::to_string(&coordinator.worker_names()).unwrap_or_else(|_| "[]".into());
+            let body =
+                format!("{{\"ok\":true,\"workers\":{},\"names\":{names}}}", coordinator.worker_count());
+            respond(stream, 200, &body)
+        }
+        "/metrics" => respond(stream, 200, &coordinator.metrics_json()),
+        "/round" => {
+            let body = format!(
+                "{{\"rounds_completed\":{},\"workers\":{}}}",
+                coordinator.rounds_completed(),
+                coordinator.worker_count()
+            );
+            respond(stream, 200, &body)
+        }
+        _ => respond(stream, 404, "{\"error\":\"not found\"}"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,408 @@
+//! Job/result messages between coordinator and worker, carried as
+//! `nebula-wire` control frames.
+//!
+//! Every serving-plane message is one [`FrameKind::Control`] frame with
+//! a JSON *header record* at control slot 0 (self-describing, visible
+//! to ops tooling) and zero or more *binary blob records* at higher
+//! slots carrying the bulk payloads: the encoded sub-model frame or
+//! dense parameter vector, the device's dataset features (f32 LE) and
+//! labels (u32 LE), and — on the way back — the trained update frame or
+//! parameter vector. Keeping the bulk out of the JSON keeps the header
+//! cheap to parse and the floats bit-exact (they never round-trip
+//! through decimal).
+//!
+//! When the deployment holds a master [`FrameKey`], every message is
+//! MAC'd under a dedicated jobs subkey ([`job_key`]) — distinct from
+//! both the per-device payload keys and the handshake subkey, so no
+//! transcript from one plane replays into another.
+
+use nebula_core::{DispatchJob, JobResult, JobSpec, TrainParams, TransportError};
+use nebula_data::Dataset;
+use nebula_tensor::Tensor;
+use nebula_wire::frame::{FrameBuilder, FrameKind, FrameView, ModuleKey};
+use nebula_wire::{CodecKind, FrameKey};
+use serde::{Deserialize, Serialize};
+
+use crate::ServeError;
+
+/// Domain-separation label of the jobs subkey ("NBWJOBS1").
+const JOB_STREAM: u64 = 0x4E42_574A_4F42_5331;
+
+/// Control-record slots of a serving-plane message.
+const SLOT_HEADER: ModuleKey = ModuleKey { layer: 0xFFFC, module: 0 };
+const SLOT_MODEL: ModuleKey = ModuleKey { layer: 0xFFFC, module: 1 };
+const SLOT_FEATURES: ModuleKey = ModuleKey { layer: 0xFFFC, module: 2 };
+const SLOT_LABELS: ModuleKey = ModuleKey { layer: 0xFFFC, module: 3 };
+
+/// Derives the job-traffic MAC key from a deployment master key.
+pub fn job_key(master: &FrameKey) -> FrameKey {
+    master.derive(JOB_STREAM)
+}
+
+/// The JSON header record present in every serving-plane message. One
+/// flat struct for all three message kinds — absent facets are zeroed —
+/// because the vendored serde derive wants every field present anyway.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+struct Header {
+    /// "job" | "result" | "shutdown".
+    kind: String,
+    /// Index of the job within the round's dispatch batch.
+    job: u64,
+    /// Dispatch attempt (0 = first send; bumped on reassignment).
+    attempt: u64,
+    round: u64,
+    device: u64,
+    /// Job family: "modular" | "dense" (jobs and results).
+    spec: String,
+    epochs: u64,
+    batch: u64,
+    lr: f32,
+    /// Captured RNG state (4 words, exact — u64 survives the JSON shim).
+    rng: Vec<u64>,
+    /// Dataset geometry (jobs only).
+    classes: u64,
+    feature_dim: u64,
+    /// Dense architecture (dense jobs only).
+    input: u64,
+    width: u64,
+    blocks: u64,
+    block_hidden: u64,
+    dense_classes: u64,
+    ratio: f32,
+    /// Result status (results only).
+    ok: bool,
+    error: String,
+}
+
+/// A decoded serving-plane message.
+pub enum Message {
+    /// A training assignment plus its (job index, attempt) tag.
+    Job(Box<DispatchJob>, u64, u32),
+    /// A finished job: (job index, attempt, device, outcome).
+    Result(u64, u32, u64, Result<JobResult, String>),
+    /// Coordinator asks the worker to drain and exit.
+    Shutdown,
+}
+
+fn begin(buf: &mut Vec<u8>) -> FrameBuilder<'_> {
+    FrameBuilder::begin(buf, FrameKind::Control, CodecKind::Raw)
+}
+
+fn finish(b: FrameBuilder<'_>, key: Option<&FrameKey>) -> usize {
+    match key {
+        Some(k) => b.finish_authed(&job_key(k)),
+        None => b.finish(),
+    }
+}
+
+fn push_header(b: &mut FrameBuilder<'_>, header: &Header) -> Result<(), ServeError> {
+    let json = serde_json::to_string(header).map_err(|e| ServeError::Proto(e.to_string()))?;
+    b.record(SLOT_HEADER, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(json.as_bytes()));
+    Ok(())
+}
+
+fn push_f32s(b: &mut FrameBuilder<'_>, slot: ModuleKey, xs: &[f32]) {
+    b.record(slot, CodecKind::Raw, 0, xs.len(), |o| {
+        for x in xs {
+            o.extend_from_slice(&x.to_le_bytes());
+        }
+    });
+}
+
+fn parse_f32s(payload: &[u8]) -> Result<Vec<f32>, ServeError> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(ServeError::Proto(format!("f32 blob of {} bytes", payload.len())));
+    }
+    Ok(payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Encodes a training job into `buf` (cleared). Returns the frame length.
+pub fn encode_job(
+    buf: &mut Vec<u8>,
+    job: &DispatchJob,
+    job_idx: u64,
+    attempt: u32,
+    key: Option<&FrameKey>,
+) -> Result<usize, ServeError> {
+    let mut header = Header {
+        kind: "job".into(),
+        job: job_idx,
+        attempt: attempt as u64,
+        round: job.round as u64,
+        device: job.device,
+        epochs: job.train.epochs as u64,
+        batch: job.train.batch_size as u64,
+        lr: job.train.lr,
+        rng: job.rng_state.to_vec(),
+        classes: job.data.classes() as u64,
+        feature_dim: job.data.feature_dim() as u64,
+        ..Header::default()
+    };
+    let mut b = begin(buf);
+    match &job.spec {
+        JobSpec::Modular { frame } => {
+            header.spec = "modular".into();
+            push_header(&mut b, &header)?;
+            b.record(SLOT_MODEL, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(frame));
+        }
+        JobSpec::Dense { input, width, blocks, block_hidden, classes, ratio, params } => {
+            header.spec = "dense".into();
+            header.input = *input as u64;
+            header.width = *width as u64;
+            header.blocks = *blocks as u64;
+            header.block_hidden = *block_hidden as u64;
+            header.dense_classes = *classes as u64;
+            header.ratio = *ratio;
+            push_header(&mut b, &header)?;
+            push_f32s(&mut b, SLOT_MODEL, params);
+        }
+    }
+    push_f32s(&mut b, SLOT_FEATURES, job.data.features().data());
+    let labels = job.data.labels();
+    b.record(SLOT_LABELS, CodecKind::Raw, 0, labels.len(), |o| {
+        for &y in labels {
+            o.extend_from_slice(&(y as u32).to_le_bytes());
+        }
+    });
+    Ok(finish(b, key))
+}
+
+/// Encodes a job outcome into `buf` (cleared). Returns the frame length.
+pub fn encode_result(
+    buf: &mut Vec<u8>,
+    job_idx: u64,
+    attempt: u32,
+    device: u64,
+    outcome: &Result<JobResult, TransportError>,
+    key: Option<&FrameKey>,
+) -> Result<usize, ServeError> {
+    let mut header =
+        Header { kind: "result".into(), job: job_idx, attempt: attempt as u64, device, ..Header::default() };
+    let mut b = begin(buf);
+    match outcome {
+        Ok(JobResult::Frame(frame)) => {
+            header.spec = "modular".into();
+            header.ok = true;
+            push_header(&mut b, &header)?;
+            b.record(SLOT_MODEL, CodecKind::Raw, 0, 0, |o| o.extend_from_slice(frame));
+        }
+        Ok(JobResult::Params(params)) => {
+            header.spec = "dense".into();
+            header.ok = true;
+            push_header(&mut b, &header)?;
+            push_f32s(&mut b, SLOT_MODEL, params);
+        }
+        Err(e) => {
+            header.ok = false;
+            header.error = e.to_string();
+            push_header(&mut b, &header)?;
+        }
+    }
+    Ok(finish(b, key))
+}
+
+/// Encodes a shutdown notice into `buf` (cleared). Returns the length.
+pub fn encode_shutdown(buf: &mut Vec<u8>, key: Option<&FrameKey>) -> Result<usize, ServeError> {
+    let header = Header { kind: "shutdown".into(), ..Header::default() };
+    let mut b = begin(buf);
+    push_header(&mut b, &header)?;
+    Ok(finish(b, key))
+}
+
+/// Decodes any serving-plane message, verifying the MAC when keyed.
+pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, ServeError> {
+    let derived = key.map(job_key);
+    let view =
+        FrameView::parse_keyed(bytes, derived.as_ref()).map_err(|e| ServeError::Proto(format!("{e:?}")))?;
+    if view.kind != FrameKind::Control {
+        return Err(ServeError::Proto(format!("unexpected frame kind {:?}", view.kind)));
+    }
+    let header_rec =
+        view.find(SLOT_HEADER).ok_or_else(|| ServeError::Proto("message without header record".into()))?;
+    let json = std::str::from_utf8(header_rec.payload)
+        .map_err(|_| ServeError::Proto("header is not UTF-8".into()))?;
+    let header: Header = serde_json::from_str(json).map_err(|e| ServeError::Proto(e.to_string()))?;
+    match header.kind.as_str() {
+        "shutdown" => Ok(Message::Shutdown),
+        "result" => {
+            let outcome = if header.ok {
+                let rec = view
+                    .find(SLOT_MODEL)
+                    .ok_or_else(|| ServeError::Proto("ok result without payload".into()))?;
+                match header.spec.as_str() {
+                    "modular" => Ok(JobResult::Frame(rec.payload.to_vec())),
+                    "dense" => Ok(JobResult::Params(parse_f32s(rec.payload)?)),
+                    other => return Err(ServeError::Proto(format!("result spec '{other}'"))),
+                }
+            } else {
+                Err(header.error.clone())
+            };
+            Ok(Message::Result(header.job, header.attempt as u32, header.device, outcome))
+        }
+        "job" => {
+            let model =
+                view.find(SLOT_MODEL).ok_or_else(|| ServeError::Proto("job without model record".into()))?;
+            let spec = match header.spec.as_str() {
+                "modular" => JobSpec::Modular { frame: model.payload.to_vec() },
+                "dense" => JobSpec::Dense {
+                    input: header.input as usize,
+                    width: header.width as usize,
+                    blocks: header.blocks as usize,
+                    block_hidden: header.block_hidden as usize,
+                    classes: header.dense_classes as usize,
+                    ratio: header.ratio,
+                    params: parse_f32s(model.payload)?,
+                },
+                other => return Err(ServeError::Proto(format!("job spec '{other}'"))),
+            };
+            let feats = view
+                .find(SLOT_FEATURES)
+                .ok_or_else(|| ServeError::Proto("job without features record".into()))?;
+            let labels_rec = view
+                .find(SLOT_LABELS)
+                .ok_or_else(|| ServeError::Proto("job without labels record".into()))?;
+            if labels_rec.payload.len() % 4 != 0 {
+                return Err(ServeError::Proto("label blob not u32-aligned".into()));
+            }
+            let labels: Vec<usize> = labels_rec
+                .payload
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize)
+                .collect();
+            let xs = parse_f32s(feats.payload)?;
+            let dim = header.feature_dim as usize;
+            if dim == 0 || xs.len() != labels.len() * dim {
+                return Err(ServeError::Proto(format!(
+                    "dataset geometry mismatch: {} features, {} labels x dim {dim}",
+                    xs.len(),
+                    labels.len()
+                )));
+            }
+            if header.rng.len() != 4 {
+                return Err(ServeError::Proto("rng state must be 4 words".into()));
+            }
+            let data =
+                Dataset::new(Tensor::from_vec(xs, &[labels.len(), dim]), labels, header.classes as usize);
+            let job = DispatchJob {
+                round: header.round as usize,
+                device: header.device,
+                spec,
+                rng_state: [header.rng[0], header.rng[1], header.rng[2], header.rng[3]],
+                train: TrainParams {
+                    epochs: header.epochs as usize,
+                    batch_size: header.batch as usize,
+                    lr: header.lr,
+                },
+                data,
+            };
+            Ok(Message::Job(Box::new(job), header.job, header.attempt as u32))
+        }
+        other => Err(ServeError::Proto(format!("unknown message kind '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_tensor::NebulaRng;
+
+    fn toy_data() -> Dataset {
+        let xs: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 - 1.0).collect();
+        Dataset::new(Tensor::from_vec(xs, &[3, 4]), vec![0, 2, 1], 3)
+    }
+
+    fn toy_job(spec: JobSpec) -> DispatchJob {
+        DispatchJob {
+            round: 7,
+            device: 42,
+            spec,
+            rng_state: NebulaRng::seed(0xFEED).state(),
+            train: TrainParams { epochs: 2, batch_size: 8, lr: 0.05 },
+            data: toy_data(),
+        }
+    }
+
+    fn round_trip(job: DispatchJob, key: Option<&FrameKey>) -> (DispatchJob, u64, u32) {
+        let mut buf = Vec::new();
+        encode_job(&mut buf, &job, 3, 1, key).unwrap();
+        match decode_message(&buf, key).unwrap() {
+            Message::Job(j, idx, attempt) => (*j, idx, attempt),
+            _ => panic!("expected a job message"),
+        }
+    }
+
+    #[test]
+    fn modular_job_round_trips_exactly() {
+        let job = toy_job(JobSpec::Modular { frame: vec![9, 8, 7, 6, 5] });
+        let (back, idx, attempt) = round_trip(job.clone(), None);
+        assert_eq!(idx, 3);
+        assert_eq!(attempt, 1);
+        assert_eq!(back.round, job.round);
+        assert_eq!(back.device, job.device);
+        assert_eq!(back.rng_state, job.rng_state);
+        assert_eq!(back.train, job.train);
+        assert_eq!(back.data.labels(), job.data.labels());
+        assert_eq!(back.data.features().data(), job.data.features().data());
+        match (back.spec, job.spec) {
+            (JobSpec::Modular { frame: a }, JobSpec::Modular { frame: b }) => assert_eq!(a, b),
+            _ => panic!("spec family changed in transit"),
+        }
+    }
+
+    #[test]
+    fn dense_job_round_trips_exactly_with_auth() {
+        let key = FrameKey::from_bytes(&[7u8; 16]);
+        let params: Vec<f32> = (0..10).map(|i| (i as f32).sin()).collect();
+        let job = toy_job(JobSpec::Dense {
+            input: 4,
+            width: 24,
+            blocks: 2,
+            block_hidden: 32,
+            classes: 3,
+            ratio: 0.5,
+            params: params.clone(),
+        });
+        let (back, _, _) = round_trip(job, Some(&key));
+        match back.spec {
+            JobSpec::Dense { input, width, blocks, block_hidden, classes, ratio, params: p } => {
+                assert_eq!((input, width, blocks, block_hidden, classes), (4, 24, 2, 32, 3));
+                assert_eq!(ratio, 0.5);
+                assert_eq!(p, params);
+            }
+            _ => panic!("spec family changed in transit"),
+        }
+    }
+
+    #[test]
+    fn results_and_shutdown_round_trip() {
+        let mut buf = Vec::new();
+        encode_result(&mut buf, 5, 2, 11, &Ok(JobResult::Frame(vec![1, 2, 3])), None).unwrap();
+        match decode_message(&buf, None).unwrap() {
+            Message::Result(5, 2, 11, Ok(JobResult::Frame(f))) => assert_eq!(f, vec![1, 2, 3]),
+            _ => panic!("bad result decode"),
+        }
+
+        let err: Result<JobResult, TransportError> =
+            Err(TransportError::Rejected("no modular config".into()));
+        encode_result(&mut buf, 6, 0, 12, &err, None).unwrap();
+        match decode_message(&buf, None).unwrap() {
+            Message::Result(6, 0, 12, Err(why)) => assert!(why.contains("no modular config")),
+            _ => panic!("bad error-result decode"),
+        }
+
+        encode_shutdown(&mut buf, None).unwrap();
+        assert!(matches!(decode_message(&buf, None).unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn keyed_messages_reject_wrong_or_missing_keys() {
+        let key = FrameKey::from_bytes(&[3u8; 16]);
+        let other = FrameKey::from_bytes(&[4u8; 16]);
+        let mut buf = Vec::new();
+        encode_shutdown(&mut buf, Some(&key)).unwrap();
+        assert!(decode_message(&buf, Some(&other)).is_err(), "wrong key must fail the MAC");
+        assert!(decode_message(&buf, None).is_err(), "keyed frame at an open decoder must fail");
+        encode_shutdown(&mut buf, None).unwrap();
+        assert!(decode_message(&buf, Some(&key)).is_err(), "open frame at a keyed decoder must fail");
+    }
+}

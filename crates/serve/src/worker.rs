@@ -1,0 +1,212 @@
+//! A worker process: dial the coordinator, handshake, then pull jobs
+//! off the connection into a small thread pool and stream results back.
+//!
+//! Execution is routed through the same [`JobRunner`]s the in-process
+//! [`nebula_core::Loopback`] transport uses, each job wrapped in
+//! [`nebula_tensor::par::sequential`] exactly like loopback — that pair
+//! is what makes a remote round byte-identical to an in-process one
+//! under the `Raw` codec (test-pinned in this crate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use nebula_baselines::DenseJobRunner;
+use nebula_core::{backoff_ms, DispatchJob, JobRunner, JobSpec, ModularRunner, TransportError, WireConfig};
+use nebula_telemetry::Telemetry;
+use nebula_wire::hello::{decode_hello_ack, encode_hello, Hello, HELLO_PROTO};
+use nebula_wire::stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
+use nebula_wire::{CodecKind, FrameKey};
+
+use crate::netio::{Conn, Endpoint};
+use crate::proto::{self, Message};
+use crate::{ServeError, WorkerRunConfig};
+
+/// Worker deployment knobs.
+pub struct WorkerConfig {
+    /// Coordinator endpoint to dial.
+    pub endpoint: Endpoint,
+    /// Shared master key; must match the coordinator's (or both unset).
+    pub auth_key: Option<[u8; 16]>,
+    /// Name announced in the hello (logs/telemetry only).
+    pub name: String,
+    /// Executor threads (0 = 2).
+    pub threads: usize,
+    /// Hostile-length cap for inbound frames.
+    pub max_frame_len: usize,
+    /// Dial attempts before giving up (the coordinator may start late).
+    pub connect_attempts: u32,
+    pub telemetry: Telemetry,
+}
+
+impl WorkerConfig {
+    pub fn new(endpoint: Endpoint) -> Self {
+        WorkerConfig {
+            endpoint,
+            auth_key: None,
+            name: "worker".into(),
+            threads: 2,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            connect_attempts: 20,
+            telemetry: Telemetry::off(),
+        }
+    }
+}
+
+/// What a finished worker reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Coordinator-assigned id.
+    pub worker_id: u64,
+    /// Jobs executed (successfully or not) over the connection's life.
+    pub jobs_run: u64,
+}
+
+/// Routes each job family to its executor; what the pool threads run.
+struct CompositeRunner {
+    modular: Option<ModularRunner>,
+    dense: DenseJobRunner,
+}
+
+impl JobRunner for CompositeRunner {
+    fn run(&self, job: &DispatchJob) -> Result<nebula_core::JobResult, TransportError> {
+        match &job.spec {
+            JobSpec::Modular { .. } => match &self.modular {
+                Some(r) => r.run(job),
+                None => Err(TransportError::Rejected("worker has no modular model configured".into())),
+            },
+            JobSpec::Dense { .. } => self.dense.run(job),
+        }
+    }
+}
+
+/// Dials with exponential backoff so a worker may start before its
+/// coordinator's listener is up.
+fn connect(endpoint: &Endpoint, attempts: u32) -> Result<Conn, ServeError> {
+    let tries = attempts.max(1);
+    for attempt in 0..tries {
+        match Conn::connect(endpoint) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt + 1 == tries => {
+                return Err(ServeError::Io(format!("connect {endpoint}: {e}")));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(backoff_ms(25.0, attempt) as u64)),
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Runs a worker to completion: blocks until the coordinator sends a
+/// shutdown notice or the connection closes.
+pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerReport, ServeError> {
+    let master = cfg.auth_key.map(|k| FrameKey::from_bytes(&k));
+    let mut conn = connect(&cfg.endpoint, cfg.connect_attempts)?;
+
+    // Handshake: hello out, ack (with the run config) back.
+    let mut buf = Vec::new();
+    let hello = Hello {
+        proto: HELLO_PROTO,
+        codec: CodecKind::Raw,
+        threads: cfg.threads.clamp(1, u16::MAX as usize) as u16,
+        name: cfg.name.clone(),
+    };
+    encode_hello(&mut buf, &hello, master.as_ref());
+    write_frame(&mut conn, &buf)?;
+    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+    if !read_frame(&mut conn, cfg.max_frame_len, &mut buf)? {
+        return Err(ServeError::Handshake("coordinator closed before ack".into()));
+    }
+    let ack = decode_hello_ack(&buf, master.as_ref())
+        .map_err(|e| ServeError::Handshake(format!("bad ack: {e:?}")))?;
+    if !ack.accepted {
+        return Err(ServeError::Handshake(ack.reason));
+    }
+    conn.set_read_timeout(None)?;
+    let run_cfg: WorkerRunConfig =
+        serde_json::from_str(&ack.config_json).map_err(|e| ServeError::Proto(format!("run config: {e}")))?;
+    if run_cfg.payload_auth && cfg.auth_key.is_none() {
+        return Err(ServeError::Handshake(
+            "run requires device-MAC'd payload frames but this worker holds no key".into(),
+        ));
+    }
+
+    let wire = WireConfig {
+        codec: CodecKind::Raw,
+        delta_threshold: run_cfg.delta_threshold,
+        auth_key: if run_cfg.payload_auth { cfg.auth_key } else { None },
+    };
+    let runner = Arc::new(CompositeRunner {
+        modular: run_cfg.modular.map(|m| ModularRunner::new(m, wire)),
+        dense: DenseJobRunner,
+    });
+
+    // Pool: the connection reader feeds a channel; each executor thread
+    // takes a job, runs it, and writes the result under the shared
+    // write half.
+    let threads = cfg.threads.max(1);
+    let (tx, rx) = mpsc::channel::<(Box<DispatchJob>, u64, u32)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let writer = Arc::new(Mutex::new(conn.try_clone()?));
+    let jobs_run = Arc::new(AtomicU64::new(0));
+    let pool: Vec<_> = (0..threads)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let runner = Arc::clone(&runner);
+            let writer = Arc::clone(&writer);
+            let jobs_run = Arc::clone(&jobs_run);
+            let telemetry = cfg.telemetry.clone();
+            thread::spawn(move || loop {
+                // Hold the receiver lock only while taking a job, never
+                // while training.
+                let msg = rx.lock().unwrap().recv();
+                let Ok((job, idx, attempt)) = msg else { break };
+                let mut span = telemetry.span("serve.job");
+                span.int("device", job.device);
+                let outcome = nebula_tensor::par::sequential(|| runner.run(&job));
+                drop(span);
+                jobs_run.fetch_add(1, Ordering::SeqCst);
+                let mut out = Vec::new();
+                if proto::encode_result(&mut out, idx, attempt, job.device, &outcome, master.as_ref()).is_ok()
+                {
+                    let mut w = writer.lock().unwrap();
+                    if write_frame(&mut *w, &out).is_err() {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut clean = true;
+    loop {
+        match read_frame(&mut conn, cfg.max_frame_len, &mut buf) {
+            Ok(true) => match proto::decode_message(&buf, master.as_ref()) {
+                Ok(Message::Job(job, idx, attempt)) => {
+                    if tx.send((job, idx, attempt)).is_err() {
+                        break;
+                    }
+                }
+                Ok(Message::Shutdown) => break,
+                Ok(_) => {}
+                Err(_) => cfg.telemetry.counter_add("serve.bad_frames", 1),
+            },
+            Ok(false) => break,
+            Err(_) => {
+                clean = false;
+                break;
+            }
+        }
+    }
+    drop(tx);
+    for h in pool {
+        let _ = h.join();
+    }
+    conn.shutdown();
+    let report = WorkerReport { worker_id: ack.worker_id, jobs_run: jobs_run.load(Ordering::SeqCst) };
+    if clean {
+        Ok(report)
+    } else {
+        Err(ServeError::Io("connection lost".into()))
+    }
+}

@@ -303,10 +303,21 @@ impl Default for RoundPolicy {
     }
 }
 
-/// Exponential backoff before retry `attempt` (0-based): `base · 2^attempt`.
-pub fn backoff_ms(base_ms: f64, attempt: u32) -> f64 {
-    base_ms * 2f64.powi(attempt.min(16) as i32)
+impl RoundPolicy {
+    /// The policy's retry budget in the shared `core::retry` shape, used
+    /// by the round paths and the socket transports alike.
+    pub fn retry_policy(&self) -> nebula_core::RetryPolicy {
+        nebula_core::RetryPolicy {
+            max_retries: self.max_retries,
+            backoff_base_ms: self.retry_backoff_base_ms,
+        }
+    }
 }
+
+/// Exponential backoff before retry `attempt` (0-based): `base · 2^attempt`.
+/// Defined in `nebula-core::retry` (shared with the serving plane);
+/// re-exported here for the fault-injection call sites.
+pub use nebula_core::retry::backoff_ms;
 
 /// Per-round robustness accounting, summed over a step/run. Defined in
 /// `nebula-core::stats` (with [`CommTracker`](crate::network::CommTracker)

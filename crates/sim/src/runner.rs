@@ -121,6 +121,7 @@ pub struct Runner<'a> {
     telemetry: Telemetry,
     sanitize: Option<SanitizePolicy>,
     aggregator: Option<RobustAggregator>,
+    transport: Option<Box<dyn nebula_core::Transport>>,
 }
 
 impl<'a> Runner<'a> {
@@ -140,6 +141,7 @@ impl<'a> Runner<'a> {
             telemetry: Telemetry::off(),
             sanitize: None,
             aggregator: None,
+            transport: None,
         }
     }
 
@@ -200,6 +202,16 @@ impl<'a> Runner<'a> {
         self
     }
 
+    /// Route the strategy's training dispatch through a
+    /// [`nebula_core::Transport`] (e.g. [`nebula_core::Loopback`] or a
+    /// serving-plane socket transport) instead of the in-process path.
+    /// Applied via [`AdaptStrategy::set_transport`]; strategies without
+    /// remote dispatch ignore it.
+    pub fn transport(mut self, transport: Box<dyn nebula_core::Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Restore from the durability directory instead of starting fresh
     /// (requires [`Runner::durable`]); replays the journal tail with
     /// divergence verification, then continues live.
@@ -232,7 +244,17 @@ impl<'a> Runner<'a> {
     fn run_target(self, target: f32, max_rounds: usize, probe_every: usize) -> Result<RunOutcome, RunError> {
         validate_target(self.world, &self.cfg, target, probe_every)?;
         let Runner {
-            world, strategy, cfg, durability, chaos, resume, telemetry, sanitize, aggregator, ..
+            world,
+            strategy,
+            cfg,
+            durability,
+            chaos,
+            resume,
+            telemetry,
+            sanitize,
+            aggregator,
+            transport,
+            ..
         } = self;
         if let Some(d) = &durability {
             d.validate()?;
@@ -245,6 +267,9 @@ impl<'a> Runner<'a> {
         }
         if let Some(agg) = aggregator {
             strategy.set_aggregator(agg);
+        }
+        if let Some(t) = transport {
+            strategy.set_transport(t);
         }
         let pool0 = nebula_nn::workspace::pool_stats();
         let mut run_span = open_run(&telemetry, strategy, MODE_TARGET, &cfg, |e| {
@@ -334,7 +359,17 @@ impl<'a> Runner<'a> {
     fn run_continuous(self, slots: usize) -> Result<RunOutcome, RunError> {
         validate_common(self.world, &self.cfg)?;
         let Runner {
-            world, strategy, cfg, durability, chaos, resume, telemetry, sanitize, aggregator, ..
+            world,
+            strategy,
+            cfg,
+            durability,
+            chaos,
+            resume,
+            telemetry,
+            sanitize,
+            aggregator,
+            transport,
+            ..
         } = self;
         if let Some(d) = &durability {
             d.validate()?;
@@ -347,6 +382,9 @@ impl<'a> Runner<'a> {
         }
         if let Some(agg) = aggregator {
             strategy.set_aggregator(agg);
+        }
+        if let Some(t) = transport {
+            strategy.set_transport(t);
         }
         let pool0 = nebula_nn::workspace::pool_stats();
         let mut run_span = open_run(&telemetry, strategy, MODE_CONTINUOUS, &cfg, |e| {

@@ -17,8 +17,8 @@
 
 use crate::device::SimDevice;
 use crate::faults::{
-    apply_attack, attack_dense_mean, backoff_ms, corrupt_frame, corrupt_module_update, forge_frame,
-    poison_dense_mean, DeviceFate, RoundReport,
+    apply_attack, attack_dense_mean, corrupt_frame, corrupt_module_update, forge_frame, poison_dense_mean,
+    DeviceFate, RoundReport,
 };
 use crate::latency::adaptation_latency_ms;
 use crate::network::{transfer_time_ms, CommTracker};
@@ -27,8 +27,9 @@ use nebula_baselines::{
     fedavg_round_wire, heterofl_round_wire, local_adapt, ratio_for_budget, AdaptiveNet, DenseModel,
 };
 use nebula_core::{
-    discount_staleness, EdgeAccumulator, EdgeClient, EdgeClientState, EdgePartial, EdgeUpdate, NebulaCloud,
-    NebulaParams, RobustAggregator, RoundStats, SanitizePolicy, WireConfig, WireContext,
+    discount_staleness, plan_corrupt_resend, plan_upload, round_deadline_ms, EdgeAccumulator, EdgeClient,
+    EdgeClientState, EdgePartial, EdgeUpdate, NebulaCloud, NebulaParams, RobustAggregator, RoundStats,
+    SanitizePolicy, WireConfig, WireContext,
 };
 use nebula_data::Dataset;
 use nebula_modular::ModularConfig;
@@ -181,19 +182,6 @@ fn mean_participant_latency_ms(
     total / samples as f64
 }
 
-/// Deadline for a round: `deadline_factor` × the median predicted
-/// participant time (the latency-model derivation of the robust loop).
-/// `None` when the policy sets no deadline or nobody started the round.
-fn round_deadline_ms(deadline_factor: Option<f64>, times: &[f64]) -> Option<f64> {
-    let f = deadline_factor?;
-    if times.is_empty() {
-        return None;
-    }
-    let mut sorted = times.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite participant times"));
-    Some(f * sorted[sorted.len() / 2])
-}
-
 fn dense_footprint(model: &DenseModel, ratio: f32) -> Footprint {
     let params = model.active_params(ratio) as u64;
     Footprint {
@@ -319,6 +307,14 @@ pub trait AdaptStrategy {
     /// Selects the module-wise combine rule used at aggregation.
     /// Strategies without module-wise aggregation ignore it.
     fn set_aggregator(&mut self, _aggregator: RobustAggregator) {}
+
+    /// Routes the per-round local training through a
+    /// [`nebula_core::Transport`] (loopback executors or socket workers)
+    /// instead of the inline in-process loop. Strategies without a
+    /// dispatch seam ignore it. Collaborative strategies panic on a
+    /// configuration the transport cannot reproduce bit-exactly (Nebula
+    /// requires the stateless `Raw` codec).
+    fn set_transport(&mut self, _transport: Box<dyn nebula_core::Transport>) {}
 
     /// One adaptation step (collaborative rounds and/or tracked-device
     /// local updates against the devices' *current* data).
@@ -634,6 +630,8 @@ pub struct FedAvgStrategy {
     server: DenseModel,
     /// Per-device wire channels; all model traffic moves as real frames.
     pool: DensePool,
+    /// Optional dispatch transport; `None` trains in-process.
+    transport: Option<Box<dyn nebula_core::Transport>>,
     telemetry: Telemetry,
 }
 
@@ -641,7 +639,7 @@ impl FedAvgStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
         let pool = cfg.dense_pool();
-        Self { cfg, server, pool, telemetry: Telemetry::off() }
+        Self { cfg, server, pool, transport: None, telemetry: Telemetry::off() }
     }
 
     /// One communication round (used by the rounds-to-target driver),
@@ -670,34 +668,29 @@ impl FedAvgStrategy {
                 report.dropped += 1;
                 continue;
             }
-            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
-                for _ in 0..policy.max_retries {
-                    comm.record_retry(payload_bytes);
-                }
-                report.retried += policy.max_retries as u64;
+            let up = plan_upload(fate.upload_attempts, fate.flaky_link, policy.retry_policy());
+            for _ in 0..up.resends {
+                comm.record_retry(payload_bytes);
+            }
+            report.retried += up.resends as u64;
+            if !up.delivered {
                 report.link_dropped += 1;
                 continue;
             }
-            let extra = fate.upload_attempts.saturating_sub(1);
-            let mut backoff = 0.0;
-            for attempt in 0..extra {
-                comm.record_retry(payload_bytes);
-                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
-            }
-            report.retried += extra as u64;
-            let mut resends = extra as u64;
+            let mut backoff = up.backoff_ms;
+            let mut resends = up.resends as u64;
             // Transit corruption on the upload frame: CRC-rejected, one
             // clean resend. Without a retry budget the device is lost.
             if fate.frame_corrupt {
                 report.corrupt_frames += 1;
                 comm.record_retry(payload_bytes);
-                if policy.max_retries == 0 {
+                let Some(wait) = plan_corrupt_resend(up.resends, policy.retry_policy()) else {
                     report.link_dropped += 1;
                     continue;
-                }
+                };
                 report.retried += 1;
                 resends += 1;
-                backoff += backoff_ms(policy.retry_backoff_base_ms, extra);
+                backoff += wait;
             }
             let dev = &world.devices[id];
             let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
@@ -753,20 +746,43 @@ impl FedAvgStrategy {
         if !trainers.is_empty() {
             let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
             let ids_u64: Vec<u64> = trainers.iter().map(|&i| i as u64).collect();
-            let wb = fedavg_round_wire(
-                &mut self.server,
-                &data,
-                &ids_u64,
-                &mut self.pool,
-                self.cfg.local_epochs,
-                self.cfg.batch_size,
-                self.cfg.local_lr,
-                rng,
-            );
+            let (wb, lost) = match self.transport.as_deref_mut() {
+                Some(t) => {
+                    let out = nebula_baselines::fedavg_round_transport(
+                        &mut self.server,
+                        &data,
+                        &ids_u64,
+                        &mut self.pool,
+                        self.cfg.local_epochs,
+                        self.cfg.batch_size,
+                        self.cfg.local_lr,
+                        rng,
+                        t,
+                    );
+                    (out.bytes, out.lost)
+                }
+                None => (
+                    fedavg_round_wire(
+                        &mut self.server,
+                        &data,
+                        &ids_u64,
+                        &mut self.pool,
+                        self.cfg.local_epochs,
+                        self.cfg.batch_size,
+                        self.cfg.local_lr,
+                        rng,
+                    ),
+                    0,
+                ),
+            };
+            // Jobs the transport lost (worker crash/deadline) degrade the
+            // round like dropped links; in-process rounds never lose any.
+            report.link_dropped += lost;
+            report.participated = report.participated.saturating_sub(lost);
             comm.down_bytes = comm.down_bytes.saturating_add(wb.down);
             comm.up_bytes = comm.up_bytes.saturating_add(wb.up);
             comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
-            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
+            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64 - lost);
             if n_corrupt > 0 {
                 let mut params = self.server.param_vector();
                 poison_dense_mean(
@@ -805,6 +821,10 @@ impl AdaptStrategy for FedAvgStrategy {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_transport(&mut self, transport: Box<dyn nebula_core::Transport>) {
+        self.transport = Some(transport);
     }
 
     fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
@@ -873,6 +893,8 @@ pub struct HeteroFlStrategy {
     server: DenseModel,
     /// Per-device wire channels carrying each device's active slice.
     pool: DensePool,
+    /// Optional dispatch transport; `None` trains in-process.
+    transport: Option<Box<dyn nebula_core::Transport>>,
     telemetry: Telemetry,
 }
 
@@ -880,7 +902,7 @@ impl HeteroFlStrategy {
     pub fn new(cfg: StrategyConfig, seed: u64) -> Self {
         let server = cfg.dense_model(seed);
         let pool = cfg.dense_pool();
-        Self { cfg, server, pool, telemetry: Telemetry::off() }
+        Self { cfg, server, pool, transport: None, telemetry: Telemetry::off() }
     }
 
     fn ratio_for(&self, dev: &SimDevice) -> f32 {
@@ -914,34 +936,29 @@ impl HeteroFlStrategy {
             let ratio = self.ratio_for(&world.devices[id]);
             // Each device exchanges its own width-scaled sub-model.
             let payload_bytes = (self.server.active_params(ratio) * 4) as u64;
-            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
-                for _ in 0..policy.max_retries {
-                    comm.record_retry(payload_bytes);
-                }
-                report.retried += policy.max_retries as u64;
+            let up = plan_upload(fate.upload_attempts, fate.flaky_link, policy.retry_policy());
+            for _ in 0..up.resends {
+                comm.record_retry(payload_bytes);
+            }
+            report.retried += up.resends as u64;
+            if !up.delivered {
                 report.link_dropped += 1;
                 continue;
             }
-            let extra = fate.upload_attempts.saturating_sub(1);
-            let mut backoff = 0.0;
-            for attempt in 0..extra {
-                comm.record_retry(payload_bytes);
-                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
-            }
-            report.retried += extra as u64;
-            let mut resends = extra as u64;
+            let mut backoff = up.backoff_ms;
+            let mut resends = up.resends as u64;
             // Transit corruption on the upload frame: CRC-rejected, one
             // clean resend. Without a retry budget the device is lost.
             if fate.frame_corrupt {
                 report.corrupt_frames += 1;
                 comm.record_retry(payload_bytes);
-                if policy.max_retries == 0 {
+                let Some(wait) = plan_corrupt_resend(up.resends, policy.retry_policy()) else {
                     report.link_dropped += 1;
                     continue;
-                }
+                };
                 report.retried += 1;
                 resends += 1;
-                backoff += backoff_ms(policy.retry_backoff_base_ms, extra);
+                backoff += wait;
             }
             let dev = &world.devices[id];
             let bw = dev.resources.bandwidth_bps * fate.bandwidth_factor;
@@ -1003,21 +1020,45 @@ impl HeteroFlStrategy {
             let data: Vec<&Dataset> = trainers.iter().map(|&i| &world.devices[i].partition.data).collect();
             let ratios: Vec<f32> = trainers.iter().map(|&i| self.ratio_for(&world.devices[i])).collect();
             let ids_u64: Vec<u64> = trainers.iter().map(|&i| i as u64).collect();
-            let wb = heterofl_round_wire(
-                &mut self.server,
-                &data,
-                &ratios,
-                &ids_u64,
-                &mut self.pool,
-                self.cfg.local_epochs,
-                self.cfg.batch_size,
-                self.cfg.local_lr,
-                rng,
-            );
+            let (wb, lost) = match self.transport.as_deref_mut() {
+                Some(t) => {
+                    let out = nebula_baselines::heterofl_round_transport(
+                        &mut self.server,
+                        &data,
+                        &ratios,
+                        &ids_u64,
+                        &mut self.pool,
+                        self.cfg.local_epochs,
+                        self.cfg.batch_size,
+                        self.cfg.local_lr,
+                        rng,
+                        t,
+                    );
+                    (out.bytes, out.lost)
+                }
+                None => (
+                    heterofl_round_wire(
+                        &mut self.server,
+                        &data,
+                        &ratios,
+                        &ids_u64,
+                        &mut self.pool,
+                        self.cfg.local_epochs,
+                        self.cfg.batch_size,
+                        self.cfg.local_lr,
+                        rng,
+                    ),
+                    0,
+                ),
+            };
+            // Jobs the transport lost (worker crash/deadline) degrade the
+            // round like dropped links; in-process rounds never lose any.
+            report.link_dropped += lost;
+            report.participated = report.participated.saturating_sub(lost);
             comm.down_bytes = comm.down_bytes.saturating_add(wb.down);
             comm.up_bytes = comm.up_bytes.saturating_add(wb.up);
             comm.downloads = comm.downloads.saturating_add(trainers.len() as u64);
-            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64);
+            comm.uploads = comm.uploads.saturating_add(trainers.len() as u64 - lost);
             if n_corrupt > 0 {
                 let mut params = self.server.param_vector();
                 poison_dense_mean(
@@ -1056,6 +1097,10 @@ impl AdaptStrategy for HeteroFlStrategy {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn set_transport(&mut self, transport: Box<dyn nebula_core::Transport>) {
+        self.transport = Some(transport);
     }
 
     fn offline(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) {
@@ -1166,6 +1211,9 @@ pub struct NebulaStrategy {
     wire: WireContext,
     /// Reusable frame buffer for all encode/decode round trips.
     frame_buf: Vec<u8>,
+    /// Optional dispatch transport for the round's local training;
+    /// `None` trains in-process (the historical path, bit-identical).
+    transport: Option<Box<dyn nebula_core::Transport>>,
     telemetry: Telemetry,
 }
 
@@ -1195,6 +1243,7 @@ impl NebulaStrategy {
             rollback: None,
             wire,
             frame_buf: Vec::new(),
+            transport: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -1288,13 +1337,14 @@ impl NebulaStrategy {
             let outcome = self.cloud.derive_for_data(&local, &profile, None);
             let payload = self.cloud.dispatch(&outcome.spec);
             let plan_bytes = payload.bytes();
-            if fate.flaky_link && fate.upload_attempts > 1 + policy.max_retries {
+            let up = plan_upload(fate.upload_attempts, fate.flaky_link, policy.retry_policy());
+            if !up.delivered {
                 // Retries exhausted: the device never joins the round (and
                 // never receives a frame, so its wire state stays cold).
-                for _ in 0..policy.max_retries {
+                for _ in 0..up.resends {
                     comm.record_retry(plan_bytes);
                 }
-                report.retried += policy.max_retries as u64;
+                report.retried += up.resends as u64;
                 report.link_dropped += 1;
                 note_client(&telemetry, id, "link_dropped", None);
                 continue;
@@ -1312,11 +1362,10 @@ impl NebulaStrategy {
                 }
             };
             drop(wire_span);
-            let extra = fate.upload_attempts.saturating_sub(1);
-            let mut backoff = 0.0;
-            for attempt in 0..extra {
+            let extra = up.resends;
+            let backoff = up.backoff_ms;
+            for _ in 0..extra {
                 comm.record_retry(wire_bytes);
-                backoff += backoff_ms(policy.retry_backoff_base_ms, attempt);
             }
             report.retried += extra as u64;
             // Predicted participant wall-clock: local training under the
@@ -1335,33 +1384,78 @@ impl NebulaStrategy {
                 + transfer_time_ms(2 * plan_bytes + extra as u64 * plan_bytes, bw)
                 + backoff;
             meta.push((id, fate, time_ms));
-            jobs.push((payload, local, rng.fork(id as u64 ^ 0xEB)));
+            // Remote dispatch ships the encoded payload frame; the fork
+            // happens here either way, so both modes consume the same RNG
+            // sequence.
+            let frame = self.transport.is_some().then(|| self.frame_buf.clone());
+            jobs.push((payload, frame, local, rng.fork(id as u64 ^ 0xEB)));
         }
 
-        let cfg = &self.cfg;
-        let mut train_span = telemetry.span("local_train");
-        train_span.int("clients", jobs.len() as u64);
-        let updates: Vec<EdgeUpdate> = jobs
-            .into_par_iter()
-            .map(|(payload, local, mut drng)| {
-                // Client-level parallelism owns the pool here; keep the
-                // inner tensor kernels sequential so per-device training
-                // does not nest-fork (see nebula_tensor::par).
-                nebula_tensor::par::sequential(|| {
-                    let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
-                    client.adapt(&local, cfg.local_epochs, cfg.batch_size, cfg.local_lr, &mut drng);
-                    client.make_update(&local)
+        /// How one device's training came back: an in-process update, a
+        /// remote worker's encoded update frame, or not at all.
+        enum Arrived {
+            Update(EdgeUpdate),
+            Frame(Vec<u8>),
+            Lost,
+        }
+
+        let arrivals: Vec<Arrived> = if self.transport.is_some() {
+            let train = nebula_core::TrainParams {
+                epochs: self.cfg.local_epochs,
+                batch_size: self.cfg.batch_size,
+                lr: self.cfg.local_lr,
+            };
+            let dispatch: Vec<nebula_core::DispatchJob> = jobs
+                .into_iter()
+                .zip(&meta)
+                .map(|((_payload, frame, local, drng), &(id, _, _))| nebula_core::DispatchJob {
+                    round: round as usize,
+                    device: id as u64,
+                    spec: nebula_core::JobSpec::Modular {
+                        frame: frame.expect("remote jobs carry their payload frame"),
+                    },
+                    rng_state: drng.state(),
+                    train,
+                    data: local,
                 })
-            })
-            .collect();
-        drop(train_span);
+                .collect();
+            let transport = self.transport.as_deref_mut().expect("transport checked above");
+            let mut train_span = telemetry.span("remote_train");
+            train_span.int("clients", dispatch.len() as u64);
+            transport
+                .round_trip(dispatch)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(nebula_core::JobResult::Frame(f)) => Arrived::Frame(f),
+                    // A dense result to a modular job is a protocol
+                    // violation; the device degrades like a lost link.
+                    Ok(nebula_core::JobResult::Params(_)) | Err(_) => Arrived::Lost,
+                })
+                .collect()
+        } else {
+            let cfg = &self.cfg;
+            let mut train_span = telemetry.span("local_train");
+            train_span.int("clients", jobs.len() as u64);
+            jobs.into_par_iter()
+                .map(|(payload, _frame, local, mut drng)| {
+                    // Client-level parallelism owns the pool here; keep the
+                    // inner tensor kernels sequential so per-device training
+                    // does not nest-fork (see nebula_tensor::par).
+                    nebula_tensor::par::sequential(|| {
+                        let mut client = EdgeClient::from_payload(cfg.modular.clone(), &payload);
+                        client.adapt(&local, cfg.local_epochs, cfg.batch_size, cfg.local_lr, &mut drng);
+                        Arrived::Update(client.make_update(&local))
+                    })
+                })
+                .collect()
+        };
 
         // Round deadline from the latency model; stragglers past it drop.
         let times: Vec<f64> = meta.iter().map(|m| m.2).collect();
         let deadline = round_deadline_ms(policy.deadline_factor, &times);
-        let mut accepted: Vec<EdgeUpdate> = Vec::with_capacity(updates.len());
+        let mut accepted: Vec<EdgeUpdate> = Vec::with_capacity(arrivals.len());
         let mut round_time_ms = 0.0f64;
-        for (mut update, (id, fate, time_ms)) in updates.into_iter().zip(meta) {
+        for (arrived, (id, fate, time_ms)) in arrivals.into_iter().zip(meta) {
             if let Some(d) = deadline {
                 if time_ms > d {
                     report.deadline_dropped += 1;
@@ -1377,72 +1471,148 @@ impl NebulaStrategy {
                 continue;
             }
             round_time_ms = round_time_ms.max(time_ms);
-            if let Some(kind) = fate.corruption {
-                // App-level corruption garbles the tensors *before* the
-                // frame is cut: the frame is valid, the sanitize gate is
-                // the defence.
-                corrupt_module_update(
-                    &mut update,
-                    kind,
-                    plan.explode_scale,
-                    plan.seed ^ (round << 20) ^ id as u64,
-                );
-            }
-            if fate.malicious.is_some() {
-                // Byzantine persona: a well-formed update deliberately
-                // crafted to poison the aggregate (colluders share one
-                // per-round attack seed). The robust combine rule is the
-                // defence, not the frame or the sanitize gate.
-                apply_attack(&mut update, &plan.adversary, plan.adversary.attack_seed(round, id));
-            }
-            // The upload is a real frame; the cloud aggregates what it
-            // decodes, never the sender's structs.
             let upload_span = telemetry.span("wire_tx");
-            let enc = self.wire.encode_update(id as u64, &update, &mut self.frame_buf) as u64;
-            let decoded = if fate.frame_corrupt {
-                // Transit corruption flips bytes on the wire; under frame
-                // auth the tamper also recomputes the CRC (the forgery only
-                // the MAC catches). Either way the decode rejects before
-                // aggregation and the retry path re-sends; without a retry
-                // budget the device is lost.
-                report.corrupt_frames += 1;
-                let mut bad = self.frame_buf.clone();
-                if self.cfg.wire.auth_key.is_some() {
-                    forge_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
-                } else {
-                    corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+            let decoded = match arrived {
+                Arrived::Lost => {
+                    // The transport failed to bring the job back (worker
+                    // crash, socket deadline): the device degrades through
+                    // the same path as a dropped link below.
+                    telemetry.counter_add("serve.transport_lost", 1);
+                    None
                 }
-                match self.wire.decode_update_from(id as u64, &bad) {
-                    Ok(u) => {
-                        comm.record_upload(enc);
-                        Some(u)
+                Arrived::Update(mut update) => {
+                    if let Some(kind) = fate.corruption {
+                        // App-level corruption garbles the tensors *before*
+                        // the frame is cut: the frame is valid, the sanitize
+                        // gate is the defence.
+                        corrupt_module_update(
+                            &mut update,
+                            kind,
+                            plan.explode_scale,
+                            plan.seed ^ (round << 20) ^ id as u64,
+                        );
                     }
-                    Err(_) => {
-                        comm.record_retry(enc);
-                        if policy.max_retries == 0 {
-                            None
+                    if fate.malicious.is_some() {
+                        // Byzantine persona: a well-formed update deliberately
+                        // crafted to poison the aggregate (colluders share one
+                        // per-round attack seed). The robust combine rule is
+                        // the defence, not the frame or the sanitize gate.
+                        apply_attack(&mut update, &plan.adversary, plan.adversary.attack_seed(round, id));
+                    }
+                    // The upload is a real frame; the cloud aggregates what
+                    // it decodes, never the sender's structs.
+                    let enc = self.wire.encode_update(id as u64, &update, &mut self.frame_buf) as u64;
+                    if fate.frame_corrupt {
+                        // Transit corruption flips bytes on the wire; under
+                        // frame auth the tamper also recomputes the CRC (the
+                        // forgery only the MAC catches). Either way the
+                        // decode rejects before aggregation and the retry
+                        // path re-sends; without a retry budget the device
+                        // is lost.
+                        report.corrupt_frames += 1;
+                        let mut bad = self.frame_buf.clone();
+                        if self.cfg.wire.auth_key.is_some() {
+                            forge_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
                         } else {
-                            report.retried += 1;
-                            match self.wire.decode_update_from(id as u64, &self.frame_buf) {
-                                Ok(u) => {
-                                    comm.record_upload(enc);
-                                    Some(u)
+                            corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                        }
+                        match self.wire.decode_update_from(id as u64, &bad) {
+                            Ok(u) => {
+                                comm.record_upload(enc);
+                                Some(u)
+                            }
+                            Err(_) => {
+                                comm.record_retry(enc);
+                                if policy.max_retries == 0 {
+                                    None
+                                } else {
+                                    report.retried += 1;
+                                    match self.wire.decode_update_from(id as u64, &self.frame_buf) {
+                                        Ok(u) => {
+                                            comm.record_upload(enc);
+                                            Some(u)
+                                        }
+                                        Err(_) => None,
+                                    }
                                 }
-                                Err(_) => None,
+                            }
+                        }
+                    } else {
+                        match self.wire.decode_update_from(id as u64, &self.frame_buf) {
+                            Ok(u) => {
+                                comm.record_upload(enc);
+                                Some(u)
+                            }
+                            Err(_) => {
+                                comm.record_retry(enc);
+                                None
                             }
                         }
                     }
                 }
-            } else {
-                match self.wire.decode_update_from(id as u64, &self.frame_buf) {
-                    Ok(u) => {
-                        comm.record_upload(enc);
-                        Some(u)
-                    }
-                    Err(_) => {
-                        comm.record_retry(enc);
-                        None
-                    }
+                Arrived::Frame(frame) => {
+                    // A remote worker already encoded the update; transit
+                    // faults tamper with its bytes, and app-level
+                    // corruption / Byzantine attacks mutate what the cloud
+                    // decoded. Under the Raw codec that ordering is
+                    // bit-identical to the loopback order (mutate before
+                    // encode), which the serve tests pin.
+                    let enc = frame.len() as u64;
+                    let got = if fate.frame_corrupt {
+                        report.corrupt_frames += 1;
+                        let mut bad = frame.clone();
+                        if self.cfg.wire.auth_key.is_some() {
+                            forge_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                        } else {
+                            corrupt_frame(&mut bad, plan.seed ^ (round << 20) ^ id as u64);
+                        }
+                        match self.wire.decode_update_from(id as u64, &bad) {
+                            Ok(u) => {
+                                comm.record_upload(enc);
+                                Some(u)
+                            }
+                            Err(_) => {
+                                comm.record_retry(enc);
+                                if policy.max_retries == 0 {
+                                    None
+                                } else {
+                                    report.retried += 1;
+                                    match self.wire.decode_update_from(id as u64, &frame) {
+                                        Ok(u) => {
+                                            comm.record_upload(enc);
+                                            Some(u)
+                                        }
+                                        Err(_) => None,
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        match self.wire.decode_update_from(id as u64, &frame) {
+                            Ok(u) => {
+                                comm.record_upload(enc);
+                                Some(u)
+                            }
+                            Err(_) => {
+                                comm.record_retry(enc);
+                                None
+                            }
+                        }
+                    };
+                    got.map(|mut update| {
+                        if let Some(kind) = fate.corruption {
+                            corrupt_module_update(
+                                &mut update,
+                                kind,
+                                plan.explode_scale,
+                                plan.seed ^ (round << 20) ^ id as u64,
+                            );
+                        }
+                        if fate.malicious.is_some() {
+                            apply_attack(&mut update, &plan.adversary, plan.adversary.attack_seed(round, id));
+                        }
+                        update
+                    })
                 }
             };
             drop(upload_span);
@@ -1649,6 +1819,18 @@ impl AdaptStrategy for NebulaStrategy {
 
     fn set_aggregator(&mut self, aggregator: RobustAggregator) {
         self.aggregator = aggregator;
+    }
+
+    fn set_transport(&mut self, transport: Box<dyn nebula_core::Transport>) {
+        // Remote dispatch rebuilds a fresh WireContext per job on the
+        // worker side, which is only byte-identical to the coordinator's
+        // shared context under the stateless Raw codec.
+        assert_eq!(
+            self.cfg.wire.codec,
+            CodecKind::Raw,
+            "Nebula transport routing requires the stateless Raw codec"
+        );
+        self.transport = Some(transport);
     }
 
     fn adaptation_step(&mut self, world: &mut SimWorld, rng: &mut NebulaRng) -> RoundStats {

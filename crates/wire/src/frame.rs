@@ -5,7 +5,7 @@
 //! ------  ----  -----------------------------------------------
 //!      0     4  magic  b"NBW1"
 //!      4     1  wire version (currently 1)
-//!      5     1  frame kind   (0 payload, 1 update, 2 dense)
+//!      5     1  frame kind   (0 payload, 1 update, 2 dense, 3 control)
 //!      6     1  default codec id (hint; records carry their own)
 //!      7     1  flags (bit 0: authenticated; rest reserved 0)
 //!      8     4  record count            u32 LE
@@ -16,7 +16,7 @@
 //!                (present iff the auth flag is set)
 //!
 //! record:
-//!      0     2  layer   u16 LE   (0xFFFD..=0xFFFF are sentinels)
+//!      0     2  layer   u16 LE   (0xFFFC..=0xFFFF are sentinels)
 //!      2     2  module  u16 LE
 //!      4     1  codec id for this record
 //!      5     3  reserved (0)
@@ -56,6 +56,9 @@ pub enum FrameKind {
     Update,
     /// A single dense blob (baseline strategies' full-model exchange).
     Dense,
+    /// Serving-plane control traffic (handshake, job dispatch/results,
+    /// shutdown). Records use [`ModuleKey::control`] sentinels.
+    Control,
 }
 
 impl FrameKind {
@@ -64,6 +67,7 @@ impl FrameKind {
             FrameKind::Payload => 0,
             FrameKind::Update => 1,
             FrameKind::Dense => 2,
+            FrameKind::Control => 3,
         }
     }
 
@@ -72,6 +76,7 @@ impl FrameKind {
             0 => Ok(FrameKind::Payload),
             1 => Ok(FrameKind::Update),
             2 => Ok(FrameKind::Dense),
+            3 => Ok(FrameKind::Control),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -93,14 +98,22 @@ impl ModuleKey {
 
     /// A real module at (layer, module).
     pub fn module(layer: usize, module: usize) -> Self {
-        debug_assert!(layer < 0xFFFD && module < 0xFFFD, "index collides with sentinel space");
+        debug_assert!(layer < 0xFFFC && module < 0xFFFC, "index collides with sentinel space");
         ModuleKey { layer: layer as u16, module: module as u16 }
     }
 
     /// Per-layer importance row; the module field carries the layer index.
     pub fn importance(layer: usize) -> Self {
-        debug_assert!(layer < 0xFFFD);
+        debug_assert!(layer < 0xFFFC);
         ModuleKey { layer: 0xFFFE, module: layer as u16 }
+    }
+
+    /// Serving-plane control record `slot` inside a [`FrameKind::Control`]
+    /// frame (slot 0 is the message header by convention; higher slots
+    /// carry opaque binary sections).
+    pub fn control(slot: usize) -> Self {
+        debug_assert!(slot < 0xFFFC);
+        ModuleKey { layer: 0xFFFC, module: slot as u16 }
     }
 
     pub fn is_shared(self) -> bool {
@@ -115,8 +128,12 @@ impl ModuleKey {
         self.layer == 0xFFFD
     }
 
+    pub fn is_control(self) -> bool {
+        self.layer == 0xFFFC
+    }
+
     pub fn is_module(self) -> bool {
-        self.layer < 0xFFFD
+        self.layer < 0xFFFC
     }
 }
 
@@ -279,6 +296,16 @@ impl<'a> FrameView<'a> {
         let actual = crc32(&bytes[..crc_at]);
         if stored != actual {
             return Err(WireError::CrcMismatch { expected: stored, got: actual });
+        }
+        // Bound the record-index allocation by what the body can actually
+        // hold: a hostile count field (u32) with a small body would
+        // otherwise reserve gigabytes before the per-record bounds checks
+        // ever ran.
+        if count > body_len / RECORD_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: count.saturating_mul(RECORD_HEADER_LEN),
+                have: body_len,
+            });
         }
         let mut records = Vec::with_capacity(count);
         let mut at = HEADER_LEN;
@@ -479,7 +506,42 @@ mod tests {
         assert!(ModuleKey::importance(7).is_importance());
         assert!(ModuleKey::META.is_meta());
         assert!(ModuleKey::module(3, 11).is_module());
+        assert!(ModuleKey::control(2).is_control());
+        assert!(!ModuleKey::control(2).is_module());
         assert_ne!(ModuleKey::SHARED, ModuleKey::importance(0xFFF));
         assert_ne!(ModuleKey::META, ModuleKey::module(0, 0));
+        assert_ne!(ModuleKey::control(0), ModuleKey::META);
+    }
+
+    #[test]
+    fn control_frame_round_trip() {
+        let mut buf = Vec::new();
+        let mut b = FrameBuilder::begin(&mut buf, FrameKind::Control, CodecKind::Raw);
+        b.record(ModuleKey::control(0), CodecKind::Raw, 0, 0, |o| o.extend_from_slice(b"{\"k\":1}"));
+        b.record(ModuleKey::control(1), CodecKind::Raw, 0, 0, |o| o.extend_from_slice(&[9, 8, 7]));
+        b.finish();
+        let view = FrameView::parse(&buf).unwrap();
+        assert_eq!(view.kind, FrameKind::Control);
+        assert_eq!(view.find(ModuleKey::control(0)).unwrap().payload, b"{\"k\":1}");
+        assert_eq!(view.find(ModuleKey::control(1)).unwrap().payload, &[9, 8, 7]);
+    }
+
+    /// Regression: a crafted frame declaring ~4 billion records over a
+    /// tiny body (CRC fixed up, so every structural check before the
+    /// record walk passes) must be rejected *before* the record index is
+    /// allocated. Previously `Vec::with_capacity(count)` ran first — a
+    /// hostile length field on a stream drove an unbounded allocation.
+    #[test]
+    fn hostile_record_count_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        let b = FrameBuilder::begin(&mut buf, FrameKind::Update, CodecKind::Raw);
+        b.finish();
+        // Forge the record count and restore CRC validity.
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc_at = buf.len() - TRAILER_LEN;
+        let crc = crc32(&buf[..crc_at]);
+        buf[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        let err = FrameView::parse(&buf).err().expect("hostile record count must be rejected");
+        assert!(matches!(err, WireError::Truncated { .. }), "unexpected error: {err:?}");
     }
 }

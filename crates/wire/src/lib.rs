@@ -25,19 +25,27 @@
 //!   and per-device ack tracking, so deltas decode deterministically and
 //!   stale uploads are detected by version.
 //! * [`dense`] — a point-to-point channel for the flat-model baselines.
+//! * [`stream`] — length-delimited frame I/O over TCP/UDS byte streams,
+//!   with a pre-allocation cap on hostile length prefixes.
+//! * [`hello`] — the serving-plane handshake (worker hello, coordinator
+//!   ack) with auth and codec negotiation.
 
 pub mod codec;
 pub mod crc32;
 pub mod dense;
 mod error;
 pub mod frame;
+pub mod hello;
 pub mod registry;
 pub mod siphash;
+pub mod stream;
 
 pub use codec::{CodecKind, ResidualStore};
 pub use crc32::crc32;
 pub use dense::{DenseChannel, DensePool};
 pub use error::WireError;
 pub use frame::{FrameBuilder, FrameKind, FrameView, ModuleKey, Record};
+pub use hello::{Hello, HelloAck};
 pub use registry::ModuleRegistry;
 pub use siphash::{siphash24, FrameKey};
+pub use stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
