@@ -109,7 +109,9 @@ fn dense_job(
 
 /// One FedAvg round with training routed through `transport`. Matches
 /// [`crate::fedavg_round_wire`] bit-for-bit when every job returns
-/// (loopback, healthy workers).
+/// (loopback, healthy workers). `round` is the caller's round counter;
+/// it rides in every job so the frames on the wire stay distinguishable
+/// across rounds (training itself never reads it).
 #[allow(clippy::too_many_arguments)]
 pub fn fedavg_round_transport(
     server: &mut DenseModel,
@@ -120,6 +122,7 @@ pub fn fedavg_round_transport(
     batch_size: usize,
     lr: f32,
     rng: &mut NebulaRng,
+    round: usize,
     transport: &mut dyn Transport,
 ) -> TransportRound {
     assert!(!device_data.is_empty(), "FedAvg round with no participants");
@@ -149,7 +152,7 @@ pub fn fedavg_round_transport(
         // Stream label `k` (participant index), exactly like the wire
         // round's sequential `rng.fork(k)` calls.
         .map(|(k, ((&id, data), decoded))| {
-            dense_job(0, id, dims, 1.0, decoded, rng, k as u64, train, (*data).clone())
+            dense_job(round, id, dims, 1.0, decoded, rng, k as u64, train, (*data).clone())
         })
         .collect();
     let results = transport.round_trip(jobs);
@@ -187,6 +190,7 @@ pub fn fedavg_round_transport(
 
 /// One HeteroFL round with training routed through `transport`. Matches
 /// [`crate::heterofl_round_wire`] bit-for-bit when every job returns.
+/// `round` tags the dispatched jobs like in [`fedavg_round_transport`].
 #[allow(clippy::too_many_arguments)]
 pub fn heterofl_round_transport(
     server: &mut DenseModel,
@@ -198,6 +202,7 @@ pub fn heterofl_round_transport(
     batch_size: usize,
     lr: f32,
     rng: &mut NebulaRng,
+    round: usize,
     transport: &mut dyn Transport,
 ) -> TransportRound {
     assert_eq!(device_data.len(), device_ratios.len(), "data/ratio length mismatch");
@@ -235,7 +240,7 @@ pub fn heterofl_round_transport(
         .zip(downloads)
         .enumerate()
         .map(|(k, (((&id, data), &ratio), full))| {
-            dense_job(0, id, dims, ratio, full, rng, k as u64, train, (*data).clone())
+            dense_job(round, id, dims, ratio, full, rng, k as u64, train, (*data).clone())
         })
         .collect();
     let results = transport.round_trip(jobs);
@@ -312,6 +317,7 @@ mod tests {
         let mut s_t = server();
         let mut t_pool = DensePool::raw();
         let mut transport = Loopback::new(Arc::new(DenseJobRunner));
+        // A nonzero round tag must not perturb the trajectory.
         let routed = fedavg_round_transport(
             &mut s_t,
             &[&d1, &d2],
@@ -321,6 +327,7 @@ mod tests {
             16,
             0.03,
             &mut NebulaRng::seed(11),
+            3,
             &mut transport,
         );
         assert_eq!(routed.lost, 0);
@@ -361,6 +368,7 @@ mod tests {
             16,
             0.03,
             &mut NebulaRng::seed(21),
+            5,
             &mut transport,
         );
         assert_eq!(routed.lost, 0);
@@ -396,6 +404,7 @@ mod tests {
             16,
             0.03,
             &mut NebulaRng::seed(3),
+            0,
             &mut BlackHole,
         );
         assert_eq!(out.lost, 1);

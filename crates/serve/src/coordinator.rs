@@ -38,7 +38,7 @@ use nebula_wire::stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
 use nebula_wire::{CodecKind, FrameKey};
 
 use crate::netio::Conn;
-use crate::proto::{self, Message};
+use crate::proto::{self, JobTag, Message};
 use crate::{ServeError, WorkerRunConfig};
 
 /// Coordinator deployment knobs.
@@ -87,6 +87,10 @@ struct WorkerHandle {
 
 /// The in-flight round, if any.
 struct RoundState {
+    /// Barrier epoch this round's jobs were stamped with — monotonic
+    /// across rounds, so a straggler result from a round that already
+    /// hit the deadline can never land in a later round's slot.
+    epoch: u64,
     jobs: Vec<DispatchJob>,
     /// Per job: (owning worker id, dispatch attempt). Worker ids start
     /// at 1, so the initial `(0, 0)` never matches a real owner.
@@ -106,6 +110,8 @@ struct Shared {
     round: Mutex<Option<RoundState>>,
     round_done: Condvar,
     next_worker_id: AtomicU64,
+    /// Source of [`RoundState::epoch`]; bumped once per `round_trip`.
+    round_epoch: AtomicU64,
     rounds_completed: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -146,9 +152,13 @@ impl Shared {
                 return true;
             }
             st.assigned[job_idx] = (target, attempt);
-            if let Err(e) =
-                proto::encode_job(&mut buf, &st.jobs[job_idx], job_idx as u64, attempt, self.key.as_ref())
-            {
+            let tag = JobTag {
+                job: job_idx as u64,
+                attempt,
+                epoch: st.epoch,
+                device: st.jobs[job_idx].device,
+            };
+            if let Err(e) = proto::encode_job(&mut buf, &st.jobs[job_idx], tag, self.key.as_ref()) {
                 self.resolve(st, job_idx, Err(TransportError::Wire(e.to_string())));
                 return true;
             }
@@ -163,14 +173,21 @@ impl Shared {
         ok
     }
 
-    /// A result frame arrived from a worker.
-    fn deliver(&self, job_idx: u64, attempt: u32, outcome: Result<JobResult, String>) {
+    /// A result frame arrived from a worker. Lands only when the echoed
+    /// tag matches the current round's epoch and the slot's live
+    /// assignment (attempt and device): anything else is a stale echo —
+    /// a superseded attempt, or a straggler from a round that already
+    /// hit the deadline barrier — and is dropped, not aggregated.
+    fn deliver(&self, tag: JobTag, outcome: Result<JobResult, String>) {
         let mut round = self.round.lock().unwrap();
         let Some(st) = round.as_mut() else { return };
-        let j = job_idx as usize;
-        if j >= st.results.len() || st.assigned[j].1 != attempt {
-            // Late echo of a superseded attempt; the reassigned copy owns
-            // the slot now.
+        let j = tag.job as usize;
+        if tag.epoch != st.epoch
+            || j >= st.results.len()
+            || st.assigned[j].1 != tag.attempt
+            || st.jobs[j].device != tag.device
+        {
+            self.telemetry.counter_add("serve.stale_results", 1);
             return;
         }
         // A worker-side rejection is deterministic — re-running it
@@ -249,6 +266,7 @@ impl Coordinator {
             round: Mutex::new(None),
             round_done: Condvar::new(),
             next_worker_id: AtomicU64::new(1),
+            round_epoch: AtomicU64::new(0),
             rounds_completed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -419,11 +437,18 @@ fn handshake_and_serve(mut conn: Conn, shared: &Arc<Shared>) -> Result<(), Serve
 
     while let Ok(true) = read_frame(&mut conn, shared.max_frame_len, &mut buf) {
         match proto::decode_message(&buf, shared.key.as_ref()) {
-            Ok(Message::Result(job, attempt, _device, outcome)) => {
-                shared.deliver(job, attempt, outcome);
+            Ok(Message::Result(tag, outcome)) => {
+                shared.deliver(tag, outcome);
             }
             Ok(_) => {}
-            Err(_) => shared.telemetry.counter_add("serve.bad_frames", 1),
+            Err(_) => {
+                // An undecodable frame (MAC mismatch, corruption) means
+                // the stream can no longer be trusted: drop the worker
+                // now so its outstanding jobs reassign immediately
+                // instead of idling until the round deadline.
+                shared.telemetry.counter_add("serve.bad_frames", 1);
+                break;
+            }
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -456,8 +481,14 @@ impl Transport for SocketTransport {
             self.shared.telemetry.counter_add("serve.rounds_unserved", 1);
             return (0..n).map(|_| Err(TransportError::Closed("no workers connected".into()))).collect();
         }
-        *self.shared.round.lock().unwrap() =
-            Some(RoundState { jobs, assigned: vec![(0, 0); n], results: vec![None; n], outstanding: n });
+        let epoch = self.shared.round_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.shared.round.lock().unwrap() = Some(RoundState {
+            epoch,
+            jobs,
+            assigned: vec![(0, 0); n],
+            results: vec![None; n],
+            outstanding: n,
+        });
         for j in 0..n {
             let (wid, writer) = live[j % live.len()].clone();
             if !self.shared.send_job(j, wid, 0, &writer) {
@@ -498,5 +529,94 @@ impl Transport for SocketTransport {
             .into_iter()
             .map(|r| r.unwrap_or(Err(TransportError::Closed("round aborted".into()))))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_core::{JobSpec, TrainParams};
+    use nebula_data::Dataset;
+    use nebula_tensor::Tensor;
+
+    fn shared() -> Shared {
+        Shared {
+            key: None,
+            config_json: String::new(),
+            deadline_ms: 1_000,
+            retry: RetryPolicy::default(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            telemetry: Telemetry::off(),
+            workers: Mutex::new(BTreeMap::new()),
+            round: Mutex::new(None),
+            round_done: Condvar::new(),
+            next_worker_id: AtomicU64::new(1),
+            round_epoch: AtomicU64::new(0),
+            rounds_completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn toy_job(device: u64) -> DispatchJob {
+        let xs: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        DispatchJob {
+            round: 0,
+            device,
+            spec: JobSpec::Dense {
+                input: 4,
+                width: 4,
+                blocks: 1,
+                block_hidden: 4,
+                classes: 2,
+                ratio: 1.0,
+                params: vec![0.0; 4],
+            },
+            rng_state: [1, 2, 3, 4],
+            train: TrainParams { epochs: 1, batch_size: 4, lr: 0.1 },
+            data: Dataset::new(Tensor::from_vec(xs, &[2, 4]), vec![0, 1], 2),
+        }
+    }
+
+    fn install_round(s: &Shared, epoch: u64, devices: &[u64]) {
+        let jobs: Vec<DispatchJob> = devices.iter().map(|&d| toy_job(d)).collect();
+        let n = jobs.len();
+        *s.round.lock().unwrap() = Some(RoundState {
+            epoch,
+            jobs,
+            assigned: vec![(1, 0); n],
+            results: vec![None; n],
+            outstanding: n,
+        });
+    }
+
+    fn outstanding(s: &Shared) -> usize {
+        s.round.lock().unwrap().as_ref().map_or(0, |st| st.outstanding)
+    }
+
+    /// The stale-result guard: a result only lands when its epoch,
+    /// attempt and device all match the slot's live assignment. In
+    /// particular a straggler from a previous round (older epoch, same
+    /// slot at attempt 0) must never be accepted as the new round's
+    /// update.
+    #[test]
+    fn deliver_rejects_stale_epoch_attempt_and_device() {
+        let s = shared();
+        install_round(&s, 2, &[7, 8]);
+        let ok: Result<JobResult, String> = Ok(JobResult::Params(vec![1.0]));
+        // Previous round's straggler: old epoch, otherwise a perfect match.
+        s.deliver(JobTag { job: 0, attempt: 0, epoch: 1, device: 7 }, ok.clone());
+        // Superseded attempt.
+        s.deliver(JobTag { job: 0, attempt: 5, epoch: 2, device: 7 }, ok.clone());
+        // Right slot, wrong device.
+        s.deliver(JobTag { job: 0, attempt: 0, epoch: 2, device: 8 }, ok.clone());
+        // Out-of-range slot.
+        s.deliver(JobTag { job: 9, attempt: 0, epoch: 2, device: 7 }, ok.clone());
+        assert_eq!(outstanding(&s), 2, "no stale echo may resolve a slot");
+        // The genuine copy still lands.
+        s.deliver(JobTag { job: 0, attempt: 0, epoch: 2, device: 7 }, ok);
+        assert_eq!(outstanding(&s), 1);
+        let round = s.round.lock().unwrap();
+        let st = round.as_ref().unwrap();
+        assert!(st.results[0].is_some() && st.results[1].is_none());
     }
 }

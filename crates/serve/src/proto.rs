@@ -50,6 +50,8 @@ struct Header {
     job: u64,
     /// Dispatch attempt (0 = first send; bumped on reassignment).
     attempt: u64,
+    /// Coordinator round-barrier epoch (monotonic; see [`JobTag`]).
+    epoch: u64,
     round: u64,
     device: u64,
     /// Job family: "modular" | "dense" (jobs and results).
@@ -74,12 +76,32 @@ struct Header {
     error: String,
 }
 
+/// Coordinator-stamped identity of one dispatched job copy, carried in
+/// every job frame and echoed verbatim in its result. The coordinator
+/// only lands a result whose epoch, attempt *and* device all still
+/// match the slot's current assignment, so neither a superseded attempt
+/// nor a straggler from a round that already hit the deadline barrier
+/// can be mistaken for the live round's update.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobTag {
+    /// Index of the job within the round's dispatch batch.
+    pub job: u64,
+    /// Dispatch attempt (0 = first send; bumped on reassignment).
+    pub attempt: u32,
+    /// Round-barrier epoch, monotonic over the coordinator's lifetime
+    /// (independent of the job's own `round` field, which the strategy
+    /// controls and may repeat or zero).
+    pub epoch: u64,
+    /// Device the job was cut for.
+    pub device: u64,
+}
+
 /// A decoded serving-plane message.
 pub enum Message {
-    /// A training assignment plus its (job index, attempt) tag.
-    Job(Box<DispatchJob>, u64, u32),
-    /// A finished job: (job index, attempt, device, outcome).
-    Result(u64, u32, u64, Result<JobResult, String>),
+    /// A training assignment plus its identity tag.
+    Job(Box<DispatchJob>, JobTag),
+    /// A finished job: the echoed tag plus the outcome.
+    Result(JobTag, Result<JobResult, String>),
     /// Coordinator asks the worker to drain and exit.
     Shutdown,
 }
@@ -120,14 +142,14 @@ fn parse_f32s(payload: &[u8]) -> Result<Vec<f32>, ServeError> {
 pub fn encode_job(
     buf: &mut Vec<u8>,
     job: &DispatchJob,
-    job_idx: u64,
-    attempt: u32,
+    tag: JobTag,
     key: Option<&FrameKey>,
 ) -> Result<usize, ServeError> {
     let mut header = Header {
         kind: "job".into(),
-        job: job_idx,
-        attempt: attempt as u64,
+        job: tag.job,
+        attempt: tag.attempt as u64,
+        epoch: tag.epoch,
         round: job.round as u64,
         device: job.device,
         epochs: job.train.epochs as u64,
@@ -170,14 +192,18 @@ pub fn encode_job(
 /// Encodes a job outcome into `buf` (cleared). Returns the frame length.
 pub fn encode_result(
     buf: &mut Vec<u8>,
-    job_idx: u64,
-    attempt: u32,
-    device: u64,
+    tag: JobTag,
     outcome: &Result<JobResult, TransportError>,
     key: Option<&FrameKey>,
 ) -> Result<usize, ServeError> {
-    let mut header =
-        Header { kind: "result".into(), job: job_idx, attempt: attempt as u64, device, ..Header::default() };
+    let mut header = Header {
+        kind: "result".into(),
+        job: tag.job,
+        attempt: tag.attempt as u64,
+        epoch: tag.epoch,
+        device: tag.device,
+        ..Header::default()
+    };
     let mut b = begin(buf);
     match outcome {
         Ok(JobResult::Frame(frame)) => {
@@ -222,6 +248,12 @@ pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, S
     let json = std::str::from_utf8(header_rec.payload)
         .map_err(|_| ServeError::Proto("header is not UTF-8".into()))?;
     let header: Header = serde_json::from_str(json).map_err(|e| ServeError::Proto(e.to_string()))?;
+    let tag = JobTag {
+        job: header.job,
+        attempt: header.attempt as u32,
+        epoch: header.epoch,
+        device: header.device,
+    };
     match header.kind.as_str() {
         "shutdown" => Ok(Message::Shutdown),
         "result" => {
@@ -237,7 +269,7 @@ pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, S
             } else {
                 Err(header.error.clone())
             };
-            Ok(Message::Result(header.job, header.attempt as u32, header.device, outcome))
+            Ok(Message::Result(tag, outcome))
         }
         "job" => {
             let model =
@@ -295,7 +327,7 @@ pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, S
                 },
                 data,
             };
-            Ok(Message::Job(Box::new(job), header.job, header.attempt as u32))
+            Ok(Message::Job(Box::new(job), tag))
         }
         other => Err(ServeError::Proto(format!("unknown message kind '{other}'"))),
     }
@@ -322,11 +354,15 @@ mod tests {
         }
     }
 
-    fn round_trip(job: DispatchJob, key: Option<&FrameKey>) -> (DispatchJob, u64, u32) {
+    fn toy_tag(device: u64) -> JobTag {
+        JobTag { job: 3, attempt: 1, epoch: 9, device }
+    }
+
+    fn round_trip(job: DispatchJob, key: Option<&FrameKey>) -> (DispatchJob, JobTag) {
         let mut buf = Vec::new();
-        encode_job(&mut buf, &job, 3, 1, key).unwrap();
+        encode_job(&mut buf, &job, toy_tag(job.device), key).unwrap();
         match decode_message(&buf, key).unwrap() {
-            Message::Job(j, idx, attempt) => (*j, idx, attempt),
+            Message::Job(j, tag) => (*j, tag),
             _ => panic!("expected a job message"),
         }
     }
@@ -334,9 +370,8 @@ mod tests {
     #[test]
     fn modular_job_round_trips_exactly() {
         let job = toy_job(JobSpec::Modular { frame: vec![9, 8, 7, 6, 5] });
-        let (back, idx, attempt) = round_trip(job.clone(), None);
-        assert_eq!(idx, 3);
-        assert_eq!(attempt, 1);
+        let (back, tag) = round_trip(job.clone(), None);
+        assert_eq!(tag, toy_tag(job.device), "the tag must survive transit verbatim");
         assert_eq!(back.round, job.round);
         assert_eq!(back.device, job.device);
         assert_eq!(back.rng_state, job.rng_state);
@@ -362,7 +397,7 @@ mod tests {
             ratio: 0.5,
             params: params.clone(),
         });
-        let (back, _, _) = round_trip(job, Some(&key));
+        let (back, _) = round_trip(job, Some(&key));
         match back.spec {
             JobSpec::Dense { input, width, blocks, block_hidden, classes, ratio, params: p } => {
                 assert_eq!((input, width, blocks, block_hidden, classes), (4, 24, 2, 32, 3));
@@ -376,17 +411,25 @@ mod tests {
     #[test]
     fn results_and_shutdown_round_trip() {
         let mut buf = Vec::new();
-        encode_result(&mut buf, 5, 2, 11, &Ok(JobResult::Frame(vec![1, 2, 3])), None).unwrap();
+        let ok_tag = JobTag { job: 5, attempt: 2, epoch: 4, device: 11 };
+        encode_result(&mut buf, ok_tag, &Ok(JobResult::Frame(vec![1, 2, 3])), None).unwrap();
         match decode_message(&buf, None).unwrap() {
-            Message::Result(5, 2, 11, Ok(JobResult::Frame(f))) => assert_eq!(f, vec![1, 2, 3]),
+            Message::Result(tag, Ok(JobResult::Frame(f))) => {
+                assert_eq!(tag, ok_tag, "result tag must echo the job tag (epoch included)");
+                assert_eq!(f, vec![1, 2, 3]);
+            }
             _ => panic!("bad result decode"),
         }
 
         let err: Result<JobResult, TransportError> =
             Err(TransportError::Rejected("no modular config".into()));
-        encode_result(&mut buf, 6, 0, 12, &err, None).unwrap();
+        let err_tag = JobTag { job: 6, attempt: 0, epoch: 7, device: 12 };
+        encode_result(&mut buf, err_tag, &err, None).unwrap();
         match decode_message(&buf, None).unwrap() {
-            Message::Result(6, 0, 12, Err(why)) => assert!(why.contains("no modular config")),
+            Message::Result(tag, Err(why)) => {
+                assert_eq!(tag, err_tag);
+                assert!(why.contains("no modular config"));
+            }
             _ => panic!("bad error-result decode"),
         }
 

@@ -20,7 +20,7 @@ use nebula_wire::stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
 use nebula_wire::{CodecKind, FrameKey};
 
 use crate::netio::{Conn, Endpoint};
-use crate::proto::{self, Message};
+use crate::proto::{self, JobTag, Message};
 use crate::{ServeError, WorkerRunConfig};
 
 /// Worker deployment knobs.
@@ -81,8 +81,20 @@ impl JobRunner for CompositeRunner {
     }
 }
 
-/// Dials with exponential backoff so a worker may start before its
-/// coordinator's listener is up.
+/// Per-attempt ceiling on the dial backoff: without it the exponential
+/// curve reaches ~27 minutes per sleep by attempt 16, so a worker whose
+/// coordinator never comes up would block for over an hour before
+/// reporting failure.
+const DIAL_BACKOFF_CAP_MS: f64 = 5_000.0;
+
+/// The sleep before re-dialing after a failed connect `attempt`:
+/// exponential from 25 ms, clamped to [`DIAL_BACKOFF_CAP_MS`].
+fn dial_backoff(attempt: u32) -> Duration {
+    Duration::from_millis(backoff_ms(25.0, attempt).min(DIAL_BACKOFF_CAP_MS) as u64)
+}
+
+/// Dials with capped exponential backoff so a worker may start before
+/// its coordinator's listener is up.
 fn connect(endpoint: &Endpoint, attempts: u32) -> Result<Conn, ServeError> {
     let tries = attempts.max(1);
     for attempt in 0..tries {
@@ -91,7 +103,7 @@ fn connect(endpoint: &Endpoint, attempts: u32) -> Result<Conn, ServeError> {
             Err(e) if attempt + 1 == tries => {
                 return Err(ServeError::Io(format!("connect {endpoint}: {e}")));
             }
-            Err(_) => thread::sleep(Duration::from_millis(backoff_ms(25.0, attempt) as u64)),
+            Err(_) => thread::sleep(dial_backoff(attempt)),
         }
     }
     unreachable!("loop returns on the final attempt");
@@ -145,7 +157,7 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerReport, ServeError> {
     // takes a job, runs it, and writes the result under the shared
     // write half.
     let threads = cfg.threads.max(1);
-    let (tx, rx) = mpsc::channel::<(Box<DispatchJob>, u64, u32)>();
+    let (tx, rx) = mpsc::channel::<(Box<DispatchJob>, JobTag)>();
     let rx = Arc::new(Mutex::new(rx));
     let writer = Arc::new(Mutex::new(conn.try_clone()?));
     let jobs_run = Arc::new(AtomicU64::new(0));
@@ -160,15 +172,16 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerReport, ServeError> {
                 // Hold the receiver lock only while taking a job, never
                 // while training.
                 let msg = rx.lock().unwrap().recv();
-                let Ok((job, idx, attempt)) = msg else { break };
+                let Ok((job, tag)) = msg else { break };
                 let mut span = telemetry.span("serve.job");
                 span.int("device", job.device);
                 let outcome = nebula_tensor::par::sequential(|| runner.run(&job));
                 drop(span);
                 jobs_run.fetch_add(1, Ordering::SeqCst);
                 let mut out = Vec::new();
-                if proto::encode_result(&mut out, idx, attempt, job.device, &outcome, master.as_ref()).is_ok()
-                {
+                // The tag goes back verbatim (epoch included) so the
+                // coordinator can tell this copy from any stale echo.
+                if proto::encode_result(&mut out, tag, &outcome, master.as_ref()).is_ok() {
                     let mut w = writer.lock().unwrap();
                     if write_frame(&mut *w, &out).is_err() {
                         break;
@@ -178,22 +191,32 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerReport, ServeError> {
         })
         .collect();
 
-    let mut clean = true;
+    let mut fail: Option<ServeError> = None;
     loop {
         match read_frame(&mut conn, cfg.max_frame_len, &mut buf) {
             Ok(true) => match proto::decode_message(&buf, master.as_ref()) {
-                Ok(Message::Job(job, idx, attempt)) => {
-                    if tx.send((job, idx, attempt)).is_err() {
+                Ok(Message::Job(job, tag)) => {
+                    if tx.send((job, tag)).is_err() {
                         break;
                     }
                 }
                 Ok(Message::Shutdown) => break,
                 Ok(_) => {}
-                Err(_) => cfg.telemetry.counter_add("serve.bad_frames", 1),
+                Err(e) => {
+                    // An undecodable job frame (MAC mismatch, corrupt
+                    // stream) can't be answered — its index may be
+                    // unrecoverable — so close the connection instead of
+                    // silently skipping it: the coordinator's drop path
+                    // then reassigns every outstanding job immediately
+                    // rather than idling until the round deadline.
+                    cfg.telemetry.counter_add("serve.bad_frames", 1);
+                    fail = Some(ServeError::Proto(format!("undecodable inbound frame: {e}")));
+                    break;
+                }
             },
             Ok(false) => break,
-            Err(_) => {
-                clean = false;
+            Err(e) => {
+                fail = Some(ServeError::Io(format!("connection lost: {e}")));
                 break;
             }
         }
@@ -204,9 +227,24 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerReport, ServeError> {
     }
     conn.shutdown();
     let report = WorkerReport { worker_id: ack.worker_id, jobs_run: jobs_run.load(Ordering::SeqCst) };
-    if clean {
-        Ok(report)
-    } else {
-        Err(ServeError::Io("connection lost".into()))
+    match fail {
+        None => Ok(report),
+        Some(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_backoff_grows_then_caps() {
+        assert_eq!(dial_backoff(0), Duration::from_millis(25));
+        assert_eq!(dial_backoff(3), Duration::from_millis(200));
+        // From attempt 8 on (25ms * 2^8 = 6.4s) the cap holds, so even a
+        // long dial budget stays minutes, not hours.
+        for attempt in [8, 16, 20, u32::MAX] {
+            assert_eq!(dial_backoff(attempt), Duration::from_millis(5_000));
+        }
     }
 }

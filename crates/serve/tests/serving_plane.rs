@@ -318,6 +318,50 @@ fn crash_with_survivor_reassigns_and_stays_bit_identical() {
     honest.join().expect("honest worker thread");
 }
 
+/// An undecodable job frame makes the worker close its connection and
+/// report the failure immediately — fail fast so the coordinator's drop
+/// path reassigns, instead of the job idling until the round deadline.
+#[test]
+fn worker_fails_fast_on_corrupt_job_frame() {
+    use nebula_wire::hello::{decode_hello, encode_hello_ack, HelloAck};
+    use nebula_wire::stream::{read_frame, write_frame, DEFAULT_MAX_FRAME_LEN};
+    use nebula_wire::CodecKind;
+    use std::os::unix::net::UnixListener;
+
+    let path = uds_path("badframe");
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).expect("bind fake coordinator");
+    let ep = Endpoint::Uds(path.clone());
+
+    let fake = thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut conn, DEFAULT_MAX_FRAME_LEN, &mut buf).expect("hello"));
+        decode_hello(&buf, None).expect("hello decodes");
+        let ack = HelloAck {
+            accepted: true,
+            codec: CodecKind::Raw,
+            worker_id: 1,
+            reason: String::new(),
+            config_json: serde_json::to_string(&WorkerRunConfig::default()).expect("config json"),
+        };
+        encode_hello_ack(&mut buf, &ack, None);
+        write_frame(&mut conn, &buf).expect("ack");
+        // A well-delimited frame whose body is garbage: the worker's
+        // decode_message must reject it and hang up on us.
+        write_frame(&mut conn, b"not a nebula-wire frame").expect("garbage frame");
+        let closed = matches!(read_frame(&mut conn, DEFAULT_MAX_FRAME_LEN, &mut buf), Ok(false) | Err(_));
+        assert!(closed, "worker must close the connection after the bad frame");
+    });
+
+    let t0 = std::time::Instant::now();
+    let err = run_worker(WorkerConfig::new(ep)).expect_err("a corrupt frame must fail the worker");
+    assert!(matches!(err, nebula_serve::ServeError::Proto(_)), "got {err:?}");
+    assert!(t0.elapsed() < Duration::from_secs(10), "must fail fast, not sit out a round deadline");
+    fake.join().expect("fake coordinator thread");
+    let _ = std::fs::remove_file(&path);
+}
+
 fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::{Read, Write};
     let mut s = std::net::TcpStream::connect(addr).expect("ops connect");

@@ -757,6 +757,7 @@ impl FedAvgStrategy {
                         self.cfg.batch_size,
                         self.cfg.local_lr,
                         rng,
+                        round as usize,
                         t,
                     );
                     (out.bytes, out.lost)
@@ -1032,6 +1033,7 @@ impl HeteroFlStrategy {
                         self.cfg.batch_size,
                         self.cfg.local_lr,
                         rng,
+                        round as usize,
                         t,
                     );
                     (out.bytes, out.lost)
