@@ -25,7 +25,10 @@ use nebula_nn::Layer;
 use nebula_serve::worker::{run_worker, WorkerConfig};
 use nebula_serve::{Coordinator, Endpoint, OpsServer, ServeConfig, WorkerRunConfig};
 use nebula_sim::strategy::StrategyConfig;
-use nebula_sim::{AdaptStrategy, NebulaStrategy, ResourceSampler, SimWorld};
+use nebula_sim::{
+    AdaptStrategy, ChaosControl, DurabilityConfig, ExperimentConfig, KillSpot, NebulaStrategy,
+    ResourceSampler, RunError, Runner, SimWorld,
+};
 use nebula_telemetry::{JsonlSink, Telemetry};
 use nebula_tensor::NebulaRng;
 
@@ -35,16 +38,33 @@ nebula-node — Nebula serving-plane processes
 USAGE:
   nebula-node coordinator [--tcp HOST:PORT] [--uds PATH] [--workers N]
                           [--rounds N] [--devices N] [--seed N]
-                          [--deadline-ms MS] [--auth HEX32]
+                          [--deadline-ms MS] [--liveness-ms MS]
+                          [--hedge-ms MS] [--auth HEX32]
                           [--ops HOST:PORT] [--telemetry PATH]
                           [--linger-ms MS]
+                          [--durable DIR] [--resume 1] [--kill-at N]
+                          [--eval-devices N]
   nebula-node worker      --connect ENDPOINT [--name NAME] [--threads N]
-                          [--auth HEX32] [--telemetry PATH]
+                          [--rejoin 0|1] [--auth HEX32]
+                          [--telemetry PATH]
 
 A coordinator needs at least one of --tcp/--uds. ENDPOINT is a TCP
 host:port or a UDS path (anything containing '/'). --auth takes the
 16-byte master key as 32 hex chars; both sides must hold the same key
 (it also MACs the inner per-device payload frames).
+
+--liveness-ms evicts workers silent past the timeout (0 = off);
+--hedge-ms speculatively re-dispatches jobs still unresolved after the
+soft timeout (0 = off).
+
+--durable DIR drives the run through the crash-safe journal under DIR
+instead of the plain round loop; add --resume 1 to continue a journal
+left by an interrupted run, and --kill-at N to simulate a coordinator
+crash after round N commits (the process prints {\"killed\":...} and
+exits with code 3, leaving workers to rejoin the next incarnation).
+On success the durable run prints an FNV digest of the final cloud
+parameters, so two incarnations of the same run can be compared
+bit-for-bit.
 ";
 
 fn main() -> ExitCode {
@@ -59,7 +79,7 @@ fn main() -> ExitCode {
         Some(other) => Err(format!("unknown role {other:?}; try --help")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(why) => {
             eprintln!("nebula-node: {why}");
             ExitCode::from(1)
@@ -145,13 +165,15 @@ fn toy_strategy_cfg() -> StrategyConfig {
     cfg
 }
 
-fn coordinator_cmd(args: &[String]) -> Result<(), String> {
+fn coordinator_cmd(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args)?;
     let quorum: usize = flags.num("workers", 2)?;
     let rounds: usize = flags.num("rounds", 3)?;
     let devices: usize = flags.num("devices", 8)?;
     let seed: u64 = flags.num("seed", 5)?;
     let deadline_ms: u64 = flags.num("deadline-ms", 60_000)?;
+    let liveness_ms: u64 = flags.num("liveness-ms", 0)?;
+    let hedge_ms: u64 = flags.num("hedge-ms", 0)?;
     let linger_ms: u64 = flags.num("linger-ms", 0)?;
     let auth = flags.get("auth").map(parse_key).transpose()?;
     let telemetry = telemetry_from(&flags)?;
@@ -173,6 +195,8 @@ fn coordinator_cmd(args: &[String]) -> Result<(), String> {
     }
     cfg.auth_key = auth;
     cfg.deadline_ms = deadline_ms;
+    cfg.liveness_timeout_ms = liveness_ms;
+    cfg.hedge_after_ms = hedge_ms;
     cfg.telemetry = telemetry.clone();
 
     let coordinator = Coordinator::bind(cfg).map_err(|e| e.to_string())?;
@@ -205,25 +229,75 @@ fn coordinator_cmd(args: &[String]) -> Result<(), String> {
     let mut world = SimWorld::new(synth, spec, 9, None, &ResourceSampler::default(), seed);
     let mut strategy = NebulaStrategy::new(strategy_cfg, 1);
     strategy.set_telemetry(telemetry.clone());
-    strategy.set_transport(Box::new(coordinator.transport()));
-    let mut rng = NebulaRng::seed(3);
-    for round in 0..rounds {
-        let out = strategy.single_round(&mut world, &mut rng);
+
+    if let Some(dir) = flags.get("durable") {
+        // Durable mode: the crash-safe journal drives the rounds, so a
+        // coordinator killed mid-run (--kill-at, or a real crash) can be
+        // restarted with --resume 1 and land on the uninterrupted bits.
+        let eval_devices: usize = flags.num("eval-devices", 3)?;
+        let kill_at: Option<u64> = match flags.get("kill-at") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("--kill-at: bad number {v:?}"))?),
+        };
+        let resume: u8 = flags.num("resume", 0)?;
+        let exp = ExperimentConfig { eval_devices, seed };
+        let mut runner = Runner::new(&mut world, &mut strategy)
+            .config(exp)
+            // An unreachable target turns the run into "exactly N
+            // rounds", which is what a digest comparison wants.
+            .target(1.01, rounds, 1)
+            .durable(DurabilityConfig::new(dir))
+            .telemetry(telemetry.clone())
+            .transport(Box::new(coordinator.transport()));
+        if let Some(round) = kill_at {
+            runner = runner.chaos(ChaosControl { kill: Some((round, KillSpot::AfterAppend)) });
+        }
+        if resume == 1 {
+            runner = runner.resume();
+        }
+        match runner.run() {
+            Ok(out) => {
+                let digest = fnv_digest(&strategy.cloud().model().param_vector());
+                println!(
+                    "{{\"done\":true,\"durable\":true,\"rounds\":{},\"final_accuracy\":{},\"param_digest\":\"{digest:016x}\"}}",
+                    out.rounds, out.final_accuracy,
+                );
+            }
+            Err(RunError::Killed { round }) => {
+                // The armed crash: leave exactly what a killed process
+                // leaves (no shutdown notices, journal intact) so the
+                // workers' rejoin loops and a --resume 1 incarnation
+                // can pick the run back up.
+                println!("{{\"killed\":true,\"round\":{round}}}");
+                if let Some(ops) = ops {
+                    ops.stop();
+                }
+                coordinator.abort();
+                return Ok(ExitCode::from(3));
+            }
+            Err(e) => return Err(format!("durable run failed: {e:?}")),
+        }
+    } else {
+        strategy.set_transport(Box::new(coordinator.transport()));
+        let mut rng = NebulaRng::seed(3);
+        for round in 0..rounds {
+            let out = strategy.single_round(&mut world, &mut rng);
+            println!(
+                "{{\"round\":{round},\"participated\":{},\"link_dropped\":{},\"up_bytes\":{},\"down_bytes\":{}}}",
+                out.stats.faults.participated,
+                out.stats.faults.link_dropped,
+                out.stats.comm.up_bytes,
+                out.stats.comm.down_bytes,
+            );
+        }
+        let params = strategy.cloud().model().param_vector();
+        let l2 = params.iter().map(|p| (*p as f64) * (*p as f64)).sum::<f64>().sqrt();
         println!(
-            "{{\"round\":{round},\"participated\":{},\"link_dropped\":{},\"up_bytes\":{},\"down_bytes\":{}}}",
-            out.stats.faults.participated,
-            out.stats.faults.link_dropped,
-            out.stats.comm.up_bytes,
-            out.stats.comm.down_bytes,
+            "{{\"done\":true,\"rounds\":{},\"params\":{},\"param_l2\":{l2}}}",
+            coordinator.rounds_completed(),
+            params.len(),
         );
     }
-    let params = strategy.cloud().model().param_vector();
-    let l2 = params.iter().map(|p| (*p as f64) * (*p as f64)).sum::<f64>().sqrt();
-    println!(
-        "{{\"done\":true,\"rounds\":{},\"params\":{},\"param_l2\":{l2}}}",
-        coordinator.rounds_completed(),
-        params.len(),
-    );
 
     if linger_ms > 0 {
         eprintln!("coordinator: lingering {linger_ms}ms for probes");
@@ -233,10 +307,18 @@ fn coordinator_cmd(args: &[String]) -> Result<(), String> {
         ops.stop();
     }
     coordinator.shutdown();
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn worker_cmd(args: &[String]) -> Result<(), String> {
+/// FNV-1a fold of parameter bit patterns — the digest `serve_sweep`
+/// and `serve_chaos` use, so CLI runs compare against bench scorecards.
+fn fnv_digest(params: &[f32]) -> u64 {
+    params
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, p| (h ^ p.to_bits() as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+fn worker_cmd(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args)?;
     let endpoint = Endpoint::parse(flags.get("connect").ok_or("worker needs --connect")?);
     let mut cfg = WorkerConfig::new(endpoint);
@@ -244,10 +326,14 @@ fn worker_cmd(args: &[String]) -> Result<(), String> {
         cfg.name = name.to_string();
     }
     cfg.threads = flags.num("threads", 2)?;
+    cfg.rejoin = flags.num("rejoin", 1u8)? == 1;
     cfg.auth_key = flags.get("auth").map(parse_key).transpose()?;
     cfg.telemetry = telemetry_from(&flags)?;
     eprintln!("worker {}: dialing {}", cfg.name, cfg.endpoint);
     let report = run_worker(cfg).map_err(|e| e.to_string())?;
-    println!("{{\"worker_id\":{},\"jobs_run\":{}}}", report.worker_id, report.jobs_run);
-    Ok(())
+    println!(
+        "{{\"worker_id\":{},\"jobs_run\":{},\"sessions\":{}}}",
+        report.worker_id, report.jobs_run, report.sessions
+    );
+    Ok(ExitCode::SUCCESS)
 }

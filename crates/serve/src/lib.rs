@@ -38,7 +38,7 @@ use nebula_modular::ModularConfig;
 use serde::{Deserialize, Serialize};
 
 pub use coordinator::{Coordinator, ServeConfig, SocketTransport};
-pub use netio::{Conn, Endpoint};
+pub use netio::{ChaosConn, Conn, Endpoint, NetFaultPlan};
 pub use ops::OpsServer;
 pub use worker::{run_worker, WorkerConfig, WorkerReport};
 
@@ -49,8 +49,17 @@ pub enum ServeError {
     Io(String),
     /// A malformed or unverifiable serving-plane message.
     Proto(String),
-    /// The coordinator refused the connection (version, codec, auth).
+    /// The handshake did not complete (closed before the ack, an
+    /// undecodable ack). Possibly transient — a coordinator dying
+    /// mid-restart looks the same as an auth mismatch from here — so
+    /// the worker rejoin loop retries these a bounded number of times
+    /// before giving up.
     Handshake(String),
+    /// The deployment permanently refused this worker — an explicit
+    /// handshake rejection (unsupported proto revision or codec) or a
+    /// run config this worker cannot satisfy. Never retried: the same
+    /// hello would be refused again, forever.
+    Rejected(String),
 }
 
 impl fmt::Display for ServeError {
@@ -59,6 +68,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(why) => write!(f, "io: {why}"),
             ServeError::Proto(why) => write!(f, "protocol: {why}"),
             ServeError::Handshake(why) => write!(f, "handshake: {why}"),
+            ServeError::Rejected(why) => write!(f, "rejected: {why}"),
         }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Three read-only routes, all JSON, all `Connection: close`:
 //!
-//! * `GET /healthz` — liveness plus the live worker count.
+//! * `GET /healthz` — liveness plus the live worker count, rounds
+//!   completed, and seconds since the last round barrier closed.
 //! * `GET /metrics` — the telemetry metrics registry snapshot.
 //! * `GET /round`   — round-barrier progress.
 //!
@@ -20,8 +21,9 @@ use std::time::Duration;
 use crate::coordinator::Coordinator;
 use crate::ServeError;
 
-/// A running ops endpoint; dropping it leaks the listener thread, call
-/// [`OpsServer::stop`] for a clean teardown.
+/// A running ops endpoint. Dropping it stops and joins the listener
+/// thread; [`OpsServer::stop`] does the same eagerly when teardown
+/// order matters.
 pub struct OpsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -56,11 +58,25 @@ impl OpsServer {
 
     /// Stops the listener thread and joins it.
     pub fn stop(mut self) {
+        self.halt();
+    }
+
+    /// The actual teardown: raise the flag, unblock `accept` with a
+    /// self-dial, join. Idempotent so `stop` + `Drop` compose.
+    fn halt(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        // An ops endpoint abandoned on an early-return path must not
+        // leave a listener thread (and its bound port) behind.
+        self.halt();
     }
 }
 
@@ -89,8 +105,15 @@ fn serve_one(stream: &mut TcpStream, coordinator: &Coordinator) -> std::io::Resu
     match path {
         "/healthz" => {
             let names = serde_json::to_string(&coordinator.worker_names()).unwrap_or_else(|_| "[]".into());
-            let body =
-                format!("{{\"ok\":true,\"workers\":{},\"names\":{names}}}", coordinator.worker_count());
+            let age = match coordinator.seconds_since_last_round() {
+                Some(s) => format!("{s:.3}"),
+                None => "null".into(),
+            };
+            let body = format!(
+                "{{\"ok\":true,\"workers\":{},\"names\":{names},\"rounds_completed\":{},\"last_round_age_s\":{age}}}",
+                coordinator.worker_count(),
+                coordinator.rounds_completed(),
+            );
             respond(stream, 200, &body)
         }
         "/metrics" => respond(stream, 200, &coordinator.metrics_json()),

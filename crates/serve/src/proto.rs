@@ -102,6 +102,12 @@ pub enum Message {
     Job(Box<DispatchJob>, JobTag),
     /// A finished job: the echoed tag plus the outcome.
     Result(JobTag, Result<JobResult, String>),
+    /// Coordinator liveness probe; a worker answers with a [`Message::Pong`]
+    /// echoing the nonce from its reader thread, so a live-but-training
+    /// worker still answers promptly while a frozen process stays silent.
+    Ping(u64),
+    /// A worker's echo of a ping nonce.
+    Pong(u64),
     /// Coordinator asks the worker to drain and exit.
     Shutdown,
 }
@@ -235,6 +241,22 @@ pub fn encode_shutdown(buf: &mut Vec<u8>, key: Option<&FrameKey>) -> Result<usiz
     Ok(finish(b, key))
 }
 
+/// Encodes a liveness probe (the nonce rides in the `job` field).
+pub fn encode_ping(buf: &mut Vec<u8>, nonce: u64, key: Option<&FrameKey>) -> Result<usize, ServeError> {
+    let header = Header { kind: "ping".into(), job: nonce, ..Header::default() };
+    let mut b = begin(buf);
+    push_header(&mut b, &header)?;
+    Ok(finish(b, key))
+}
+
+/// Encodes a worker's echo of a ping nonce.
+pub fn encode_pong(buf: &mut Vec<u8>, nonce: u64, key: Option<&FrameKey>) -> Result<usize, ServeError> {
+    let header = Header { kind: "pong".into(), job: nonce, ..Header::default() };
+    let mut b = begin(buf);
+    push_header(&mut b, &header)?;
+    Ok(finish(b, key))
+}
+
 /// Decodes any serving-plane message, verifying the MAC when keyed.
 pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, ServeError> {
     let derived = key.map(job_key);
@@ -256,6 +278,8 @@ pub fn decode_message(bytes: &[u8], key: Option<&FrameKey>) -> Result<Message, S
     };
     match header.kind.as_str() {
         "shutdown" => Ok(Message::Shutdown),
+        "ping" => Ok(Message::Ping(header.job)),
+        "pong" => Ok(Message::Pong(header.job)),
         "result" => {
             let outcome = if header.ok {
                 let rec = view
@@ -435,6 +459,17 @@ mod tests {
 
         encode_shutdown(&mut buf, None).unwrap();
         assert!(matches!(decode_message(&buf, None).unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn ping_pong_round_trip_with_and_without_auth() {
+        let key = FrameKey::from_bytes(&[9u8; 16]);
+        let mut buf = Vec::new();
+        encode_ping(&mut buf, 0xDEAD_BEEF, Some(&key)).unwrap();
+        assert!(matches!(decode_message(&buf, Some(&key)).unwrap(), Message::Ping(0xDEAD_BEEF)));
+        assert!(decode_message(&buf, None).is_err(), "keyed ping at an open decoder must fail");
+        encode_pong(&mut buf, 7, None).unwrap();
+        assert!(matches!(decode_message(&buf, None).unwrap(), Message::Pong(7)));
     }
 
     #[test]
