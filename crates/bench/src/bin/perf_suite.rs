@@ -1,11 +1,14 @@
 //! Tracked performance suite for the kernel layer and the round loop.
 //!
 //! Times paper-shaped GEMMs (HAR/MLP, CIFAR/ResNet18 and VGG16 im2col
-//! shapes) under the blocked kernels vs the retained pre-blocking
-//! reference kernels, plus end-to-end `NebulaStrategy::single_round`
-//! throughput, plus the wire transport (codec frame sizes and
-//! encode/decode throughput on the CIFAR-10/ResNet18 preset, and measured
-//! per-round bytes per codec), and writes machine-readable records to
+//! shapes) across the kernel-backend matrix — the retained pre-blocking
+//! reference kernels, the scalar blocked engine, and the best SIMD engine
+//! the host supports (`KernelBackend::Auto`) — reporting each case's
+//! GFLOP/s against a measured per-engine peak, plus the int8 quantized
+//! matmul, plus end-to-end `NebulaStrategy::single_round` throughput,
+//! plus the wire transport (codec frame sizes and encode/decode
+//! throughput on the CIFAR-10/ResNet18 preset, and measured per-round
+//! bytes per codec), and writes machine-readable records to
 //! `BENCH_KERNELS.json`, `BENCH_ROUND.json` and `BENCH_WIRE.json` at the
 //! repository root.
 //!
@@ -20,8 +23,8 @@ use nebula_modular::ModularConfig;
 use nebula_sim::strategy::{AdaptStrategy, StrategyConfig};
 use nebula_sim::{FaultPlan, NebulaStrategy, ResourceSampler, SimWorld};
 use nebula_telemetry::{MemorySink, NullSink, Telemetry};
-use nebula_tensor::linalg::set_reference_kernels;
-use nebula_tensor::{NebulaRng, Tensor};
+use nebula_tensor::gemm::int8;
+use nebula_tensor::{resolved_backend, KernelBackend, NebulaRng, Tensor};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -140,6 +143,40 @@ fn time_median(reps: usize, target_s: f64, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Measured per-engine throughput ceilings for the `pct_peak` columns.
+struct Peaks {
+    /// What `KernelBackend::Auto` resolves to on this host.
+    simd_backend: KernelBackend,
+    blocked_gflops: f64,
+    simd_gflops: f64,
+}
+
+/// Calibrates each engine's peak on a hot cache-resident problem:
+/// 960×256×256 — ten `MC_SIMD` row blocks swept over a single `NC`×`KC`
+/// packed `B` panel, so the panel stays L2-resident and its packing cost
+/// amortises away. This times the micro-kernel's sustainable FMA rate
+/// rather than memory traffic. Because shared CI hosts drift over a
+/// run, the final ceiling each case is scored against is the *greater*
+/// of this probe and the best rate any tracked case sustained on that
+/// engine (see `main`), so `pct_peak` is ≤100 by construction.
+fn calibrate_peaks(target_s: f64) -> Peaks {
+    let simd_backend = {
+        let _g = KernelBackend::Auto.scoped();
+        resolved_backend()
+    };
+    let probe = |backend: KernelBackend| {
+        let _g = backend.scoped();
+        let (m, n, k) = (960usize, 256usize, 256usize);
+        let mut rng = NebulaRng::seed(7);
+        let a = Tensor::from_vec((0..m * k).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..n * k).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[n, k]);
+        let mut out = Tensor::zeros(&[m, n]);
+        let t = time_median(5, target_s, || a.matmul_nt_into(&b, &mut out));
+        2.0 * m as f64 * n as f64 * k as f64 / t / 1e9
+    };
+    Peaks { simd_backend, blocked_gflops: probe(KernelBackend::Blocked), simd_gflops: probe(simd_backend) }
+}
+
 struct KernelRow {
     name: &'static str,
     origin: &'static str,
@@ -147,10 +184,17 @@ struct KernelRow {
     m: usize,
     n: usize,
     k: usize,
-    blocked_ms: f64,
     reference_ms: f64,
+    blocked_ms: f64,
+    simd_ms: f64,
+    /// reference / blocked — the historically tracked blocking win.
     speedup: f64,
+    /// blocked / simd — what the vector engine buys over scalar blocked.
+    simd_speedup: f64,
     blocked_gflops: f64,
+    simd_gflops: f64,
+    blocked_pct_peak: f64,
+    simd_pct_peak: f64,
 }
 
 fn run_gemm_case(case: &GemmCase, reps: usize, target_s: f64) -> KernelRow {
@@ -165,19 +209,20 @@ fn run_gemm_case(case: &GemmCase, reps: usize, target_s: f64) -> KernelRow {
         Variant::Tn => (fill(k, m, &mut rng), fill(k, n, &mut rng)),
     };
     let mut out = Tensor::zeros(&[m, n]);
-    let mut run = |use_reference: bool| {
-        set_reference_kernels(use_reference);
-        let t = time_median(reps, target_s, || match case.variant {
+    let mut run = |backend: KernelBackend| {
+        let _g = backend.scoped();
+        time_median(reps, target_s, || match case.variant {
             Variant::Nn => a.matmul_into(&b, &mut out),
             Variant::Nt => a.matmul_nt_into(&b, &mut out),
             Variant::Tn => a.matmul_tn_into(&b, &mut out),
-        });
-        set_reference_kernels(false);
-        t
+        })
     };
-    let blocked_s = run(false);
-    let reference_s = run(true);
+    let reference_s = run(KernelBackend::Reference);
+    let blocked_s = run(KernelBackend::Blocked);
+    let simd_s = run(KernelBackend::Auto);
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let blocked_gflops = flops / blocked_s / 1e9;
+    let simd_gflops = flops / simd_s / 1e9;
     KernelRow {
         name: case.name,
         origin: case.origin,
@@ -185,10 +230,51 @@ fn run_gemm_case(case: &GemmCase, reps: usize, target_s: f64) -> KernelRow {
         m,
         n,
         k,
-        blocked_ms: blocked_s * 1e3,
         reference_ms: reference_s * 1e3,
+        blocked_ms: blocked_s * 1e3,
+        simd_ms: simd_s * 1e3,
         speedup: reference_s / blocked_s,
-        blocked_gflops: flops / blocked_s / 1e9,
+        simd_speedup: blocked_s / simd_s,
+        blocked_gflops,
+        simd_gflops,
+        // Filled in by `main` once the per-engine ceilings are final.
+        blocked_pct_peak: 0.0,
+        simd_pct_peak: 0.0,
+    }
+}
+
+struct Int8Row {
+    m: usize,
+    n: usize,
+    k: usize,
+    int8_ms: f64,
+    /// Integer multiply-add throughput, counting 2·m·n·k ops like f32.
+    gops: f64,
+    speedup_vs_blocked: f64,
+    speedup_vs_simd: f64,
+}
+
+/// Times the quantize-free steady state of the int8 path — pre-quantized
+/// operands, `matmul_nt_dequant` per call — on the largest tracked
+/// forward shape, against that shape's f32 engines.
+fn run_int8_case(reps: usize, target_s: f64, f32_row: &KernelRow) -> Int8Row {
+    let (m, n, k) = (f32_row.m, f32_row.n, f32_row.k);
+    let mut rng = NebulaRng::seed(11);
+    let af: Vec<f32> = (0..m * k).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    let bf: Vec<f32> = (0..n * k).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+    let (aq, sa) = int8::quantize(&af);
+    let (bq, sb) = int8::quantize(&bf);
+    let mut out = vec![0.0f32; m * n];
+    let t = time_median(reps, target_s, || int8::matmul_nt_dequant(&mut out, m, n, k, &aq, sa, &bq, sb));
+    let int8_ms = t * 1e3;
+    Int8Row {
+        m,
+        n,
+        k,
+        int8_ms,
+        gops: 2.0 * m as f64 * n as f64 * k as f64 / t / 1e9,
+        speedup_vs_blocked: f32_row.blocked_ms / int8_ms,
+        speedup_vs_simd: f32_row.simd_ms / int8_ms,
     }
 }
 
@@ -209,15 +295,14 @@ fn round_cfg(smoke: bool) -> StrategyConfig {
     cfg
 }
 
-/// Runs `rounds` fault-free Nebula rounds and returns seconds per round.
-fn time_rounds(rounds: usize, smoke: bool, use_reference: bool) -> f64 {
-    set_reference_kernels(use_reference);
-    let per_round = time_rounds_with(rounds, smoke, Telemetry::off());
-    set_reference_kernels(false);
-    per_round
+/// Runs `rounds` fault-free Nebula rounds under a pinned kernel backend
+/// and returns seconds per round.
+fn time_rounds(rounds: usize, smoke: bool, backend: KernelBackend) -> f64 {
+    let _g = backend.scoped();
+    time_rounds_with(rounds, smoke, Telemetry::off())
 }
 
-/// Same round loop with a telemetry handle attached (blocked kernels).
+/// Same round loop with a telemetry handle attached (ambient backend).
 /// With a [`NullSink`] the handle disarms, so this measures the cost the
 /// instrumentation seams add to an untraced round; with an armed sink it
 /// measures full span/metric/event collection.
@@ -333,25 +418,51 @@ fn main() {
     let mode = if smoke { "smoke" } else { "full" };
     let (reps, target_s) = if smoke { (3, 0.01) } else { (5, 0.05) };
 
+    let mut peaks = calibrate_peaks(target_s);
     println!("perf_suite mode={mode}");
+    let mut rows: Vec<KernelRow> = gemm_cases().iter().map(|c| run_gemm_case(c, reps, target_s)).collect();
+    // Final per-engine ceilings: the hot-cache probe, or the best rate a
+    // tracked case sustained if the host sped up since calibration.
+    for r in &rows {
+        peaks.blocked_gflops = peaks.blocked_gflops.max(r.blocked_gflops);
+        peaks.simd_gflops = peaks.simd_gflops.max(r.simd_gflops);
+    }
+    for r in &mut rows {
+        r.blocked_pct_peak = 100.0 * r.blocked_gflops / peaks.blocked_gflops.max(1e-9);
+        r.simd_pct_peak = 100.0 * r.simd_gflops / peaks.simd_gflops.max(1e-9);
+    }
     println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>8} {:>8}",
-        "kernel", "m x n x k", "blocked ms", "ref ms", "speedup", "GF/s"
+        "simd backend: {} (peak {:.2} GF/s; blocked peak {:.2} GF/s)",
+        peaks.simd_backend, peaks.simd_gflops, peaks.blocked_gflops
     );
-    let mut rows = Vec::new();
-    for case in gemm_cases() {
-        let row = run_gemm_case(&case, reps, target_s);
+    println!(
+        "{:<24} {:>13} {:>9} {:>11} {:>9} {:>7} {:>8} {:>6}",
+        "kernel", "m x n x k", "ref ms", "blocked ms", "simd ms", "simd x", "GF/s", "%peak"
+    );
+    for row in &rows {
         println!(
-            "{:<24} {:>10} {:>12.3} {:>12.3} {:>7.2}x {:>8.2}",
+            "{:<24} {:>13} {:>9.3} {:>11.3} {:>9.3} {:>6.2}x {:>8.2} {:>5.1}%",
             row.name,
             format!("{}x{}x{}", row.m, row.n, row.k),
-            row.blocked_ms,
             row.reference_ms,
-            row.speedup,
-            row.blocked_gflops
+            row.blocked_ms,
+            row.simd_ms,
+            row.simd_speedup,
+            row.simd_gflops,
+            row.simd_pct_peak
         );
-        rows.push(row);
     }
+    // int8 steady state on the largest tracked forward shape.
+    let int8_base = rows.iter().find(|r| r.name == "vgg16_conv3").expect("tracked shape");
+    let i8r = run_int8_case(reps, target_s, int8_base);
+    println!(
+        "int8 matmul_nt_dequant   {:>13} {:>9.3} ms {:>8.2} GOP/s ({:.2}x blocked f32, {:.2}x simd f32)",
+        format!("{}x{}x{}", i8r.m, i8r.n, i8r.k),
+        i8r.int8_ms,
+        i8r.gops,
+        i8r.speedup_vs_blocked,
+        i8r.speedup_vs_simd
+    );
 
     let kernel_json = {
         let mut items = Vec::new();
@@ -359,8 +470,11 @@ fn main() {
             items.push(format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"origin\": \"{}\", \"variant\": \"{}\", ",
-                    "\"m\": {}, \"n\": {}, \"k\": {}, \"blocked_ms\": {:.4}, ",
-                    "\"reference_ms\": {:.4}, \"speedup\": {:.3}, \"blocked_gflops\": {:.3}}}"
+                    "\"m\": {}, \"n\": {}, \"k\": {},\n     ",
+                    "\"reference_ms\": {:.4}, \"blocked_ms\": {:.4}, \"simd_ms\": {:.4}, ",
+                    "\"speedup\": {:.3}, \"simd_speedup\": {:.3},\n     ",
+                    "\"blocked_gflops\": {:.3}, \"simd_gflops\": {:.3}, ",
+                    "\"blocked_pct_peak\": {:.1}, \"simd_pct_peak\": {:.1}}}"
                 ),
                 json_escape(r.name),
                 json_escape(r.origin),
@@ -368,32 +482,60 @@ fn main() {
                 r.m,
                 r.n,
                 r.k,
-                r.blocked_ms,
                 r.reference_ms,
+                r.blocked_ms,
+                r.simd_ms,
                 r.speedup,
-                r.blocked_gflops
+                r.simd_speedup,
+                r.blocked_gflops,
+                r.simd_gflops,
+                r.blocked_pct_peak,
+                r.simd_pct_peak
             ));
         }
         format!(
-            "{{\n  \"mode\": \"{mode}\",\n  \"reps\": {reps},\n  \"kernels\": [\n{}\n  ]\n}}\n",
-            items.join(",\n")
+            concat!(
+                "{{\n  \"mode\": \"{mode}\",\n  \"reps\": {reps},\n",
+                "  \"simd_backend\": \"{simd}\",\n",
+                "  \"peak_gflops\": {{\"blocked\": {pb:.3}, \"simd\": {ps:.3}}},\n",
+                "  \"kernels\": [\n{items}\n  ],\n",
+                "  \"int8\": {{\"m\": {im}, \"n\": {in_}, \"k\": {ik}, \"int8_ms\": {ims:.4}, ",
+                "\"gops\": {gops:.3}, \"speedup_vs_blocked\": {svb:.3}, \"speedup_vs_simd\": {svs:.3}}}\n}}\n"
+            ),
+            mode = mode,
+            reps = reps,
+            simd = peaks.simd_backend,
+            pb = peaks.blocked_gflops,
+            ps = peaks.simd_gflops,
+            items = items.join(",\n"),
+            im = i8r.m,
+            in_ = i8r.n,
+            ik = i8r.k,
+            ims = i8r.int8_ms,
+            gops = i8r.gops,
+            svb = i8r.speedup_vs_blocked,
+            svs = i8r.speedup_vs_simd
         )
     };
     let kernels_path = repo_root().join("BENCH_KERNELS.json");
     std::fs::write(&kernels_path, kernel_json).expect("write BENCH_KERNELS.json");
     println!("wrote {}", kernels_path.display());
 
-    // End-to-end round throughput, blocked vs reference kernels.
+    // End-to-end round throughput across the backend matrix.
     let rounds = if smoke { 2 } else { 6 };
-    println!("timing {rounds} fault-free rounds per kernel set...");
-    let blocked_s = time_rounds(rounds, smoke, false);
-    let reference_s = time_rounds(rounds, smoke, true);
+    println!("timing {rounds} fault-free rounds per kernel backend...");
+    let reference_s = time_rounds(rounds, smoke, KernelBackend::Reference);
+    let blocked_s = time_rounds(rounds, smoke, KernelBackend::Blocked);
+    let auto_s = time_rounds(rounds, smoke, KernelBackend::Auto);
     let speedup = reference_s / blocked_s;
+    let simd_round_speedup = blocked_s / auto_s;
     println!(
-        "round loop: blocked {:.1} ms/round, reference {:.1} ms/round, speedup {:.2}x",
-        blocked_s * 1e3,
+        "round loop: reference {:.1} ms/round, blocked {:.1} ms/round, {} {:.1} ms/round ({:.2}x blocked)",
         reference_s * 1e3,
-        speedup
+        blocked_s * 1e3,
+        peaks.simd_backend,
+        auto_s * 1e3,
+        simd_round_speedup
     );
     // Telemetry overhead: a NullSink disarms the handle (the acceptance
     // bar is <1% vs the uninstrumented loop); an armed MemorySink prices
@@ -416,7 +558,8 @@ fn main() {
         concat!(
             "{{\n  \"mode\": \"{}\",\n  \"rounds\": {},\n",
             "  \"blocked_ms_per_round\": {:.3},\n  \"reference_ms_per_round\": {:.3},\n",
-            "  \"blocked_rounds_per_s\": {:.3},\n  \"speedup\": {:.3},\n",
+            "  \"simd_ms_per_round\": {:.3},\n  \"simd_backend\": \"{}\",\n",
+            "  \"blocked_rounds_per_s\": {:.3},\n  \"speedup\": {:.3},\n  \"simd_speedup\": {:.3},\n",
             "  \"null_telemetry_ms_per_round\": {:.3},\n  \"null_telemetry_overhead_pct\": {:.3},\n",
             "  \"armed_telemetry_ms_per_round\": {:.3},\n  \"armed_telemetry_overhead_pct\": {:.3}\n}}\n"
         ),
@@ -424,8 +567,11 @@ fn main() {
         rounds,
         blocked_s * 1e3,
         reference_s * 1e3,
+        auto_s * 1e3,
+        peaks.simd_backend,
         1.0 / blocked_s,
         speedup,
+        simd_round_speedup,
         null_s * 1e3,
         null_overhead_pct,
         armed_s * 1e3,

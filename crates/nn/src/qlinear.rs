@@ -1,0 +1,138 @@
+//! Quantized fully-connected layer for low-tier device inference.
+//!
+//! [`QuantizedLinear`] is the end-cloud inference counterpart of
+//! [`Linear`](crate::linear::Linear): weights are stored as per-tensor
+//! symmetric int8 in `nebula-wire`'s `QuantInt8` format (one f32 scale,
+//! `zero_point = 0`), so a model shipped over the wire in quantized form
+//! can be served without re-materialising f32 weights — 4× smaller
+//! resident weights, and the `i8×i8→i32` kernel
+//! ([`nebula_tensor::gemm::int8`]) runs on the integer units.
+//!
+//! The forward pass quantizes the activation batch once per call (per
+//! tensor, same scheme), runs the exact integer GEMM, and dequantizes
+//! with `sa·sw` while adding the (f32) bias. Inference only — there is no
+//! backward pass; training always runs in f32 and quantization happens at
+//! the serving boundary, matching the paper's end-cloud split where
+//! low-tier devices only ever execute the forwarded submodel.
+//!
+//! Accuracy contract: the integer accumulation is exact, so the only
+//! error versus the f32 layer is quantization itself — per output element
+//! at most `k · sa · sw · 127.25` (see the int8 module docs), pinned by
+//! the tests below and by `nebula-tensor`'s equivalence suite.
+
+use crate::linear::Linear;
+use nebula_tensor::gemm::int8;
+use nebula_tensor::Tensor;
+
+/// `y = dequant(quant(x) · Wqᵀ) + b` with `Wq: out×in` int8, `b: out` f32.
+#[derive(Clone, Debug)]
+pub struct QuantizedLinear {
+    wq: Vec<i8>,
+    sw: f32,
+    b: Tensor,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an f32 layer's weights into an inference-only layer.
+    pub fn from_linear(layer: &Linear) -> Self {
+        let (wq, sw) = int8::quantize(layer.weight().data());
+        Self {
+            wq,
+            sw,
+            b: layer.bias().clone(),
+            in_features: layer.in_features(),
+            out_features: layer.out_features(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Weight scale (`max_abs / 127`), as it would appear on the wire.
+    pub fn weight_scale(&self) -> f32 {
+        self.sw
+    }
+
+    /// Quantized weights, row-major `out×in` (wire payload order).
+    pub fn weight_q(&self) -> &[i8] {
+        &self.wq
+    }
+
+    /// Resident bytes of the weight matrix (the 4× footprint win over
+    /// f32; bias stays f32 and is negligible).
+    pub fn weight_bytes(&self) -> usize {
+        self.wq.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Inference forward pass over a `batch×in` activation tensor.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.in_features, "QuantizedLinear input width mismatch");
+        let m = x.rows();
+        let (xq, sx) = int8::quantize(x.data());
+        let mut y = Tensor::zeros(&[m, self.out_features]);
+        int8::matmul_nt_dequant(
+            y.data_mut(),
+            m,
+            self.out_features,
+            self.in_features,
+            &xq,
+            sx,
+            &self.wq,
+            self.sw,
+        );
+        for i in 0..m {
+            let row = &mut y.data_mut()[i * self.out_features..(i + 1) * self.out_features];
+            for (o, &bv) in row.iter_mut().zip(self.b.data()) {
+                *o += bv;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use nebula_tensor::NebulaRng;
+
+    fn random_tensor(rng: &mut NebulaRng, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec((0..r * c).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[r, c])
+    }
+
+    #[test]
+    fn tracks_f32_linear_within_quantization_error() {
+        let mut rng = NebulaRng::seed(77);
+        let (batch, fin, fout) = (8, 61, 17);
+        let mut layer = Linear::new(fin, fout, &mut rng);
+        for bv in layer.bias_mut().data_mut() {
+            *bv = rng.normal_f32(0.0, 0.5);
+        }
+        let q = QuantizedLinear::from_linear(&layer);
+        let x = random_tensor(&mut rng, batch, fin);
+
+        let want = layer.forward(&x, Mode::Eval);
+        let got = q.forward(&x);
+        assert_eq!(got.shape(), want.shape());
+
+        let (_, sx) = int8::quantize(x.data());
+        let tol = fin as f32 * sx * q.weight_scale() * 127.25 + 1e-5;
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= tol, "{g} vs {w} (tol {tol})");
+        }
+
+        // Exact integer path: repeated forwards are bit-identical.
+        assert_eq!(got.data(), q.forward(&x).data());
+        // Footprint: 1 byte per weight plus the scale.
+        assert_eq!(q.weight_bytes(), fin * fout + 4);
+    }
+}

@@ -57,6 +57,10 @@ host:port or a UDS path (anything containing '/'). --auth takes the
 --hedge-ms speculatively re-dispatches jobs still unresolved after the
 soft timeout (0 = off).
 
+--threads N bounds the worker's executor pool AND the threaded GEMM
+macro-kernel (the kernel-thread budget); --threads 1 pins the kernels
+to their sequential path. Results are bit-identical at any setting.
+
 --durable DIR drives the run through the crash-safe journal under DIR
 instead of the plain round loop; add --resume 1 to continue a journal
 left by an interrupted run, and --kill-at N to simulate a coordinator
@@ -326,6 +330,11 @@ fn worker_cmd(args: &[String]) -> Result<ExitCode, String> {
         cfg.name = name.to_string();
     }
     cfg.threads = flags.num("threads", 2)?;
+    // --threads bounds the whole worker, not just the executor pool: the
+    // same budget caps the threaded GEMM macro-kernel (1 pins the
+    // kernels to their sequential path; the split keeps results
+    // bit-identical either way).
+    nebula_tensor::par::set_max_kernel_threads(cfg.threads);
     cfg.rejoin = flags.num("rejoin", 1u8)? == 1;
     cfg.auth_key = flags.get("auth").map(parse_key).transpose()?;
     cfg.telemetry = telemetry_from(&flags)?;

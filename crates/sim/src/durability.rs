@@ -1,10 +1,9 @@
 //! Crash-safe experiment drivers: atomic run snapshots, a write-ahead
 //! round journal, and deterministic resume.
 //!
-//! The durability layer wraps the two long-running experiment shapes
-//! ([`run_until_target_durable`] / [`run_continuous_durable`]) so that a
-//! run killed at any instant — including mid-write — can be restarted
-//! with [`resume_until_target`] / [`resume_continuous`] and produce the
+//! The durability layer underpins `Runner::durable(..)` (and
+//! `.resume()`) in [`crate::runner`], so that a run killed at any
+//! instant — including mid-write — can be restarted and produce the
 //! **bit-identical** accuracy and communication trajectory the
 //! uninterrupted run would have produced.
 //!
@@ -39,7 +38,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::experiment::{mean_accuracy, pick_eval_ids, ContinuousOutcome, ExperimentConfig, TargetOutcome};
+use crate::experiment::{mean_accuracy, pick_eval_ids, ExperimentConfig};
 use crate::faults::{FaultPlan, RoundPolicy, RoundReport};
 use crate::network::CommTracker;
 use crate::strategy::{AdaptStrategy, StrategyState};
@@ -529,87 +528,6 @@ pub(crate) fn continuous_slot(
         acc_bits: acc.acc.to_bits(),
         time_bits: report.adapt_time_ms.to_bits(),
     }
-}
-
-/// [`crate::experiment::run_until_target`] with crash safety: snapshots,
-/// a write-ahead round journal, and chaos kill hooks.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..).durable(..)")]
-pub fn run_until_target_durable(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    target: f32,
-    max_rounds: usize,
-    probe_every: usize,
-    opts: &DurableOptions,
-) -> Result<TargetOutcome, RunError> {
-    crate::runner::Runner::new(world, strategy)
-        .config(*cfg)
-        .target(target, max_rounds, probe_every)
-        .durable(opts.durability.clone())
-        .chaos(opts.chaos)
-        .run()
-        .map(crate::runner::RunOutcome::into_target)
-}
-
-/// Restores a durable run from `opts.durability.dir` and drives it to
-/// completion. `strategy` and `world` must be freshly constructed with
-/// the same configuration the original run used.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..).durable(..).resume()")]
-pub fn resume_until_target(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    target: f32,
-    max_rounds: usize,
-    probe_every: usize,
-    opts: &DurableOptions,
-) -> Result<TargetOutcome, RunError> {
-    crate::runner::Runner::new(world, strategy)
-        .config(*cfg)
-        .target(target, max_rounds, probe_every)
-        .durable(opts.durability.clone())
-        .chaos(opts.chaos)
-        .resume()
-        .run()
-        .map(crate::runner::RunOutcome::into_target)
-}
-
-/// [`crate::experiment::run_continuous`] with crash safety.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..).durable(..)")]
-pub fn run_continuous_durable(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    slots: usize,
-    opts: &DurableOptions,
-) -> Result<ContinuousOutcome, RunError> {
-    crate::runner::Runner::new(world, strategy)
-        .config(*cfg)
-        .continuous(slots)
-        .durable(opts.durability.clone())
-        .chaos(opts.chaos)
-        .run()
-        .map(crate::runner::RunOutcome::into_continuous)
-}
-
-/// Restores a durable continuous run and drives it through `slots`.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..).durable(..).resume()")]
-pub fn resume_continuous(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    slots: usize,
-    opts: &DurableOptions,
-) -> Result<ContinuousOutcome, RunError> {
-    crate::runner::Runner::new(world, strategy)
-        .config(*cfg)
-        .continuous(slots)
-        .durable(opts.durability.clone())
-        .chaos(opts.chaos)
-        .resume()
-        .run()
-        .map(crate::runner::RunOutcome::into_continuous)
 }
 
 pub(crate) type EngineParts = (SnapshotStore, JournalWriter, Vec<usize>, BTreeMap<u64, RoundRecord>);

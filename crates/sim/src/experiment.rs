@@ -3,22 +3,21 @@
 //! Three shapes cover the paper's evaluation:
 //! * [`run_adaptation_step`] — Table 1 / Figs 8–9: offline pre-train, one
 //!   adaptation step, per-device evaluation;
-//! * [`run_until_target`] — Fig. 7: communication rounds until a target
+//! * `Runner::target(..)` — Fig. 7: communication rounds until a target
 //!   accuracy (comm bytes at target);
-//! * [`run_continuous`] — Figs 10–11: many drift slots, accuracy per slot.
+//! * `Runner::continuous(..)` — Figs 10–11: many drift slots, accuracy per
+//!   slot ([`crate::runner::Runner`] is the single driver for both; the
+//!   deprecated free-function wrappers were removed after one release).
 
 use crate::faults::RoundReport;
 use crate::network::CommTracker;
-use crate::runner::{RunOutcome, Runner};
 use crate::strategy::AdaptStrategy;
 use crate::world::SimWorld;
 use nebula_tensor::NebulaRng;
 use serde::Serialize;
 
-#[allow(deprecated)]
 pub use crate::durability::{
-    resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
-    DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
+    ChaosControl, DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
 };
 
 /// Shared experiment-scale knobs.
@@ -166,29 +165,6 @@ pub struct TargetOutcome {
     pub faults: RoundReport,
 }
 
-/// Runs collaborative rounds until mean eval accuracy reaches `target` (or
-/// `max_rounds`), measuring accuracy every `probe_every` rounds. The
-/// strategy's `adaptation_step` must perform exactly one round per call —
-/// callers configure `rounds_per_step = 1`.
-///
-/// Returns [`RunError::InvalidConfig`] for an empty world, zero
-/// `eval_devices`, a non-finite target, or `probe_every == 0`.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).target(..)")]
-pub fn run_until_target(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    target: f32,
-    max_rounds: usize,
-    probe_every: usize,
-) -> Result<TargetOutcome, RunError> {
-    Runner::new(world, strategy)
-        .config(*cfg)
-        .target(target, max_rounds, probe_every)
-        .run()
-        .map(RunOutcome::into_target)
-}
-
 /// Result of a continuous (multi-slot) adaptation run.
 #[derive(Clone, Debug, Serialize)]
 pub struct ContinuousOutcome {
@@ -201,25 +177,11 @@ pub struct ContinuousOutcome {
     pub faults: RoundReport,
 }
 
-/// Runs `slots` drift steps; each slot the world drifts, the strategy
-/// adapts, and tracked devices are evaluated.
-///
-/// Returns [`RunError::InvalidConfig`] for an empty world or zero
-/// `eval_devices`.
-#[deprecated(note = "use nebula_sim::Runner::new(world, strategy).continuous(..)")]
-pub fn run_continuous(
-    strategy: &mut dyn AdaptStrategy,
-    world: &mut SimWorld,
-    cfg: &ExperimentConfig,
-    slots: usize,
-) -> Result<ContinuousOutcome, RunError> {
-    Runner::new(world, strategy).config(*cfg).continuous(slots).run().map(RunOutcome::into_continuous)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::resources::ResourceSampler;
+    use crate::runner::Runner;
     use crate::strategy::{NebulaStrategy, NoAdaptStrategy, StrategyConfig};
     use nebula_data::drift::DriftKind;
     use nebula_data::{DriftModel, PartitionSpec, Partitioner, SynthSpec, Synthesizer};

@@ -50,10 +50,8 @@ pub mod world;
 
 pub use contention::contention_multiplier;
 pub use device::SimDevice;
-#[allow(deprecated)]
 pub use durability::{
-    resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
-    DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
+    ChaosControl, DurabilityConfig, DurableOptions, KillSpot, RoundRecord, RunError, RunState,
 };
 pub use experiment::{AdaptationOutcome, ExperimentConfig};
 pub use faults::{

@@ -1,11 +1,9 @@
 //! Kill/restart durability: a run killed at any point — including with
 //! corrupted durability files — resumes to a bit-identical trajectory.
 //!
-//! Deliberately drives the deprecated free-function wrappers
-//! (`run_until_target_durable` & co.), which now delegate to
-//! `nebula_sim::Runner`: this file doubles as regression coverage that
-//! the delegation preserves the durability protocol end to end.
-#![allow(deprecated)]
+//! Drives `nebula_sim::Runner` directly (the free-function wrappers were
+//! removed); the thin helpers below fix the run shape so every test reads
+//! as "run, kill, resume, compare".
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -15,11 +13,12 @@ use nebula_core::transport::WireConfig;
 use nebula_data::drift::DriftKind;
 use nebula_data::{DriftModel, PartitionSpec, Partitioner, SynthSpec, Synthesizer};
 use nebula_modular::ModularConfig;
+use nebula_sim::experiment::{ContinuousOutcome, TargetOutcome};
 use nebula_sim::resources::ResourceSampler;
 use nebula_sim::strategy::{NebulaStrategy, StrategyConfig};
 use nebula_sim::{
-    resume_continuous, resume_until_target, run_continuous_durable, run_until_target_durable, ChaosControl,
-    CommTracker, DurableOptions, ExperimentConfig, FaultPlan, KillSpot, RoundRecord, RunError, SimWorld,
+    ChaosControl, CommTracker, DurableOptions, ExperimentConfig, FaultPlan, KillSpot, RoundRecord, RunError,
+    RunOutcome, Runner, SimWorld,
 };
 
 const TARGET: f32 = 1.01; // unreachable → runs always go to max_rounds
@@ -71,6 +70,80 @@ fn opts(dir: &Path) -> DurableOptions {
     o
 }
 
+/// One durable rounds-to-target run through the `Runner` builder.
+fn run_target_durable(
+    strategy: &mut NebulaStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    max_rounds: usize,
+    probe_every: usize,
+    o: &DurableOptions,
+) -> Result<TargetOutcome, RunError> {
+    Runner::new(world, strategy)
+        .config(*cfg)
+        .target(target, max_rounds, probe_every)
+        .durable(o.durability.clone())
+        .chaos(o.chaos)
+        .run()
+        .map(RunOutcome::into_target)
+}
+
+/// Resumes a durable rounds-to-target run from `o.durability.dir`.
+fn resume_target_durable(
+    strategy: &mut NebulaStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    target: f32,
+    max_rounds: usize,
+    probe_every: usize,
+    o: &DurableOptions,
+) -> Result<TargetOutcome, RunError> {
+    Runner::new(world, strategy)
+        .config(*cfg)
+        .target(target, max_rounds, probe_every)
+        .durable(o.durability.clone())
+        .chaos(o.chaos)
+        .resume()
+        .run()
+        .map(RunOutcome::into_target)
+}
+
+/// One durable continuous run through the `Runner` builder.
+fn run_cont_durable(
+    strategy: &mut NebulaStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    slots: usize,
+    o: &DurableOptions,
+) -> Result<ContinuousOutcome, RunError> {
+    Runner::new(world, strategy)
+        .config(*cfg)
+        .continuous(slots)
+        .durable(o.durability.clone())
+        .chaos(o.chaos)
+        .run()
+        .map(RunOutcome::into_continuous)
+}
+
+/// Resumes a durable continuous run from `o.durability.dir`.
+fn resume_cont_durable(
+    strategy: &mut NebulaStrategy,
+    world: &mut SimWorld,
+    cfg: &ExperimentConfig,
+    slots: usize,
+    o: &DurableOptions,
+) -> Result<ContinuousOutcome, RunError> {
+    Runner::new(world, strategy)
+        .config(*cfg)
+        .continuous(slots)
+        .durable(o.durability.clone())
+        .chaos(o.chaos)
+        .resume()
+        .run()
+        .map(RunOutcome::into_continuous)
+}
+
 fn records_of(dir: &Path) -> Vec<RoundRecord> {
     let contents = read_journal(&dir.join("rounds.nblj")).expect("journal readable");
     contents.records.iter().map(|b| serde_json::from_slice(b).expect("journal record decodes")).collect()
@@ -100,9 +173,8 @@ fn baseline(seed: u64, tag: &str) -> (nebula_sim::experiment::TargetOutcome, Vec
     let dir = tmp_dir(tag);
     let (mut s, mut world) = build(false);
     let cfg = ExperimentConfig { eval_devices: 3, seed };
-    let out =
-        run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
-            .expect("uninterrupted durable run");
+    let out = run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
+        .expect("uninterrupted durable run");
     let recs = records_of(&dir);
     let _ = fs::remove_dir_all(&dir);
     (out, recs)
@@ -146,14 +218,21 @@ fn kill_and_resume_is_bit_identical_until_target() {
             let mut o = opts(&dir);
             o.chaos = ChaosControl { kill: Some((round, spot)) };
             let (mut s, mut world) = build(false);
-            let err = run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
+            let err = run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
                 .expect_err("kill point must fire");
             assert_eq!(err, RunError::Killed { round });
 
             let (mut s2, mut world2) = build(false);
-            let resumed =
-                resume_until_target(&mut s2, &mut world2, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
-                    .expect("resume after kill");
+            let resumed = resume_target_durable(
+                &mut s2,
+                &mut world2,
+                &cfg,
+                TARGET,
+                MAX_ROUNDS,
+                PROBE_EVERY,
+                &opts(&dir),
+            )
+            .expect("resume after kill");
             assert_equivalent(&base, &base_recs, &resumed, &records_of(&dir));
             let _ = fs::remove_dir_all(&dir);
         }
@@ -167,18 +246,18 @@ fn kill_and_resume_is_bit_identical_continuous() {
 
     let base_dir = tmp_dir("cont-base");
     let (mut s, mut world) = build(true);
-    let base = run_continuous_durable(&mut s, &mut world, &cfg, slots, &opts(&base_dir)).expect("baseline");
+    let base = run_cont_durable(&mut s, &mut world, &cfg, slots, &opts(&base_dir)).expect("baseline");
     let base_recs = records_of(&base_dir);
 
     let dir = tmp_dir("cont-kill");
     let mut o = opts(&dir);
     o.chaos = ChaosControl { kill: Some((2, KillSpot::AfterAppend)) };
     let (mut s, mut world) = build(true);
-    let err = run_continuous_durable(&mut s, &mut world, &cfg, slots, &o).expect_err("kill fires");
+    let err = run_cont_durable(&mut s, &mut world, &cfg, slots, &o).expect_err("kill fires");
     assert_eq!(err, RunError::Killed { round: 2 });
 
     let (mut s, mut world) = build(true);
-    let resumed = resume_continuous(&mut s, &mut world, &cfg, slots, &opts(&dir)).expect("resume");
+    let resumed = resume_cont_durable(&mut s, &mut world, &cfg, slots, &opts(&dir)).expect("resume");
     assert_eq!(base.accuracy_per_slot.len(), resumed.accuracy_per_slot.len());
     for (i, (a, b)) in base.accuracy_per_slot.iter().zip(&resumed.accuracy_per_slot).enumerate() {
         assert_eq!(a.to_bits(), b.to_bits(), "slot {i} accuracy diverges");
@@ -202,7 +281,7 @@ fn resume_survives_corrupt_newest_snapshot() {
     let mut o = opts(&dir);
     o.chaos = ChaosControl { kill: Some((4, KillSpot::AfterSnapshot)) };
     let (mut s, mut world) = build(false);
-    run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
+    run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
         .expect_err("kill fires");
 
     // A torn snapshot write: flip a byte inside the newest snapshot's
@@ -213,8 +292,9 @@ fn resume_survives_corrupt_newest_snapshot() {
     flip_byte(snaps.last().unwrap(), 64);
 
     let (mut s, mut world) = build(false);
-    let resumed = resume_until_target(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
-        .expect("resume falls back to older snapshot");
+    let resumed =
+        resume_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
+            .expect("resume falls back to older snapshot");
     assert_equivalent(&base, &base_recs, &resumed, &records_of(&dir));
     let _ = fs::remove_dir_all(&dir);
 }
@@ -228,7 +308,7 @@ fn resume_survives_torn_journal_tail() {
     let mut o = opts(&dir);
     o.chaos = ChaosControl { kill: Some((3, KillSpot::AfterAppend)) };
     let (mut s, mut world) = build(false);
-    run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
+    run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
         .expect_err("kill fires");
 
     // A crash mid-append: garbage half-record at the journal tail.
@@ -238,8 +318,9 @@ fn resume_survives_torn_journal_tail() {
     fs::write(&jpath, bytes).unwrap();
 
     let (mut s, mut world) = build(false);
-    let resumed = resume_until_target(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
-        .expect("resume truncates torn tail");
+    let resumed =
+        resume_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
+            .expect("resume truncates torn tail");
     assert_equivalent(&base, &base_recs, &resumed, &records_of(&dir));
     let _ = fs::remove_dir_all(&dir);
 }
@@ -251,14 +332,14 @@ fn resume_rejects_fully_corrupt_state_without_panic() {
     let mut o = opts(&dir);
     o.chaos = ChaosControl { kill: Some((3, KillSpot::AfterAppend)) };
     let (mut s, mut world) = build(false);
-    run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
+    run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
         .expect_err("kill fires");
 
     for snap in snapshot_files(&dir) {
         flip_byte(&snap, 8);
     }
     let (mut s, mut world) = build(false);
-    let err = resume_until_target(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
+    let err = resume_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
         .expect_err("all snapshots corrupt → structured error, not a silent load");
     assert!(matches!(err, RunError::Durability(_)), "unexpected error: {err}");
     let _ = fs::remove_dir_all(&dir);
@@ -271,12 +352,12 @@ fn resume_with_wrong_seed_is_a_state_mismatch() {
     let mut o = opts(&dir);
     o.chaos = ChaosControl { kill: Some((2, KillSpot::AfterAppend)) };
     let (mut s, mut world) = build(false);
-    run_until_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
+    run_target_durable(&mut s, &mut world, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY, &o)
         .expect_err("kill fires");
 
     let other = ExperimentConfig { eval_devices: 3, seed: 35 };
     let (mut s, mut world) = build(false);
-    let err = resume_until_target(&mut s, &mut world, &other, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
+    let err = resume_target_durable(&mut s, &mut world, &other, TARGET, MAX_ROUNDS, PROBE_EVERY, &opts(&dir))
         .expect_err("different seed must not resume");
     assert!(matches!(err, RunError::StateMismatch(_)), "unexpected error: {err}");
     let _ = fs::remove_dir_all(&dir);
@@ -290,7 +371,7 @@ fn durable_run_refuses_lossy_wire_codec() {
     let mut s = NebulaStrategy::new(cfg_s, 1);
     let mut world = toy_world(false);
     let cfg = ExperimentConfig { eval_devices: 3, seed: 36 };
-    let err = run_until_target_durable(&mut s, &mut world, &cfg, TARGET, 2, 1, &opts(&dir))
+    let err = run_target_durable(&mut s, &mut world, &cfg, TARGET, 2, 1, &opts(&dir))
         .expect_err("delta codec has unexportable cross-round state");
     assert!(matches!(err, RunError::UnsupportedStrategy(_)), "unexpected error: {err}");
     let _ = fs::remove_dir_all(&dir);

@@ -1,21 +1,20 @@
-//! Regression tests for the blocked-GEMM rollout: fault-free simulation
-//! results must be reproducible bit-for-bit run-to-run (the kernels are
-//! deterministic for any thread count — threads only split output row
-//! blocks, never the k-reduction), and switching to the retained
-//! pre-blocking reference kernels must only move results within ordinary
-//! f32 reassociation noise (documented in DESIGN.md §"Kernel & threading
-//! architecture").
+//! Regression tests for the kernel-backend matrix: fault-free simulation
+//! results must be reproducible bit-for-bit run-to-run under *every*
+//! backend (the engines are deterministic for any thread count — threads
+//! only split output row blocks, never the k-reduction), and switching
+//! engines must only move results within ordinary f32 reassociation /
+//! FMA-contraction noise (documented in DESIGN.md §"Kernel backends").
 //!
-//! Both halves live in ONE test function: `set_reference_kernels` is a
-//! process-global switch, and test binaries run their tests concurrently.
+//! Everything lives in ONE test function: the backend selection is a
+//! process-global switch ([`KernelBackend::scoped`]) and test binaries
+//! run their tests concurrently.
 
 use nebula_data::{PartitionSpec, Partitioner, SynthSpec, Synthesizer};
 use nebula_modular::ModularConfig;
 use nebula_nn::Layer;
 use nebula_sim::strategy::StrategyConfig;
 use nebula_sim::{AdaptStrategy, FaultPlan, NebulaStrategy, ResourceSampler, SimWorld};
-use nebula_tensor::linalg::set_reference_kernels;
-use nebula_tensor::NebulaRng;
+use nebula_tensor::{resolved_backend, KernelBackend, NebulaRng};
 
 fn toy_world(devices: usize, seed: u64) -> SimWorld {
     let synth = Synthesizer::new(SynthSpec::toy(), 1);
@@ -50,31 +49,50 @@ fn run_rounds() -> (Vec<f32>, f32) {
 }
 
 #[test]
-fn fault_free_rounds_are_reproducible_and_kernel_tolerant() {
-    // 1. Same seeds, same kernels → bit-for-bit identical cloud model.
-    let (params_a, acc_a) = run_rounds();
-    let (params_b, acc_b) = run_rounds();
-    assert_eq!(params_a.len(), params_b.len());
-    for (i, (a, b)) in params_a.iter().zip(&params_b).enumerate() {
-        assert!(a.to_bits() == b.to_bits(), "param {i} not reproducible: {a} vs {b}");
+fn every_backend_is_reproducible_and_cross_backend_tolerant() {
+    // 1. Run-to-run bit-identity, once per selectable backend. An
+    //    unsupported SIMD selection resolves downward to a supported
+    //    engine (never upward), so the matrix is safe on any CPU; Auto
+    //    covers whatever the host resolves to.
+    let mut per_backend: Vec<(KernelBackend, Vec<f32>, f32)> = Vec::new();
+    for backend in [
+        KernelBackend::Blocked,
+        KernelBackend::Avx2,
+        KernelBackend::Avx512,
+        KernelBackend::Auto,
+        KernelBackend::Reference,
+    ] {
+        let _g = backend.scoped();
+        let resolved = resolved_backend();
+        let (params_a, acc_a) = run_rounds();
+        let (params_b, acc_b) = run_rounds();
+        assert_eq!(params_a.len(), params_b.len());
+        for (i, (a, b)) in params_a.iter().zip(&params_b).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{backend} (resolved {resolved}): param {i} not reproducible: {a} vs {b}"
+            );
+        }
+        assert_eq!(acc_a.to_bits(), acc_b.to_bits(), "{backend}: accuracy not reproducible");
+        per_backend.push((backend, params_a, acc_a));
     }
-    assert_eq!(acc_a.to_bits(), acc_b.to_bits());
 
-    // 2. Pre-blocking reference kernels → same training outcome within the
-    //    kernel-reassociation tolerance. Individual weights drift as f32
-    //    rounding compounds over optimisation steps, so the contract is on
-    //    aggregate behaviour: accuracy and parameter norm.
-    set_reference_kernels(true);
-    let (params_ref, acc_ref) = run_rounds();
-    set_reference_kernels(false);
-    assert!(
-        (acc_a - acc_ref).abs() <= 0.1,
-        "blocked vs reference kernels moved accuracy: {acc_a} vs {acc_ref}"
-    );
+    // 2. Cross-backend: same training outcome within the reassociation /
+    //    FMA-contraction tolerance. Individual weights drift as f32
+    //    rounding compounds over optimisation steps, so the contract is
+    //    on aggregate behaviour: accuracy and parameter norm.
     let norm = |p: &[f32]| p.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
-    let (na, nr) = (norm(&params_a), norm(&params_ref));
-    assert!(
-        (na - nr).abs() / nr.max(1e-9) < 0.05,
-        "parameter norms diverged beyond reassociation noise: {na} vs {nr}"
-    );
+    let (_, params_blocked, acc_blocked) = &per_backend[0];
+    let nb = norm(params_blocked);
+    for (backend, params, acc) in &per_backend[1..] {
+        assert!(
+            (acc - acc_blocked).abs() <= 0.1,
+            "{backend} vs blocked moved accuracy: {acc} vs {acc_blocked}"
+        );
+        let n = norm(params);
+        assert!(
+            (n - nb).abs() / nb.max(1e-9) < 0.05,
+            "{backend} vs blocked: parameter norms diverged beyond kernel noise: {n} vs {nb}"
+        );
+    }
 }

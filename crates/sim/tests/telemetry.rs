@@ -7,8 +7,8 @@
 //!   per-round activated-module counts the strategy emitted;
 //! * a [`JsonlSink`] trace of a full run parses line-by-line and covers
 //!   every event kind the instrumentation produces;
-//! * parity: the deprecated free-function drivers, the durable path, and
-//!   telemetry-armed runs are all bit-identical to a plain `Runner` run.
+//! * parity: the durable path and telemetry-armed runs are bit-identical
+//!   to a plain `Runner` run.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -184,47 +184,6 @@ fn jsonl_trace_parses_and_covers_every_kind() {
     assert!(metric_names.iter().any(|n| n.starts_with("wire.")), "wire metrics flushed");
 
     let _ = fs::remove_dir_all(&dir);
-}
-
-#[test]
-fn deprecated_target_wrapper_is_bit_identical_to_runner() {
-    let cfg = ExperimentConfig { eval_devices: 3, seed: 7 };
-    let (mut s, mut w) = build(7);
-    #[allow(deprecated)]
-    let legacy =
-        nebula_sim::experiment::run_until_target(&mut s, &mut w, &cfg, TARGET, MAX_ROUNDS, PROBE_EVERY)
-            .expect("legacy driver");
-
-    let (mut s, mut w) = build(7);
-    let new = Runner::new(&mut w, &mut s)
-        .config(cfg)
-        .target(TARGET, MAX_ROUNDS, PROBE_EVERY)
-        .run()
-        .expect("runner")
-        .into_target();
-
-    assert_eq!(legacy.final_accuracy.to_bits(), new.final_accuracy.to_bits());
-    assert_eq!(legacy.rounds, new.rounds);
-    assert_eq!(legacy.reached, new.reached);
-    assert_eq!(legacy.comm_total_bytes, new.comm_total_bytes);
-    assert_eq!(legacy.faults, new.faults);
-}
-
-#[test]
-fn deprecated_continuous_wrapper_is_bit_identical_to_runner() {
-    let cfg = ExperimentConfig { eval_devices: 2, seed: 13 };
-    let (mut s, mut w) = build(13);
-    #[allow(deprecated)]
-    let legacy = nebula_sim::experiment::run_continuous(&mut s, &mut w, &cfg, 2).expect("legacy driver");
-
-    let (mut s, mut w) = build(13);
-    let new = Runner::new(&mut w, &mut s).config(cfg).continuous(2).run().expect("runner");
-
-    let legacy_bits: Vec<u32> = legacy.accuracy_per_slot.iter().map(|a| a.to_bits()).collect();
-    let new_bits: Vec<u32> = new.accuracy_per_slot.iter().map(|a| a.to_bits()).collect();
-    assert_eq!(legacy_bits, new_bits, "per-slot trajectories are bit-identical");
-    assert_eq!(legacy.mean_adapt_time_ms.to_bits(), new.mean_adapt_time_ms.to_bits());
-    assert_eq!(legacy.faults, new.stats.faults);
 }
 
 #[test]

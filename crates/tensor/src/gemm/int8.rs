@@ -1,0 +1,228 @@
+//! Quantized `i8×i8 → i32` matmul for low-tier device inference.
+//!
+//! Uses the same per-tensor symmetric scheme as `nebula-wire`'s
+//! `QuantInt8` codec (one f32 scale, `zero_point = 0`, values clamped to
+//! `±127`), so weights shipped over the wire in quantized form can be
+//! multiplied without a dequantize round-trip: `C_f32 ≈ (Aq·Bqᵀ) · sa·sb`
+//! with one integer GEMM and a scalar rescale.
+//!
+//! The operand layout is the inference one: `A` is `m×k` activations,
+//! `B` is `n×k` row-major weights (each output feature's weights
+//! contiguous — exactly `nn::Linear`'s storage), so every dot product
+//! streams two contiguous `i8` rows.
+//!
+//! ## Exactness and determinism
+//!
+//! The accumulation is exact integer arithmetic: products are at most
+//! `127² = 16129`, so an `i32` accumulator is exact for `k` up to ~130 000
+//! (`i32::MAX / 127²`), far beyond any layer here — [`matmul_nt_i32`]
+//! debug-asserts that bound. Exactness means the scalar and AVX2 paths
+//! produce *identical* outputs (not merely close), pinned by the tests
+//! below, so dispatch never affects results; the only rounding anywhere
+//! is the f32 quantization itself, bounded per element by
+//! `k · sa · sb · 127.25`-ish (half-ulp of each operand times the other's
+//! magnitude, summed over `k`) and pinned against the f32 reference in
+//! `tests/simd_equivalence.rs`.
+
+use super::simd::{self, SimdLevel};
+
+/// Per-tensor symmetric quantization, mirroring `nebula-wire`'s
+/// `QuantInt8` codec: `scale = max_abs/127`, `q = round(v/scale)` clamped
+/// to `±127`. Returns the quantized values and the scale. All-zero (or
+/// empty) input yields scale `0.0` and zero codes; non-finite input
+/// yields a NaN scale (decoding such a tensor is visibly poisoned, the
+/// same contract as the wire codec).
+pub fn quantize(src: &[f32]) -> (Vec<i8>, f32) {
+    let mut max_abs = 0.0f32;
+    for &v in src {
+        max_abs = max_abs.max(v.abs());
+    }
+    let scale = max_abs / 127.0;
+    if !scale.is_finite() {
+        return (vec![0; src.len()], f32::NAN);
+    }
+    if scale == 0.0 {
+        return (vec![0; src.len()], 0.0);
+    }
+    let q = src.iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    (q, scale)
+}
+
+/// Inverse of [`quantize`]: `v = q · scale`.
+pub fn dequantize(q: &[i8], scale: f32) -> Vec<f32> {
+    q.iter().map(|&v| v as f32 * scale).collect()
+}
+
+/// `C[i, j] = Σ_p A[i, p] · B[j, p]` in exact `i32`, `A` row-major `m×k`,
+/// `B` row-major `n×k` (transposed operand, `nn::Linear` weight layout).
+///
+/// Dispatches to the AVX2 inner kernel when the CPU supports it; scalar
+/// and SIMD paths are bit-identical (integer arithmetic is exact).
+pub fn matmul_nt_i32(out: &mut [i32], m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) {
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), n * k, "B shape mismatch");
+    debug_assert!(k as u64 * 127 * 127 <= i32::MAX as u64, "k too deep for exact i32 accumulation");
+    #[cfg(target_arch = "x86_64")]
+    if simd::detect() >= SimdLevel::Avx2 {
+        // SAFETY: AVX2 confirmed by detect().
+        unsafe { x86::matmul_nt_i32_avx2(out, m, n, k, a, b) };
+        return;
+    }
+    matmul_nt_i32_scalar(out, m, n, k, a, b);
+}
+
+/// Quantized matmul with dequantized `f32` output:
+/// `C[i, j] = (Σ_p Aq[i, p] · Bq[j, p]) · sa · sb`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_dequant(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    sa: f32,
+    b: &[i8],
+    sb: f32,
+) {
+    let mut acc = vec![0i32; m * n];
+    matmul_nt_i32(&mut acc, m, n, k, a, b);
+    let s = sa * sb;
+    for (o, &v) in out.iter_mut().zip(&acc) {
+        *o = v as f32 * s;
+    }
+}
+
+fn matmul_nt_i32_scalar(out: &mut [i32], m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0i32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                s += x as i32 * y as i32;
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// AVX2 dot-product kernel: 16 `i8` pairs per step widen to `i16`
+    /// (`cvtepi8_epi16`), `madd_epi16` multiplies and pair-sums into 8
+    /// exact `i32` lanes (max pair sum `2·127² = 32258`, no overflow),
+    /// which accumulate vertically; one horizontal reduction per output.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2. Slice shapes as in
+    /// [`super::matmul_nt_i32`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_nt_i32_avx2(
+        out: &mut [i32],
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) {
+        let kv = k - k % 16;
+        for i in 0..m {
+            let ap = a.as_ptr().add(i * k);
+            for j in 0..n {
+                let bp = b.as_ptr().add(j * k);
+                let mut acc = _mm256_setzero_si256();
+                let mut p = 0;
+                while p < kv {
+                    let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(p) as *const __m128i));
+                    let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(p) as *const __m128i));
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+                    p += 16;
+                }
+                // Horizontal sum of the 8 i32 lanes.
+                let hi = _mm256_extracti128_si256(acc, 1);
+                let lo = _mm256_castsi256_si128(acc);
+                let s4 = _mm_add_epi32(lo, hi);
+                let s2 = _mm_add_epi32(s4, _mm_shuffle_epi32(s4, 0b01_00_11_10));
+                let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b00_01_00_01));
+                let mut s = _mm_cvtsi128_si32(s1);
+                while p < k {
+                    s += *ap.add(p) as i32 * *bp.add(p) as i32;
+                    p += 1;
+                }
+                out[i * n + j] = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = crate::NebulaRng::seed(seed);
+        (0..len).map(|_| rng.normal_f32(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn quantize_matches_wire_contract() {
+        let v = [1.0f32, -0.5, 0.25, -1.0];
+        let (q, s) = quantize(&v);
+        assert_eq!(s, 1.0 / 127.0);
+        assert_eq!(q, vec![127, -64, 32, -127]);
+        let d = dequantize(&q, s);
+        for (x, y) in d.iter().zip(&v) {
+            assert!((x - y).abs() <= s * 0.5 + 1e-7, "{x} vs {y}");
+        }
+
+        let (qz, sz) = quantize(&[0.0, 0.0]);
+        assert_eq!(sz, 0.0);
+        assert_eq!(qz, vec![0, 0]);
+        assert_eq!(dequantize(&qz, sz), vec![0.0, 0.0]);
+
+        let (qp, sp) = quantize(&[1.0, f32::INFINITY]);
+        assert!(sp.is_nan());
+        assert_eq!(qp, vec![0, 0]);
+    }
+
+    #[test]
+    fn scalar_and_dispatched_paths_are_identical() {
+        // Shapes straddling the 16-wide vector body and its scalar tail.
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 16), (4, 7, 33), (2, 3, 100)] {
+            let (a, _) = quantize(&fill(m * k, 31 + k as u64));
+            let (b, _) = quantize(&fill(n * k, 32 + k as u64));
+            let mut dispatched = vec![0i32; m * n];
+            matmul_nt_i32(&mut dispatched, m, n, k, &a, &b);
+            let mut scalar = vec![0i32; m * n];
+            matmul_nt_i32_scalar(&mut scalar, m, n, k, &a, &b);
+            assert_eq!(dispatched, scalar, "{m}x{n}x{k}: integer paths must be exact");
+        }
+    }
+
+    #[test]
+    fn dequant_matmul_tracks_f32_reference_within_quant_error() {
+        let (m, n, k) = (5, 6, 64);
+        let af = fill(m * k, 41);
+        let bf = fill(n * k, 42);
+        // f32 reference: C[i,j] = sum_p A[i,p]*B[j,p].
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                want[i * n + j] = (0..k).map(|p| af[i * k + p] * bf[j * k + p]).sum();
+            }
+        }
+        let (aq, sa) = quantize(&af);
+        let (bq, sb) = quantize(&bf);
+        let mut got = vec![0.0f32; m * n];
+        matmul_nt_dequant(&mut got, m, n, k, &aq, sa, &bq, sb);
+        // Guaranteed bound: each term errs by at most half a quantization
+        // step of either operand times the other's magnitude.
+        let tol = k as f32 * (sa * sb) * 127.25;
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - y).abs() <= tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+}

@@ -15,7 +15,14 @@
 //!
 //! Both transposed operand layouts (`A` stored `k×m`, `B` stored `n×k`)
 //! are absorbed by the packing routines, so `matmul`, `matmul_nt` and
-//! `matmul_tn` all share this one kernel.
+//! `matmul_tn` all share this one macro-kernel.
+//!
+//! The packing/blocking loops are generic over the register-tile shape
+//! (`const MR_/NR_`), so one macro-kernel drives several micro-kernels:
+//! the scalar 4×8 tile the compiler auto-vectorises (the `Blocked`
+//! backend — numerically identical to the pre-generic engine), and the
+//! explicit AVX2/AVX-512 tiles in [`simd`] selected at runtime through
+//! [`crate::backend`]. [`int8`] adds the quantized `i8×i8→i32` path.
 //!
 //! ## Determinism
 //!
@@ -24,33 +31,47 @@
 //! micro-kernel walks each slab in order. Threads only ever split the `m`
 //! dimension (disjoint row blocks of `C`), never `k`, so the reduction
 //! order — and therefore the floating-point result — is bit-identical for
-//! any thread count, including the sequential path. Block sizes *do*
-//! change the result relative to a naive `p = 0..k` loop only in so far as
-//! rounding differs when `k > KC` splits the sum; the order within and
-//! across slabs is still the plain ascending order, so in fact the
-//! reduction order equals the naive kernel's and results match it exactly
-//! (modulo the compiler's freedom to contract `a*b + c` into fused
-//! multiply-adds in either kernel).
+//! any thread count, including the sequential path. `KC` is shared by
+//! every register-tile shape, so two backends differ only in whether
+//! `a*b + c` is contracted into a fused multiply-add (the explicit SIMD
+//! micro-kernels) or not (the scalar tile; LLVM does not contract without
+//! fast-math flags) — never in summation order.
+
+pub mod int8;
+pub mod simd;
 
 use rayon::prelude::*;
 use std::cell::RefCell;
 
-/// Micro-tile rows: `MR` rows of `A` are broadcast per step.
+/// Micro-tile rows of the scalar engine: `MR` rows of `A` broadcast per step.
 pub const MR: usize = 4;
-/// Micro-tile columns: `NR` contiguous packed `B` values per step. One
-/// 256-bit lane on the x86-64-v3 baseline (see `.cargo/config.toml`), so
-/// the `MR×NR` accumulator occupies 4 of the 16 YMM registers with room
-/// for the `B` row, `A` broadcasts and loop-carried state.
+/// Micro-tile columns of the scalar engine: `NR` contiguous packed `B`
+/// values per step. One 256-bit lane on the x86-64-v3 baseline (see
+/// `.cargo/config.toml`), so the `MR×NR` accumulator occupies 4 of the 16
+/// YMM registers with room for the `B` row, `A` broadcasts and
+/// loop-carried state.
 pub const NR: usize = 8;
 /// Rows of `A` packed per block (multiple of `MR`); `MC×KC` floats ≈ 64 KiB
 /// targets L2 residency for the packed `A` slab.
 pub const MC: usize = 64;
-/// Depth of one packed slab; bounds the per-tile accumulator run.
+/// Depth of one packed slab; bounds the per-tile accumulator run. Shared
+/// by every backend so the k-reduction splits identically everywhere.
 pub const KC: usize = 256;
-/// Columns of `B` packed per slab (multiple of `NR`); `KC×NC` floats ≈
-/// 256 KiB keeps the shared `B` panel cache-resident while every row block
-/// re-reads it.
+/// Columns of `B` packed per slab (multiple of every `NR_` in use);
+/// `KC×NC` floats ≈ 256 KiB keeps the shared `B` panel cache-resident
+/// while every row block re-reads it.
 pub const NC: usize = 256;
+
+/// A register-tiled micro-kernel: `acc[i][j] += Σ_p apanel[p][i] · bpanel[p][j]`
+/// over one packed `(MR_, NR_)` tile pair of depth `kc`.
+///
+/// # Safety
+///
+/// Implementations may require CPU features (AVX2+FMA, AVX-512F); callers
+/// must only invoke pointers whose requirements the running CPU satisfies
+/// — [`crate::backend::resolve`] guarantees this for dispatched kernels.
+pub type MicroKernel<const MR_: usize, const NR_: usize> =
+    unsafe fn(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR_]; MR_]);
 
 /// How the `A` operand is stored.
 #[derive(Clone, Copy, Debug)]
@@ -78,8 +99,9 @@ thread_local! {
 }
 
 /// `C += A·B` over row-major `out` (`m×n`, assumed pre-zeroed by callers
-/// wanting a plain product). `parallel` splits the `m` dimension over
-/// rayon; results are bit-identical either way.
+/// wanting a plain product) through the scalar `Blocked` engine.
+/// `parallel` splits the `m` dimension over rayon; results are
+/// bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(
     out: &mut [f32],
@@ -92,7 +114,37 @@ pub fn gemm(
     bl: BLayout,
     parallel: bool,
 ) {
+    // SAFETY: the scalar micro-kernel has no CPU-feature requirements.
+    unsafe { gemm_with::<MR, NR>(microkernel_scalar, MC, out, m, n, k, a, al, b, bl, parallel) }
+}
+
+/// The shared macro-kernel, generic over the register-tile shape.
+///
+/// `mc_block` is the row-block height (a multiple of `MR_`; also the unit
+/// of the deterministic parallel m-split). `KC`/`NC` are shared constants
+/// so every tile shape produces the same k-reduction slabs.
+///
+/// # Safety
+///
+/// `kernel`'s CPU-feature requirements (see [`MicroKernel`]) must hold on
+/// the running CPU.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_with<const MR_: usize, const NR_: usize>(
+    kernel: MicroKernel<MR_, NR_>,
+    mc_block: usize,
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    al: ALayout,
+    b: &[f32],
+    bl: BLayout,
+    parallel: bool,
+) {
     debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(mc_block % MR_, 0, "row block must be a multiple of the tile height");
+    debug_assert_eq!(NC % NR_, 0, "NC must be a multiple of the tile width");
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -113,19 +165,19 @@ pub fn gemm(
             let kc = KC.min(k - pc);
             PACK_B.with(|cell| {
                 let mut bbuf = cell.borrow_mut();
-                pack_b(&mut bbuf, b, bl, ldb, pc, kc, jc, nc);
+                pack_b::<NR_>(&mut bbuf, b, bl, ldb, pc, kc, jc, nc);
                 let bpack: &[f32] = &bbuf;
                 if parallel {
-                    out.par_chunks_mut(MC * n).enumerate().for_each(|(blk, rows)| {
-                        let ic = blk * MC;
-                        let mc = MC.min(m - ic);
-                        process_block(rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
+                    out.par_chunks_mut(mc_block * n).enumerate().for_each(|(blk, rows)| {
+                        let ic = blk * mc_block;
+                        let mc = mc_block.min(m - ic);
+                        process_block(kernel, rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
                     });
                 } else {
-                    for (blk, rows) in out.chunks_mut(MC * n).enumerate() {
-                        let ic = blk * MC;
-                        let mc = MC.min(m - ic);
-                        process_block(rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
+                    for (blk, rows) in out.chunks_mut(mc_block * n).enumerate() {
+                        let ic = blk * mc_block;
+                        let mc = mc_block.min(m - ic);
+                        process_block(kernel, rows, a, al, lda, ic, mc, n, jc, nc, pc, kc, bpack);
                     }
                 }
             });
@@ -135,12 +187,12 @@ pub fn gemm(
     }
 }
 
-/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-wide column panels: panel
-/// `jp` holds, for each `p`, the `NR` values of columns
-/// `jc + jp*NR .. +NR`, zero-padded past the matrix edge so the
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR_`-wide column panels: panel
+/// `jp` holds, for each `p`, the `NR_` values of columns
+/// `jc + jp*NR_ .. +NR_`, zero-padded past the matrix edge so the
 /// micro-kernel never branches.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<const NR_: usize>(
     buf: &mut Vec<f32>,
     b: &[f32],
     bl: BLayout,
@@ -150,25 +202,25 @@ fn pack_b(
     jc: usize,
     nc: usize,
 ) {
-    let np = nc.div_ceil(NR);
+    let np = nc.div_ceil(NR_);
     buf.clear();
-    buf.resize(np * kc * NR, 0.0);
+    buf.resize(np * kc * NR_, 0.0);
     for jp in 0..np {
-        let j0 = jc + jp * NR;
-        let jw = NR.min(jc + nc - j0);
-        let panel = &mut buf[jp * kc * NR..(jp + 1) * kc * NR];
+        let j0 = jc + jp * NR_;
+        let jw = NR_.min(jc + nc - j0);
+        let panel = &mut buf[jp * kc * NR_..(jp + 1) * kc * NR_];
         match bl {
             BLayout::RowMajor => {
                 for p in 0..kc {
                     let src = &b[(pc + p) * ldb + j0..(pc + p) * ldb + j0 + jw];
-                    panel[p * NR..p * NR + jw].copy_from_slice(src);
+                    panel[p * NR_..p * NR_ + jw].copy_from_slice(src);
                 }
             }
             BLayout::Transposed => {
                 for j in 0..jw {
                     let src = &b[(j0 + j) * ldb + pc..(j0 + j) * ldb + pc + kc];
                     for (p, &v) in src.iter().enumerate() {
-                        panel[p * NR + j] = v;
+                        panel[p * NR_ + j] = v;
                     }
                 }
             }
@@ -176,11 +228,11 @@ fn pack_b(
     }
 }
 
-/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-tall row panels: panel `ip`
-/// holds, for each `p`, the `MR` values of rows `ic + ip*MR .. +MR`,
+/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR_`-tall row panels: panel `ip`
+/// holds, for each `p`, the `MR_` values of rows `ic + ip*MR_ .. +MR_`,
 /// zero-padded past the matrix edge.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a<const MR_: usize>(
     buf: &mut Vec<f32>,
     a: &[f32],
     al: ALayout,
@@ -190,36 +242,37 @@ fn pack_a(
     pc: usize,
     kc: usize,
 ) {
-    let mp = mc.div_ceil(MR);
+    let mp = mc.div_ceil(MR_);
     buf.clear();
-    buf.resize(mp * kc * MR, 0.0);
+    buf.resize(mp * kc * MR_, 0.0);
     for ip in 0..mp {
-        let i0 = ic + ip * MR;
-        let iw = MR.min(ic + mc - i0);
-        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        let i0 = ic + ip * MR_;
+        let iw = MR_.min(ic + mc - i0);
+        let panel = &mut buf[ip * kc * MR_..(ip + 1) * kc * MR_];
         match al {
             ALayout::RowMajor => {
                 for i in 0..iw {
                     let src = &a[(i0 + i) * lda + pc..(i0 + i) * lda + pc + kc];
                     for (p, &v) in src.iter().enumerate() {
-                        panel[p * MR + i] = v;
+                        panel[p * MR_ + i] = v;
                     }
                 }
             }
             ALayout::Transposed => {
                 for p in 0..kc {
                     let src = &a[(pc + p) * lda + i0..(pc + p) * lda + i0 + iw];
-                    panel[p * MR..p * MR + iw].copy_from_slice(src);
+                    panel[p * MR_..p * MR_ + iw].copy_from_slice(src);
                 }
             }
         }
     }
 }
 
-/// One `MC`-tall row block: pack its `A` slab, then sweep `MR×NR` tiles.
+/// One `mc`-tall row block: pack its `A` slab, then sweep `MR_×NR_` tiles.
 /// `rows` is the block's `mc×n` window of `C`.
 #[allow(clippy::too_many_arguments)]
-fn process_block(
+fn process_block<const MR_: usize, const NR_: usize>(
+    kernel: MicroKernel<MR_, NR_>,
     rows: &mut [f32],
     a: &[f32],
     al: ALayout,
@@ -235,19 +288,22 @@ fn process_block(
 ) {
     PACK_A.with(|cell| {
         let mut abuf = cell.borrow_mut();
-        pack_a(&mut abuf, a, al, lda, ic, mc, pc, kc);
-        let mp = mc.div_ceil(MR);
-        let np = nc.div_ceil(NR);
+        pack_a::<MR_>(&mut abuf, a, al, lda, ic, mc, pc, kc);
+        let mp = mc.div_ceil(MR_);
+        let np = nc.div_ceil(NR_);
         for ip in 0..mp {
-            let iw = MR.min(mc - ip * MR);
-            let apanel = &abuf[ip * kc * MR..(ip + 1) * kc * MR];
+            let iw = MR_.min(mc - ip * MR_);
+            let apanel = &abuf[ip * kc * MR_..(ip + 1) * kc * MR_];
             for jp in 0..np {
-                let jw = NR.min(nc - jp * NR);
-                let bpanel = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel(kc, apanel, bpanel, &mut acc);
+                let jw = NR_.min(nc - jp * NR_);
+                let bpanel = &bpack[jp * kc * NR_..(jp + 1) * kc * NR_];
+                let mut acc = [[0.0f32; NR_]; MR_];
+                // SAFETY: feature requirements are guaranteed by
+                // gemm_with's caller; panels are fully packed
+                // (kc·MR_ / kc·NR_ long, zero-padded).
+                unsafe { kernel(kc, apanel, bpanel, &mut acc) };
                 for (i, acc_row) in acc.iter().enumerate().take(iw) {
-                    let base = (ip * MR + i) * n + jc + jp * NR;
+                    let base = (ip * MR_ + i) * n + jc + jp * NR_;
                     let crow = &mut rows[base..base + jw];
                     for (c, &v) in crow.iter_mut().zip(acc_row.iter()) {
                         *c += v;
@@ -258,12 +314,16 @@ fn process_block(
     });
 }
 
-/// The register tile: `acc[i][j] += Σ_p apanel[p][i] · bpanel[p][j]`.
+/// The scalar register tile: `acc[i][j] += Σ_p apanel[p][i] · bpanel[p][j]`.
 /// `chunks_exact` gives the optimiser fixed-size, bounds-check-free views;
 /// the `NR`-wide inner loop vectorises and the `MR×NR` accumulators give
-/// 32 independent dependency chains.
-#[inline]
-fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+/// 32 independent dependency chains. No FMA contraction, so numerics match
+/// a baseline (non-v3) build bit-for-bit.
+///
+/// # Safety
+///
+/// None required — plain safe code behind the [`MicroKernel`] signature.
+unsafe fn microkernel_scalar(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
     for (av, bv) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(kc) {
         for i in 0..MR {
             let ai = av[i];

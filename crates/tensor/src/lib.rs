@@ -19,6 +19,7 @@
 //!   Parallelism is over independent output elements only, so results do
 //!   not depend on the rayon thread count.
 
+pub mod backend;
 pub mod gemm;
 pub mod init;
 pub mod linalg;
@@ -28,6 +29,7 @@ pub mod reduce;
 pub mod rng;
 pub mod tensor;
 
+pub use backend::{active_backend, resolved_backend, set_kernel_backend, BackendGuard, KernelBackend};
 pub use init::Init;
 pub use rng::NebulaRng;
 pub use tensor::Tensor;

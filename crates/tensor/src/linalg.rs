@@ -11,26 +11,36 @@
 //!
 //! All three lower onto the cache-blocked, register-tiled engine in
 //! [`crate::gemm`]; the transposed layouts are absorbed by its packing
-//! routines, so there is a single micro-kernel to tune. `*_into` variants
+//! routines, so there is a single macro-kernel to tune. `*_into` variants
 //! write into a caller-provided output tensor so hot loops can reuse
 //! buffers (see `nebula-nn`'s workspace).
+//!
+//! Which micro-kernel runs under that macro-kernel is selected through
+//! [`crate::backend`]: the default `Auto` resolves once (cached CPUID) to
+//! the best engine the CPU supports — the explicit AVX-512/AVX2+FMA tiles
+//! in [`crate::gemm::simd`] where present, the auto-vectorised scalar
+//! `Blocked` tile otherwise — and tests/benches force a specific engine
+//! with [`crate::KernelBackend::scoped`]. Every backend is run-to-run
+//! deterministic; see `backend.rs` for the full contract.
 //!
 //! Parallelism: the engine splits rows of the output over rayon once the
 //! work is large enough to amortise fork/join (`PAR_THRESHOLD`) *and* the
 //! current thread is not already inside a client-parallel round section
 //! ([`crate::par::in_sequential_scope`] — see `par.rs` for the nesting
-//! policy). The sequential and parallel paths are bit-identical, so this
-//! is purely a scheduling decision.
+//! policy) *and* the process-wide kernel-thread budget
+//! ([`crate::par::set_max_kernel_threads`]) permits forking. The
+//! sequential and parallel paths are bit-identical, so all three checks
+//! are purely scheduling decisions.
 //!
 //! The pre-blocking kernels are retained under [`reference`] — they anchor
 //! the equivalence proptests and give `perf_suite` a stable baseline to
-//! report speedups against ([`set_reference_kernels`]).
+//! report speedups against ([`KernelBackend::Reference`]).
 
-use crate::gemm::{self, ALayout, BLayout};
+use crate::backend::{self, KernelBackend};
+use crate::gemm::{self, simd, ALayout, BLayout};
 use crate::ops::dot_slices;
 use crate::par;
 use crate::Tensor;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Minimum number of multiply-adds before a kernel goes parallel.
 ///
@@ -41,26 +51,49 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// off roughly an order of magnitude later.
 const PAR_THRESHOLD: usize = 512 * 1024;
 
-/// When set, the public mat-mul API routes through the retained
-/// [`reference`] kernels. Benchmark/testing hook only (used by
-/// `perf_suite` to measure end-to-end speedup against the pre-blocking
-/// kernels); not intended for production paths.
-static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
-
 /// Routes all mat-muls through the pre-blocking [`reference`] kernels
-/// (benchmark baseline) or back to the blocked engine.
+/// (benchmark baseline) or back to automatic engine selection.
+#[deprecated(note = "use nebula_tensor::set_kernel_backend / KernelBackend::scoped instead; \
+                     `true` maps to KernelBackend::Reference, `false` to KernelBackend::Auto")]
 pub fn set_reference_kernels(on: bool) {
-    REFERENCE_KERNELS.store(on, Ordering::SeqCst);
+    backend::set_kernel_backend(if on { KernelBackend::Reference } else { KernelBackend::Auto });
 }
 
-/// True while [`set_reference_kernels`] has selected the baseline kernels.
+/// True while the [`KernelBackend::Reference`] engine is selected.
+#[deprecated(note = "use nebula_tensor::active_backend() instead")]
 pub fn reference_kernels_enabled() -> bool {
-    REFERENCE_KERNELS.load(Ordering::SeqCst)
+    backend::active_backend() == KernelBackend::Reference
 }
 
 /// Whether this product should use the rayon path.
 fn go_parallel(work: usize) -> bool {
-    work >= PAR_THRESHOLD && !par::in_sequential_scope()
+    work >= PAR_THRESHOLD && par::kernel_parallelism_allowed()
+}
+
+/// Lowers one product onto the engine the resolved backend names.
+/// `Reference` is handled by the callers (its three naive kernels are
+/// layout-specific); `Auto` never escapes [`backend::resolve`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_backend(
+    engine: KernelBackend,
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    al: ALayout,
+    b: &[f32],
+    bl: BLayout,
+) {
+    let parallel = go_parallel(m * n * k);
+    match engine {
+        KernelBackend::Blocked => gemm::gemm(out, m, n, k, a, al, b, bl, parallel),
+        KernelBackend::Avx2 => simd::gemm_avx2(out, m, n, k, a, al, b, bl, parallel),
+        KernelBackend::Avx512 => simd::gemm_avx512(out, m, n, k, a, al, b, bl, parallel),
+        KernelBackend::Reference | KernelBackend::Auto => {
+            unreachable!("resolve() never yields {engine} here")
+        }
+    }
 }
 
 impl Tensor {
@@ -80,22 +113,22 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
         assert_eq!(out.shape(), &[m, n], "matmul out shape mismatch");
         out.zero_();
-        if reference_kernels_enabled() {
-            reference::matmul_slices(out.data_mut(), m, n, k, self.data(), other.data());
-            return;
+        match backend::resolved_backend() {
+            KernelBackend::Reference => {
+                reference::matmul_slices(out.data_mut(), m, n, k, self.data(), other.data())
+            }
+            engine => gemm_backend(
+                engine,
+                out.data_mut(),
+                m,
+                n,
+                k,
+                self.data(),
+                ALayout::RowMajor,
+                other.data(),
+                BLayout::RowMajor,
+            ),
         }
-        let parallel = go_parallel(m * n * k);
-        gemm::gemm(
-            out.data_mut(),
-            m,
-            n,
-            k,
-            self.data(),
-            ALayout::RowMajor,
-            other.data(),
-            BLayout::RowMajor,
-            parallel,
-        );
     }
 
     /// `self (m×k) · otherᵀ` where `other` is `n×k` → `m×n`.
@@ -117,22 +150,22 @@ impl Tensor {
         assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
         assert_eq!(out.shape(), &[m, n], "matmul_nt out shape mismatch");
         out.zero_();
-        if reference_kernels_enabled() {
-            reference::matmul_nt_slices(out.data_mut(), m, n, k, self.data(), other.data());
-            return;
+        match backend::resolved_backend() {
+            KernelBackend::Reference => {
+                reference::matmul_nt_slices(out.data_mut(), m, n, k, self.data(), other.data())
+            }
+            engine => gemm_backend(
+                engine,
+                out.data_mut(),
+                m,
+                n,
+                k,
+                self.data(),
+                ALayout::RowMajor,
+                other.data(),
+                BLayout::Transposed,
+            ),
         }
-        let parallel = go_parallel(m * n * k);
-        gemm::gemm(
-            out.data_mut(),
-            m,
-            n,
-            k,
-            self.data(),
-            ALayout::RowMajor,
-            other.data(),
-            BLayout::Transposed,
-            parallel,
-        );
     }
 
     /// `selfᵀ · other` where `self` is `k×m` and `other` is `k×n` → `m×n`.
@@ -154,22 +187,22 @@ impl Tensor {
         assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
         assert_eq!(out.shape(), &[m, n], "matmul_tn out shape mismatch");
         out.zero_();
-        if reference_kernels_enabled() {
-            reference::matmul_tn_slices(out.data_mut(), m, n, k, self.data(), other.data());
-            return;
+        match backend::resolved_backend() {
+            KernelBackend::Reference => {
+                reference::matmul_tn_slices(out.data_mut(), m, n, k, self.data(), other.data())
+            }
+            engine => gemm_backend(
+                engine,
+                out.data_mut(),
+                m,
+                n,
+                k,
+                self.data(),
+                ALayout::Transposed,
+                other.data(),
+                BLayout::RowMajor,
+            ),
         }
-        let parallel = go_parallel(m * n * k);
-        gemm::gemm(
-            out.data_mut(),
-            m,
-            n,
-            k,
-            self.data(),
-            ALayout::Transposed,
-            other.data(),
-            BLayout::RowMajor,
-            parallel,
-        );
     }
 
     /// Matrix–vector product `self (m×k) · v (k)` → `m`.
@@ -205,10 +238,11 @@ impl Tensor {
 /// `matmul`/`matmul_tn`, row-dot loop for `matmul_nt`).
 ///
 /// They serve two purposes: the equivalence proptests check the blocked
-/// engine against them across random shapes, and `perf_suite` measures the
-/// blocked engine's speedup over them (via [`set_reference_kernels`] for
-/// end-to-end runs). They are sequential — on the round hot path they were
-/// always below the old parallel threshold.
+/// engine against them across random shapes, and `perf_suite` measures
+/// every engine's speedup over them (via
+/// `KernelBackend::Reference.scoped()` for end-to-end runs). They are
+/// sequential — on the round hot path they were always below the old
+/// parallel threshold.
 pub mod reference {
     use super::dot_slices;
     use crate::Tensor;
@@ -379,15 +413,31 @@ mod tests {
     }
 
     #[test]
-    fn reference_mode_round_trips() {
+    fn backend_override_round_trips() {
         let mut rng = crate::NebulaRng::seed(19);
         let a = Tensor::from_vec((0..12 * 30).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[12, 30]);
         let b = Tensor::from_vec((0..30 * 8).map(|_| rng.normal_f32(0.0, 1.0)).collect(), &[30, 8]);
-        let blocked = a.matmul(&b);
-        set_reference_kernels(true);
-        let baseline = a.matmul(&b);
-        set_reference_kernels(false);
+        let auto = a.matmul(&b);
+        let baseline = {
+            let _g = KernelBackend::Reference.scoped();
+            a.matmul(&b)
+        };
+        let blocked = {
+            let _g = KernelBackend::Blocked.scoped();
+            a.matmul(&b)
+        };
+        assert_tensor_close(&auto, &baseline, 1e-4);
         assert_tensor_close(&blocked, &baseline, 1e-4);
+        // The deprecated boolean shim still flips the backend.
+        #[allow(deprecated)]
+        {
+            set_reference_kernels(true);
+            assert!(reference_kernels_enabled());
+            assert_eq!(backend::active_backend(), KernelBackend::Reference);
+            set_reference_kernels(false);
+            assert!(!reference_kernels_enabled());
+            assert_eq!(backend::active_backend(), KernelBackend::Auto);
+        }
     }
 
     #[test]

@@ -21,9 +21,36 @@
 //! `gemm.rs`), so this policy is purely a scheduling decision.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     static SEQ_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Process-wide kernel-thread budget; `0` means "no explicit budget".
+static MAX_KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps kernel-level parallelism process-wide; `0` clears the cap.
+///
+/// A budget of `1` pins every mat-mul to the sequential path regardless of
+/// size — the co-location knob behind `nebula-node worker --threads 1`, so
+/// workers sharing a host don't oversubscribe cores. Budgets above `1`
+/// currently permit the parallel path and rely on the rayon pool's own
+/// sizing (results are bit-identical at any thread count, so the budget is
+/// purely a scheduling decision; see the module docs).
+pub fn set_max_kernel_threads(n: usize) {
+    MAX_KERNEL_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The budget set by [`set_max_kernel_threads`]; `0` when uncapped.
+pub fn max_kernel_threads() -> usize {
+    MAX_KERNEL_THREADS.load(Ordering::SeqCst)
+}
+
+/// True when a kernel may take the rayon path on this thread: not inside
+/// a [`sequential`] scope and not pinned by a budget of `1`.
+pub fn kernel_parallelism_allowed() -> bool {
+    max_kernel_threads() != 1 && !in_sequential_scope()
 }
 
 /// RAII guard for a sequential-kernel scope; created by [`sequential`].
@@ -77,5 +104,17 @@ mod tests {
     #[test]
     fn scope_returns_closure_value() {
         assert_eq!(sequential(|| 7), 7);
+    }
+
+    #[test]
+    fn thread_budget_of_one_pins_sequential() {
+        assert_eq!(max_kernel_threads(), 0);
+        assert!(kernel_parallelism_allowed());
+        set_max_kernel_threads(1);
+        assert!(!kernel_parallelism_allowed());
+        set_max_kernel_threads(4);
+        assert!(kernel_parallelism_allowed());
+        set_max_kernel_threads(0);
+        assert!(kernel_parallelism_allowed());
     }
 }
